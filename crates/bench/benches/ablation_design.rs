@@ -1,0 +1,83 @@
+//! Ablations of the design decisions DESIGN.md §3 calls out.
+//!
+//! 1. **Primitive selection** (§3.3): offload one primitive at a time and
+//!    all together — which primitive buys how much of the speedup, and
+//!    whether the four compose.
+//! 2. **MAI depth** (§4.1): sweep the request-buffer size that bounds each
+//!    unit's memory-level parallelism.
+//! 3. **Unit provisioning** (Table 2): halve/double the Copy/Search units.
+//! 4. **Host prefetching** (timing-substrate honesty check): how much of
+//!    the DDR4 baseline's strength — i.e. how little of Charon's margin —
+//!    comes from the host's stream prefetcher.
+
+use charon_bench::{banner, print_row, ratio, run};
+use charon_gc::system::{OffloadMask, System};
+use charon_workloads::{run_workload, spec::by_short, RunOptions};
+
+fn main() {
+    let spec = by_short("LR").expect("LR is in Table 3");
+    let opts = RunOptions::default();
+    banner(
+        "Ablation study (workload LR; speedup over the DDR4 host)",
+        "each row disables or rescales exactly one design ingredient",
+    );
+    let base = run(&spec, "DDR4", &opts).gc_time;
+    let speedup = |t: charon_sim::time::Ps| ratio(base.0 as f64 / t.0.max(1) as f64);
+
+    // 1. Primitive selection.
+    println!("\nA. primitive selection (which offloads buy the win)");
+    print_row("offloaded", &["speedup".into()]);
+    for (label, mask) in [
+        ("none (=HMC)", OffloadMask::none()),
+        ("copy only", OffloadMask::only("copy")),
+        ("search only", OffloadMask::only("search")),
+        ("scan&push only", OffloadMask::only("scan_push")),
+        ("bitmap only", OffloadMask::only("bitmap_count")),
+        ("all (paper)", OffloadMask::all()),
+    ] {
+        let mut sys = System::charon();
+        sys.offload = mask;
+        let t = run_workload(&spec, sys, &opts).expect("no OOM").gc_time;
+        print_row(label, &[speedup(t)]);
+    }
+
+    // 2. MAI depth.
+    println!("\nB. MAI request-buffer entries (per-unit MLP bound)");
+    print_row("entries", &["speedup".into()]);
+    for entries in [4usize, 16, 64, 256] {
+        let mut sys = System::charon();
+        sys.cfg.charon.mai_entries = entries;
+        let dev = charon_core::CharonDevice::new(&sys.cfg, charon_core::Placement::MemorySide, charon_core::StructureMode::Table4);
+        sys.device = Some(dev);
+        let t = run_workload(&spec, sys, &opts).expect("no OOM").gc_time;
+        print_row(&entries.to_string(), &[speedup(t)]);
+    }
+
+    // 3. Copy/Search unit provisioning.
+    println!("\nC. Copy/Search units (Table 2 ships 8, two per cube)");
+    print_row("units", &["speedup".into()]);
+    for units in [4usize, 8, 16] {
+        let mut sys = System::charon();
+        sys.cfg.charon.copy_search_units = units;
+        let dev = charon_core::CharonDevice::new(&sys.cfg, charon_core::Placement::MemorySide, charon_core::StructureMode::Table4);
+        sys.device = Some(dev);
+        let t = run_workload(&spec, sys, &opts).expect("no OOM").gc_time;
+        print_row(&units.to_string(), &[speedup(t)]);
+    }
+
+    // 4. Host prefetching.
+    println!("\nD. host stream prefetcher (baseline strength)");
+    print_row("prefetch", &["DDR4 GC time".into(), "Charon speedup".into()]);
+    for on in [true, false] {
+        let mut d = System::ddr4();
+        d.host.prefetch_enabled = on;
+        let td = run_workload(&spec, d, &opts).expect("no OOM").gc_time;
+        let mut c = System::charon();
+        c.host.prefetch_enabled = on;
+        let tc = run_workload(&spec, c, &opts).expect("no OOM").gc_time;
+        print_row(
+            if on { "on (default)" } else { "off" },
+            &[td.to_string(), ratio(td.0 as f64 / tc.0.max(1) as f64)],
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 2 — GC overhead normalized to mutator time over varying heap
+//! size.
+//!
+//! The paper first finds each application's minimum heap (no OOM), then
+//! over-provisions by 25% / 50% / 100%. Even at 2× the minimum, GC costs
+//! ≥ 15% of useful work; toward the minimum the overhead explodes (up to
+//! 365%). The same sweep here, on the DDR4 host baseline.
+
+use charon_bench::{banner, pct, print_row, run};
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 2: GC overhead vs. heap size (DDR4 host; GC time / mutator time)",
+        "paper: overhead explodes toward the minimum heap; >= 15% even at 2x",
+    );
+    let factors = [1.0, 1.25, 1.5, 2.0];
+    print_row("workload", &factors.iter().map(|f| format!("{f:.2}x min")).collect::<Vec<_>>());
+
+    let mut worst: f64 = 0.0;
+    let mut at_2x: Vec<f64> = Vec::new();
+    for spec in table3() {
+        let mut cells = Vec::new();
+        for f in factors {
+            let r = run(&spec, "DDR4", &RunOptions { heap_factor: Some(f), ..Default::default() });
+            let ov = r.gc_overhead();
+            worst = worst.max(ov);
+            if f == 2.0 {
+                at_2x.push(ov);
+            }
+            cells.push(pct(ov));
+        }
+        print_row(spec.short, &cells);
+    }
+    println!("worst overhead observed: {} (paper: up to 365%)", pct(worst));
+    println!(
+        "mean overhead at 2.0x min: {} (paper: >= 15%)",
+        pct(at_2x.iter().sum::<f64>() / at_2x.len() as f64)
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 12 — Normalized GC performance of Charon compared with the host
+//! CPU-only execution.
+//!
+//! Four platforms per workload: DDR4, HMC (host-only on the stacked
+//! memory), Charon (near-memory offload), Ideal (zero-cycle offload).
+//! The paper reports geomean speedups of 1.21× (HMC) and 3.29× (Charon)
+//! over DDR4, with Charon tracking Ideal closely.
+
+use charon_bench::{banner, geomean, print_row, ratio, run, PLATFORMS};
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 12: Normalized GC performance (speedup over DDR4, higher is better)",
+        "paper: HMC geomean 1.21x, Charon geomean 3.29x, Ideal above Charon",
+    );
+    print_row("workload", &PLATFORMS.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+
+    let opts = RunOptions::default();
+    let mut per_platform: Vec<Vec<f64>> = vec![Vec::new(); PLATFORMS.len()];
+    for spec in table3() {
+        let base = run(&spec, "DDR4", &opts).gc_time;
+        let mut cells = Vec::new();
+        for (i, p) in PLATFORMS.iter().enumerate() {
+            let t = if *p == "DDR4" { base } else { run(&spec, p, &opts).gc_time };
+            let speedup = base.0 as f64 / t.0.max(1) as f64;
+            per_platform[i].push(speedup);
+            cells.push(ratio(speedup));
+        }
+        print_row(spec.short, &cells);
+    }
+    let cells: Vec<String> = per_platform.iter().map(|v| ratio(geomean(v))).collect();
+    print_row("geomean", &cells);
+}

@@ -1,0 +1,35 @@
+//! Figure 13 — Utilized bandwidth during GC and ratio of local accesses.
+//!
+//! Bars: average DRAM bandwidth each platform sustains during GC pauses —
+//! Charon exceeds the 80 GB/s off-chip link by using cube-internal TSVs.
+//! Line: the fraction of near-memory requests served by the issuing
+//! unit's local cube (>70% typical; LR and CC fall to about half).
+
+use charon_bench::{banner, pct, print_row, run, PLATFORMS};
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 13: Utilized bandwidth during GC (GB/s) and Charon local-access ratio",
+        "paper: Charon well above the 80 GB/s off-chip budget; >70% local for most apps",
+    );
+    let mut cols: Vec<String> = PLATFORMS.iter().take(3).map(|p| format!("{p} GB/s")).collect();
+    cols.push("local".into());
+    print_row("workload", &cols);
+
+    let opts = RunOptions::default();
+    for spec in table3() {
+        let mut cells = Vec::new();
+        let mut local = 0.0;
+        for p in PLATFORMS.iter().take(3) {
+            let r = run(&spec, p, &opts);
+            cells.push(format!("{:.1}", r.gc_bandwidth_gbps()));
+            if *p == "Charon" {
+                local = r.local_ratio();
+            }
+        }
+        cells.push(pct(local));
+        print_row(spec.short, &cells);
+    }
+    println!("(off-chip budget: DDR4 34 GB/s total, HMC 80 GB/s per link)");
+}

@@ -1,0 +1,47 @@
+//! Figure 14 — Per-primitive speedup analysis (S: Search, SP: Scan&Push,
+//! C: Copy, BC: Bitmap Count).
+//!
+//! For each workload, the time spent in each primitive's breakdown bucket
+//! on the DDR4 host divided by the same bucket under Charon. The paper
+//! reports averages of 2.90× (Search), 1.20× (Scan&Push, low or negative
+//! for the reference-poor ML apps), 10.17× (Copy, max 26.15×), and 5.63×
+//! (Bitmap Count).
+
+use charon_bench::{banner, print_row, ratio, run};
+use charon_gc::breakdown::Bucket;
+use charon_sim::time::Ps;
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 14: Per-primitive speedup (DDR4 bucket time / Charon bucket time)",
+        "paper averages: S 2.90x, SP 1.20x, C 10.17x (max 26.15x), BC 5.63x",
+    );
+    let prims = [Bucket::Search, Bucket::ScanPush, Bucket::Copy, Bucket::BitmapCount];
+    print_row("workload", &["S", "SP", "C", "BC"].iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    let opts = RunOptions::default();
+    let mut sums = vec![Vec::new(); prims.len()];
+    for spec in table3() {
+        let d = run(&spec, "DDR4", &opts);
+        let c = run(&spec, "Charon", &opts);
+        let mut cells = Vec::new();
+        for (i, &b) in prims.iter().enumerate() {
+            let host = d.minor_breakdown.get(b) + d.major_breakdown.get(b);
+            let dev = c.minor_breakdown.get(b) + c.major_breakdown.get(b);
+            if host == Ps::ZERO || dev == Ps::ZERO {
+                cells.push("-".into());
+            } else {
+                let s = host.0 as f64 / dev.0 as f64;
+                sums[i].push(s);
+                cells.push(ratio(s));
+            }
+        }
+        print_row(spec.short, &cells);
+    }
+    let avg: Vec<String> = sums
+        .iter()
+        .map(|v| if v.is_empty() { "-".into() } else { ratio(v.iter().sum::<f64>() / v.len() as f64) })
+        .collect();
+    print_row("average", &avg);
+}

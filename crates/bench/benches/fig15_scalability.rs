@@ -1,0 +1,48 @@
+//! Figure 15 — GC throughput scalability with an increasing number of GC
+//! threads.
+//!
+//! Three systems over 1/2/4/8 GC threads: the DDR4 host (hardly scales —
+//! 34 GB/s ceiling), Charon with unified structures (single bitmap cache +
+//! TLB at the center cube), and Charon with distributed slices (scales
+//! better as center-cube contention is relieved). Throughput is normalized
+//! to the 1-thread DDR4 run of the same workload.
+
+use charon_bench::{banner, print_row, ratio, run};
+use charon_gc::system::System;
+use charon_workloads::{run_workload, table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 15: GC throughput vs. GC threads (normalized to 1-thread DDR4)",
+        "paper: DDR4 flat; Charon scales; distributed >= unified except low-pressure cases",
+    );
+    let threads = [1usize, 2, 4, 8];
+    // One representative per framework + the paper's exception case CC.
+    let picks = ["LR", "CC", "PR"];
+
+    for short in picks {
+        let spec = table3().into_iter().find(|w| w.short == short).expect("known workload");
+        println!("\n{short}:");
+        print_row("threads", &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+        let base = run(&spec, "DDR4", &RunOptions { gc_threads: 1, ..Default::default() }).gc_time;
+
+        for (label, mk) in [
+            ("DDR4", None),
+            ("Charon-unified", Some(charon_core::StructureMode::Unified)),
+            ("Charon-distrib", Some(charon_core::StructureMode::Distributed)),
+        ] {
+            let mut cells = Vec::new();
+            for &t in &threads {
+                let opts = RunOptions { gc_threads: t, ..Default::default() };
+                let gc_time = match mk {
+                    None => run(&spec, "DDR4", &opts).gc_time,
+                    Some(mode) => run_workload(&spec, System::charon_structured(mode), &opts)
+                        .expect("no OOM")
+                        .gc_time,
+                };
+                cells.push(ratio(base.0 as f64 / gc_time.0.max(1) as f64));
+            }
+            print_row(label, &cells);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 16 — Memory-side implementation speedup over CPU-side on-chip
+//! implementation.
+//!
+//! Charon's primitives also work attached to the host memory controller
+//! (§4.6 "Charon as CPU-side Accelerator"): same MLP and algorithms, but
+//! every memory request pays the off-chip path instead of cube-internal
+//! TSV bandwidth. The paper measures the CPU-side variant about 37% slower
+//! than the memory-side design.
+
+use charon_bench::{banner, geomean, print_row, ratio, run};
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 16: memory-side Charon speedup over CPU-side Charon",
+        "paper: CPU-side throughput about 37% below memory-side (ratio about 1.6x)",
+    );
+    print_row("workload", &["CPU-side".into(), "mem-side".to_string(), "mem/CPU".into()]);
+
+    let opts = RunOptions::default();
+    let mut ratios = Vec::new();
+    for spec in table3() {
+        let base = run(&spec, "DDR4", &opts).gc_time;
+        let cpu = run(&spec, "Charon-CPU-side", &opts).gc_time;
+        let mem = run(&spec, "Charon", &opts).gc_time;
+        let r = cpu.0 as f64 / mem.0.max(1) as f64;
+        ratios.push(r);
+        print_row(
+            spec.short,
+            &[
+                ratio(base.0 as f64 / cpu.0.max(1) as f64),
+                ratio(base.0 as f64 / mem.0.max(1) as f64),
+                ratio(r),
+            ],
+        );
+    }
+    let g = geomean(&ratios);
+    println!("geomean mem-side advantage: {} (CPU-side is {:.1}% slower)", ratio(g), (1.0 - 1.0 / g) * 100.0);
+}

@@ -1,0 +1,34 @@
+//! Figure 17 — Energy consumption of Charon on GC compared with the host
+//! CPU-only execution.
+//!
+//! Per-workload GC energy normalized to the DDR4 host. The paper reports
+//! 60.7% average reduction vs. DDR4 and 51.6% vs. HMC: most of it from the
+//! 3.29× shorter pauses (blocked host cores clock-gate), plus HMC's lower
+//! per-bit energy, against Charon's modest 2.98 W of added logic.
+
+use charon_bench::{banner, pct, print_row, run, PLATFORMS};
+use charon_workloads::{table3, RunOptions};
+
+fn main() {
+    banner(
+        "Figure 17: GC energy normalized to the DDR4 host (lower is better)",
+        "paper: Charon saves 60.7% vs DDR4 and 51.6% vs HMC on average",
+    );
+    print_row("workload", &PLATFORMS.iter().take(3).map(|p| p.to_string()).collect::<Vec<_>>());
+
+    let opts = RunOptions::default();
+    let mut vs_ddr4 = Vec::new();
+    let mut vs_hmc = Vec::new();
+    for spec in table3() {
+        let e: Vec<f64> = PLATFORMS.iter().take(3).map(|p| run(&spec, p, &opts).energy.total_j()).collect();
+        let cells: Vec<String> = e.iter().map(|&j| pct(j / e[0])).collect();
+        vs_ddr4.push(1.0 - e[2] / e[0]);
+        vs_hmc.push(1.0 - e[2] / e[1]);
+        print_row(spec.short, &cells);
+    }
+    println!(
+        "average Charon energy reduction: {} vs DDR4 (paper 60.7%), {} vs HMC (paper 51.6%)",
+        pct(vs_ddr4.iter().sum::<f64>() / vs_ddr4.len() as f64),
+        pct(vs_hmc.iter().sum::<f64>() / vs_hmc.len() as f64),
+    );
+}

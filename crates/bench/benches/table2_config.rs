@@ -1,0 +1,11 @@
+//! Table 2 — Architectural parameters for evaluation, rendered from the
+//! configuration structs that drive every simulation in this repository
+//! (single source of truth: `charon_sim::config`).
+
+use charon_bench::banner;
+use charon_sim::config::SystemConfig;
+
+fn main() {
+    banner("Table 2: Architectural parameters for evaluation", "verbatim from charon_sim::config");
+    println!("{}", SystemConfig::table2_ddr4());
+}

@@ -1,0 +1,23 @@
+//! Table 3 — Workloads, with the paper's datasets/heaps and the scaled
+//! heaps this reproduction runs (DESIGN.md §1 scaling substitution).
+
+use charon_bench::banner;
+use charon_workloads::table3;
+
+fn main() {
+    banner("Table 3: Workloads", "paper heaps scaled ~1/256; synthetic datasets reproduce demographics");
+    println!(
+        "{:<10}{:<28}{:<28}{:>12}{:>14}",
+        "", "Workload", "Dataset (paper)", "Heap(paper)", "Heap(scaled)"
+    );
+    for w in table3() {
+        println!(
+            "{:<10}{:<28}{:<28}{:>12}{:>11} MB",
+            w.framework.to_string(),
+            format!("{} ({})", w.name, w.short),
+            w.paper_dataset,
+            w.paper_heap,
+            w.default_heap_bytes() >> 20
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Table 4 — Total area usage of Charon for whole cubes, plus the §5.3
+//! power-density check, from the analytical model in `charon_core::area`
+//! (the Chisel + Synopsys DC + CACTI substitute, DESIGN.md §1).
+
+use charon_bench::banner;
+use charon_core::area::report;
+
+fn main() {
+    banner(
+        "Table 4: Total area usage of Charon",
+        "paper: 1.9470 mm^2 total, 0.4868 mm^2 per cube, 45.1 mW/mm^2 max density",
+    );
+    println!("{}", report());
+}

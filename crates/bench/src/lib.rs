@@ -1,0 +1,104 @@
+//! # charon-bench — the table/figure regeneration harness
+//!
+//! One `harness = false` bench target per table and figure of the paper's
+//! evaluation (§5); `cargo bench -p charon-bench` regenerates all of them.
+//! This library holds the shared experiment plumbing: platform
+//! construction, run caching, geometric means, and fixed-width table
+//! printing.
+
+use charon_gc::system::System;
+use charon_workloads::{run_workload, RunOptions, RunResult, WorkloadSpec};
+
+/// The four platforms of Fig. 12, in presentation order.
+pub const PLATFORMS: [&str; 4] = ["DDR4", "HMC", "Charon", "Ideal"];
+
+/// Builds a platform by its label.
+///
+/// # Panics
+///
+/// Panics on an unknown label.
+pub fn system_by_label(label: &str) -> System {
+    match label {
+        "DDR4" => System::ddr4(),
+        "HMC" => System::hmc(),
+        "Charon" => System::charon(),
+        "Charon-CPU-side" => System::cpu_side(),
+        "Ideal" => System::ideal(),
+        other => panic!("unknown platform {other}"),
+    }
+}
+
+/// Runs one workload on one platform with default options (or the given
+/// overrides), panicking on OOM — benches are sized never to OOM.
+pub fn run(spec: &WorkloadSpec, label: &str, opts: &RunOptions) -> RunResult {
+    run_workload(spec, system_by_label(label), opts)
+        .unwrap_or_else(|e| panic!("{} on {label}: {e}", spec.short))
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Prints one fixed-width row: a label column then numeric cells.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<16}");
+    for c in cells {
+        print!("{c:>14}");
+    }
+    println!();
+}
+
+/// Prints a rule and a figure/table banner.
+pub fn banner(title: &str, caption: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{caption}");
+    println!("{}", "-".repeat(78));
+}
+
+/// Formats a ratio cell like "3.29x".
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_labels_resolve() {
+        for p in PLATFORMS {
+            assert_eq!(system_by_label(p).label(), p);
+        }
+        assert_eq!(system_by_label("Charon-CPU-side").label(), "Charon-CPU-side");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_platform_panics() {
+        system_by_label("PIM-9000");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(3.287), "3.29x");
+        assert_eq!(pct(0.607), "60.7%");
+    }
+}

@@ -1,0 +1,788 @@
+//! [`CharonDevice`] — the assembled accelerator and its `offload()` path.
+//!
+//! The device models *timing only*: the collector in `charon-gc` performs
+//! each primitive's functional work on the simulated heap first, then hands
+//! the resulting access descriptors here. An offload proceeds exactly as
+//! §4.1 describes:
+//!
+//! 1. the host builds a 48 B request packet, routed over the serial links
+//!    to the scheduled cube (the host thread then blocks),
+//! 2. the packet waits in the per-primitive command queue until a unit
+//!    instance is free,
+//! 3. the unit streams memory requests — one per logic-layer cycle, bounded
+//!    by the cube's MAI request buffer, each translated by the accelerator
+//!    TLB — into the local vaults or across cube links,
+//! 4. `clflush` probes invalidate any host-cached copies of lines the unit
+//!    touches (dirty hits are written back before the unit proceeds;
+//!    Bitmap Count skips probing since the host never writes the bitmap),
+//! 5. a 16/32 B response packet unblocks the host thread.
+//!
+//! [`Placement::CpuSide`] moves the same units next to the host memory
+//! controller (Fig. 16): packets become on-chip (free), no clflush probes
+//! or accelerator TLB are needed, but every memory request pays the
+//! off-chip serial-link path instead of cube-internal TSV bandwidth.
+
+use crate::bitmap_cache::{BitmapCache, SliceMode};
+use crate::mai::Mai;
+use crate::packet::{InitializeParams, PrimType, REQUEST_BYTES};
+use crate::sched::Scheduler;
+use crate::tlb::{AccelTlb, TlbMode};
+use crate::units::UnitPool;
+use charon_heap::addr::VAddr;
+use charon_sim::cache::AccessKind;
+use charon_sim::config::SystemConfig;
+use charon_sim::dram::DramOp;
+use charon_sim::host::HostTiming;
+use charon_sim::noc::Node;
+use charon_sim::time::Ps;
+use std::fmt;
+
+/// Where the Charon units sit (Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// In the logic layer of each HMC cube (the paper's main design).
+    MemorySide,
+    /// Beside the host memory controller.
+    CpuSide,
+}
+
+/// Placement of the shared accelerator structures (bitmap cache + TLB),
+/// §4.6 and Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureMode {
+    /// The paper's default build (Table 4): one bitmap cache at the
+    /// central cube, a TLB slice on every cube.
+    Table4,
+    /// Single bitmap cache *and* TLB at the central cube (Fig. 15's
+    /// "unified design").
+    Unified,
+    /// Per-cube slices of both (Fig. 15's "distributed design").
+    Distributed,
+}
+
+/// One referent processed by a Scan&Push invocation, with the dependent
+/// action the unit performs once the referent's header returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanRef {
+    /// The referent object's address (its header is loaded). `NULL` refs
+    /// are filtered out before this point.
+    pub referent: VAddr,
+    /// What happens after the header arrives.
+    pub action: ScanAction,
+}
+
+/// The dependent action after a referent's header load (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanAction {
+    /// MinorGC: unmarked referent → push onto the object stack.
+    Push {
+        /// Simulated address of the stack slot written.
+        stack_slot: VAddr,
+    },
+    /// MinorGC: already-forwarded referent → update the referring field.
+    UpdateField {
+        /// The field slot rewritten with the forwarding pointer.
+        field_slot: VAddr,
+    },
+    /// MinorGC: forwarded referent staying young, holder in Old → update
+    /// the field *and* dirty the holder's card.
+    UpdateFieldAndCard {
+        /// The field slot rewritten.
+        field_slot: VAddr,
+        /// The card byte dirtied.
+        card_addr: VAddr,
+    },
+    /// MinorGC: promoted holder keeps a young ref → dirty its card.
+    UpdateCard {
+        /// The card byte's address.
+        card_addr: VAddr,
+    },
+    /// MajorGC: unmarked referent → `mark_obj` (begin + end bitmap RMWs
+    /// through the bitmap cache) then push.
+    MarkAndPush {
+        /// The 8 B begin-map word the RMW touches.
+        beg_word: VAddr,
+        /// The 8 B end-map word the RMW touches.
+        end_word: VAddr,
+        /// The stack slot written.
+        stack_slot: VAddr,
+    },
+    /// Nothing further (already marked in MajorGC).
+    None,
+}
+
+/// Per-primitive offload counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrimStats {
+    /// Offloads served.
+    pub offloads: u64,
+    /// Total unit-busy time.
+    pub busy: Ps,
+    /// Payload bytes the primitive moved or scanned.
+    pub bytes: u64,
+    /// Total request-transport time (host → unit arrival).
+    pub transport: Ps,
+    /// Total command-queue wait (arrival → unit start).
+    pub queue: Ps,
+}
+
+/// Component-level dynamic energy of the accelerator, picojoules.
+///
+/// §5.3: "energy consumption of general components (i.e., queues, metadata
+/// arrays, TLB, and bitmap cache) is negligible compared to the total
+/// energy consumption of Charon (maximum 3.18% for ALS)". The per-event
+/// constants below are derived from the Table 4 component areas at 40 nm
+/// (documented defaults; the paper publishes only the aggregate claim).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentEnergy {
+    /// Processing-unit datapath energy (the dominant share).
+    pub units_pj: f64,
+    /// Command/request queue energy (per offload + per memory request).
+    pub queues_pj: f64,
+    /// Accelerator TLB lookups.
+    pub tlb_pj: f64,
+    /// Bitmap-cache accesses.
+    pub bitmap_cache_pj: f64,
+}
+
+impl ComponentEnergy {
+    /// Total accelerator dynamic energy, picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.units_pj + self.queues_pj + self.tlb_pj + self.bitmap_cache_pj
+    }
+
+    /// Fraction contributed by the general components (everything but the
+    /// processing units) — the paper's ≤ 3.18% claim.
+    pub fn general_fraction(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.queues_pj + self.tlb_pj + self.bitmap_cache_pj) / t
+        }
+    }
+}
+
+/// Device-wide statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CharonStats {
+    /// Indexed by [`PrimType`] discriminant.
+    pub prims: [PrimStats; 4],
+    /// Component-level dynamic energy.
+    pub energy: ComponentEnergy,
+}
+
+impl CharonStats {
+    /// Stats for one primitive.
+    pub fn prim(&self, p: PrimType) -> PrimStats {
+        self.prims[p.encode() as usize]
+    }
+
+    /// Total offloads.
+    pub fn total_offloads(&self) -> u64 {
+        self.prims.iter().map(|p| p.offloads).sum()
+    }
+
+    /// Total unit-busy time across primitives.
+    pub fn total_busy(&self) -> Ps {
+        self.prims.iter().map(|p| p.busy).sum()
+    }
+}
+
+impl fmt::Display for CharonStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in PrimType::ALL {
+            let s = self.prim(p);
+            writeln!(
+                f,
+                "{p}: {} offloads, busy {}, {:.2} MB, transport {}, queue {}",
+                s.offloads, s.busy, s.bytes as f64 / 1e6, s.transport, s.queue
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The assembled accelerator.
+#[derive(Debug, Clone)]
+pub struct CharonDevice {
+    cfg: SystemConfig,
+    placement: Placement,
+    structure: StructureMode,
+    sched: Scheduler,
+    copy_units: UnitPool,
+    bc_units: UnitPool,
+    sp_units: UnitPool,
+    mai: Vec<Mai>,
+    tlb: AccelTlb,
+    bitmap_cache: BitmapCache,
+    init: Option<InitializeParams>,
+    stats: CharonStats,
+}
+
+/// Granularity of the Copy/Search unit's streamed requests (the maximum
+/// HMC packet payload, §4.2).
+const STREAM_GRANULE: u64 = 256;
+/// Minimum HMC access granularity (§4.5's over-fetch remark).
+const MIN_ACCESS: u32 = 16;
+
+// Per-event dynamic energies (pJ), scaled from the Table 4 areas at 40 nm.
+// Datapath work dominates; SRAM-structure events are an order of magnitude
+// cheaper — which is what makes §5.3's "general components are negligible"
+// come out.
+/// Unit datapath energy per byte processed.
+const UNIT_PJ_PER_BYTE: f64 = 0.18;
+/// Queue write+read energy per offload packet.
+const QUEUE_PJ_PER_OFFLOAD: f64 = 3.0;
+/// Request-queue energy per memory request.
+const QUEUE_PJ_PER_REQUEST: f64 = 0.6;
+/// TLB CAM lookup energy.
+const TLB_PJ_PER_LOOKUP: f64 = 0.9;
+/// Bitmap-cache SRAM access energy.
+const BITMAP_PJ_PER_ACCESS: f64 = 1.1;
+
+impl CharonDevice {
+    /// Builds the device for the given system configuration, placement and
+    /// structure mode. The default paper configuration is
+    /// `(MemorySide, Unified)` — one bitmap cache at the center (Table 4)
+    /// — with Scan&Push concentrated on the central cube.
+    pub fn new(cfg: &SystemConfig, placement: Placement, structure: StructureMode) -> CharonDevice {
+        let cubes = cfg.hmc.cubes;
+        let ch = &cfg.charon;
+        let (copy_units, bc_units, sp_units, mai_count) = match placement {
+            Placement::MemorySide => (
+                UnitPool::spread(ch.copy_search_units, cubes),
+                UnitPool::spread(ch.bitmap_count_units, cubes),
+                UnitPool::concentrated(ch.scan_push_units, cubes, Scheduler::CENTER),
+                cubes,
+            ),
+            Placement::CpuSide => (
+                UnitPool::concentrated(ch.copy_search_units, cubes, 0),
+                UnitPool::concentrated(ch.bitmap_count_units, cubes, 0),
+                UnitPool::concentrated(ch.scan_push_units, cubes, 0),
+                1,
+            ),
+        };
+        let (tlb_mode, slice_mode) = match structure {
+            StructureMode::Table4 => (TlbMode::Distributed, SliceMode::Unified),
+            StructureMode::Unified => (TlbMode::Unified, SliceMode::Unified),
+            StructureMode::Distributed => (TlbMode::Distributed, SliceMode::Distributed),
+        };
+        let bitmap_cache = match placement {
+            Placement::MemorySide => BitmapCache::new(slice_mode, cubes, ch.bitmap_cache, ch.unit_freq),
+            Placement::CpuSide => BitmapCache::new_host_side(ch.bitmap_cache, ch.unit_freq),
+        };
+        CharonDevice {
+            cfg: cfg.clone(),
+            placement,
+            structure,
+            sched: Scheduler::new(cfg.hmc.clone()),
+            copy_units,
+            bc_units,
+            sp_units,
+            mai: (0..mai_count).map(|_| Mai::new(ch.mai_entries, ch.unit_freq)).collect(),
+            tlb: AccelTlb::new(tlb_mode, cubes, ch.tlb_entries_per_cube, ch.unit_freq),
+            bitmap_cache,
+            init: None,
+            stats: CharonStats::default(),
+        }
+    }
+
+    /// The `initialize()` intrinsic (§4.1): ships global addresses to every
+    /// cube's memory-mapped registers. Called once at program launch.
+    pub fn initialize(&mut self, params: InitializeParams) {
+        self.init = Some(params);
+    }
+
+    /// Whether `initialize()` has run.
+    pub fn is_initialized(&self) -> bool {
+        self.init.is_some()
+    }
+
+    /// The placement under test.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The structure mode under test.
+    pub fn structure(&self) -> StructureMode {
+        self.structure
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CharonStats {
+        &self.stats
+    }
+
+    /// Bitmap-cache statistics (the paper reports ≈ 90 % hits).
+    pub fn bitmap_cache_stats(&self) -> charon_sim::stats::CacheStats {
+        self.bitmap_cache.stats()
+    }
+
+    /// TLB statistics `(lookups, remote_lookups)`.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        self.tlb.stats()
+    }
+
+    fn node_of(&self, cube: usize) -> Node {
+        match self.placement {
+            Placement::MemorySide => Node::Cube(cube),
+            Placement::CpuSide => Node::Host,
+        }
+    }
+
+    fn mai_idx(&self, cube: usize) -> usize {
+        match self.placement {
+            Placement::MemorySide => cube,
+            Placement::CpuSide => 0,
+        }
+    }
+
+    /// One unit memory request: MAI slot + issue cycle, translation,
+    /// fabric access. `stream` is the issuing offload's in-flight window.
+    #[allow(clippy::too_many_arguments)]
+    fn unit_mem(
+        &mut self,
+        host: &mut HostTiming,
+        stream: &mut charon_sim::issue::Window,
+        cube: usize,
+        addr: VAddr,
+        bytes: u32,
+        op: DramOp,
+        now: Ps,
+    ) -> Ps {
+        let mi = self.mai_idx(cube);
+        let t = self.mai[mi].issue(stream, now);
+        let t = match self.placement {
+            Placement::MemorySide => {
+                let dest = host.fabric.cube_of(addr.0).unwrap_or(0);
+                self.tlb.translate(&mut host.fabric, cube, dest, t)
+            }
+            // CPU-side units use the host MMU: one cycle, no hops.
+            Placement::CpuSide => t + self.cfg.charon.unit_freq.period(),
+        };
+        let done = host.fabric.access(self.node_of(cube), addr.0, bytes, op, t);
+        stream.complete(done);
+        done
+    }
+
+    /// Invalidates the host-cached lines of `[start, start+bytes)` before a
+    /// unit touches them (§4.1). Dirty hits are written back to memory
+    /// before `now`; returns the time the region is safe to read.
+    fn clflush_range(&mut self, host: &mut HostTiming, start: VAddr, bytes: u64, now: Ps) -> Ps {
+        // Both placements sit below the cache hierarchy (§4.6 likens the
+        // CPU-side variant to a unit "near the memory controller"), so both
+        // must invalidate host-cached copies before touching memory.
+        let line = 64u64;
+        let mut t = now;
+        let mut a = start.align_down(line);
+        let end = start.add_bytes(bytes);
+        while a < end {
+            if host.clflush_line(a.0) {
+                t = host.fabric.access(Node::Host, a.0, line as u32, DramOp::Write, t);
+            }
+            a = a.add_bytes(line);
+        }
+        t
+    }
+
+    fn send_request(&mut self, host: &mut HostTiming, cube: usize, now: Ps) -> Ps {
+        match self.placement {
+            Placement::MemorySide => host.fabric.control_packet(Node::Host, Node::Cube(cube), REQUEST_BYTES, now),
+            Placement::CpuSide => now,
+        }
+    }
+
+    fn send_response(&mut self, host: &mut HostTiming, cube: usize, prim: PrimType, done: Ps) -> Ps {
+        match self.placement {
+            Placement::MemorySide => {
+                host.fabric.control_packet(Node::Cube(cube), Node::Host, prim.response_bytes(), done)
+            }
+            Placement::CpuSide => done,
+        }
+    }
+
+    fn record(&mut self, prim: PrimType, start: Ps, end: Ps, bytes: u64) {
+        let s = &mut self.stats.prims[prim.encode() as usize];
+        s.offloads += 1;
+        s.busy += end - start;
+        s.bytes += bytes;
+        self.stats.energy.units_pj += bytes as f64 * UNIT_PJ_PER_BYTE;
+    }
+
+    /// Folds the per-structure event counters (gathered since the last
+    /// call) into the energy account.
+    fn settle_component_energy(&mut self) {
+        let requests: u64 = self.mai.iter().map(Mai::requests).sum();
+        let (lookups, _) = self.tlb.stats();
+        let bc = self.bitmap_cache.stats().accesses();
+        let e = &mut self.stats.energy;
+        // Absolute counters: recompute from totals (idempotent).
+        e.tlb_pj = lookups as f64 * TLB_PJ_PER_LOOKUP;
+        e.bitmap_cache_pj = bc as f64 * BITMAP_PJ_PER_ACCESS;
+        let per_offload: f64 = self.stats.prims.iter().map(|p| p.offloads as f64).sum::<f64>() * QUEUE_PJ_PER_OFFLOAD;
+        e.queues_pj = per_offload + requests as f64 * QUEUE_PJ_PER_REQUEST;
+    }
+
+    /// The component-level energy account (recomputed on read).
+    pub fn component_energy(&mut self) -> ComponentEnergy {
+        self.settle_component_energy();
+        self.stats.energy
+    }
+
+    fn record_wait(&mut self, prim: PrimType, now: Ps, arrive: Ps, queue_delay: Ps) {
+        let s = &mut self.stats.prims[prim.encode() as usize];
+        s.transport += arrive - now;
+        s.queue += queue_delay;
+    }
+
+    // --- the four primitives -------------------------------------------
+
+    /// Offloads a *Copy* of `bytes` from `src` to `dst` (§4.2). Returns the
+    /// time the host thread unblocks.
+    pub fn offload_copy(&mut self, host: &mut HostTiming, now: Ps, src: VAddr, dst: VAddr, bytes: u64) -> Ps {
+        debug_assert!(bytes > 0);
+        let cube = match self.placement {
+            Placement::MemorySide => self.sched.cube_for(PrimType::Copy, src),
+            Placement::CpuSide => 0,
+        };
+        let arrive = self.send_request(host, cube, now);
+        let start = arrive;
+
+        // Host copies of the source and destination must be invalidated.
+        let flushed = self.clflush_range(host, src, bytes, start);
+        let flushed = self.clflush_range(host, dst, bytes, flushed);
+
+        // Reads stream out one per cycle as long as the MAI accepts
+        // (§4.2); each chunk's store issues when its load returns, without
+        // blocking later loads.
+        let mut stream = self.mai[self.mai_idx(cube)].stream();
+        let chunks = bytes.div_ceil(STREAM_GRANULE);
+        let mut read_done = Vec::with_capacity(chunks as usize);
+        for i in 0..chunks {
+            let off = i * STREAM_GRANULE;
+            let len = STREAM_GRANULE.min(bytes - off) as u32;
+            read_done.push(self.unit_mem(host, &mut stream, cube, src.add_bytes(off), len, DramOp::Read, flushed));
+        }
+        let mut end = flushed;
+        for i in 0..chunks {
+            let off = i * STREAM_GRANULE;
+            let len = STREAM_GRANULE.min(bytes - off) as u32;
+            let w_done =
+                self.unit_mem(host, &mut stream, cube, dst.add_bytes(off), len, DramOp::Write, read_done[i as usize]);
+            end = end.max(w_done);
+        }
+        let served = self.copy_units.charge(cube, start, end - start);
+        let queue_delay = served.saturating_sub(end);
+        let end = end.max(served);
+        self.record(PrimType::Copy, start, end, 2 * bytes);
+        self.record_wait(PrimType::Copy, now, arrive, queue_delay);
+        self.send_response(host, cube, PrimType::Copy, end)
+    }
+
+    /// Offloads a *Search* over `scanned_bytes` of the card table starting
+    /// at `start_addr` (§4.2); the functional result (found or not) was
+    /// computed by the caller and determines how much was scanned.
+    pub fn offload_search(&mut self, host: &mut HostTiming, now: Ps, start_addr: VAddr, scanned_bytes: u64) -> Ps {
+        let cube = match self.placement {
+            Placement::MemorySide => self.sched.cube_for(PrimType::Search, start_addr),
+            Placement::CpuSide => 0,
+        };
+        let arrive = self.send_request(host, cube, now);
+        let start = arrive;
+        let flushed = self.clflush_range(host, start_addr, scanned_bytes, start);
+
+        let mut stream = self.mai[self.mai_idx(cube)].stream();
+        let mut end = flushed;
+        let chunks = scanned_bytes.div_ceil(STREAM_GRANULE).max(1);
+        for i in 0..chunks {
+            let off = i * STREAM_GRANULE;
+            let len = STREAM_GRANULE.min(scanned_bytes.saturating_sub(off)).max(MIN_ACCESS as u64) as u32;
+            let done = self.unit_mem(host, &mut stream, cube, start_addr.add_bytes(off), len, DramOp::Read, flushed);
+            end = end.max(done);
+        }
+        // Search shares the Copy unit (§4.2).
+        let served = self.copy_units.charge(cube, start, end - start);
+        let queue_delay = served.saturating_sub(end);
+        let end = end.max(served);
+        self.record(PrimType::Search, start, end, scanned_bytes);
+        self.record_wait(PrimType::Search, now, arrive, queue_delay);
+        self.send_response(host, cube, PrimType::Search, end)
+    }
+
+    /// Offloads a *Bitmap Count* reading the given `(start, bytes)` spans
+    /// of the begin and end maps through the bitmap cache (§4.3). The host
+    /// never writes the bitmaps, so no clflush probing is needed.
+    pub fn offload_bitmap_count(&mut self, host: &mut HostTiming, now: Ps, spans: &[(VAddr, u64)]) -> Ps {
+        let first = spans.first().map(|&(a, _)| a).unwrap_or(VAddr::NULL);
+        // "This primitive is scheduled to the cube on which the bitmap
+        // address falls" (§4.3). Under the unified design the cache sits on
+        // the central cube, so off-center units exchange one range-granular
+        // request/response with it per span; distributed slices are local.
+        let cube = match self.placement {
+            Placement::CpuSide => 0,
+            Placement::MemorySide => self.sched.cube_for(PrimType::BitmapCount, first),
+        };
+        let _ = first;
+        let arrive = self.send_request(host, cube, now);
+        let start = arrive;
+        let mut stream = self.mai[self.mai_idx(cube)].stream();
+
+        // The unit knows the exact read set up front and issues everything
+        // immediately (§4.3). Short ranges — the repeated region-tail
+        // queries of the adjust phase — go through the bitmap cache, whose
+        // temporal locality the paper measures at ≈ 90 % hits. Long ranges
+        // (whole-region summary scans) stream through the MAI at full
+        // packet granularity, like Copy does; caching them would only
+        // thrash the 8 KB cache.
+        const CACHED_SPAN_LIMIT: u64 = 128;
+        let mut end = start;
+        let mut total = 0;
+        for &(span_start, bytes) in spans {
+            if bytes <= CACHED_SPAN_LIMIT {
+                let done =
+                    self.bitmap_cache.access_range(&mut host.fabric, cube, span_start.0, bytes, AccessKind::Read, start);
+                end = end.max(done);
+                total += bytes;
+            } else {
+                let chunks = bytes.div_ceil(STREAM_GRANULE);
+                for i in 0..chunks {
+                    let off = i * STREAM_GRANULE;
+                    let len = STREAM_GRANULE.min(bytes - off).max(MIN_ACCESS as u64) as u32;
+                    let done = self.unit_mem(host, &mut stream, cube, span_start.add_bytes(off), len, DramOp::Read, start);
+                    end = end.max(done);
+                    total += u64::from(len);
+                }
+            }
+        }
+        let served = self.bc_units.charge(cube, start, end - start);
+        let queue_delay = served.saturating_sub(end);
+        let end = end.max(served);
+        self.record(PrimType::BitmapCount, start, end, total);
+        self.record_wait(PrimType::BitmapCount, now, arrive, queue_delay);
+        self.send_response(host, cube, PrimType::BitmapCount, end)
+    }
+
+    /// Offloads a *Scan&Push* over an object whose reference fields occupy
+    /// `field_bytes` starting at `fields_start`; `refs` describes each
+    /// non-null referent and the dependent action (§4.4).
+    pub fn offload_scan_push(
+        &mut self,
+        host: &mut HostTiming,
+        now: Ps,
+        fields_start: VAddr,
+        field_bytes: u64,
+        refs: &[ScanRef],
+    ) -> Ps {
+        let cube = match self.placement {
+            Placement::MemorySide => Scheduler::CENTER,
+            Placement::CpuSide => 0,
+        };
+        let arrive = self.send_request(host, cube, now);
+        let start = arrive;
+        let mut stream = self.mai[self.mai_idx(cube)].stream();
+        let flushed = self.clflush_range(host, fields_start, field_bytes, start);
+
+        // Stream the field loads; remember when each granule's pointers
+        // become available.
+        let granules = field_bytes.div_ceil(STREAM_GRANULE).max(1);
+        let mut granule_done = Vec::with_capacity(granules as usize);
+        for i in 0..granules {
+            let off = i * STREAM_GRANULE;
+            let len = STREAM_GRANULE.min(field_bytes.saturating_sub(off)).max(MIN_ACCESS as u64) as u32;
+            let d = self.unit_mem(host, &mut stream, cube, fields_start.add_bytes(off), len, DramOp::Read, flushed);
+            granule_done.push(d);
+        }
+
+        // Phase 1: the batch of referent-header loads (a 16 B
+        // minimum-granularity load each), issued as fast as the MAI
+        // accepts — this is the MLP the unit exploits (§4.4).
+        let refs_per_granule = (STREAM_GRANULE / 8) as usize;
+        let mut header_done = Vec::with_capacity(refs.len());
+        for (i, r) in refs.iter().enumerate() {
+            let avail = granule_done[(i / refs_per_granule).min(granule_done.len() - 1)];
+            header_done.push(self.unit_mem(host, &mut stream, cube, r.referent, MIN_ACCESS, DramOp::Read, avail));
+        }
+        // Phase 2: each referent's dependent action fires when its header
+        // returns.
+        let mut end = *granule_done.iter().max().expect("at least one granule");
+        for (i, r) in refs.iter().enumerate() {
+            let h_done = header_done[i];
+            let a_done = match r.action {
+                ScanAction::Push { stack_slot } => {
+                    self.unit_mem(host, &mut stream, cube, stack_slot, MIN_ACCESS, DramOp::Write, h_done)
+                }
+                ScanAction::UpdateField { field_slot } => {
+                    self.unit_mem(host, &mut stream, cube, field_slot, MIN_ACCESS, DramOp::Write, h_done)
+                }
+                ScanAction::UpdateFieldAndCard { field_slot, card_addr } => {
+                    let w = self.unit_mem(host, &mut stream, cube, field_slot, MIN_ACCESS, DramOp::Write, h_done);
+                    self.unit_mem(host, &mut stream, cube, card_addr, MIN_ACCESS, DramOp::Write, w)
+                }
+                ScanAction::UpdateCard { card_addr } => {
+                    self.unit_mem(host, &mut stream, cube, card_addr, MIN_ACCESS, DramOp::Write, h_done)
+                }
+                ScanAction::MarkAndPush { beg_word, end_word, stack_slot } => {
+                    // mark_obj: atomic RMWs on the begin and end map words,
+                    // served by the bitmap cache (§4.5).
+                    let m1 = self.bitmap_cache.access(&mut host.fabric, cube, beg_word.0, AccessKind::Write, h_done);
+                    let m2 = self.bitmap_cache.access(&mut host.fabric, cube, end_word.0, AccessKind::Write, m1);
+                    self.unit_mem(host, &mut stream, cube, stack_slot, MIN_ACCESS, DramOp::Write, m2)
+                }
+                ScanAction::None => h_done,
+            };
+            end = end.max(a_done);
+        }
+        let served = self.sp_units.charge(cube, start, end - start);
+        let queue_delay = served.saturating_sub(end);
+        let end = end.max(served);
+        self.record(PrimType::ScanPush, start, end, field_bytes + refs.len() as u64 * 16);
+        self.record_wait(PrimType::ScanPush, now, arrive, queue_delay);
+        self.send_response(host, cube, PrimType::ScanPush, end)
+    }
+
+    /// Flushes the bitmap cache (after each MajorGC phase, §4.5).
+    pub fn flush_bitmap_cache(&mut self, host: &mut HostTiming, now: Ps) -> Ps {
+        self.bitmap_cache.flush(&mut host.fabric, now)
+    }
+
+    /// Total unit-busy time (all pools), for occupancy reporting.
+    pub fn total_unit_busy(&self) -> Ps {
+        self.copy_units.busy_time() + self.bc_units.busy_time() + self.sp_units.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(placement: Placement) -> (HostTiming, CharonDevice) {
+        let cfg = SystemConfig::table2_hmc();
+        let host = HostTiming::new(&cfg);
+        let dev = CharonDevice::new(&cfg, placement, StructureMode::Unified);
+        (host, dev)
+    }
+
+    #[test]
+    fn copy_moves_bytes_and_returns_later() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        assert!(t > Ps::from_ns(10.0));
+        let s = dev.stats().prim(PrimType::Copy);
+        assert_eq!(s.offloads, 1);
+        assert_eq!(s.bytes, 8192); // read + write
+        // DRAM saw the traffic.
+        assert!(host.fabric.stats().dram.total_bytes() >= 8192);
+    }
+
+    #[test]
+    fn copy_throughput_exceeds_offchip_bandwidth() {
+        // A large local copy must run faster than the 80 GB/s host link
+        // could ever stream it — the internal-bandwidth advantage.
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let bytes = 512 * 1024u64;
+        let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        let gbps = (2 * bytes) as f64 / t.as_secs() / 1e9;
+        assert!(gbps > 80.0, "near-memory copy only reached {gbps:.1} GB/s");
+    }
+
+    #[test]
+    fn cpu_side_copy_is_slower_than_memory_side() {
+        let bytes = 256 * 1024u64;
+        let (mut h1, mut d1) = setup(Placement::MemorySide);
+        let t_mem = d1.offload_copy(&mut h1, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        let (mut h2, mut d2) = setup(Placement::CpuSide);
+        let t_cpu = d2.offload_copy(&mut h2, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        assert!(
+            t_cpu.0 as f64 > 1.2 * t_mem.0 as f64,
+            "CPU-side ({t_cpu}) should trail memory-side ({t_mem})"
+        );
+    }
+
+    #[test]
+    fn search_scans_and_responds_with_value_packet() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let t = dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 2048);
+        assert!(t > Ps::ZERO);
+        assert_eq!(dev.stats().prim(PrimType::Search).offloads, 1);
+    }
+
+    #[test]
+    fn bitmap_count_reuses_cache_across_calls() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // Small spans — the repeated region-tail queries — go through the
+        // bitmap cache and hit on reuse.
+        let spans = [(VAddr(0x1000), 64u64), (VAddr(0x9000), 64u64)];
+        let t1 = dev.offload_bitmap_count(&mut host, Ps::ZERO, &spans);
+        let t2 = dev.offload_bitmap_count(&mut host, t1, &spans) - t1;
+        assert!(t2 < t1, "warm call ({t2}) should beat cold call ({t1})");
+        assert!(dev.bitmap_cache_stats().hit_rate() > 0.4);
+        // Large spans — whole-region summary scans — stream via the MAI
+        // and leave the cache untouched.
+        let before = dev.bitmap_cache_stats().accesses();
+        dev.offload_bitmap_count(&mut host, t1, &[(VAddr(0x2000), 4096u64)]);
+        assert_eq!(dev.bitmap_cache_stats().accesses(), before);
+    }
+
+    #[test]
+    fn scan_push_handles_all_action_kinds() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let refs = [
+            ScanRef { referent: VAddr(0x2000), action: ScanAction::Push { stack_slot: VAddr(0x9_0000) } },
+            ScanRef { referent: VAddr(0x3000), action: ScanAction::UpdateField { field_slot: VAddr(0x1008) } },
+            ScanRef { referent: VAddr(0x4000), action: ScanAction::UpdateCard { card_addr: VAddr(0x8_0000) } },
+            ScanRef {
+                referent: VAddr(0x5000),
+                action: ScanAction::MarkAndPush {
+                    beg_word: VAddr(0x7_0000),
+                    end_word: VAddr(0x7_8000),
+                    stack_slot: VAddr(0x9_0008),
+                },
+            },
+            ScanRef {
+                referent: VAddr(0x5800),
+                action: ScanAction::UpdateFieldAndCard { field_slot: VAddr(0x1010), card_addr: VAddr(0x8_0001) },
+            },
+            ScanRef { referent: VAddr(0x6000), action: ScanAction::None },
+        ];
+        let t = dev.offload_scan_push(&mut host, Ps::ZERO, VAddr(0x1000), 5 * 8, &refs);
+        assert!(t > Ps::ZERO);
+        assert_eq!(dev.stats().prim(PrimType::ScanPush).offloads, 1);
+    }
+
+    #[test]
+    fn units_queue_when_busy() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // Issue more copies on the same cube than it has units; later ones
+        // queue behind earlier ones.
+        let mut ends = Vec::new();
+        for i in 0..4u64 {
+            ends.push(dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 4096), VAddr(0x8_0000 + i * 4096), 4096));
+        }
+        assert!(ends[3] > ends[0], "queueing must delay the last offload");
+    }
+
+    #[test]
+    fn initialize_records_params() {
+        let (_, mut dev) = setup(Placement::MemorySide);
+        assert!(!dev.is_initialized());
+        dev.initialize(InitializeParams {
+            heap_base: VAddr(0x1000_0000),
+            beg_map_base: VAddr(0x2000_0000),
+            bitmap_offset: 0x10_0000,
+            card_table_base: VAddr(0x3000_0000),
+        });
+        assert!(dev.is_initialized());
+    }
+
+    #[test]
+    fn clflush_writes_back_dirty_host_lines() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // Host dirties a line inside the copy source.
+        host.mem_access(0, Ps::ZERO, 0x10040, 8, charon_sim::cache::AccessKind::Write);
+        let before = host.fabric.stats().dram.write_bytes;
+        dev.offload_copy(&mut host, Ps::from_us(1.0), VAddr(0x10000), VAddr(0x5_0000), 256);
+        let after = host.fabric.stats().dram.write_bytes;
+        assert!(after > before, "dirty host line must be written back before the unit reads");
+    }
+}

@@ -1,0 +1,34 @@
+//! # charon-core — the Charon near-memory GC accelerator
+//!
+//! The paper's primary contribution (§4): specialized processing units in
+//! the logic layer of each HMC cube that execute the dominant GC primitives
+//! with massive memory-level parallelism against the stacked DRAM's
+//! internal bandwidth.
+//!
+//! * [`packet`] — the host↔Charon offload packet format (§4.1: 48 B
+//!   requests, 16/32 B responses, 4-bit primitive type),
+//! * [`mai`] — the Memory Access Interface: the per-cube request buffer
+//!   that bounds in-flight requests (the accelerator's MSHR analog),
+//! * [`tlb`] — the accelerator-side TLB over pinned huge pages, in unified
+//!   (center-cube) or distributed (per-cube slice) form (§4.6),
+//! * [`bitmap_cache`] — the 8 KB write-back cache dedicated to mark-bitmap
+//!   accesses, shared by Bitmap Count and Scan&Push (§4.5),
+//! * [`sched`] — primitive-to-cube placement: Copy/Search/Bitmap Count run
+//!   on the cube owning their source address, Scan&Push on the central
+//!   cube (§4.2–4.4),
+//! * [`units`] — the three processing-unit timing models,
+//! * [`device`] — [`device::CharonDevice`], the assembled accelerator with
+//!   the `offload()` intrinsic the collector calls,
+//! * [`area`] — the Table 4 area/power model (the Chisel+CACTI substitute).
+
+pub mod area;
+pub mod bitmap_cache;
+pub mod device;
+pub mod mai;
+pub mod packet;
+pub mod sched;
+pub mod tlb;
+pub mod units;
+
+pub use device::{CharonDevice, Placement, StructureMode};
+pub use packet::PrimType;

@@ -1,0 +1,107 @@
+//! The Memory Access Interface (MAI, §4.1).
+//!
+//! Every cube's logic layer has one MAI: a request buffer whose entries
+//! hold the issuing unit's id and optional metadata until the memory
+//! response returns — "similar to what MSHR does in host cores". Two
+//! constraints are modeled:
+//!
+//! * each *offload* streams through a bounded window of in-flight requests
+//!   (the buffer entries its unit can occupy), and
+//! * the cube as a whole issues at most one request per logic-layer cycle,
+//!   metered across all units with epoch accounting so that
+//!   loosely-ordered GC threads don't serialize spuriously.
+
+use charon_sim::bwres::EpochBw;
+use charon_sim::issue::Window;
+use charon_sim::time::{Freq, Ps};
+
+/// Metering epoch for the issue-rate limit.
+const MAI_EPOCH: Ps = Ps(1_000_000); // 1 us
+
+/// One cube's MAI.
+#[derive(Debug, Clone)]
+pub struct Mai {
+    rate: EpochBw,
+    entries: usize,
+    requests: u64,
+}
+
+impl Mai {
+    /// Creates an MAI with `entries` request-buffer slots, issuing at the
+    /// logic-layer clock.
+    pub fn new(entries: usize, unit_freq: Freq) -> Mai {
+        Mai { rate: EpochBw::from_period(unit_freq.period(), MAI_EPOCH), entries, requests: 0 }
+    }
+
+    /// Request-buffer capacity.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Total requests that passed through.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// A fresh per-offload in-flight window over this MAI's buffer.
+    pub fn stream(&self) -> Window {
+        Window::new(self.entries, Ps::ZERO)
+    }
+
+    /// Issues one request from an offload's `stream` at `now`: takes a
+    /// buffer slot (possibly waiting for one to free) and a cube issue
+    /// cycle. Returns the time the request leaves the cube.
+    pub fn issue(&mut self, stream: &mut Window, now: Ps) -> Ps {
+        self.requests += 1;
+        let slot = stream.issue(now);
+        self.rate.reserve(slot, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_rate_is_one_per_cycle() {
+        let mut m = Mai::new(64, Freq::ghz(1.0));
+        let mut s = m.stream();
+        // Saturate one epoch's worth of issue slots.
+        let mut last = Ps::ZERO;
+        for _ in 0..1000 {
+            let t = m.issue(&mut s, Ps::ZERO);
+            s.complete(t + Ps::from_ns(5.0));
+            last = t;
+        }
+        let over = m.issue(&mut s, Ps::ZERO);
+        assert!(over >= Ps::from_us(1.0), "issue rate not enforced: {over} after {last}");
+    }
+
+    #[test]
+    fn buffer_exhaustion_stalls_the_stream() {
+        let mut m = Mai::new(2, Freq::ghz(1.0));
+        let mut s = m.stream();
+        let t0 = m.issue(&mut s, Ps::ZERO);
+        s.complete(t0 + Ps::from_ns(100.0));
+        let t1 = m.issue(&mut s, Ps::ZERO);
+        s.complete(t1 + Ps::from_ns(100.0));
+        // Third request waits for the first response.
+        let t2 = m.issue(&mut s, Ps::ZERO);
+        assert!(t2 >= Ps::from_ns(100.0), "{t2}");
+        assert_eq!(m.requests(), 3);
+    }
+
+    #[test]
+    fn independent_streams_share_only_the_rate() {
+        let mut m = Mai::new(4, Freq::ghz(1.0));
+        let mut a = m.stream();
+        let mut b = m.stream();
+        let ta = m.issue(&mut a, Ps::from_ns(500.0));
+        a.complete(ta);
+        // A stream at an earlier simulated time is not blocked by the
+        // other stream's buffer slots.
+        let tb = m.issue(&mut b, Ps::from_ns(10.0));
+        b.complete(tb);
+        assert!(tb < Ps::from_ns(100.0), "phantom cross-stream stall: {tb}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Primitive-to-cube scheduling (§4.2–4.4).
+//!
+//! *Copy* and *Search* are scheduled to the cube housing the copy source /
+//! search start, and *Bitmap Count* to the cube owning the bitmap range —
+//! all to exploit the cube's internal TSV bandwidth. *Scan&Push* always
+//! runs on the central cube: its referent loads are scattered across all
+//! cubes, and the center minimizes expected hop count and link usage.
+
+use crate::packet::PrimType;
+use charon_heap::addr::VAddr;
+use charon_sim::config::HmcConfig;
+
+/// The placement policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduler {
+    hmc: HmcConfig,
+}
+
+impl Scheduler {
+    /// Builds the policy over the HMC interleaving configuration.
+    pub fn new(hmc: HmcConfig) -> Scheduler {
+        Scheduler { hmc }
+    }
+
+    /// The central cube of the star.
+    pub const CENTER: usize = 0;
+
+    /// Which cube a primitive with first address operand `src` runs on.
+    pub fn cube_for(&self, prim: PrimType, src: VAddr) -> usize {
+        match prim {
+            PrimType::Copy | PrimType::Search | PrimType::BitmapCount => self.hmc.cube_of(src.0),
+            PrimType::ScanPush => Self::CENTER,
+        }
+    }
+
+    /// The cube owning an arbitrary address (for locality accounting).
+    pub fn cube_of(&self, a: VAddr) -> usize {
+        self.hmc.cube_of(a.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Scheduler {
+        Scheduler::new(HmcConfig::table2())
+    }
+
+    #[test]
+    fn copy_runs_at_source_cube() {
+        let s = sched();
+        let page = 1u64 << HmcConfig::table2().cube_interleave_bits;
+        assert_eq!(s.cube_for(PrimType::Copy, VAddr(0)), 0);
+        assert_eq!(s.cube_for(PrimType::Copy, VAddr(page)), 1);
+        assert_eq!(s.cube_for(PrimType::Copy, VAddr(3 * page)), 3);
+        assert_eq!(s.cube_for(PrimType::Search, VAddr(2 * page)), 2);
+        assert_eq!(s.cube_for(PrimType::BitmapCount, VAddr(5 * page)), 1);
+    }
+
+    #[test]
+    fn scan_push_always_central() {
+        let s = sched();
+        let page = 1u64 << HmcConfig::table2().cube_interleave_bits;
+        for k in 0..8 {
+            assert_eq!(s.cube_for(PrimType::ScanPush, VAddr(k * page)), Scheduler::CENTER);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Processing-unit pools.
+//!
+//! Table 2 places two Copy/Search units and two Bitmap Count units on every
+//! cube, and all eight Scan&Push units on the central cube. A pool meters
+//! *unit-time* per cube with the same epoch accounting as every other
+//! shared resource ([`charon_sim::bwres`]): an offload consumes its
+//! execution duration from the cube's `units × time` capacity, so a cube
+//! with both units busy pushes later offloads out — without serializing
+//! the loosely-ordered GC threads against each other spuriously.
+
+use charon_sim::bwres::EpochBw;
+use charon_sim::time::Ps;
+
+/// Metering epoch for unit-time accounting.
+const UNIT_EPOCH: Ps = Ps(1_000_000); // 1 us
+
+/// A pool of unit instances, organized per cube.
+#[derive(Debug, Clone)]
+pub struct UnitPool {
+    /// One unit-time meter per cube (`None` where a cube has no units).
+    lanes: Vec<Option<EpochBw>>,
+    units: Vec<usize>,
+    busy: Ps,
+    executions: u64,
+}
+
+impl UnitPool {
+    /// Creates a pool with `per_cube[c]` instances on cube `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every cube has zero instances.
+    pub fn new(per_cube: &[usize]) -> UnitPool {
+        assert!(per_cube.iter().any(|&n| n > 0), "pool needs at least one unit");
+        UnitPool {
+            lanes: per_cube
+                .iter()
+                .map(|&n| (n > 0).then(|| EpochBw::new(n as f64 * 1e12, UNIT_EPOCH)))
+                .collect(),
+            units: per_cube.to_vec(),
+            busy: Ps::ZERO,
+            executions: 0,
+        }
+    }
+
+    /// Evenly spreads `total` units over `cubes` cubes (Table 2's
+    /// "2 units per cube").
+    pub fn spread(total: usize, cubes: usize) -> UnitPool {
+        let base = total / cubes;
+        let extra = total % cubes;
+        let per: Vec<usize> = (0..cubes).map(|c| base + usize::from(c < extra)).collect();
+        UnitPool::new(&per)
+    }
+
+    /// Places all `total` units on `cube` (Table 2's Scan&Push layout).
+    pub fn concentrated(total: usize, cubes: usize, cube: usize) -> UnitPool {
+        let per: Vec<usize> = (0..cubes).map(|c| if c == cube { total } else { 0 }).collect();
+        UnitPool::new(&per)
+    }
+
+    /// Units available on `cube`.
+    pub fn units_on(&self, cube: usize) -> usize {
+        self.units.get(cube).copied().unwrap_or(0)
+    }
+
+    /// Charges one execution of `dur` starting at `start` against `cube`'s
+    /// unit-time; returns when the execution's service completes (equal to
+    /// `start + dur` when the cube has spare unit-time, later when its
+    /// units are saturated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube has no units of this kind.
+    pub fn charge(&mut self, cube: usize, start: Ps, dur: Ps) -> Ps {
+        let lane = self.lanes[cube].as_mut().unwrap_or_else(|| panic!("no units on cube {cube}"));
+        self.busy += dur;
+        self.executions += 1;
+        lane.reserve(start, dur.0.max(1))
+    }
+
+    /// Total unit-busy time accumulated.
+    pub fn busy_time(&self) -> Ps {
+        self.busy
+    }
+
+    /// Executions served.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_matches_table2() {
+        let p = UnitPool::spread(8, 4);
+        for c in 0..4 {
+            assert_eq!(p.units_on(c), 2);
+        }
+        let q = UnitPool::concentrated(8, 4, 0);
+        assert_eq!(q.units_on(0), 8);
+        assert_eq!(q.units_on(3), 0);
+    }
+
+    #[test]
+    fn uncontended_charge_completes_at_duration() {
+        let mut p = UnitPool::new(&[2]);
+        let done = p.charge(0, Ps::ZERO, Ps::from_ns(100.0));
+        assert!(done <= Ps::from_ns(150.0), "idle units must not queue: {done}");
+    }
+
+    #[test]
+    fn saturation_pushes_service_out() {
+        let mut p = UnitPool::new(&[2]);
+        // Demand 4 us of unit-time instantly on a 2-unit cube (2 us/us
+        // epoch capacity): the tail lands in the next epoch.
+        for _ in 0..4 {
+            p.charge(0, Ps::ZERO, Ps::from_us(1.0));
+        }
+        let tail = p.charge(0, Ps::ZERO, Ps::from_ns(10.0));
+        assert!(tail >= Ps::from_us(1.0), "saturated pool must delay: {tail}");
+    }
+
+    #[test]
+    fn out_of_order_charges_do_not_phantom_queue() {
+        let mut p = UnitPool::new(&[2]);
+        let _ = p.charge(0, Ps::from_us(0.9), Ps::from_ns(50.0));
+        let early = p.charge(0, Ps::from_ns(10.0), Ps::from_ns(50.0));
+        assert!(early < Ps::from_ns(200.0), "phantom queueing: {early}");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut p = UnitPool::new(&[1]);
+        p.charge(0, Ps::from_ns(5.0), Ps::from_ns(20.0));
+        assert_eq!(p.busy_time(), Ps::from_ns(20.0));
+        assert_eq!(p.executions(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn charge_on_empty_cube_panics() {
+        let mut p = UnitPool::concentrated(4, 2, 0);
+        p.charge(1, Ps::ZERO, Ps::from_ns(1.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! The Fig. 4 time buckets.
+//!
+//! Every operation a GC performs lands in exactly one bucket; the paper's
+//! runtime breakdowns (Fig. 4a/4b) and per-primitive speedups (Fig. 14)
+//! are ratios over these.
+
+use charon_sim::time::Ps;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// One breakdown bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bucket {
+    /// Card-table scan for dirty blocks (MinorGC, offloadable).
+    Search,
+    /// Object/region copies (both GCs, offloadable).
+    Copy,
+    /// Object-graph scanning and pushing (both GCs, offloadable).
+    ScanPush,
+    /// `live_words_in_range` (MajorGC, offloadable).
+    BitmapCount,
+    /// Popping work off the object stack (host-only; §3.3 explains why
+    /// offloading it would not pay).
+    Pop,
+    /// Pushing roots / bookkeeping pushes (host-only).
+    Push,
+    /// Everything else: root enumeration, card cleaning, space resets,
+    /// bitmap clears, cache flushes, allocation bookkeeping.
+    Other,
+}
+
+impl Bucket {
+    /// All buckets in display order.
+    pub const ALL: [Bucket; 7] = [
+        Bucket::Search,
+        Bucket::ScanPush,
+        Bucket::Copy,
+        Bucket::BitmapCount,
+        Bucket::Pop,
+        Bucket::Push,
+        Bucket::Other,
+    ];
+
+    /// Whether Charon offloads this bucket's work (§3.3).
+    pub fn offloadable(self) -> bool {
+        matches!(self, Bucket::Search | Bucket::Copy | Bucket::ScanPush | Bucket::BitmapCount)
+    }
+}
+
+impl fmt::Display for Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Bucket::Search => "Search",
+            Bucket::Copy => "Copy",
+            Bucket::ScanPush => "Scan&Push",
+            Bucket::BitmapCount => "Bitmap Count",
+            Bucket::Pop => "Pop object",
+            Bucket::Push => "Push",
+            Bucket::Other => "Others",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated per-bucket times (summed over GC threads, as profilers
+/// report them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    buckets: [Ps; 7],
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Breakdown {
+        Breakdown::default()
+    }
+
+    fn idx(b: Bucket) -> usize {
+        Bucket::ALL.iter().position(|&x| x == b).expect("bucket in ALL")
+    }
+
+    /// Adds `dur` to bucket `b`.
+    pub fn record(&mut self, b: Bucket, dur: Ps) {
+        self.buckets[Self::idx(b)] += dur;
+    }
+
+    /// The accumulated time in bucket `b`.
+    pub fn get(&self, b: Bucket) -> Ps {
+        self.buckets[Self::idx(b)]
+    }
+
+    /// Total over all buckets.
+    pub fn total(&self) -> Ps {
+        self.buckets.iter().copied().sum()
+    }
+
+    /// Fraction of the total in bucket `b` (0 if the total is zero).
+    pub fn fraction(&self, b: Bucket) -> f64 {
+        let t = self.total();
+        if t == Ps::ZERO {
+            0.0
+        } else {
+            self.get(b).0 as f64 / t.0 as f64
+        }
+    }
+
+    /// Fraction of the total in offloadable buckets — the coverage number
+    /// the paper reports (71–79 %, §3.2).
+    pub fn offloadable_fraction(&self) -> f64 {
+        Bucket::ALL.iter().filter(|b| b.offloadable()).map(|&b| self.fraction(b)).sum()
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+    fn add(self, rhs: Breakdown) -> Breakdown {
+        let mut out = self;
+        for (i, v) in rhs.buckets.iter().enumerate() {
+            out.buckets[i] += *v;
+        }
+        out
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in Bucket::ALL {
+            if self.get(b) > Ps::ZERO {
+                write!(f, "{b}: {} ({:.1}%)  ", self.get(b), self.fraction(b) * 100.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_fractions() {
+        let mut b = Breakdown::new();
+        b.record(Bucket::Copy, Ps(600));
+        b.record(Bucket::Search, Ps(200));
+        b.record(Bucket::Other, Ps(200));
+        assert_eq!(b.total(), Ps(1000));
+        assert!((b.fraction(Bucket::Copy) - 0.6).abs() < 1e-12);
+        assert!((b.offloadable_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offloadable_set_matches_paper() {
+        assert!(Bucket::Search.offloadable());
+        assert!(Bucket::Copy.offloadable());
+        assert!(Bucket::ScanPush.offloadable());
+        assert!(Bucket::BitmapCount.offloadable());
+        assert!(!Bucket::Pop.offloadable());
+        assert!(!Bucket::Push.offloadable());
+        assert!(!Bucket::Other.offloadable());
+    }
+
+    #[test]
+    fn sum_of_breakdowns() {
+        let mut a = Breakdown::new();
+        a.record(Bucket::Pop, Ps(5));
+        let mut b = Breakdown::new();
+        b.record(Bucket::Pop, Ps(7));
+        b.record(Bucket::Push, Ps(1));
+        let c = a + b;
+        assert_eq!(c.get(Bucket::Pop), Ps(12));
+        assert_eq!(c.get(Bucket::Push), Ps(1));
+        a += b;
+        assert_eq!(a.get(Bucket::Pop), Ps(12));
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        let b = Breakdown::new();
+        assert_eq!(b.fraction(Bucket::Copy), 0.0);
+        assert_eq!(b.offloadable_fraction(), 0.0);
+    }
+}

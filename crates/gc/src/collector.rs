@@ -1,0 +1,267 @@
+//! The top-level collector: HotSpot's triggering policy around the two
+//! collections, plus the event log every figure is computed from.
+
+use crate::breakdown::Breakdown;
+use crate::major::{major_gc, MajorStats};
+use crate::minor::{minor_gc, MinorStats};
+use crate::system::System;
+use crate::threads::GcThreads;
+use charon_core::packet::InitializeParams;
+use charon_heap::addr::VAddr;
+use charon_heap::heap::JavaHeap;
+use charon_heap::klass::KlassId;
+use charon_heap::object;
+use charon_sim::time::Ps;
+use std::fmt;
+
+/// Which collection ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcKind {
+    /// Young collection (scavenge).
+    Minor,
+    /// Full collection (mark–compact).
+    Major,
+}
+
+impl fmt::Display for GcKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcKind::Minor => write!(f, "MinorGC"),
+            GcKind::Major => write!(f, "MajorGC"),
+        }
+    }
+}
+
+/// One completed collection.
+#[derive(Debug, Clone)]
+pub struct GcEvent {
+    /// Minor or major.
+    pub kind: GcKind,
+    /// Wall-clock start.
+    pub start: Ps,
+    /// Pause duration (stop-the-world).
+    pub wall: Ps,
+    /// Per-bucket time summed over GC threads (Fig. 4).
+    pub breakdown: Breakdown,
+    /// Minor-specific counters.
+    pub minor: Option<MinorStats>,
+    /// Major-specific counters.
+    pub major: Option<MajorStats>,
+    /// DRAM bytes this collection moved.
+    pub dram_bytes: u64,
+    /// Summed host-active core time.
+    pub host_active: Ps,
+}
+
+/// Allocation failed even after a full collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The size that could not be satisfied, in words: the failed
+    /// allocation, or the live set when a compaction cannot fit it into
+    /// the old generation.
+    pub words: u64,
+    /// Whether the failure came from the live set exceeding the old
+    /// generation (a compaction-impossible full GC) rather than from an
+    /// allocation request.
+    pub live_overflow: bool,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.live_overflow {
+            write!(f, "OutOfMemoryError: {} live words exceed the old generation; full GC cannot compact", self.words)
+        } else {
+            write!(f, "OutOfMemoryError: cannot allocate {} words after full GC", self.words)
+        }
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// The collector: a [`System`] plus policy and the event log.
+///
+/// ```
+/// use charon_gc::collector::Collector;
+/// use charon_gc::system::System;
+/// use charon_heap::heap::{HeapConfig, JavaHeap};
+/// use charon_heap::klass::KlassKind;
+///
+/// # fn main() -> Result<(), charon_gc::collector::OutOfMemory> {
+/// let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+/// let bytes = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+/// let mut gc = Collector::new(System::charon(), &heap, 8);
+///
+/// // Allocate until Eden overflows; the collector scavenges on demand.
+/// for _ in 0..3000 {
+///     let obj = gc.alloc(&mut heap, bytes, 64)?;
+///     heap.add_root(obj);
+///     if heap.root_count() > 100 {
+///         heap.set_root(heap.root_count() - 100, charon_heap::VAddr::NULL);
+///     }
+/// }
+/// assert!(!gc.events.is_empty());
+/// println!("GC paused the mutator for {}", gc.gc_total_time());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collector {
+    /// The simulated machine.
+    pub sys: System,
+    /// GC threads per collection (the paper uses one per core; Fig. 15
+    /// sweeps this).
+    pub gc_threads: usize,
+    /// The global wall clock (mutator + GC).
+    pub now: Ps,
+    /// Every collection that has run.
+    pub events: Vec<GcEvent>,
+}
+
+impl Collector {
+    /// Creates the collector and, when a device is present, runs the
+    /// `initialize()` intrinsic with the heap's global addresses (§4.1).
+    pub fn new(mut sys: System, heap: &JavaHeap, gc_threads: usize) -> Collector {
+        assert!(gc_threads > 0, "need at least one GC thread");
+        if let Some(dev) = sys.device.as_mut() {
+            dev.initialize(InitializeParams {
+                heap_base: heap.layout().heap.start,
+                beg_map_base: heap.layout().beg_map.start,
+                bitmap_offset: heap.layout().bitmap_offset(),
+                card_table_base: heap.layout().cards.start,
+            });
+        }
+        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new() }
+    }
+
+    /// Advances the wall clock by mutator (useful-work) time.
+    pub fn advance_mutator(&mut self, dur: Ps) {
+        self.now += dur;
+    }
+
+    /// Runs one MinorGC now.
+    pub fn minor_gc(&mut self, heap: &mut JavaHeap) -> &GcEvent {
+        self.run(heap, GcKind::Minor)
+    }
+
+    /// Runs one MajorGC now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the live set cannot fit into the old generation (use
+    /// [`Collector::try_major_gc`] for the fallible form).
+    pub fn major_gc(&mut self, heap: &mut JavaHeap) -> &GcEvent {
+        self.run(heap, GcKind::Major)
+    }
+
+    /// Runs one MajorGC, failing cleanly (before touching any state) when
+    /// the reachable bytes exceed the old generation — the condition under
+    /// which a full compaction cannot complete and a JVM raises
+    /// `OutOfMemoryError`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] in the overflow case.
+    pub fn try_major_gc(&mut self, heap: &mut JavaHeap) -> Result<&GcEvent, OutOfMemory> {
+        let live = crate::verify::reachable_bytes(heap);
+        if live > heap.old().capacity_bytes() {
+            return Err(OutOfMemory { words: live / 8, live_overflow: true });
+        }
+        Ok(self.run(heap, GcKind::Major))
+    }
+
+    fn run(&mut self, heap: &mut JavaHeap, kind: GcKind) -> &GcEvent {
+        if self.sys.record_traces {
+            self.sys.traces.push(crate::trace::GcTrace::default());
+        }
+        let start = self.now;
+        let dram_before = self.sys.dram_bytes();
+        let mut threads = GcThreads::new(self.gc_threads, start);
+        self.sys.host.barrier(start);
+
+        let (breakdown, minor, major) = match kind {
+            GcKind::Minor => {
+                let (bd, st) = minor_gc(&mut self.sys, heap, &mut threads);
+                (bd, Some(st), None)
+            }
+            GcKind::Major => {
+                let (bd, st) = major_gc(&mut self.sys, heap, &mut threads);
+                (bd, None, Some(st))
+            }
+        };
+        let end = threads.barrier();
+        let wall = end - start;
+        let host_active = threads.total_host_active();
+        let dram_bytes = self.sys.dram_bytes() - dram_before;
+        self.sys.charge_gc_energy(wall, self.gc_threads, host_active, dram_bytes);
+        self.now = end;
+        self.events.push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });
+        self.events.last().expect("just pushed")
+    }
+
+    /// The mutator's allocation entry point, with HotSpot's policy:
+    /// Eden-first; on failure a MinorGC (preceded by a MajorGC when Old
+    /// could not absorb a fully-promoted young generation); large objects
+    /// fall back to Old; a final MajorGC before declaring OOM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the allocation cannot be satisfied
+    /// after a full collection.
+    pub fn alloc(&mut self, heap: &mut JavaHeap, klass: KlassId, array_len: u32) -> Result<VAddr, OutOfMemory> {
+        if let Some(a) = heap.alloc_eden(klass, array_len) {
+            return Ok(a);
+        }
+        if heap.old().free_bytes() < heap.young_used_bytes() {
+            self.try_major_gc(heap)?;
+        } else {
+            self.minor_gc(heap);
+        }
+        if let Some(a) = heap.alloc_eden(klass, array_len) {
+            return Ok(a);
+        }
+        // Large allocation: place directly in Old.
+        let words = heap.klasses().get(klass).size_words(array_len);
+        if let Some(a) = self.alloc_in_old(heap, klass, array_len, words) {
+            return Ok(a);
+        }
+        self.try_major_gc(heap)?;
+        if let Some(a) = heap.alloc_eden(klass, array_len) {
+            return Ok(a);
+        }
+        if let Some(a) = self.alloc_in_old(heap, klass, array_len, words) {
+            return Ok(a);
+        }
+        Err(OutOfMemory { words, live_overflow: false })
+    }
+
+    fn alloc_in_old(&mut self, heap: &mut JavaHeap, klass: KlassId, array_len: u32, words: u64) -> Option<VAddr> {
+        let a = heap.alloc_old(words)?;
+        object::init_header(&mut heap.mem, a, klass, array_len);
+        heap.mem.fill_words(a.add_words(2), words - 2, 0);
+        Some(a)
+    }
+
+    /// Total stop-the-world time so far.
+    pub fn gc_total_time(&self) -> Ps {
+        self.events.iter().map(|e| e.wall).sum()
+    }
+
+    /// Total time in MinorGC / MajorGC pauses.
+    pub fn gc_time_by_kind(&self, kind: GcKind) -> Ps {
+        self.events.iter().filter(|e| e.kind == kind).map(|e| e.wall).sum()
+    }
+
+    /// Number of collections of `kind`.
+    pub fn count(&self, kind: GcKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Summed breakdown over all events of `kind`.
+    pub fn breakdown_by_kind(&self, kind: GcKind) -> Breakdown {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.breakdown)
+            .fold(Breakdown::new(), |a, b| a + b)
+    }
+}

@@ -1,0 +1,114 @@
+//! HotSpot-style `-verbose:gc` log rendering.
+//!
+//! The paper's profiling methodology starts from exactly these logs; this
+//! module renders the collector's event stream in the familiar format so a
+//! practitioner can eyeball a simulated run the way they would a real one:
+//!
+//! ```text
+//! [GC (Allocation Failure) 2748K->312K(10240K), 0.000183 secs]
+//! [Full GC (Ergonomics) 4096K->1024K(10240K), 0.000912 secs]
+//! ```
+
+use crate::collector::{GcEvent, GcKind};
+use charon_heap::heap::JavaHeap;
+
+/// Heap occupancy bookkeeping the logger needs around each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapSnapshot {
+    /// Used bytes before the collection.
+    pub used_before: u64,
+    /// Used bytes after the collection.
+    pub used_after: u64,
+    /// Total heap capacity.
+    pub capacity: u64,
+}
+
+impl HeapSnapshot {
+    /// Captures the "after" side from a heap (the caller saved
+    /// `used_before` before triggering the GC).
+    pub fn after(heap: &JavaHeap, used_before: u64) -> HeapSnapshot {
+        HeapSnapshot {
+            used_before,
+            used_after: heap.used_bytes(),
+            capacity: heap.old().capacity_bytes() + heap.layout().young_bytes(),
+        }
+    }
+}
+
+/// Renders one event as a HotSpot-style log line.
+pub fn render(event: &GcEvent, snap: HeapSnapshot) -> String {
+    let (tag, cause) = match event.kind {
+        GcKind::Minor => ("GC", "Allocation Failure"),
+        GcKind::Major => ("Full GC", "Ergonomics"),
+    };
+    format!(
+        "[{tag} ({cause}) {}K->{}K({}K), {:.6} secs]",
+        snap.used_before / 1024,
+        snap.used_after / 1024,
+        snap.capacity / 1024,
+        event.wall.as_secs()
+    )
+}
+
+/// Renders a whole run, one line per event, given the per-event snapshots.
+pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
+    assert_eq!(events.len(), snaps.len(), "one snapshot per event");
+    events
+        .iter()
+        .zip(snaps)
+        .map(|(e, &s)| format!("{:>12}: {}", format!("{}", e.start), render(e, s)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::Breakdown;
+    use charon_sim::time::Ps;
+
+    fn event(kind: GcKind, wall_us: f64) -> GcEvent {
+        GcEvent {
+            kind,
+            start: Ps::from_us(10.0),
+            wall: Ps::from_us(wall_us),
+            breakdown: Breakdown::new(),
+            minor: None,
+            major: None,
+            dram_bytes: 0,
+            host_active: Ps::ZERO,
+        }
+    }
+
+    #[test]
+    fn minor_line_matches_hotspot_shape() {
+        let snap = HeapSnapshot { used_before: 2748 * 1024, used_after: 312 * 1024, capacity: 10240 * 1024 };
+        let line = render(&event(GcKind::Minor, 183.0), snap);
+        assert_eq!(line, "[GC (Allocation Failure) 2748K->312K(10240K), 0.000183 secs]");
+    }
+
+    #[test]
+    fn major_line_is_full_gc() {
+        let snap = HeapSnapshot { used_before: 4096 * 1024, used_after: 1024 * 1024, capacity: 10240 * 1024 };
+        let line = render(&event(GcKind::Major, 912.0), snap);
+        assert!(line.starts_with("[Full GC (Ergonomics) 4096K->1024K"));
+    }
+
+    #[test]
+    fn run_rendering_joins_lines() {
+        let snaps = [
+            HeapSnapshot { used_before: 100 << 10, used_after: 10 << 10, capacity: 1 << 20 },
+            HeapSnapshot { used_before: 200 << 10, used_after: 20 << 10, capacity: 1 << 20 },
+        ];
+        let events = [event(GcKind::Minor, 5.0), event(GcKind::Major, 9.0)];
+        let s = render_run(&events, &snaps);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("[GC") && s.contains("[Full GC"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_snapshots_panic() {
+        render_run(&[event(GcKind::Minor, 1.0)], &[]);
+    }
+}

@@ -1,0 +1,626 @@
+//! MajorGC — mark, summarize, adjust, compact (Fig. 3b).
+//!
+//! * **Marking**: drain the object stack with *Scan&Push*; `mark_obj` sets
+//!   begin/end bitmap bits (through the bitmap cache when offloaded).
+//! * **Summary**: *Bitmap Count* every compaction region to compute
+//!   per-region destinations (and, as HotSpot's `ParallelCompactData`
+//!   does, per-128-word-block live prefixes so later queries scan at most
+//!   one block).
+//! * **Adjust**: rewrite every reference (and root) to its target's new
+//!   location — `new_addr(X) = dest_prefix(region) + block_prefix +
+//!   live_words_in_range(block_start, X)`, the hot *Bitmap Count* use.
+//! * **Compact**: *Copy* every live object left-ward; the heap ends packed
+//!   against its base with the entire young generation empty.
+//!
+//! The paper notes the summary phase itself is negligible (<0.03% — its
+//! footnote 2); what it calls *Bitmap Count* time is the bitmap work
+//! charged here across summary and adjust.
+
+use crate::breakdown::{Breakdown, Bucket};
+use crate::system::{Backend, System};
+use crate::threads::GcThreads;
+use charon_core::device::{ScanAction, ScanRef};
+use charon_heap::addr::{VAddr, VRange};
+use charon_heap::heap::JavaHeap;
+use charon_heap::markbitmap::{live_words_fast, mark_object};
+use charon_heap::object::{self, MarkState};
+use charon_heap::objstack::ObjStack;
+use charon_sim::cache::AccessKind;
+
+/// Heap words per compaction region (HotSpot `ParallelCompactData`
+/// regions; 512 words = 4 KB).
+pub const REGION_WORDS: u64 = 512;
+
+/// Outcome counters of one MajorGC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorStats {
+    /// Live bytes after compaction.
+    pub live_bytes: u64,
+    /// Bytes physically moved by the compaction.
+    pub moved_bytes: u64,
+    /// Objects marked live.
+    pub marked_objects: u64,
+    /// Compaction regions summarized.
+    pub regions: u64,
+    /// Peak marking-stack depth.
+    pub stack_max: usize,
+    /// Weak referents cleared by reference processing.
+    pub cleared_weak_refs: u64,
+}
+
+fn offloaded(sys: &System, hardware_iterable: bool) -> bool {
+    match sys.backend {
+        Backend::Host => false,
+        Backend::Charon | Backend::CpuSideCharon => hardware_iterable,
+        Backend::Ideal => true,
+    }
+}
+
+/// One compaction region's summary data.
+#[derive(Debug, Clone)]
+struct Region {
+    range: VRange,
+    /// Live words in every region before this one (all spaces).
+    dest_prefix_words: u64,
+    /// Whether an object is open at the region's start.
+    carry_in: bool,
+}
+
+/// The compaction plan: regions + block tables over every used range.
+#[derive(Debug, Clone)]
+pub struct CompactPlan {
+    regions: Vec<Region>,
+    dest_base: VAddr,
+    total_live_words: u64,
+}
+
+impl CompactPlan {
+    fn region_of(&self, a: VAddr) -> &Region {
+        // Regions are address-sorted; partition_point finds the last
+        // region starting at or before `a`.
+        let i = self.regions.partition_point(|r| r.range.start <= a);
+        let r = &self.regions[i - 1];
+        debug_assert!(r.range.contains(a), "{a} not in any summarized region");
+        r
+    }
+
+    /// Total live words across the heap.
+    pub fn total_live_words(&self) -> u64 {
+        self.total_live_words
+    }
+
+    /// Where compaction packs objects.
+    pub fn dest_base(&self) -> VAddr {
+        self.dest_base
+    }
+
+    /// The new location of the live object at `obj`, plus the bitmap span
+    /// the query scanned (for timing). As HotSpot's `calc_new_pointer`
+    /// does, the query is `region.destination() + live_words_in_range(
+    /// region_start, obj)` — this per-reference call is the hot *Bitmap
+    /// Count* use the paper offloads (Fig. 8).
+    pub fn new_addr(&self, heap: &JavaHeap, obj: VAddr) -> (VAddr, VRange) {
+        let r = self.region_of(obj);
+        let (tail, _, _) =
+            live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), r.range.start, obj, r.carry_in);
+        let words = r.dest_prefix_words + tail;
+        (self.dest_base.add_words(words), VRange::new(r.range.start, obj))
+    }
+
+    /// Like [`CompactPlan::new_addr`], but through a per-GC-thread
+    /// last-query cache — HotSpot's `ParMarkBitMap::live_words_in_range`
+    /// keeps exactly this cache per `ParCompactionManager`: when the new
+    /// query extends the previous one within the same region, only the
+    /// delta `[last_target, target)` is scanned. The returned span is what
+    /// was actually read (possibly empty).
+    pub fn new_addr_cached(&self, heap: &JavaHeap, cache: &mut LastQuery, obj: VAddr) -> (VAddr, VRange) {
+        let r = self.region_of(obj);
+        let (span_start, carry_in, base_live) =
+            if cache.region_start == Some(r.range.start) && obj >= cache.last_addr {
+                (cache.last_addr, cache.carry, cache.live_words)
+            } else {
+                (r.range.start, r.carry_in, 0)
+            };
+        let (delta, carry_out, _) =
+            live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), span_start, obj, carry_in);
+        let live = base_live + delta;
+        *cache = LastQuery { region_start: Some(r.range.start), last_addr: obj, live_words: live, carry: carry_out };
+        (self.dest_base.add_words(r.dest_prefix_words + live), VRange::new(span_start, obj))
+    }
+}
+
+/// HotSpot's per-compaction-manager live-words query cache (see
+/// [`CompactPlan::new_addr_cached`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastQuery {
+    region_start: Option<VAddr>,
+    last_addr: VAddr,
+    live_words: u64,
+    carry: bool,
+}
+
+/// Runs one MajorGC.
+pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) -> (Breakdown, MajorStats) {
+    let mut bd = Breakdown::new();
+    let mut st = MajorStats::default();
+    let cores = sys.host.cores();
+    let mut stack = ObjStack::new(heap.layout().major_stack);
+
+    // Prologue.
+    {
+        let now = threads.clock(0);
+        let end = sys.gc_prologue(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+
+    let discovered = mark_phase(sys, heap, threads, &mut bd, &mut st, &mut stack, cores);
+    st.stack_max = stack.max_depth();
+    // Reference processing: clear weak referents that marking never
+    // reached strongly — before the summary, so their space is reclaimed
+    // and the adjust phase never follows a dangling weak edge.
+    for slot in discovered {
+        let v = heap.read_ref(slot);
+        if !v.is_null() && object::mark_state(&heap.mem, v) != MarkState::Marked {
+            heap.write_ref(slot, VAddr::NULL);
+            st.cleared_weak_refs += 1;
+        }
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, 10, &[(slot, AccessKind::Write)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+    }
+    threads.barrier();
+    {
+        let now = threads.clock(0);
+        let end = sys.flush_bitmap_cache(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+
+    let plan = summary_phase(sys, heap, threads, &mut bd, &mut st, cores);
+    threads.barrier();
+
+    adjust_phase(sys, heap, threads, &mut bd, &plan, cores);
+    threads.barrier();
+
+    compact_phase(sys, heap, threads, &mut bd, &mut st, &plan, cores);
+    threads.barrier();
+    {
+        let now = threads.clock(0);
+        let end = sys.flush_bitmap_cache(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+    }
+
+    epilogue(sys, heap, threads, &mut bd, &plan, cores);
+    threads.barrier();
+    (bd, st)
+}
+
+/// The used ranges of every space, in address order.
+fn used_ranges(heap: &JavaHeap) -> Vec<VRange> {
+    let mut v = Vec::new();
+    for r in [heap.old().used_region(), heap.eden().used_region(), heap.from_space().used_region()] {
+        if !r.is_empty() {
+            v.push(r);
+        }
+    }
+    v.sort_by_key(|r| r.start);
+    v
+}
+
+pub(crate) fn mark_phase(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut MajorStats,
+    stack: &mut ObjStack,
+    cores: usize,
+) -> Vec<VAddr> {
+    let mut discovered: Vec<VAddr> = Vec::new();
+    // Roots.
+    for idx in 0..heap.root_count() {
+        let slot = heap.root_slot_addr(idx);
+        let r = heap.read_ref(slot);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.root_per_slot, &[(slot, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+        if !r.is_null() && object::mark_state(&heap.mem, r) != MarkState::Marked {
+            mark_one(heap, r);
+            st.marked_objects += 1;
+            let now = threads.clock(t);
+            let s = stack.push(r);
+            let end = sys.host_op(t % cores, now, sys.costs.push, &[(r, AccessKind::Write), (s, AccessKind::Write)]);
+            bd.record(Bucket::Push, end - now);
+            threads.advance(t, end, true);
+        }
+    }
+
+    // Drain: follow_contents.
+    while let Some((obj, slot_addr)) = stack.pop() {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.pop, &[(slot_addr, AccessKind::Read), (obj, AccessKind::Read)]);
+        bd.record(Bucket::Pop, end - now);
+        threads.advance(t, end, true);
+
+        let kind = heap.obj_klass(obj).kind();
+        let slots = heap.ref_slots(obj);
+        if slots.is_empty() {
+            continue;
+        }
+        // Weak referent of an InstanceRef holder: discovered, not marked.
+        let weak_slot =
+            (kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
+        let mut refs = Vec::new();
+        for s in &slots {
+            if weak_slot == Some(*s) {
+                discovered.push(*s);
+                continue;
+            }
+            let v = heap.read_ref(*s);
+            if v.is_null() {
+                continue;
+            }
+            if object::mark_state(&heap.mem, v) == MarkState::Marked {
+                refs.push(ScanRef { referent: v, action: ScanAction::None });
+            } else {
+                mark_one(heap, v);
+                st.marked_objects += 1;
+                let pushed = stack.push(v);
+                let size = heap.obj_size_words(v);
+                refs.push(ScanRef {
+                    referent: v,
+                    action: ScanAction::MarkAndPush {
+                        beg_word: heap.beg_map().map_word_addr(v),
+                        end_word: heap.end_map().map_word_addr(v.add_words(size - 1)),
+                        stack_slot: pushed,
+                    },
+                });
+            }
+        }
+        let fields_start = slots[0];
+        let field_bytes = (slots.len() as u64) * 8;
+        let hw = kind.charon_supported();
+        let now = threads.clock(t);
+        let end = sys.prim_scan_push(t % cores, now, fields_start, field_bytes, &refs, hw);
+        bd.record(Bucket::ScanPush, end - now);
+        threads.advance(t, end, !offloaded(sys, hw));
+    }
+    discovered
+}
+
+/// Marks one object: header state + begin/end bitmap bits.
+fn mark_one(heap: &mut JavaHeap, obj: VAddr) {
+    object::set_marked(&mut heap.mem, obj);
+    let size = heap.obj_size_words(obj);
+    let (beg, end) = (*heap.beg_map(), *heap.end_map());
+    mark_object(&mut heap.mem, &beg, &end, obj, size);
+}
+
+fn summary_phase(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut MajorStats,
+    cores: usize,
+) -> CompactPlan {
+    let mut regions = Vec::new();
+    let mut prefix = 0u64;
+    for range in used_ranges(heap) {
+        let mut carry = false; // objects never span spaces
+        let mut at = range.start;
+        while at < range.end {
+            let r_end = at.add_words(REGION_WORDS).min(range.end);
+            let (live_in_region, carry_out, map_words) =
+                live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), at, r_end, carry);
+
+            let t = threads.least_loaded();
+            let now = threads.clock(t);
+            let span_bytes = (map_words / 2).max(1) * 8;
+            let spans =
+                [(heap.beg_map().map_word_addr(at), span_bytes), (heap.end_map().map_word_addr(at), span_bytes)];
+            let end = sys.prim_bitmap_count(t % cores, now, &spans);
+            bd.record(Bucket::BitmapCount, end - now);
+            threads.advance(t, end, !offloaded(sys, true));
+
+            regions.push(Region { range: VRange::new(at, r_end), dest_prefix_words: prefix, carry_in: carry });
+            prefix += live_in_region;
+            carry = carry_out;
+            at = r_end;
+            st.regions += 1;
+        }
+    }
+    st.live_bytes = prefix * 8;
+    assert!(
+        heap.old().start().add_words(prefix) <= heap.old().end(),
+        "compaction overflow: {} live bytes exceed the old generation — OutOfMemoryError",
+        prefix * 8
+    );
+    CompactPlan { regions, dest_base: heap.old().start(), total_live_words: prefix }
+}
+
+/// Iterates live-object start addresses via the begin bitmap.
+fn live_objects(heap: &JavaHeap) -> Vec<VAddr> {
+    let mut out = Vec::new();
+    for range in used_ranges(heap) {
+        let mut at = range.start;
+        while let Some(obj) = heap.beg_map().find_next_set(&heap.mem, at, range.end) {
+            out.push(obj);
+            at = obj.add_words(heap.obj_size_words(obj));
+        }
+    }
+    out
+}
+
+fn adjust_phase(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    plan: &CompactPlan,
+    cores: usize,
+) {
+    // Adjust every reference field of every live object. The walk itself
+    // is an independent stream; only the per-slot Bitmap Count lookups are
+    // dependent work.
+    let mut drain = charon_sim::time::Ps::ZERO;
+    let mut caches = vec![LastQuery::default(); threads.len()];
+    for obj in live_objects(heap) {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let map_word = heap.beg_map().map_word_addr(obj);
+        let (cpu, mem) = sys.host_stream_op(
+            t % cores,
+            now,
+            sys.costs.walk_per_obj,
+            &[(map_word, AccessKind::Read), (obj, AccessKind::Read)],
+        );
+        bd.record(Bucket::Other, cpu - now);
+        threads.advance(t, cpu, true);
+        drain = drain.max(mem);
+
+        for s in heap.ref_slots(obj) {
+            let v = heap.read_ref(s);
+            if v.is_null() {
+                continue;
+            }
+            adjust_slot(sys, heap, threads, bd, plan, &mut caches, s, v, t, cores, &mut drain);
+        }
+    }
+    // Adjust roots.
+    for idx in 0..heap.root_count() {
+        let slot = heap.root_slot_addr(idx);
+        let v = heap.read_ref(slot);
+        if v.is_null() {
+            continue;
+        }
+        let t = threads.least_loaded();
+        adjust_slot(sys, heap, threads, bd, plan, &mut caches, slot, v, t, cores, &mut drain);
+    }
+    threads.advance_all_to(drain);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adjust_slot(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    plan: &CompactPlan,
+    caches: &mut [LastQuery],
+    slot: VAddr,
+    target: VAddr,
+    t: usize,
+    cores: usize,
+    drain: &mut charon_sim::time::Ps,
+) {
+    debug_assert_eq!(object::mark_state(&heap.mem, target), MarkState::Marked, "dangling ref at {slot}");
+    let (new, span) = plan.new_addr_cached(heap, &mut caches[t], target);
+    heap.write_ref(slot, new);
+
+    // Timing: the (possibly cached-incremental) Bitmap Count, then the
+    // slot rewrite as a streamed store.
+    charge_bitmap_query(sys, heap, threads, bd, t, cores, span);
+    let now = threads.clock(t);
+    let (cpu, mem) = sys.host_stream_op(t % cores, now, 4, &[(slot, AccessKind::Write)]);
+    bd.record(Bucket::Other, cpu - now);
+    threads.advance(t, cpu, true);
+    *drain = (*drain).max(mem);
+}
+
+
+/// Charges one `live_words_in_range` query over `span`. Tiny incremental
+/// tails (the common cached case, under four map words) stay on the host on
+/// every backend — §3.3: "operations … are essentially single atomic
+/// instructions whose potential benefits from offloading are outweighed by
+/// the overheads due to their small offloading granularities". Larger scans
+/// go through the Bitmap Count primitive.
+fn charge_bitmap_query(
+    sys: &mut System,
+    heap: &JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    t: usize,
+    cores: usize,
+    span: VRange,
+) {
+    // Four 64-bit map words of coverage: 4 x 64 heap words x 8 B.
+    const OFFLOAD_SPAN_BYTES: u64 = 4 * 64 * 8;
+    let now = threads.clock(t);
+    if span.is_empty() {
+        let end = sys.host_op(t % cores, now, 6, &[]);
+        bd.record(Bucket::BitmapCount, end - now);
+        threads.advance(t, end, true);
+        return;
+    }
+    let first = heap.beg_map().map_word_addr(span.start);
+    let last = heap.beg_map().map_word_addr(VAddr(span.end.0 - 8).max(span.start));
+    let bytes = (last - first) + 8;
+    if span.bytes() < OFFLOAD_SPAN_BYTES {
+        // Host fast path: a few map words through the cache hierarchy.
+        let words = bytes / 8;
+        let end = sys.host_op(
+            t % cores,
+            now,
+            sys.costs.bitmap_per_map_word * words,
+            &[(first, AccessKind::Read), (heap.end_map().map_word_addr(span.start), AccessKind::Read)],
+        );
+        bd.record(Bucket::BitmapCount, end - now);
+        threads.advance(t, end, true);
+    } else {
+        let spans = [(first, bytes), (heap.end_map().map_word_addr(span.start), bytes)];
+        let end = sys.prim_bitmap_count(t % cores, now, &spans);
+        bd.record(Bucket::BitmapCount, end - now);
+        threads.advance(t, end, !offloaded(sys, true));
+    }
+}
+
+fn compact_phase(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut MajorStats,
+    plan: &CompactPlan,
+    cores: usize,
+) {
+    heap.bot_clear();
+    let objs = live_objects(heap);
+    let mut drain = charon_sim::time::Ps::ZERO;
+    let mut caches = vec![LastQuery::default(); threads.len()];
+
+    // Adjacent live objects that move by the same delta form one
+    // contiguous run and are issued as a single Copy — dense live runs are
+    // the common case after churn, and copying them object-by-object would
+    // waste the primitive on tiny transfers (§3.3's granularity argument;
+    // HotSpot's collector likewise moves whole dense regions).
+    let mut run: Option<(VAddr, VAddr, u64)> = None; // (src, dst, words)
+    let flush_run = |sys: &mut System,
+                         heap: &mut JavaHeap,
+                         threads: &mut GcThreads,
+                         bd: &mut Breakdown,
+                         run: &mut Option<(VAddr, VAddr, u64)>| {
+        if let Some((src, dst, words)) = run.take() {
+            if src != dst {
+                heap.copy_object_words(src, dst, words);
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.prim_copy(t % cores, now, src, dst, words * 8);
+                bd.record(Bucket::Copy, end - now);
+                threads.advance(t, end, !offloaded(sys, true));
+            }
+        }
+    };
+
+    for obj in objs {
+        let size = heap.obj_size_words(obj);
+
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let (cpu, mem) = sys.host_stream_op(t % cores, now, sys.costs.walk_per_obj, &[(obj, AccessKind::Read)]);
+        bd.record(Bucket::Other, cpu - now);
+        threads.advance(t, cpu, true);
+        drain = drain.max(mem);
+
+        // Destination calculation: the Fig. 3(b) Bitmap Count before each
+        // Copy (incremental here, since the walk is monotonic).
+        let (new, span) = plan.new_addr_cached(heap, &mut caches[t], obj);
+        debug_assert!(new <= obj, "compaction must move objects downward");
+        charge_bitmap_query(sys, heap, threads, bd, t, cores, span);
+
+        if new != obj {
+            st.moved_bytes += size * 8;
+        }
+        match &mut run {
+            Some((src, dst, words))
+                if src.add_words(*words) == obj && dst.add_words(*words) == new =>
+            {
+                *words += size;
+            }
+            _ => {
+                flush_run(sys, heap, threads, bd, &mut run);
+                run = Some((obj, new, size));
+            }
+        }
+    }
+    flush_run(sys, heap, threads, bd, &mut run);
+
+    // Post-pass: headers and the block-offset table. (The run copy left
+    // mark bits in the moved headers.)
+    let mut at = heap.old().start();
+    let packed_end = plan.dest_base().add_words(plan.total_live_words());
+    while at < packed_end {
+        let size = heap.obj_size_words(at);
+        object::clear_mark(&mut heap.mem, at);
+        heap.bot_update(at, size);
+        at = at.add_words(size);
+    }
+    threads.advance_all_to(drain);
+}
+
+fn epilogue(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    plan: &CompactPlan,
+    cores: usize,
+) {
+    // New space bounds: everything packed into Old, young empty.
+    let packed_end = plan.dest_base().add_words(plan.total_live_words());
+    assert!(
+        packed_end <= heap.old().end(),
+        "compaction overflow: {} live bytes exceed the old generation — OutOfMemoryError",
+        plan.total_live_words() * 8
+    );
+    heap.set_old_top(packed_end);
+    heap.reset_young();
+
+    // Clear both mark bitmaps and the card table (streamed host writes).
+    let beg = heap.beg_map().map_range();
+    let end_r = heap.end_map().map_range();
+    let cards = heap.cards().table_range();
+    {
+        let bm = *heap.beg_map();
+        bm.clear_all(&mut heap.mem);
+        let em = *heap.end_map();
+        em.clear_all(&mut heap.mem);
+        { let ct = *heap.cards(); ct.clear_all(&mut heap.mem); }
+    }
+    // The clears are streaming memsets: writes issue back-to-back and
+    // overlap in the core's miss window.
+    for range in [beg, end_r, cards] {
+        let t = threads.least_loaded();
+        let start = threads.clock(t);
+        let mut cursor = start;
+        let mut end = start;
+        let lines = range.bytes() / 64;
+        for i in 0..lines {
+            let done = sys.host.mem_access(t % cores, cursor, range.start.add_bytes(i * 64).0, 64, AccessKind::Write);
+            end = end.max(done);
+            cursor += sys.compute(2);
+        }
+        bd.record(Bucket::Other, end.max(cursor) - start);
+        threads.advance(t, end.max(cursor), true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_constant_matches_hotspot_shape() {
+        // 512 words = 4 KB regions, jdk7 ParallelCompactData geometry.
+        assert_eq!(REGION_WORDS * 8, 4096);
+    }
+}

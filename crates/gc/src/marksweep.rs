@@ -1,0 +1,202 @@
+//! A CMS-style old-generation mark-sweep (no compaction) — Table 1's third
+//! collector.
+//!
+//! Concurrent-Mark-Sweep in HotSpot keeps the young scavenger (so *Copy*,
+//! *Search* and *Scan&Push* still apply, which is exactly Table 1's row)
+//! but reclaims the old generation by marking and sweeping onto free
+//! lists, never compacting — hence *Bitmap Count* is **not applicable**.
+//! This module implements the stop-the-world mark + sweep analog: the
+//! marking drain uses the same Scan&Push primitive; the sweep walks the
+//! old generation linearly and, as HotSpot does, overwrites dead ranges
+//! with filler arrays so the space remains parsable.
+
+use crate::breakdown::{Breakdown, Bucket};
+use crate::system::{Backend, System};
+use crate::threads::GcThreads;
+use charon_core::device::{ScanAction, ScanRef};
+use charon_heap::addr::VAddr;
+use charon_heap::heap::JavaHeap;
+use charon_heap::klass::KlassId;
+use charon_heap::object::{self, MarkState};
+use charon_heap::objstack::ObjStack;
+use charon_sim::cache::AccessKind;
+
+/// Outcome of one old-generation mark-sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Objects marked live (whole heap).
+    pub marked_objects: u64,
+    /// Live bytes retained in Old.
+    pub old_live_bytes: u64,
+    /// Bytes swept onto the free list.
+    pub freed_bytes: u64,
+    /// Coalesced free chunks produced.
+    pub free_chunks: u64,
+}
+
+fn offloaded(sys: &System, hw: bool) -> bool {
+    match sys.backend {
+        Backend::Host => false,
+        Backend::Charon | Backend::CpuSideCharon => hw,
+        Backend::Ideal => true,
+    }
+}
+
+/// Runs a stop-the-world mark of the whole graph followed by a sweep of
+/// the old generation. Dead ranges are overwritten with `filler_klass`
+/// arrays (which must be a [`charon_heap::klass::KlassKind::TypeArray`]
+/// klass). Returns the free list as `(address, words)` chunks.
+///
+/// # Panics
+///
+/// Panics if `filler_klass` is not a type-array klass.
+pub fn mark_sweep_old(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    filler_klass: KlassId,
+) -> (Breakdown, SweepStats, Vec<(VAddr, u64)>) {
+    assert!(
+        heap.klasses().get(filler_klass).kind() == charon_heap::klass::KlassKind::TypeArray,
+        "filler must be a primitive array klass"
+    );
+    let mut bd = Breakdown::new();
+    let mut st = SweepStats::default();
+    let cores = sys.host.cores();
+    let mut stack = ObjStack::new(heap.layout().major_stack);
+
+    // Prologue.
+    {
+        let now = threads.clock(0);
+        let end = sys.gc_prologue(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+
+    // Mark (header marks only — no compaction bitmaps in CMS).
+    for idx in 0..heap.root_count() {
+        let slot = heap.root_slot_addr(idx);
+        let r = heap.read_ref(slot);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.root_per_slot, &[(slot, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+        if !r.is_null() && object::mark_state(&heap.mem, r) != MarkState::Marked {
+            object::set_marked(&mut heap.mem, r);
+            st.marked_objects += 1;
+            let s = stack.push(r);
+            let now = threads.clock(t);
+            let end = sys.host_op(t % cores, now, sys.costs.push, &[(s, AccessKind::Write)]);
+            bd.record(Bucket::Push, end - now);
+            threads.advance(t, end, true);
+        }
+    }
+    while let Some((obj, slot_addr)) = stack.pop() {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.pop, &[(slot_addr, AccessKind::Read), (obj, AccessKind::Read)]);
+        bd.record(Bucket::Pop, end - now);
+        threads.advance(t, end, true);
+
+        let kind = heap.obj_klass(obj).kind();
+        let slots = heap.ref_slots(obj);
+        if slots.is_empty() {
+            continue;
+        }
+        let mut refs = Vec::new();
+        for s in &slots {
+            let v = heap.read_ref(*s);
+            if v.is_null() {
+                continue;
+            }
+            if object::mark_state(&heap.mem, v) == MarkState::Marked {
+                refs.push(ScanRef { referent: v, action: ScanAction::None });
+            } else {
+                object::set_marked(&mut heap.mem, v);
+                st.marked_objects += 1;
+                let pushed = stack.push(v);
+                refs.push(ScanRef { referent: v, action: ScanAction::Push { stack_slot: pushed } });
+            }
+        }
+        let hw = kind.charon_supported();
+        let now = threads.clock(t);
+        let end = sys.prim_scan_push(t % cores, now, slots[0], slots.len() as u64 * 8, &refs, hw);
+        bd.record(Bucket::ScanPush, end - now);
+        threads.advance(t, end, !offloaded(sys, hw));
+    }
+    threads.barrier();
+
+    // Sweep Old: linear walk, coalescing dead runs into filler + free list.
+    let mut free = Vec::new();
+    let top = heap.old().top();
+    let mut at = heap.old().start();
+    let mut run_start: Option<VAddr> = None;
+    while at < top {
+        let size = heap.obj_size_words(at);
+        let marked = object::mark_state(&heap.mem, at) == MarkState::Marked;
+
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.walk_per_obj, &[(at, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+
+        if marked {
+            if let Some(rs) = run_start.take() {
+                emit_free_chunk(sys, heap, threads, &mut bd, &mut st, &mut free, rs, at, filler_klass, cores);
+            }
+            object::clear_mark(&mut heap.mem, at);
+            st.old_live_bytes += size * 8;
+        } else if run_start.is_none() {
+            run_start = Some(at);
+        }
+        at = at.add_words(size);
+    }
+    if let Some(rs) = run_start {
+        emit_free_chunk(sys, heap, threads, &mut bd, &mut st, &mut free, rs, top, filler_klass, cores);
+    }
+
+    // Clear marks on surviving young objects too.
+    for space in [heap.eden().used_region(), heap.from_space().used_region()] {
+        let mut a = space.start;
+        while a < space.end {
+            let size = heap.obj_size_words(a);
+            if object::mark_state(&heap.mem, a) == MarkState::Marked {
+                object::clear_mark(&mut heap.mem, a);
+            }
+            a = a.add_words(size);
+        }
+    }
+    threads.barrier();
+    (bd, st, free)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_free_chunk(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut SweepStats,
+    free: &mut Vec<(VAddr, u64)>,
+    start: VAddr,
+    end: VAddr,
+    filler_klass: KlassId,
+    cores: usize,
+) {
+    let words = end.words_since(start);
+    debug_assert!(words >= 2, "free chunks are at least a header");
+    // Overwrite with a filler array so the space stays parsable.
+    object::init_header(&mut heap.mem, start, filler_klass, (words - 2) as u32);
+    free.push((start, words));
+    st.freed_bytes += words * 8;
+    st.free_chunks += 1;
+
+    let t = threads.least_loaded();
+    let now = threads.clock(t);
+    let e = sys.host_op(t % cores, now, 20, &[(start, AccessKind::Write)]);
+    bd.record(Bucket::Other, e - now);
+    threads.advance(t, e, true);
+}

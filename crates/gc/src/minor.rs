@@ -1,0 +1,402 @@
+//! MinorGC — the ParallelScavenge young collection (Fig. 3a).
+//!
+//! Flow, exactly as §3.2 describes: push the root set; *Search* the card
+//! table for old-to-young references and push those too; then drain the
+//! object stack — *Pop object*, *Copy* the referent to the to-space or
+//! promote it to Old, and *Scan&Push* the copy's reference fields. The
+//! stack holds *slot addresses* (as HotSpot's promotion manager does), so
+//! forwarding updates the referring field when a referent has already been
+//! copied.
+//!
+//! Every functional step is paired with a timing charge into the Fig. 4
+//! buckets through the backend-dispatching [`System`] primitives.
+
+use crate::breakdown::{Breakdown, Bucket};
+use crate::system::{Backend, System};
+use crate::threads::GcThreads;
+use charon_core::device::{ScanAction, ScanRef};
+use charon_heap::addr::VAddr;
+use charon_heap::heap::JavaHeap;
+use charon_heap::object::{self, MarkState};
+use charon_heap::objstack::ObjStack;
+use charon_sim::cache::AccessKind;
+
+/// Outcome counters of one MinorGC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinorStats {
+    /// The tenuring threshold this scavenge used (adaptive policy).
+    pub tenuring_threshold: u8,
+    /// Bytes copied into the to-space.
+    pub survived_bytes: u64,
+    /// Bytes promoted into Old.
+    pub promoted_bytes: u64,
+    /// Live young objects moved.
+    pub objects_copied: u64,
+    /// Dirty cards found by *Search*.
+    pub dirty_cards: u64,
+    /// Peak object-stack depth.
+    pub stack_max: usize,
+    /// Root slots that seeded the scavenge.
+    pub roots_pushed: u64,
+    /// `java.lang.ref` referents cleared because only weak paths reached
+    /// them.
+    pub cleared_weak_refs: u64,
+}
+
+/// Whether a primitive charge should count the thread as blocked
+/// (offloaded) rather than executing.
+fn offloaded(sys: &System, hardware_iterable: bool) -> bool {
+    match sys.backend {
+        Backend::Host => false,
+        Backend::Charon | Backend::CpuSideCharon => hardware_iterable,
+        Backend::Ideal => true,
+    }
+}
+
+/// Runs one MinorGC. `threads` carries the start time; the caller reads
+/// the end time from the barrier it returns into the thread clocks.
+pub fn minor_gc(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+) -> (Breakdown, MinorStats) {
+    let mut bd = Breakdown::new();
+    let mut st = MinorStats::default();
+    let cores = sys.host.cores();
+    let tenuring = sys.tenuring.unwrap_or(heap.config().tenuring_threshold);
+    st.tenuring_threshold = tenuring;
+    let mut stack = ObjStack::new(heap.layout().minor_stack);
+    // `java.lang.ref` discovery: referent slots of InstanceRef holders are
+    // not scavenged through; they are resolved after the drain.
+    let mut discovered: Vec<VAddr> = Vec::new();
+
+    // Prologue: bulk host-cache flush under offloading backends (§4.6).
+    {
+        let now = threads.clock(0);
+        let end = sys.gc_prologue(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+
+    // Phase 1: root set → stack.
+    for idx in 0..heap.root_count() {
+        let slot = heap.root_slot_addr(idx);
+        let r = heap.read_ref(slot);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.root_per_slot, &[(slot, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+        if !r.is_null() && heap.in_young(r) {
+            let now = threads.clock(t);
+            let s = stack.push(slot);
+            let end = sys.host_op(t % cores, now, sys.costs.push, &[(s, AccessKind::Write)]);
+            bd.record(Bucket::Push, end - now);
+            threads.advance(t, end, true);
+            st.roots_pushed += 1;
+        }
+    }
+
+    // Phase 2: card-table Search for old-to-young references.
+    let table = heap.cards().table_range();
+    let old_top_card = if heap.old().used_bytes() == 0 {
+        table.start
+    } else {
+        heap.cards().card_addr(VAddr(heap.old().top().0 - 1)).add_bytes(1)
+    };
+    let mut pos = table.start;
+    while pos < old_top_card {
+        let (hit, scanned) = heap.cards().search_dirty_block(&heap.mem, pos, old_top_card);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.prim_search(t % cores, now, pos, scanned * 8);
+        bd.record(Bucket::Search, end - now);
+        threads.advance(t, end, !offloaded(sys, true));
+
+        let Some(block) = hit else { break };
+        for card in heap.cards().dirty_cards_in_block(&heap.mem, block) {
+            st.dirty_cards += 1;
+            scan_dirty_card(sys, heap, threads, &mut bd, &mut stack, &mut discovered, card, cores);
+        }
+        pos = block.add_bytes(8);
+    }
+
+    // Phase 3: drain the object stack.
+    while let Some((slot, slot_addr)) = stack.pop() {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(
+            t % cores,
+            now,
+            sys.costs.pop,
+            &[(slot_addr, AccessKind::Read), (slot, AccessKind::Read)],
+        );
+        bd.record(Bucket::Pop, end - now);
+        threads.advance(t, end, true);
+
+        process_slot(sys, heap, threads, &mut bd, &mut st, &mut stack, &mut discovered, slot, t, cores, tenuring);
+    }
+    st.stack_max = stack.max_depth();
+
+    // Reference processing: a weak referent that no strong path copied is
+    // dead — clear the Reference; one that was copied gets the new address.
+    for slot in discovered {
+        let v = heap.read_ref(slot);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        if !v.is_null() && heap.in_young(v) {
+            if object::mark_state(&heap.mem, v) == MarkState::Forwarded {
+                let fwd = object::forwarding(&heap.mem, v);
+                heap.write_ref(slot, fwd);
+                if heap.in_old(slot) && heap.in_young(fwd) {
+                    let ct = *heap.cards();
+                    ct.dirty(&mut heap.mem, slot);
+                }
+            } else {
+                heap.write_ref(slot, VAddr::NULL);
+                st.cleared_weak_refs += 1;
+            }
+        }
+        let end = sys.host_op(t % cores, now, 10, &[(slot, AccessKind::Write)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+    }
+
+    // Epilogue: swap survivor roles, reset Eden and the old from-space.
+    {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        heap.swap_survivors();
+        let end = sys.host_op(t % cores, now, 200, &[]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+    }
+
+    // Adaptive tenuring (HotSpot's survivor-size policy): if the survivors
+    // overflowed half a survivor space, age objects out sooner next time;
+    // if they fit easily, keep them young longer.
+    if heap.config().adaptive_tenuring {
+        let half_survivor = heap.to_space().capacity_bytes() / 2;
+        let max = heap.config().tenuring_threshold;
+        let next = if st.survived_bytes > half_survivor {
+            tenuring.saturating_sub(1).max(1)
+        } else {
+            (tenuring + 1).min(max)
+        };
+        sys.tenuring = Some(next);
+    }
+    threads.barrier();
+    (bd, st)
+}
+
+/// Walks the objects overlapping one dirty card and pushes old slots that
+/// reference young objects. The byte-scan was *Search*; this walk is the
+/// host-side remainder of the card phase.
+#[allow(clippy::too_many_arguments)]
+fn scan_dirty_card(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    stack: &mut ObjStack,
+    discovered: &mut Vec<VAddr>,
+    card: VAddr,
+    cores: usize,
+) {
+    let region = heap.cards().card_region(card);
+    let Some(first) = heap.first_obj_for_card(card) else {
+        // No object recorded — the card covers unallocated space; clean it.
+        heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+        return;
+    };
+    let top = heap.old().top();
+    let mut obj = first;
+    while obj < region.end && obj < top {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.card_walk_per_obj, &[(obj, AccessKind::Read)]);
+        bd.record(Bucket::Search, end - now);
+        threads.advance(t, end, true);
+
+        let size = heap.obj_size_words(obj);
+        let weak_slot = (heap.obj_klass(obj).kind() == charon_heap::klass::KlassKind::InstanceRef)
+            .then(|| heap.ref_slots(obj)[0]);
+        for slot in heap.ref_slots(obj) {
+            if slot < region.start || slot >= region.end {
+                continue; // only slots within this card
+            }
+            if weak_slot == Some(slot) {
+                // Old Reference holder with a young referent: discovered,
+                // not scavenged through.
+                discovered.push(slot);
+                continue;
+            }
+            let r = heap.read_ref(slot);
+            if !r.is_null() && heap.in_young(r) {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let s = stack.push(slot);
+                let end = sys.host_op(
+                    t % cores,
+                    now,
+                    sys.costs.push,
+                    &[(slot, AccessKind::Read), (s, AccessKind::Write)],
+                );
+                bd.record(Bucket::Push, end - now);
+                threads.advance(t, end, true);
+            }
+        }
+        obj = obj.add_words(size);
+    }
+    // Clean the card; it is re-dirtied at slot-processing time if an
+    // old-to-young edge survives.
+    heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+    let t = threads.least_loaded();
+    let now = threads.clock(t);
+    let end = sys.host_op(t % cores, now, 4, &[(card, AccessKind::Write)]);
+    bd.record(Bucket::Other, end - now);
+    threads.advance(t, end, true);
+}
+
+/// Processes one popped slot: resolve forwarding or copy the referent and
+/// Scan&Push its fields.
+#[allow(clippy::too_many_arguments)]
+fn process_slot(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut MinorStats,
+    stack: &mut ObjStack,
+    discovered: &mut Vec<VAddr>,
+    slot: VAddr,
+    t: usize,
+    cores: usize,
+    tenuring: u8,
+) {
+    let r = heap.read_ref(slot);
+    if r.is_null() || !heap.in_young(r) {
+        return;
+    }
+    if object::mark_state(&heap.mem, r) == MarkState::Forwarded {
+        let fwd = object::forwarding(&heap.mem, r);
+        heap.write_ref(slot, fwd);
+        let mut dirty_card = Vec::new();
+        if heap.in_old(slot) && heap.in_young(fwd) {
+            { let ct = *heap.cards(); ct.dirty(&mut heap.mem, slot); }
+            dirty_card.push((heap.cards().card_addr(slot), AccessKind::Write));
+        }
+        let now = threads.clock(t);
+        let mut acc = vec![(slot, AccessKind::Write)];
+        acc.extend(dirty_card);
+        let end = sys.host_op(t % cores, now, 6, &acc);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+        return;
+    }
+
+    // Copy or promote.
+    let size = heap.obj_size_words(r);
+    let bytes = size * 8;
+    let age = object::age(&heap.mem, r);
+    let to_free = heap.to_space().free_bytes();
+    let dest = if age + 1 < tenuring && to_free >= bytes {
+        heap.alloc_to(size)
+    } else {
+        None
+    };
+    let (dest, promoted) = match dest {
+        Some(d) => (d, false),
+        None => match heap.alloc_old(size) {
+            Some(d) => (d, true),
+            // Promotion failure: Old is full. Fall back to the to-space
+            // even for aged objects (HotSpot similarly keeps the object in
+            // the young generation when a scavenge cannot promote).
+            None => match heap.alloc_to(size) {
+                Some(d) => (d, false),
+                None => panic!(
+                    "promotion failure: neither Old nor the survivor space can take {size} words —                      the triggering policy should have run a full collection first"
+                ),
+            },
+        },
+    };
+    heap.copy_object_words(r, dest, size);
+    object::forward_to(&mut heap.mem, r, dest);
+    heap.write_ref(slot, dest);
+    object::set_age(&mut heap.mem, dest, age + 1);
+    if heap.in_old(slot) && !promoted {
+        { let ct = *heap.cards(); ct.dirty(&mut heap.mem, slot); }
+    }
+    if promoted {
+        st.promoted_bytes += bytes;
+    } else {
+        st.survived_bytes += bytes;
+    }
+    st.objects_copied += 1;
+
+    // Timing: the Copy primitive plus per-object fixup.
+    {
+        let now = threads.clock(t);
+        let end = sys.prim_copy(t % cores, now, r, dest, bytes);
+        bd.record(Bucket::Copy, end - now);
+        threads.advance(t, end, !offloaded(sys, true));
+        let now = threads.clock(t);
+        let end = sys.host_op(
+            t % cores,
+            now,
+            sys.costs.copy_fixup,
+            &[(r, AccessKind::Write), (slot, AccessKind::Write)],
+        );
+        bd.record(Bucket::Copy, end - now);
+        threads.advance(t, end, true);
+    }
+
+    // Scan&Push the new copy's fields.
+    let klass_kind = heap.obj_klass(dest).kind();
+    let slots = heap.ref_slots(dest);
+    if slots.is_empty() {
+        return;
+    }
+    // `java.lang.ref.Reference` holders: the referent (first declared
+    // reference field) is weak — discover it instead of scavenging it.
+    let weak_slot = (klass_kind == charon_heap::klass::KlassKind::InstanceRef)
+        .then(|| slots[0]);
+    let mut refs = Vec::new();
+    for s in &slots {
+        if weak_slot == Some(*s) {
+            discovered.push(*s);
+            continue;
+        }
+        let v = heap.read_ref(*s);
+        if v.is_null() || !heap.in_young(v) {
+            continue; // MinorGC only chases young referents
+        }
+        if object::mark_state(&heap.mem, v) == MarkState::Forwarded {
+            let fwd = object::forwarding(&heap.mem, v);
+            heap.write_ref(*s, fwd);
+            if promoted && heap.in_young(fwd) {
+                { let ct = *heap.cards(); ct.dirty(&mut heap.mem, *s); }
+                refs.push(ScanRef {
+                    referent: v,
+                    action: ScanAction::UpdateFieldAndCard {
+                        field_slot: *s,
+                        card_addr: heap.cards().card_addr(*s),
+                    },
+                });
+            } else {
+                refs.push(ScanRef { referent: v, action: ScanAction::UpdateField { field_slot: *s } });
+            }
+        } else {
+            let pushed = stack.push(*s);
+            refs.push(ScanRef { referent: v, action: ScanAction::Push { stack_slot: pushed } });
+        }
+    }
+    let fields_start = slots[0];
+    let field_bytes = (slots.len() as u64) * 8;
+    let hw = klass_kind.charon_supported();
+    let now = threads.clock(t);
+    let end = sys.prim_scan_push(t % cores, now, fields_start, field_bytes, &refs, hw);
+    bd.record(Bucket::ScanPush, end - now);
+    threads.advance(t, end, !offloaded(sys, hw));
+}

@@ -1,0 +1,551 @@
+//! The simulated machine and the per-backend primitive timing paths.
+//!
+//! [`System`] bundles the host timing model, the optional Charon device,
+//! and the energy meter, and exposes the four primitives plus a generic
+//! `host_op` for everything the paper never offloads (stack pops, root
+//! enumeration, allocation bookkeeping, …). The collector performs all
+//! *functional* heap mutations itself and calls these methods purely to
+//! advance simulated time and traffic.
+
+use crate::costs::CostModel;
+use charon_core::device::{CharonDevice, Placement, ScanRef, StructureMode};
+use charon_heap::addr::VAddr;
+use charon_sim::cache::AccessKind;
+use charon_sim::config::{MemPlatform, SystemConfig};
+use charon_sim::energy::{EnergyModel, EnergyParams};
+use charon_sim::host::HostTiming;
+use charon_sim::time::Ps;
+
+/// Which of the paper's platforms executes the primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Primitives run as software on the host cores (the DDR4 and HMC
+    /// baselines of Fig. 12, depending on the memory platform).
+    Host,
+    /// Primitives offload to the near-memory Charon device.
+    Charon,
+    /// Primitives offload to CPU-side Charon units (Fig. 16).
+    CpuSideCharon,
+    /// Primitives complete in zero cycles (the Ideal bar of Fig. 12).
+    Ideal,
+}
+
+/// Which primitives an offloading backend actually ships to the device;
+/// disabled ones fall back to the host software path. All enabled by
+/// default — the ablation benches turn them off one at a time to measure
+/// each primitive's contribution (the selection argument of §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadMask {
+    /// Offload *Copy*.
+    pub copy: bool,
+    /// Offload *Search*.
+    pub search: bool,
+    /// Offload *Scan&Push*.
+    pub scan_push: bool,
+    /// Offload *Bitmap Count*.
+    pub bitmap_count: bool,
+}
+
+impl Default for OffloadMask {
+    fn default() -> OffloadMask {
+        OffloadMask { copy: true, search: true, scan_push: true, bitmap_count: true }
+    }
+}
+
+impl OffloadMask {
+    /// Everything offloaded (the paper's configuration).
+    pub fn all() -> OffloadMask {
+        OffloadMask::default()
+    }
+
+    /// Nothing offloaded (degenerates to the HMC host).
+    pub fn none() -> OffloadMask {
+        OffloadMask { copy: false, search: false, scan_push: false, bitmap_count: false }
+    }
+
+    /// Only the named primitive offloaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn only(name: &str) -> OffloadMask {
+        let mut m = OffloadMask::none();
+        match name {
+            "copy" => m.copy = true,
+            "search" => m.search = true,
+            "scan_push" => m.scan_push = true,
+            "bitmap_count" => m.bitmap_count = true,
+            other => panic!("unknown primitive {other}"),
+        }
+        m
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Architectural parameters (Table 2).
+    pub cfg: SystemConfig,
+    /// Host cores, caches, and the memory fabric.
+    pub host: HostTiming,
+    /// The accelerator, when the backend offloads.
+    pub device: Option<CharonDevice>,
+    /// Which backend executes primitives.
+    pub backend: Backend,
+    /// The energy meter.
+    pub energy: EnergyModel,
+    /// Host instruction-cost calibration.
+    pub costs: CostModel,
+    /// Per-primitive offload enablement (ablations).
+    pub offload: OffloadMask,
+    /// Current adaptive tenuring threshold (None = use the heap's
+    /// configured initial value; updated by the scavenger when the heap
+    /// enables adaptive tenuring).
+    pub tenuring: Option<u8>,
+    /// When set, every collection records its operation stream into
+    /// [`System::traces`] for trace-driven replay (`crate::trace`).
+    pub record_traces: bool,
+    /// Recorded traces, one per collection (only when `record_traces`).
+    pub traces: Vec<crate::trace::GcTrace>,
+}
+
+impl System {
+    /// Host + DDR4 (the Fig. 12 baseline).
+    pub fn ddr4() -> System {
+        System::build(SystemConfig::table2_ddr4(), Backend::Host, None)
+    }
+
+    /// Host + HMC, no offloading (Fig. 12's second bar).
+    pub fn hmc() -> System {
+        System::build(SystemConfig::table2_hmc(), Backend::Host, None)
+    }
+
+    /// Host + HMC + memory-side Charon with the paper's Table 4 build:
+    /// one bitmap cache at the center, per-cube TLB slices.
+    pub fn charon() -> System {
+        System::charon_structured(StructureMode::Table4)
+    }
+
+    /// Memory-side Charon with an explicit structure mode (Fig. 15).
+    pub fn charon_structured(structure: StructureMode) -> System {
+        let cfg = SystemConfig::table2_hmc();
+        let dev = CharonDevice::new(&cfg, Placement::MemorySide, structure);
+        System::build(cfg, Backend::Charon, Some(dev))
+    }
+
+    /// CPU-side Charon paired with the HMC memory system (Fig. 16).
+    pub fn cpu_side() -> System {
+        let cfg = SystemConfig::table2_hmc();
+        let dev = CharonDevice::new(&cfg, Placement::CpuSide, StructureMode::Table4);
+        System::build(cfg, Backend::CpuSideCharon, Some(dev))
+    }
+
+    /// Host + HMC + an ideal zero-cycle offload device (Fig. 12's last bar).
+    pub fn ideal() -> System {
+        System::build(SystemConfig::table2_hmc(), Backend::Ideal, None)
+    }
+
+    fn build(cfg: SystemConfig, backend: Backend, device: Option<CharonDevice>) -> System {
+        System {
+            host: HostTiming::new(&cfg),
+            device,
+            backend,
+            energy: EnergyModel::new(EnergyParams::default()),
+            costs: CostModel::default(),
+            offload: OffloadMask::default(),
+            tenuring: None,
+            record_traces: false,
+            traces: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// A short label for reports ("DDR4", "HMC", "Charon", …).
+    pub fn label(&self) -> &'static str {
+        match (self.backend, self.cfg.platform) {
+            (Backend::Host, MemPlatform::Ddr4) => "DDR4",
+            (Backend::Host, MemPlatform::Hmc) => "HMC",
+            (Backend::Charon, _) => "Charon",
+            (Backend::CpuSideCharon, _) => "Charon-CPU-side",
+            (Backend::Ideal, _) => "Ideal",
+        }
+    }
+
+    /// Time for `instrs` host instructions with no memory stalls.
+    pub fn compute(&self, instrs: u64) -> Ps {
+        self.host.compute(instrs)
+    }
+
+    /// A host-side operation on `core`: `instrs` instructions plus the
+    /// given word-sized memory accesses, all overlappable. Returns the
+    /// completion time.
+    pub fn host_op(&mut self, core: usize, now: Ps, instrs: u64, accesses: &[(VAddr, AccessKind)]) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::HostOp {
+                    instrs,
+                    accesses: accesses.to_vec(),
+                    stream: false,
+                    bucket: crate::breakdown::Bucket::Other,
+                });
+            }
+        }
+        let mut end = now + self.compute(instrs);
+        for &(a, kind) in accesses {
+            end = end.max(self.host.mem_access(core, now, a.0, 8, kind));
+        }
+        end
+    }
+
+    /// Like [`System::host_op`], but for one iteration of an *independent*
+    /// loop (pointer-free walks, streaming clears): the core retires the
+    /// instructions and moves on while the misses drain in its window.
+    /// Returns `(cpu_done, memory_done)` — the caller advances its thread
+    /// clock by the former and folds the latter into a phase-level drain
+    /// time (see `GcThreads::advance_all_to`).
+    pub fn host_stream_op(
+        &mut self,
+        core: usize,
+        now: Ps,
+        instrs: u64,
+        accesses: &[(VAddr, AccessKind)],
+    ) -> (Ps, Ps) {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::HostOp {
+                    instrs,
+                    accesses: accesses.to_vec(),
+                    stream: true,
+                    bucket: crate::breakdown::Bucket::Other,
+                });
+            }
+        }
+        let cpu = now + self.compute(instrs);
+        let mut mem = cpu;
+        for &(a, kind) in accesses {
+            mem = mem.max(self.host.mem_access(core, now, a.0, 8, kind));
+        }
+        (cpu, mem)
+    }
+
+    /// GC prologue: under a memory-side offloading backend, bulk-flush the
+    /// host caches so the units read up-to-date data (§4.6). Returns the
+    /// time the flush traffic has drained.
+    pub fn gc_prologue(&mut self, now: Ps) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::Phase);
+            }
+        }
+        match self.backend {
+            Backend::Charon => {
+                let (_, _, done) = self.host.flush_all_caches(now);
+                done
+            }
+            _ => now,
+        }
+    }
+
+    /// Flushes the device's bitmap cache at a MajorGC phase boundary
+    /// (§4.5). No-op without a device.
+    pub fn flush_bitmap_cache(&mut self, now: Ps) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::Phase);
+            }
+        }
+        match &mut self.device {
+            Some(dev) => dev.flush_bitmap_cache(&mut self.host, now),
+            None => now,
+        }
+    }
+
+    // ----- the four primitives ------------------------------------------
+
+    /// *Copy* `bytes` from `src` to `dst` (timing only).
+    pub fn prim_copy(&mut self, core: usize, now: Ps, src: VAddr, dst: VAddr, bytes: u64) -> Ps {
+        debug_assert!(bytes > 0);
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::Copy { src, dst, bytes });
+            }
+        }
+        match self.backend {
+            Backend::Host => self.host_copy(core, now, src, dst, bytes),
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.copy => {
+                self.host_copy(core, now, src, dst, bytes)
+            }
+            Backend::Charon | Backend::CpuSideCharon => {
+                let dispatch = now + self.compute(self.costs.prim_dispatch);
+                self.device.as_mut().expect("device present").offload_copy(&mut self.host, dispatch, src, dst, bytes)
+            }
+            Backend::Ideal => now,
+        }
+    }
+
+    /// *Search* `scanned_bytes` of the card table from `start` (timing
+    /// only; the functional scan decided how far the search ran).
+    pub fn prim_search(&mut self, core: usize, now: Ps, start: VAddr, scanned_bytes: u64) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::Search { start, bytes: scanned_bytes });
+            }
+        }
+        match self.backend {
+            Backend::Host => self.host_search(core, now, start, scanned_bytes),
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.search => {
+                self.host_search(core, now, start, scanned_bytes)
+            }
+            Backend::Charon | Backend::CpuSideCharon => {
+                let dispatch = now + self.compute(self.costs.prim_dispatch);
+                self.device.as_mut().expect("device present").offload_search(&mut self.host, dispatch, start, scanned_bytes)
+            }
+            Backend::Ideal => now,
+        }
+    }
+
+    /// *Bitmap Count* over byte `spans` of the begin and end maps.
+    pub fn prim_bitmap_count(&mut self, core: usize, now: Ps, spans: &[(VAddr, u64)]) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::BitmapCount { spans: spans.to_vec() });
+            }
+        }
+        match self.backend {
+            Backend::Host => self.host_bitmap_count(core, now, spans),
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.bitmap_count => {
+                self.host_bitmap_count(core, now, spans)
+            }
+            Backend::Charon | Backend::CpuSideCharon => {
+                let dispatch = now + self.compute(self.costs.prim_dispatch);
+                self.device.as_mut().expect("device present").offload_bitmap_count(&mut self.host, dispatch, spans)
+            }
+            Backend::Ideal => now,
+        }
+    }
+
+    /// *Scan&Push* over an object's reference fields. `hardware_iterable`
+    /// reflects the klass kind (§4.4): metadata kinds always fall back to
+    /// the host path even under offloading backends.
+    pub fn prim_scan_push(
+        &mut self,
+        core: usize,
+        now: Ps,
+        fields_start: VAddr,
+        field_bytes: u64,
+        refs: &[ScanRef],
+        hardware_iterable: bool,
+    ) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::ScanPush {
+                    fields_start,
+                    field_bytes,
+                    refs: refs.to_vec(),
+                    hw: hardware_iterable,
+                });
+            }
+        }
+        match self.backend {
+            Backend::Host => self.host_scan_push(core, now, fields_start, field_bytes, refs),
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.scan_push => {
+                self.host_scan_push(core, now, fields_start, field_bytes, refs)
+            }
+            Backend::Charon | Backend::CpuSideCharon => {
+                if hardware_iterable {
+                    let dispatch = now + self.compute(self.costs.prim_dispatch);
+                    self.device
+                        .as_mut()
+                        .expect("device present")
+                        .offload_scan_push(&mut self.host, dispatch, fields_start, field_bytes, refs)
+                } else {
+                    self.host_scan_push(core, now, fields_start, field_bytes, refs)
+                }
+            }
+            Backend::Ideal => now,
+        }
+    }
+
+    // ----- host software implementations ---------------------------------
+
+    fn host_copy(&mut self, core: usize, now: Ps, src: VAddr, dst: VAddr, bytes: u64) -> Ps {
+        let mut cursor = now;
+        let mut end = now;
+        let lines = bytes.div_ceil(64);
+        for i in 0..lines {
+            let off = i * 64;
+            let len = 64.min(bytes - off) as u32;
+            let r = self.host.mem_access(core, cursor, src.add_bytes(off).0, len, AccessKind::Read);
+            let w = self.host.mem_access(core, r, dst.add_bytes(off).0, len, AccessKind::Write);
+            end = end.max(w);
+            cursor += self.compute(self.costs.copy_per_line);
+        }
+        end.max(cursor)
+    }
+
+    fn host_search(&mut self, core: usize, now: Ps, start: VAddr, scanned_bytes: u64) -> Ps {
+        let mut cursor = now;
+        let mut end = now;
+        let lines = scanned_bytes.div_ceil(64).max(1);
+        for i in 0..lines {
+            let a = start.add_bytes(i * 64);
+            end = end.max(self.host.mem_access(core, cursor, a.0, 64, AccessKind::Read));
+            cursor += self.compute(self.costs.search_per_block * 8);
+        }
+        end.max(cursor)
+    }
+
+    fn host_bitmap_count(&mut self, core: usize, now: Ps, spans: &[(VAddr, u64)]) -> Ps {
+        let mut cursor = now;
+        let mut end = now;
+        for &(start, bytes) in spans {
+            let lines = bytes.div_ceil(64).max(1);
+            for i in 0..lines {
+                let a = start.add_bytes(i * 64);
+                let words = (bytes - i * 64).min(64).div_ceil(8).max(1);
+                end = end.max(self.host.mem_access(core, cursor, a.0, 64, AccessKind::Read));
+                cursor += self.compute(self.costs.bitmap_per_map_word * words);
+            }
+        }
+        end.max(cursor)
+    }
+
+    fn host_scan_push(&mut self, core: usize, now: Ps, fields_start: VAddr, field_bytes: u64, refs: &[ScanRef]) -> Ps {
+        use charon_core::device::ScanAction;
+        let mut cursor = now;
+        let mut end = now;
+        // Field loads: sequential lines, good locality.
+        let lines = field_bytes.div_ceil(64).max(1);
+        let mut line_done = Vec::with_capacity(lines as usize);
+        for i in 0..lines {
+            let a = fields_start.add_bytes(i * 64);
+            line_done.push(self.host.mem_access(core, cursor, a.0, 64, AccessKind::Read));
+        }
+        // Referent header loads: indirect, dependent on the field value —
+        // the pointer-chasing pattern §3.3 calls out. The core's bounded
+        // miss window is what limits MLP here.
+        for (i, r) in refs.iter().enumerate() {
+            let avail = line_done[(i / 8).min(line_done.len() - 1)];
+            let h = self.host.mem_access(core, avail.max(cursor), r.referent.0, 8, AccessKind::Read);
+            let a_done = match r.action {
+                ScanAction::Push { stack_slot } => self.host.mem_access(core, h, stack_slot.0, 8, AccessKind::Write),
+                ScanAction::UpdateField { field_slot } => {
+                    self.host.mem_access(core, h, field_slot.0, 8, AccessKind::Write)
+                }
+                ScanAction::UpdateFieldAndCard { field_slot, card_addr } => {
+                    let w = self.host.mem_access(core, h, field_slot.0, 8, AccessKind::Write);
+                    self.host.mem_access(core, w, card_addr.0, 8, AccessKind::Write)
+                }
+                ScanAction::UpdateCard { card_addr } => {
+                    self.host.mem_access(core, h, card_addr.0, 8, AccessKind::Write)
+                }
+                ScanAction::MarkAndPush { beg_word, end_word, stack_slot } => {
+                    let m1 = self.host.mem_access(core, h, beg_word.0, 8, AccessKind::Write);
+                    let m2 = self.host.mem_access(core, m1, end_word.0, 8, AccessKind::Write);
+                    self.host.mem_access(core, m2, stack_slot.0, 8, AccessKind::Write)
+                }
+                ScanAction::None => h,
+            };
+            end = end.max(a_done);
+            cursor += self.compute(self.costs.scan_per_ref);
+        }
+        end.max(cursor).max(*line_done.last().expect("at least one line"))
+    }
+
+    // ----- energy ---------------------------------------------------------
+
+    /// Charges energy for one completed GC spanning `wall`, with
+    /// `host_active_total` summed active core-time and `dram_bytes` moved.
+    pub fn charge_gc_energy(&mut self, wall: Ps, gc_threads: usize, host_active_total: Ps, dram_bytes: u64) {
+        self.energy.add_dram_bytes(self.cfg.platform, dram_bytes);
+        self.energy.add_core_active(1, host_active_total);
+        let idle = Ps(((gc_threads as u64) * wall.0).saturating_sub(host_active_total.0));
+        self.energy.add_core_idle(1, idle);
+        self.energy.add_uncore(wall);
+        if self.device.is_some() {
+            self.energy.add_charon_active(wall);
+        }
+    }
+
+    /// Total DRAM bytes moved so far (for per-GC deltas).
+    pub fn dram_bytes(&self) -> u64 {
+        self.host.fabric.stats().dram.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(System::ddr4().label(), "DDR4");
+        assert_eq!(System::hmc().label(), "HMC");
+        assert_eq!(System::charon().label(), "Charon");
+        assert_eq!(System::ideal().label(), "Ideal");
+        assert_eq!(System::cpu_side().label(), "Charon-CPU-side");
+    }
+
+    #[test]
+    fn ideal_primitives_are_free() {
+        let mut s = System::ideal();
+        let t = Ps::from_us(1.0);
+        assert_eq!(s.prim_copy(0, t, VAddr(0x1000), VAddr(0x2000), 4096), t);
+        assert_eq!(s.prim_search(0, t, VAddr(0x1000), 4096), t);
+        assert_eq!(s.prim_bitmap_count(0, t, &[(VAddr(0x1000), 64)]), t);
+        assert_eq!(s.prim_scan_push(0, t, VAddr(0x1000), 64, &[], true), t);
+    }
+
+    #[test]
+    fn charon_copy_beats_host_copy() {
+        let bytes = 64 * 1024;
+        let mut host = System::ddr4();
+        let t_host = host.prim_copy(0, Ps::ZERO, VAddr(0), VAddr(0x10_0000), bytes);
+        let mut dev = System::charon();
+        let t_dev = dev.prim_copy(0, Ps::ZERO, VAddr(0), VAddr(0x10_0000), bytes);
+        assert!(
+            t_dev.0 * 3 < t_host.0,
+            "Charon copy ({t_dev}) should be several times faster than host ({t_host})"
+        );
+    }
+
+    #[test]
+    fn host_copy_bounded_by_ddr4_bandwidth() {
+        let bytes = 1 << 20;
+        let mut s = System::ddr4();
+        let t = s.prim_copy(0, Ps::ZERO, VAddr(0), VAddr(0x40_0000), bytes);
+        let gbps = (2 * bytes) as f64 / t.as_secs() / 1e9;
+        assert!(gbps < 34.5, "host copy cannot exceed DDR4 peak: {gbps}");
+        assert!(gbps > 2.0, "host copy unreasonably slow: {gbps}");
+    }
+
+    #[test]
+    fn host_op_charges_compute_and_memory() {
+        let mut s = System::ddr4();
+        let t = s.host_op(0, Ps::ZERO, 100, &[(VAddr(0x8000), AccessKind::Read)]);
+        assert!(t >= s.compute(100));
+    }
+
+    #[test]
+    fn gc_prologue_flushes_only_under_charon() {
+        let mut s = System::charon();
+        s.host.mem_access(0, Ps::ZERO, 0x40, 8, AccessKind::Write);
+        let t = s.gc_prologue(Ps::from_us(1.0));
+        assert!(t > Ps::from_us(1.0), "dirty line must delay the prologue");
+        let mut h = System::hmc();
+        h.host.mem_access(0, Ps::ZERO, 0x40, 8, AccessKind::Write);
+        assert_eq!(h.gc_prologue(Ps::from_us(1.0)), Ps::from_us(1.0));
+    }
+
+    #[test]
+    fn energy_charges_accumulate() {
+        let mut s = System::charon();
+        s.charge_gc_energy(Ps::from_ms(1.0), 8, Ps::from_ms(4.0), 1 << 20);
+        let a = s.energy.account();
+        assert!(a.dram_j > 0.0);
+        assert!(a.core_active_j > 0.0);
+        assert!(a.core_idle_j > 0.0);
+        assert!(a.charon_j > 0.0);
+        assert!(a.uncore_j > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic simulated GC threads.
+//!
+//! `ParallelScavenge` runs one GC thread per core. We simulate them with
+//! per-thread clocks over the shared memory resources of `charon-sim`:
+//! each work item is dispatched to the least-loaded thread, whose clock
+//! advances to the item's completion; contention appears naturally because
+//! the threads share DRAM channels, links, units, and the LLC. Phase
+//! boundaries are barriers (all clocks jump to the maximum). Everything is
+//! repeatable bit-for-bit — no OS threads (DESIGN.md decision 6).
+
+use charon_sim::time::Ps;
+
+/// The simulated GC thread team.
+#[derive(Debug, Clone)]
+pub struct GcThreads {
+    clocks: Vec<Ps>,
+    /// Time spent actively executing on the host core (vs blocked on an
+    /// offload response) — feeds the energy model.
+    host_active: Vec<Ps>,
+}
+
+impl GcThreads {
+    /// Creates `n` threads, all at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, start: Ps) -> GcThreads {
+        assert!(n > 0, "need at least one GC thread");
+        GcThreads { clocks: vec![start; n], host_active: vec![Ps::ZERO; n] }
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the team is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The thread with the earliest clock (work-stealing approximation).
+    pub fn least_loaded(&self) -> usize {
+        self.clocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty team")
+    }
+
+    /// Thread `t`'s current time.
+    pub fn clock(&self, t: usize) -> Ps {
+        self.clocks[t]
+    }
+
+    /// Advances thread `t` to `to`, recording the elapsed span as
+    /// host-active (`active = true`, the thread executed instructions) or
+    /// blocked (`active = false`, it waited on an offload response).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `to` is before the thread's clock.
+    pub fn advance(&mut self, t: usize, to: Ps, active: bool) {
+        let from = self.clocks[t];
+        debug_assert!(to >= from, "thread {t} moving backwards: {from} -> {to}");
+        if active {
+            self.host_active[t] += to - from;
+        }
+        self.clocks[t] = to;
+    }
+
+    /// Advances every thread to at least `to` (used to absorb a phase's
+    /// outstanding stream-memory drain at its barrier). Time spent waiting
+    /// for the drain is not host-active.
+    pub fn advance_all_to(&mut self, to: Ps) {
+        for c in &mut self.clocks {
+            *c = (*c).max(to);
+        }
+    }
+
+    /// Synchronizes all threads to the latest clock (a phase barrier);
+    /// returns that time.
+    pub fn barrier(&mut self) -> Ps {
+        let max = self.clocks.iter().copied().max().expect("non-empty team");
+        for c in &mut self.clocks {
+            *c = max;
+        }
+        max
+    }
+
+    /// Sum of host-active time over all threads.
+    pub fn total_host_active(&self) -> Ps {
+        self.host_active.iter().copied().sum()
+    }
+
+    /// Host-active time of thread `t`.
+    pub fn host_active(&self, t: usize) -> Ps {
+        self.host_active[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_balances() {
+        let mut th = GcThreads::new(2, Ps::ZERO);
+        let a = th.least_loaded();
+        th.advance(a, Ps(100), true);
+        let b = th.least_loaded();
+        assert_ne!(a, b);
+        th.advance(b, Ps(50), true);
+        assert_eq!(th.least_loaded(), b, "b is still earlier");
+    }
+
+    #[test]
+    fn barrier_syncs_all() {
+        let mut th = GcThreads::new(3, Ps(10));
+        th.advance(0, Ps(500), true);
+        th.advance(1, Ps(200), false);
+        let t = th.barrier();
+        assert_eq!(t, Ps(500));
+        for i in 0..3 {
+            assert_eq!(th.clock(i), Ps(500));
+        }
+    }
+
+    #[test]
+    fn active_vs_blocked_accounting() {
+        let mut th = GcThreads::new(1, Ps::ZERO);
+        th.advance(0, Ps(100), true);
+        th.advance(0, Ps(300), false); // blocked 200
+        th.advance(0, Ps(350), true); // active 50
+        assert_eq!(th.total_host_active(), Ps(150));
+        assert_eq!(th.host_active(0), Ps(150));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_panics() {
+        let _ = GcThreads::new(0, Ps::ZERO);
+    }
+}

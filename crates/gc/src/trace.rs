@@ -1,0 +1,243 @@
+//! Trace-driven re-timing: record the operation stream of a collection
+//! once, then replay it against any number of machine configurations
+//! without re-executing the collector.
+//!
+//! This is the classic trace-driven counterpart to the repository's
+//! execution-driven mode (zsim offers the same pairing). Because timing
+//! never feeds back into functional behaviour here (DESIGN.md decision 6),
+//! a replayed trace produces exactly the operation stream the original
+//! run would have issued — what changes is only where each operation's
+//! time is charged.
+//!
+//! One known approximation: `Phase` markers replay as barriers only. The
+//! live run's prologue cache flush and bitmap-cache flushes depend on
+//! dirty state the replay does not reproduce (its caches start cold), so
+//! offloading backends replay marginally faster than they would run live.
+//!
+//! ```
+//! use charon_gc::collector::Collector;
+//! use charon_gc::system::System;
+//! use charon_gc::trace::replay;
+//! use charon_heap::heap::{HeapConfig, JavaHeap};
+//! use charon_heap::klass::KlassKind;
+//!
+//! # fn main() -> Result<(), charon_gc::collector::OutOfMemory> {
+//! let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+//! let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+//! let mut sys = System::ddr4();
+//! sys.record_traces = true;
+//! let mut gc = Collector::new(sys, &heap, 8);
+//! for _ in 0..1500 {
+//!     let a = gc.alloc(&mut heap, k, 100)?;
+//!     heap.add_root(a);
+//! }
+//! gc.minor_gc(&mut heap);
+//!
+//! // Re-time the recorded collection on Charon without a heap in sight.
+//! let trace = gc.sys.traces.last().expect("recorded");
+//! let replayed = replay(trace, &mut System::charon(), 8);
+//! assert!(replayed.0 > charon_sim::time::Ps::ZERO);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::breakdown::{Breakdown, Bucket};
+use crate::system::{Backend, System};
+use crate::threads::GcThreads;
+use charon_core::device::ScanRef;
+use charon_heap::addr::VAddr;
+use charon_sim::cache::AccessKind;
+use charon_sim::time::Ps;
+
+/// One recorded, timed operation.
+#[derive(Debug, Clone)]
+pub enum TraceOp {
+    /// A host-side operation (pop, push, walk, fixup…).
+    HostOp {
+        /// Instructions retired.
+        instrs: u64,
+        /// Word-sized memory accesses.
+        accesses: Vec<(VAddr, AccessKind)>,
+        /// Whether it was issued stream-style (independent iteration).
+        stream: bool,
+        /// The breakdown bucket it was charged to.
+        bucket: Bucket,
+    },
+    /// A *Copy* primitive.
+    Copy {
+        /// Source address.
+        src: VAddr,
+        /// Destination address.
+        dst: VAddr,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A *Search* primitive.
+    Search {
+        /// Scan start.
+        start: VAddr,
+        /// Bytes scanned until the result was known.
+        bytes: u64,
+    },
+    /// A *Bitmap Count* primitive.
+    BitmapCount {
+        /// Map spans read.
+        spans: Vec<(VAddr, u64)>,
+    },
+    /// A *Scan&Push* primitive.
+    ScanPush {
+        /// First field slot.
+        fields_start: VAddr,
+        /// Field bytes.
+        field_bytes: u64,
+        /// Referents and their dependent actions.
+        refs: Vec<ScanRef>,
+        /// Whether the klass kind is hardware-iterable.
+        hw: bool,
+    },
+    /// A phase boundary (prologue flush, bitmap-cache flush, barrier).
+    Phase,
+}
+
+/// One collection's recorded operation stream.
+#[derive(Debug, Clone, Default)]
+pub struct GcTrace {
+    /// Operations in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl GcTrace {
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of recorded primitive invocations (non-host ops).
+    pub fn primitive_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    TraceOp::Copy { .. } | TraceOp::Search { .. } | TraceOp::BitmapCount { .. } | TraceOp::ScanPush { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Replays a trace on `sys` with `gc_threads` simulated threads; returns
+/// the pause wall time and the rebuilt breakdown.
+///
+/// The replay dispatches work items to the least-loaded thread exactly as
+/// the live collector does, so thread-level overlap and resource
+/// contention re-emerge on the target configuration.
+pub fn replay(trace: &GcTrace, sys: &mut System, gc_threads: usize) -> (Ps, Breakdown) {
+    let start = Ps::ZERO;
+    let mut threads = GcThreads::new(gc_threads, start);
+    let mut bd = Breakdown::new();
+    let cores = sys.host.cores();
+    let offloaded = |sys: &System, hw: bool| match sys.backend {
+        Backend::Host => false,
+        Backend::Charon | Backend::CpuSideCharon => hw,
+        Backend::Ideal => true,
+    };
+
+    let mut drain = Ps::ZERO;
+    for op in &trace.ops {
+        match op {
+            TraceOp::HostOp { instrs, accesses, stream, bucket } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                if *stream {
+                    let (cpu, mem) = sys.host_stream_op(t % cores, now, *instrs, accesses);
+                    bd.record(*bucket, cpu - now);
+                    threads.advance(t, cpu, true);
+                    drain = drain.max(mem);
+                } else {
+                    let end = sys.host_op(t % cores, now, *instrs, accesses);
+                    bd.record(*bucket, end - now);
+                    threads.advance(t, end, true);
+                }
+            }
+            TraceOp::Copy { src, dst, bytes } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.prim_copy(t % cores, now, *src, *dst, *bytes);
+                bd.record(Bucket::Copy, end - now);
+                threads.advance(t, end, !offloaded(sys, true));
+            }
+            TraceOp::Search { start: s, bytes } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.prim_search(t % cores, now, *s, *bytes);
+                bd.record(Bucket::Search, end - now);
+                threads.advance(t, end, !offloaded(sys, true));
+            }
+            TraceOp::BitmapCount { spans } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.prim_bitmap_count(t % cores, now, spans);
+                bd.record(Bucket::BitmapCount, end - now);
+                threads.advance(t, end, !offloaded(sys, true));
+            }
+            TraceOp::ScanPush { fields_start, field_bytes, refs, hw } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.prim_scan_push(t % cores, now, *fields_start, *field_bytes, refs, *hw);
+                bd.record(Bucket::ScanPush, end - now);
+                threads.advance(t, end, !offloaded(sys, *hw));
+            }
+            TraceOp::Phase => {
+                threads.advance_all_to(drain);
+                drain = Ps::ZERO;
+                threads.barrier();
+            }
+        }
+    }
+    threads.advance_all_to(drain);
+    (threads.barrier() - start, bd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_replays_to_zero() {
+        let t = GcTrace::default();
+        assert!(t.is_empty());
+        let (wall, bd) = replay(&t, &mut System::ddr4(), 4);
+        assert_eq!(wall, Ps::ZERO);
+        assert_eq!(bd.total(), Ps::ZERO);
+    }
+
+    #[test]
+    fn synthetic_trace_orders_and_charges() {
+        let t = GcTrace {
+            ops: vec![
+                TraceOp::Phase,
+                TraceOp::Copy { src: VAddr(0x1000_0000), dst: VAddr(0x1200_0000), bytes: 65536 },
+                TraceOp::Search { start: VAddr(0x1300_0000), bytes: 4096 },
+                TraceOp::BitmapCount { spans: vec![(VAddr(0x1400_0000), 64)] },
+                TraceOp::HostOp {
+                    instrs: 50,
+                    accesses: vec![(VAddr(0x1500_0000), AccessKind::Read)],
+                    stream: false,
+                    bucket: Bucket::Pop,
+                },
+            ],
+        };
+        assert_eq!(t.primitive_count(), 3);
+        let (wall_host, bd_host) = replay(&t, &mut System::ddr4(), 2);
+        let (wall_dev, bd_dev) = replay(&t, &mut System::charon(), 2);
+        assert!(wall_host > Ps::ZERO && wall_dev > Ps::ZERO);
+        assert!(bd_host.get(Bucket::Copy) > bd_dev.get(Bucket::Copy), "the copy dominates and Charon wins it");
+        assert!(bd_host.get(Bucket::Pop).0 > 0 && bd_dev.get(Bucket::Pop).0 > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Heap-graph signatures: test oracles proving that a collection preserved
+//! the reachable object graph.
+//!
+//! A signature is a deterministic hash over the graph reachable from the
+//! roots, canonicalized by BFS visit order — so it is invariant under the
+//! address shuffling that copying and compaction perform, but sensitive to
+//! any lost object, dangling reference, corrupted payload word, or changed
+//! shape.
+
+use charon_heap::heap::JavaHeap;
+use charon_heap::klass::KlassKind;
+use charon_heap::object;
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Counters over the reachable graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachableStats {
+    /// Reachable objects.
+    pub objects: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Total non-null references among them.
+    pub edges: u64,
+}
+
+/// Computes the canonical signature and reachability counters.
+///
+/// # Panics
+///
+/// Panics if a reachable reference points outside the heap or at an
+/// object with an invalid klass — i.e. the heap is corrupt.
+pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
+    let mut ids: HashMap<u64, u64> = HashMap::new();
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+
+    // Seed from roots in slot order.
+    for idx in 0..heap.root_count() {
+        let r = heap.read_root(idx);
+        if r.is_null() {
+            continue;
+        }
+        if !ids.contains_key(&r.0) {
+            ids.insert(r.0, ids.len() as u64);
+            order.push(r);
+            queue.push_back(r);
+        }
+    }
+
+    // BFS.
+    while let Some(obj) = queue.pop_front() {
+        assert!(
+            heap.in_young(obj) || heap.in_old(obj),
+            "reachable reference {obj} points outside the heap"
+        );
+        for slot in heap.ref_slots(obj) {
+            let v = heap.read_ref(slot);
+            if v.is_null() || ids.contains_key(&v.0) {
+                continue;
+            }
+            ids.insert(v.0, ids.len() as u64);
+            order.push(v);
+            queue.push_back(v);
+        }
+    }
+
+    // Hash nodes in BFS id order.
+    let mut h = FNV_OFFSET;
+    let mut stats = ReachableStats { objects: 0, bytes: 0, edges: 0 };
+    // Roots' target ids are part of the shape.
+    for idx in 0..heap.root_count() {
+        let r = heap.read_root(idx);
+        h = mix(h, if r.is_null() { u64::MAX } else { ids[&r.0] });
+    }
+    for &obj in &order {
+        let klass = heap.obj_klass(obj);
+        let len = object::array_len(&heap.mem, obj);
+        let size = heap.obj_size_words(obj);
+        stats.objects += 1;
+        stats.bytes += size * 8;
+        h = mix(h, u64::from(klass.id().0));
+        h = mix(h, u64::from(len));
+
+        // Payload: hash non-reference words verbatim and references by id.
+        match klass.kind() {
+            KlassKind::ObjArray => {
+                for slot in heap.ref_slots(obj) {
+                    let v = heap.read_ref(slot);
+                    if v.is_null() {
+                        h = mix(h, u64::MAX);
+                    } else {
+                        stats.edges += 1;
+                        h = mix(h, ids[&v.0]);
+                    }
+                }
+            }
+            KlassKind::TypeArray | KlassKind::Symbol => {
+                for i in 0..(size - 2) {
+                    h = mix(h, heap.mem.read_word(obj.add_words(2 + i)));
+                }
+            }
+            _ => {
+                let refs: Vec<u64> = klass.ref_offsets().iter().map(|&o| u64::from(o)).collect();
+                for i in 0..(size - 2) {
+                    let w = heap.mem.read_word(obj.add_words(2 + i));
+                    if refs.contains(&i) {
+                        if w == 0 {
+                            h = mix(h, u64::MAX);
+                        } else {
+                            stats.edges += 1;
+                            h = mix(h, ids[&w]);
+                        }
+                    } else {
+                        h = mix(h, w);
+                    }
+                }
+            }
+        }
+    }
+    (h, stats)
+}
+
+/// Total bytes reachable from the roots (a light walk — no hashing).
+/// The collector uses this to detect that a full compaction could not
+/// possibly fit the live set into the old generation (an
+/// `OutOfMemoryError` in JVM terms) before destroying any state.
+pub fn reachable_bytes(heap: &JavaHeap) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let mut queue: Vec<_> = (0..heap.root_count())
+        .filter_map(|i| {
+            let r = heap.read_root(i);
+            (!r.is_null()).then_some(r)
+        })
+        .collect();
+    let mut bytes = 0;
+    while let Some(obj) = queue.pop() {
+        if !seen.insert(obj.0) {
+            continue;
+        }
+        bytes += heap.obj_size_words(obj) * 8;
+        for slot in heap.ref_slots(obj) {
+            let v = heap.read_ref(slot);
+            if !v.is_null() {
+                queue.push(v);
+            }
+        }
+    }
+    bytes
+}
+
+/// Asserts that every reachable object's header is in the neutral state
+/// (no leftover marks or forwarding after a completed GC).
+pub fn assert_headers_clean(heap: &JavaHeap) {
+    let mut seen = std::collections::HashSet::new();
+    let mut queue: Vec<_> = (0..heap.root_count()).filter_map(|i| {
+        let r = heap.read_root(i);
+        (!r.is_null()).then_some(r)
+    }).collect();
+    while let Some(obj) = queue.pop() {
+        if !seen.insert(obj.0) {
+            continue;
+        }
+        assert_eq!(
+            object::mark_state(&heap.mem, obj),
+            object::MarkState::Neutral,
+            "object {obj} left with a stale mark/forwarding after GC"
+        );
+        for slot in heap.ref_slots(obj) {
+            let v = heap.read_ref(slot);
+            if !v.is_null() {
+                queue.push(v);
+            }
+        }
+    }
+}

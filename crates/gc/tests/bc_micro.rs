@@ -1,0 +1,28 @@
+// quick probe via gc test
+use charon_gc::system::System;
+use charon_heap::VAddr;
+use charon_sim::time::Ps;
+
+#[test]
+fn bc_micro() {
+    for mk in [System::ddr4 as fn() -> System, System::charon] {
+        let mut s = mk();
+        let label = s.label();
+        let mut now = Ps::ZERO;
+        // warm
+        for i in 0..20000u64 {
+            // small adjust-like spans: 32B per map, same region reused 8x
+            let base = 0x100_0000 + (i / 8) * 64;
+            let spans = [(VAddr(base), 32u64), (VAddr(0x140_0000 + (i / 8) * 64), 32u64)];
+            now = s.prim_bitmap_count(0, now, &spans);
+        }
+        println!("{label}: 20k small BC calls end at {now}");
+        // large summary-like spans
+        let mut now2 = now;
+        for i in 0..2000u64 {
+            let spans = [(VAddr(0x100_0000 + i * 64), 64u64), (VAddr(0x140_0000 + i * 64), 64u64)];
+            now2 = s.prim_bitmap_count(0, now2, &spans);
+        }
+        println!("{label}: 2k region BC calls took {}", now2 - now);
+    }
+}

@@ -1,0 +1,63 @@
+use charon_gc::breakdown::Bucket;
+use charon_gc::collector::{Collector, GcKind};
+use charon_gc::system::System;
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::VAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+#[ignore]
+fn diag_breakdowns() {
+    for sys in [System::ddr4(), System::hmc(), System::charon(), System::ideal()] {
+        let label = sys.label();
+        let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(64 << 20));
+        let point = heap.klasses_mut().register("Point", KlassKind::Instance, 4, vec![0, 1]);
+        let node = heap.klasses_mut().register("Node", KlassKind::Instance, 6, vec![0, 1, 2]);
+        let arr = heap.klasses_mut().register_array("Object[]", KlassKind::ObjArray);
+        let bytes = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+        let mut gc = Collector::new(sys, &heap, 8);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut live: Vec<usize> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for _ in 0..6000 {
+            let k = match rng.gen_range(0..4) { 0 => point, 1 => node, 2 => arr, _ => bytes };
+            let len = match heap.klasses().get(k).kind() {
+                KlassKind::ObjArray => rng.gen_range(8..64),
+                KlassKind::TypeArray => rng.gen_range(256..4096),
+                _ => 0,
+            };
+            let a = gc.alloc(&mut heap, k, len).unwrap();
+            for s in heap.ref_slots(a) {
+                if !live.is_empty() && rng.gen_bool(0.7) {
+                    let t = heap.read_root(live[rng.gen_range(0..live.len())]);
+                    if !t.is_null() {
+                        heap.store_ref_with_barrier(s, t);
+                    }
+                }
+            }
+            if rng.gen_bool(0.33) { let idx = heap.add_root(a); roots.push(idx); live.push(idx); }
+            if !roots.is_empty() && rng.gen_bool(0.05) {
+                let idx = roots[rng.gen_range(0..roots.len())];
+                heap.set_root(idx, VAddr::NULL);
+            }
+        }
+        gc.minor_gc(&mut heap);
+        gc.major_gc(&mut heap);
+        println!("=== {label}: total {} (minor {} x{}, major {} x{})", gc.gc_total_time(),
+            gc.gc_time_by_kind(GcKind::Minor), gc.count(GcKind::Minor),
+            gc.gc_time_by_kind(GcKind::Major), gc.count(GcKind::Major));
+        if let Some(dev) = gc.sys.device.as_ref() {
+            println!("  device stats:\n{}", dev.stats());
+            println!("  bitmap cache: {}", dev.bitmap_cache_stats());
+            println!("  tlb (lookups, remote): {:?}", dev.tlb_stats());
+        }
+        for (k, name) in [(GcKind::Minor, "minor"), (GcKind::Major, "major")] {
+            let bd = gc.breakdown_by_kind(k);
+            print!("  {name}: ");
+            for b in Bucket::ALL { print!("{b}={} ", bd.get(b)); }
+            println!();
+        }
+    }
+}

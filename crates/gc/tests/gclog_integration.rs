@@ -1,0 +1,48 @@
+//! GC-log rendering over a real run: the `-verbose:gc` view a HotSpot
+//! practitioner would read.
+
+use charon_gc::collector::Collector;
+use charon_gc::gclog::{render_run, HeapSnapshot};
+use charon_gc::system::System;
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::VAddr;
+
+#[test]
+fn log_renders_a_real_collection_sequence() {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(8 << 20));
+    let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    let mut gc = Collector::new(System::ddr4(), &heap, 4);
+
+    let mut snaps = Vec::new();
+    let mut events_seen = 0;
+    for i in 0..3000u32 {
+        let before = heap.used_bytes();
+        let a = gc.alloc(&mut heap, k, 120).unwrap();
+        if i % 4 == 0 {
+            heap.add_root(a);
+        }
+        if heap.root_count() > 300 {
+            heap.set_root(heap.root_count() - 300, VAddr::NULL);
+        }
+        // A collection happened during this alloc: snapshot it.
+        while events_seen < gc.events.len() {
+            snaps.push(HeapSnapshot::after(&heap, before));
+            events_seen += 1;
+        }
+    }
+    assert!(!gc.events.is_empty(), "the loop must trigger collections");
+    let log = render_run(&gc.events, &snaps);
+    // Every event renders one line in the HotSpot shape.
+    assert_eq!(log.lines().count(), gc.events.len());
+    for line in log.lines() {
+        assert!(line.contains("[GC (Allocation Failure)") || line.contains("[Full GC (Ergonomics)"), "{line}");
+        assert!(line.contains("K->") && line.contains("secs]"), "{line}");
+    }
+    // Occupancy drops across each minor collection (garbage dominated).
+    for (e, s) in gc.events.iter().zip(&snaps) {
+        if e.kind == charon_gc::GcKind::Minor {
+            assert!(s.used_after <= s.used_before, "a scavenge must not grow the heap");
+        }
+    }
+}

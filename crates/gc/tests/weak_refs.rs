@@ -1,0 +1,138 @@
+//! `java.lang.ref`-style weak-reference semantics (instanceRefKlass, §4.4's
+//! fifteen klass kinds): referents reachable only through Reference objects
+//! are cleared by the collector; strongly-reachable referents survive and
+//! the Reference follows them across moves.
+
+use charon_gc::collector::Collector;
+use charon_gc::system::System;
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::{KlassId, KlassKind};
+use charon_heap::VAddr;
+
+struct Fx {
+    heap: JavaHeap,
+    gc: Collector,
+    weak: KlassId,
+    point: KlassId,
+}
+
+fn fx(sys: System) -> Fx {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    // Reference layout: payload word 0 = referent (weak), word 1 = next.
+    let weak = heap.klasses_mut().register("WeakReference", KlassKind::InstanceRef, 3, vec![0, 1]);
+    let point = heap.klasses_mut().register("Point", KlassKind::Instance, 2, vec![]);
+    let gc = Collector::new(sys, &heap, 4);
+    Fx { heap, gc, weak, point }
+}
+
+#[test]
+fn weakly_reachable_referent_is_cleared_by_minor_gc() {
+    let Fx { mut heap, mut gc, weak, point } = fx(System::ddr4());
+    let target = gc.alloc(&mut heap, point, 0).unwrap();
+    let w = gc.alloc(&mut heap, weak, 0).unwrap();
+    heap.store_ref_with_barrier(heap.ref_slots(w)[0], target);
+    heap.add_root(w); // only the Reference is rooted
+
+    let ev = gc.minor_gc(&mut heap);
+    assert_eq!(ev.minor.unwrap().cleared_weak_refs, 1);
+    let w = heap.read_root(0);
+    assert_eq!(heap.read_ref(heap.ref_slots(w)[0]), VAddr::NULL, "referent must be cleared");
+}
+
+#[test]
+fn strongly_reachable_referent_survives_and_is_updated() {
+    let Fx { mut heap, mut gc, weak, point } = fx(System::ddr4());
+    let target = gc.alloc(&mut heap, point, 0).unwrap();
+    heap.mem.write_word(target.add_words(2), 0xFEED);
+    let w = gc.alloc(&mut heap, weak, 0).unwrap();
+    heap.store_ref_with_barrier(heap.ref_slots(w)[0], target);
+    heap.add_root(w);
+    heap.add_root(target); // strong path too
+
+    let ev = gc.minor_gc(&mut heap);
+    assert_eq!(ev.minor.unwrap().cleared_weak_refs, 0);
+    let w = heap.read_root(0);
+    let referent = heap.read_ref(heap.ref_slots(w)[0]);
+    assert!(!referent.is_null());
+    assert_eq!(referent, heap.read_root(1), "Reference must follow the moved referent");
+    assert_eq!(heap.mem.read_word(referent.add_words(2)), 0xFEED);
+}
+
+#[test]
+fn major_gc_clears_weak_only_referents() {
+    let Fx { mut heap, mut gc, weak, point } = fx(System::ddr4());
+    let target = gc.alloc(&mut heap, point, 0).unwrap();
+    let strong = gc.alloc(&mut heap, point, 0).unwrap();
+    let w1 = gc.alloc(&mut heap, weak, 0).unwrap();
+    heap.store_ref_with_barrier(heap.ref_slots(w1)[0], target);
+    let w2 = gc.alloc(&mut heap, weak, 0).unwrap();
+    heap.store_ref_with_barrier(heap.ref_slots(w2)[0], strong);
+    heap.add_root(w1);
+    heap.add_root(w2);
+    heap.add_root(strong);
+
+    let ev = gc.major_gc(&mut heap);
+    assert_eq!(ev.major.unwrap().cleared_weak_refs, 1);
+    let w1 = heap.read_root(0);
+    let w2 = heap.read_root(1);
+    assert_eq!(heap.read_ref(heap.ref_slots(w1)[0]), VAddr::NULL);
+    assert_eq!(heap.read_ref(heap.ref_slots(w2)[0]), heap.read_root(2));
+}
+
+#[test]
+fn non_referent_fields_of_references_stay_strong() {
+    let Fx { mut heap, mut gc, weak, point } = fx(System::ddr4());
+    let target = gc.alloc(&mut heap, point, 0).unwrap();
+    let next = gc.alloc(&mut heap, point, 0).unwrap();
+    heap.mem.write_word(next.add_words(2), 0xCAFE);
+    let w = gc.alloc(&mut heap, weak, 0).unwrap();
+    let slots = heap.ref_slots(w);
+    heap.store_ref_with_barrier(slots[0], target);
+    heap.store_ref_with_barrier(slots[1], next); // "next" link is strong
+    heap.add_root(w);
+
+    gc.minor_gc(&mut heap);
+    let w = heap.read_root(0);
+    let slots = heap.ref_slots(w);
+    assert_eq!(heap.read_ref(slots[0]), VAddr::NULL, "weak referent cleared");
+    let kept = heap.read_ref(slots[1]);
+    assert!(!kept.is_null(), "strong field kept its target alive");
+    assert_eq!(heap.mem.read_word(kept.add_words(2)), 0xCAFE);
+}
+
+#[test]
+fn behaviour_is_identical_across_backends() {
+    for sys in [System::ddr4(), System::hmc(), System::charon(), System::ideal()] {
+        let Fx { mut heap, mut gc, weak, point } = fx(sys);
+        let target = gc.alloc(&mut heap, point, 0).unwrap();
+        let w = gc.alloc(&mut heap, weak, 0).unwrap();
+        heap.store_ref_with_barrier(heap.ref_slots(w)[0], target);
+        heap.add_root(w);
+        gc.minor_gc(&mut heap);
+        gc.major_gc(&mut heap);
+        let w = heap.read_root(0);
+        assert_eq!(heap.read_ref(heap.ref_slots(w)[0]), VAddr::NULL);
+    }
+}
+
+#[test]
+fn old_reference_to_young_referent_via_card_table() {
+    let Fx { mut heap, mut gc, weak, point } = fx(System::ddr4());
+    // Promote the Reference object to old.
+    let w = gc.alloc(&mut heap, weak, 0).unwrap();
+    heap.add_root(w);
+    for _ in 0..heap.config().tenuring_threshold + 1 {
+        gc.minor_gc(&mut heap);
+    }
+    let w = heap.read_root(0);
+    assert!(heap.in_old(w));
+    // Point its referent at a fresh young object (dirties the card).
+    let target = gc.alloc(&mut heap, point, 0).unwrap();
+    heap.store_ref_with_barrier(heap.ref_slots(w)[0], target);
+
+    let ev = gc.minor_gc(&mut heap);
+    // Weakly-reachable only → cleared, even though a dirty card found it.
+    assert_eq!(ev.minor.unwrap().cleared_weak_refs, 1);
+    let w = heap.read_root(0);
+    assert_eq!(heap.read_ref(heap.ref_slots(w)[0]), VAddr::NULL);
+}

@@ -1,0 +1,182 @@
+//! Structural heap verification — the library-side analog of HotSpot's
+//! `-XX:+VerifyBeforeGC`/`VerifyAfterGC`.
+//!
+//! Walks the spaces and metadata and reports every violated invariant
+//! instead of panicking, so embedders (and the fuzz-style tests) can ask
+//! "is this heap well-formed?" at any quiescent point.
+
+use crate::addr::VAddr;
+use crate::heap::JavaHeap;
+use crate::object::{self, MarkState};
+use std::fmt;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An object header names a klass that was never registered.
+    BadKlass {
+        /// The object.
+        obj: VAddr,
+        /// The raw klass id found.
+        raw: u32,
+    },
+    /// Walking a space by object sizes did not land exactly on `top`.
+    UnparsableSpace {
+        /// The space's name.
+        space: &'static str,
+        /// Where the walk ended up.
+        ended_at: VAddr,
+        /// Where it should have ended.
+        top: VAddr,
+    },
+    /// A reference slot points outside every space.
+    WildReference {
+        /// The holder object.
+        holder: VAddr,
+        /// The slot address.
+        slot: VAddr,
+        /// The bogus value.
+        value: VAddr,
+    },
+    /// An object was left marked or forwarded outside a collection.
+    StaleHeader {
+        /// The object.
+        obj: VAddr,
+        /// Its state.
+        state: MarkState,
+    },
+    /// An old object holds a young reference but its card is clean — the
+    /// next scavenge would lose the referent.
+    MissingCard {
+        /// The old holder.
+        holder: VAddr,
+        /// The slot with the young reference.
+        slot: VAddr,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BadKlass { obj, raw } => write!(f, "object {obj} has unregistered klass id {raw}"),
+            Violation::UnparsableSpace { space, ended_at, top } => {
+                write!(f, "{space} walk ended at {ended_at}, expected {top}")
+            }
+            Violation::WildReference { holder, slot, value } => {
+                write!(f, "slot {slot} of {holder} points outside the heap: {value}")
+            }
+            Violation::StaleHeader { obj, state } => write!(f, "object {obj} has stale header state {state:?}"),
+            Violation::MissingCard { holder, slot } => {
+                write!(f, "old→young reference at {slot} (holder {holder}) with a clean card")
+            }
+        }
+    }
+}
+
+/// Verifies a quiescent heap; returns every violation found.
+pub fn verify_heap(heap: &JavaHeap) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let klass_count = heap.klasses().len() as u32;
+
+    for (name, start, top) in [
+        ("old", heap.old().start(), heap.old().top()),
+        ("eden", heap.eden().start(), heap.eden().top()),
+        ("from", heap.from_space().start(), heap.from_space().top()),
+    ] {
+        let mut at = start;
+        let mut ok = true;
+        while at < top {
+            let raw = (heap.mem.read_word(at.add_words(1)) & 0xffff_ffff) as u32;
+            if raw >= klass_count {
+                out.push(Violation::BadKlass { obj: at, raw });
+                ok = false;
+                break;
+            }
+            match object::mark_state(&heap.mem, at) {
+                MarkState::Neutral => {}
+                state => out.push(Violation::StaleHeader { obj: at, state }),
+            }
+            for slot in heap.ref_slots(at) {
+                let v = heap.read_ref(slot);
+                if v.is_null() {
+                    continue;
+                }
+                if !heap.in_young(v) && !heap.in_old(v) {
+                    out.push(Violation::WildReference { holder: at, slot, value: v });
+                } else if name == "old" && heap.in_young(v) && !heap.cards().is_dirty(&heap.mem, slot) {
+                    out.push(Violation::MissingCard { holder: at, slot });
+                }
+            }
+            at = at.add_words(heap.obj_size_words(at));
+        }
+        if ok && at != top {
+            out.push(Violation::UnparsableSpace { space: name, ended_at: at, top });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+    use crate::klass::KlassKind;
+
+    fn heap() -> (JavaHeap, crate::klass::KlassId) {
+        let mut h = JavaHeap::new(HeapConfig::with_heap_bytes(2 << 20));
+        let k = h.klasses_mut().register("Node", KlassKind::Instance, 4, vec![0]);
+        (h, k)
+    }
+
+    #[test]
+    fn clean_heap_verifies() {
+        let (mut h, k) = heap();
+        let a = h.alloc_eden(k, 0).unwrap();
+        let b = h.alloc_eden(k, 0).unwrap();
+        h.store_ref_with_barrier(h.ref_slots(a)[0], b);
+        assert!(verify_heap(&h).is_empty());
+    }
+
+    #[test]
+    fn detects_wild_reference() {
+        let (mut h, k) = heap();
+        let a = h.alloc_eden(k, 0).unwrap();
+        h.write_ref(h.ref_slots(a)[0], VAddr(0xDEAD_BEE8));
+        let v = verify_heap(&h);
+        assert!(matches!(v.as_slice(), [Violation::WildReference { .. }]), "{v:?}");
+        assert!(v[0].to_string().contains("outside the heap"));
+    }
+
+    #[test]
+    fn detects_stale_mark() {
+        let (mut h, k) = heap();
+        let a = h.alloc_eden(k, 0).unwrap();
+        object::set_marked(&mut h.mem, a);
+        assert!(matches!(verify_heap(&h).as_slice(), [Violation::StaleHeader { .. }]));
+    }
+
+    #[test]
+    fn detects_missing_card() {
+        let (mut h, k) = heap();
+        let young = h.alloc_eden(k, 0).unwrap();
+        let words = h.klasses().get(k).size_words(0);
+        let old = h.alloc_old(words).unwrap();
+        object::init_header(&mut h.mem, old, k, 0);
+        // Store WITHOUT the barrier: the card stays clean.
+        h.write_ref(h.ref_slots(old)[0], young);
+        let v = verify_heap(&h);
+        assert!(matches!(v.as_slice(), [Violation::MissingCard { .. }]), "{v:?}");
+        // With the barrier, the violation disappears.
+        h.store_ref_with_barrier(h.ref_slots(old)[0], young);
+        assert!(verify_heap(&h).is_empty());
+    }
+
+    #[test]
+    fn detects_corrupt_klass() {
+        let (mut h, k) = heap();
+        let a = h.alloc_eden(k, 0).unwrap();
+        h.mem.write_word(a.add_words(1), 0xFFFF);
+        let v = verify_heap(&h);
+        assert!(matches!(v.first(), Some(Violation::BadKlass { .. })), "{v:?}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Class metadata, mirroring HotSpot 7's fifteen klass kinds.
+//!
+//! The paper (§4.4) notes that HotSpot has "15 different class metadata
+//! types … which has distinct class metadata layout", and that Charon's
+//! Scan&Push unit handles only the few *dominant* data kinds in hardware;
+//! scanning the others falls back to the host. [`KlassKind::charon_supported`]
+//! encodes exactly that split.
+
+use std::fmt;
+
+/// Identifier of a registered [`Klass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KlassId(pub u32);
+
+impl fmt::Display for KlassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "klass#{}", self.0)
+    }
+}
+
+/// The fifteen klass kinds of HotSpot 7 (OpenJDK 1.7, the paper's JVM).
+///
+/// Each kind implies a distinct reference-iteration strategy during
+/// Scan&Push. The Charon hardware iterates the dominant data kinds —
+/// ordinary instances and both array kinds — and leaves the metadata kinds
+/// to the host processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KlassKind {
+    /// An ordinary Java object (`instanceKlass`).
+    Instance,
+    /// A `java.lang.ref.Reference` subclass (`instanceRefKlass`); its
+    /// referent field is treated specially by real collectors.
+    InstanceRef,
+    /// A `java.lang.Class` instance (`instanceMirrorKlass`); carries static
+    /// fields.
+    InstanceMirror,
+    /// A class-loader instance (`instanceClassLoaderKlass`).
+    InstanceClassLoader,
+    /// An array of references (`objArrayKlass`).
+    ObjArray,
+    /// An array of primitives (`typeArrayKlass`); never holds references.
+    TypeArray,
+    /// Method metadata (`methodKlass`).
+    Method,
+    /// Immutable method body metadata (`constMethodKlass`).
+    ConstMethod,
+    /// Profiling metadata (`methodDataKlass`).
+    MethodData,
+    /// A constant pool (`constantPoolKlass`).
+    ConstantPool,
+    /// A constant-pool cache (`constantPoolCacheKlass`).
+    ConstantPoolCache,
+    /// Metadata describing a klass itself (`klassKlass`).
+    KlassMeta,
+    /// Metadata describing an array klass (`arrayKlassKlass`).
+    ArrayKlassMeta,
+    /// An interned symbol (`symbolKlass`); no references.
+    Symbol,
+    /// An inline-cache holder (`compiledICHolderKlass`).
+    CompiledIcHolder,
+}
+
+impl KlassKind {
+    /// All fifteen kinds, for exhaustive tests and table generation.
+    pub const ALL: [KlassKind; 15] = [
+        KlassKind::Instance,
+        KlassKind::InstanceRef,
+        KlassKind::InstanceMirror,
+        KlassKind::InstanceClassLoader,
+        KlassKind::ObjArray,
+        KlassKind::TypeArray,
+        KlassKind::Method,
+        KlassKind::ConstMethod,
+        KlassKind::MethodData,
+        KlassKind::ConstantPool,
+        KlassKind::ConstantPoolCache,
+        KlassKind::KlassMeta,
+        KlassKind::ArrayKlassMeta,
+        KlassKind::Symbol,
+        KlassKind::CompiledIcHolder,
+    ];
+
+    /// Whether the Charon Scan&Push unit iterates this kind in hardware
+    /// (§4.4: "our design focuses on handling a few dominant types (i.e.,
+    /// data class types)"). Unsupported kinds are scanned by the host.
+    pub fn charon_supported(self) -> bool {
+        matches!(self, KlassKind::Instance | KlassKind::ObjArray | KlassKind::TypeArray)
+    }
+
+    /// Whether objects of this kind have a variable-length payload encoded
+    /// in the header's length field.
+    pub fn is_array(self) -> bool {
+        matches!(self, KlassKind::ObjArray | KlassKind::TypeArray)
+    }
+
+    /// Whether payload slots can hold references at all.
+    pub fn may_have_refs(self) -> bool {
+        !matches!(self, KlassKind::TypeArray | KlassKind::Symbol)
+    }
+}
+
+impl fmt::Display for KlassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KlassKind::Instance => "instanceKlass",
+            KlassKind::InstanceRef => "instanceRefKlass",
+            KlassKind::InstanceMirror => "instanceMirrorKlass",
+            KlassKind::InstanceClassLoader => "instanceClassLoaderKlass",
+            KlassKind::ObjArray => "objArrayKlass",
+            KlassKind::TypeArray => "typeArrayKlass",
+            KlassKind::Method => "methodKlass",
+            KlassKind::ConstMethod => "constMethodKlass",
+            KlassKind::MethodData => "methodDataKlass",
+            KlassKind::ConstantPool => "constantPoolKlass",
+            KlassKind::ConstantPoolCache => "constantPoolCacheKlass",
+            KlassKind::KlassMeta => "klassKlass",
+            KlassKind::ArrayKlassMeta => "arrayKlassKlass",
+            KlassKind::Symbol => "symbolKlass",
+            KlassKind::CompiledIcHolder => "compiledICHolderKlass",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One registered class: its kind, payload size, and which payload words
+/// hold references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Klass {
+    id: KlassId,
+    name: String,
+    kind: KlassKind,
+    /// Fixed payload words (excluding the 2-word header). Ignored for
+    /// arrays, whose payload length lives in the object header.
+    field_words: u32,
+    /// Word offsets *within the payload* (0-based) that hold references.
+    /// Must be strictly increasing and `< field_words`. Ignored for arrays.
+    ref_offsets: Vec<u32>,
+}
+
+impl Klass {
+    /// The klass id.
+    pub fn id(&self) -> KlassId {
+        self.id
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The klass kind.
+    pub fn kind(&self) -> KlassKind {
+        self.kind
+    }
+
+    /// Fixed payload words for non-array kinds.
+    pub fn field_words(&self) -> u32 {
+        self.field_words
+    }
+
+    /// Reference-slot payload offsets for non-array kinds.
+    pub fn ref_offsets(&self) -> &[u32] {
+        &self.ref_offsets
+    }
+
+    /// Total object size in words (header + payload) for a given array
+    /// length (`0` for non-arrays).
+    pub fn size_words(&self, array_len: u32) -> u64 {
+        let payload = if self.kind.is_array() { array_len as u64 } else { self.field_words as u64 };
+        crate::object::HEADER_WORDS + payload
+    }
+}
+
+/// The registry of all classes in the simulated JVM.
+#[derive(Debug, Clone, Default)]
+pub struct KlassTable {
+    klasses: Vec<Klass>,
+}
+
+impl KlassTable {
+    /// An empty table.
+    pub fn new() -> KlassTable {
+        KlassTable::default()
+    }
+
+    /// Registers a non-array class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is an array kind, if any reference offset is out of
+    /// range or out of order, or if a reference-free kind declares
+    /// reference offsets.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: KlassKind,
+        field_words: u32,
+        ref_offsets: Vec<u32>,
+    ) -> KlassId {
+        assert!(!kind.is_array(), "use register_array for array kinds");
+        assert!(
+            ref_offsets.windows(2).all(|w| w[0] < w[1]),
+            "reference offsets must be strictly increasing"
+        );
+        assert!(ref_offsets.iter().all(|&o| o < field_words), "reference offset beyond payload");
+        assert!(kind.may_have_refs() || ref_offsets.is_empty(), "{kind} cannot hold references");
+        let id = KlassId(self.klasses.len() as u32);
+        self.klasses.push(Klass { id, name: name.into(), kind, field_words, ref_offsets });
+        id
+    }
+
+    /// Registers an array class ([`KlassKind::ObjArray`] or
+    /// [`KlassKind::TypeArray`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not an array kind.
+    pub fn register_array(&mut self, name: impl Into<String>, kind: KlassKind) -> KlassId {
+        assert!(kind.is_array(), "register_array requires an array kind");
+        let id = KlassId(self.klasses.len() as u32);
+        self.klasses.push(Klass { id, name: name.into(), kind, field_words: 0, ref_offsets: Vec::new() });
+        id
+    }
+
+    /// Looks up a klass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this table.
+    pub fn get(&self, id: KlassId) -> &Klass {
+        &self.klasses[id.0 as usize]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.klasses.len()
+    }
+
+    /// Whether no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.klasses.is_empty()
+    }
+
+    /// Iterates all registered classes.
+    pub fn iter(&self) -> impl Iterator<Item = &Klass> {
+        self.klasses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_kinds_exactly() {
+        assert_eq!(KlassKind::ALL.len(), 15);
+        // Dominant data kinds are hardware-iterable, metadata kinds are not.
+        let supported: Vec<_> = KlassKind::ALL.iter().filter(|k| k.charon_supported()).collect();
+        assert_eq!(supported.len(), 3);
+        assert!(KlassKind::Instance.charon_supported());
+        assert!(KlassKind::ObjArray.charon_supported());
+        assert!(KlassKind::TypeArray.charon_supported());
+        assert!(!KlassKind::Method.charon_supported());
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = KlassTable::new();
+        let point = t.register("Point", KlassKind::Instance, 3, vec![2]);
+        let arr = t.register_array("Object[]", KlassKind::ObjArray);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(point).name(), "Point");
+        assert_eq!(t.get(point).size_words(0), 5); // 2 header + 3 payload
+        assert_eq!(t.get(arr).size_words(10), 12);
+        assert_eq!(t.get(point).ref_offsets(), &[2]);
+    }
+
+    #[test]
+    fn type_array_has_no_refs() {
+        assert!(!KlassKind::TypeArray.may_have_refs());
+        assert!(!KlassKind::Symbol.may_have_refs());
+        assert!(KlassKind::ObjArray.may_have_refs());
+    }
+
+    #[test]
+    #[should_panic]
+    fn array_kind_via_register_panics() {
+        let mut t = KlassTable::new();
+        t.register("bad", KlassKind::ObjArray, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_ref_offset_panics() {
+        let mut t = KlassTable::new();
+        t.register("bad", KlassKind::Instance, 2, vec![5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_ref_offsets_panic() {
+        let mut t = KlassTable::new();
+        t.register("bad", KlassKind::Instance, 4, vec![2, 1]);
+    }
+
+    #[test]
+    fn display_names_match_hotspot() {
+        assert_eq!(KlassKind::Instance.to_string(), "instanceKlass");
+        assert_eq!(KlassKind::ObjArray.to_string(), "objArrayKlass");
+        assert_eq!(KlassKind::CompiledIcHolder.to_string(), "compiledICHolderKlass");
+    }
+}

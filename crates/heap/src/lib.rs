@@ -1,0 +1,46 @@
+//! # charon-heap — HotSpot-style generational heap substrate
+//!
+//! A faithful functional model of the heap structures that HotSpot's
+//! `ParallelScavenge` collector operates on (the substrate the Charon paper
+//! profiles in §2–3):
+//!
+//! * [`mem`] — the flat simulated memory holding the heap **and** its
+//!   metadata (mark bitmaps, card table, object stacks), so that every GC
+//!   primitive touches real simulated addresses,
+//! * [`addr`] — virtual addresses and word arithmetic,
+//! * [`klass`] — the 15 HotSpot class-metadata kinds with their per-kind
+//!   reference-iteration strategies (§4.4),
+//! * [`object`] — the two-word object header: mark/forwarding word and
+//!   klass word,
+//! * [`space`] — bump-allocated spaces (Eden, two Survivors, Old),
+//! * [`layout`] — the virtual-address map `[old | eden | from | to |
+//!   bitmaps | cards | stacks | roots]`,
+//! * [`cardtable`] — the old-to-young remembered set (clean = `0xff`,
+//!   dirty = `0x00`, exactly as HotSpot's `CardTableModRefBS`, which is why
+//!   the paper's *Search* checks 64-bit blocks against `-1`),
+//! * [`markbitmap`] — the begin/end mark bitmaps and both the naive and the
+//!   subtract-popcount `live_words_in_range` algorithms (§4.3),
+//! * [`objstack`] — the object (marking) stack,
+//! * [`heap`] — [`heap::JavaHeap`], tying it all together with allocation,
+//!   write barriers, and object iteration,
+//! * [`check`] — structural heap verification (`VerifyBeforeGC`-style).
+//!
+//! Everything here is *functional*: no timing. The collector in `charon-gc`
+//! pairs each functional operation with timing charges through `charon-sim`.
+
+pub mod addr;
+pub mod cardtable;
+pub mod check;
+pub mod heap;
+pub mod klass;
+pub mod layout;
+pub mod markbitmap;
+pub mod mem;
+pub mod object;
+pub mod objstack;
+pub mod space;
+
+pub use addr::{VAddr, WORD_BYTES};
+pub use heap::{HeapConfig, JavaHeap};
+pub use klass::{Klass, KlassId, KlassKind, KlassTable};
+pub use mem::HeapMemory;

@@ -1,0 +1,199 @@
+//! The two-word object header: mark word and klass word.
+//!
+//! Word 0 — the **mark word**, as HotSpot uses it during GC:
+//!
+//! ```text
+//!   bits 63..6      bits 5..2   bits 1..0
+//!  +---------------+-----------+----------+
+//!  | forwarding    | age       | state    |
+//!  | (word index)  | (0..15)   |          |
+//!  +---------------+-----------+----------+
+//! ```
+//!
+//! `state` is 0 (neutral), 1 (marked live, MajorGC), or 2 (forwarded,
+//! MinorGC copy installed). Word 1 — the **klass word**: the klass id in the
+//! low 32 bits and, for arrays, the element count in the high 32 bits.
+
+use crate::addr::{VAddr, WORD_BYTES};
+use crate::klass::KlassId;
+use crate::mem::HeapMemory;
+
+/// Words occupied by every object header.
+pub const HEADER_WORDS: u64 = 2;
+
+/// Maximum representable object age (4 bits, as in HotSpot's mark word).
+pub const MAX_AGE: u8 = 15;
+
+const STATE_MASK: u64 = 0b11;
+const STATE_NEUTRAL: u64 = 0;
+const STATE_MARKED: u64 = 1;
+const STATE_FORWARDED: u64 = 2;
+const AGE_SHIFT: u64 = 2;
+const AGE_MASK: u64 = 0b1111 << AGE_SHIFT;
+const FWD_SHIFT: u64 = 6;
+
+/// GC-visible state of an object's mark word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkState {
+    /// Untouched by the current collection.
+    Neutral,
+    /// Marked live by the MajorGC marking phase.
+    Marked,
+    /// Copied during MinorGC; the forwarding pointer is valid.
+    Forwarded,
+}
+
+/// Writes a fresh header at `obj` for an object of class `klass` with the
+/// given array length (`0` for non-arrays). The age starts at zero.
+pub fn init_header(mem: &mut HeapMemory, obj: VAddr, klass: KlassId, array_len: u32) {
+    mem.write_word(obj, 0);
+    mem.write_word(obj.add_words(1), u64::from(klass.0) | (u64::from(array_len) << 32));
+}
+
+/// Reads the object's klass id.
+pub fn klass_id(mem: &HeapMemory, obj: VAddr) -> KlassId {
+    KlassId((mem.read_word(obj.add_words(1)) & 0xffff_ffff) as u32)
+}
+
+/// Reads the array length (0 for non-arrays).
+pub fn array_len(mem: &HeapMemory, obj: VAddr) -> u32 {
+    (mem.read_word(obj.add_words(1)) >> 32) as u32
+}
+
+/// Reads the mark-word state.
+pub fn mark_state(mem: &HeapMemory, obj: VAddr) -> MarkState {
+    match mem.read_word(obj) & STATE_MASK {
+        STATE_NEUTRAL => MarkState::Neutral,
+        STATE_MARKED => MarkState::Marked,
+        STATE_FORWARDED => MarkState::Forwarded,
+        other => unreachable!("corrupt mark state {other}"),
+    }
+}
+
+/// Marks the object live (MajorGC). Preserves age.
+///
+/// # Panics
+///
+/// Panics in debug builds if the object is already forwarded.
+pub fn set_marked(mem: &mut HeapMemory, obj: VAddr) {
+    let w = mem.read_word(obj);
+    debug_assert_ne!(w & STATE_MASK, STATE_FORWARDED, "marking a forwarded object at {obj}");
+    mem.write_word(obj, (w & !STATE_MASK) | STATE_MARKED);
+}
+
+/// Clears the mark state back to neutral. Preserves age.
+pub fn clear_mark(mem: &mut HeapMemory, obj: VAddr) {
+    let w = mem.read_word(obj);
+    mem.write_word(obj, w & !STATE_MASK);
+}
+
+/// Installs a forwarding pointer to `new_addr` (MinorGC copy).
+///
+/// # Panics
+///
+/// Panics in debug builds if `new_addr` is unaligned.
+pub fn forward_to(mem: &mut HeapMemory, obj: VAddr, new_addr: VAddr) {
+    debug_assert!(new_addr.is_word_aligned());
+    let w = mem.read_word(obj);
+    let fwd = (new_addr.0 / WORD_BYTES) << FWD_SHIFT;
+    mem.write_word(obj, (w & AGE_MASK) | fwd | STATE_FORWARDED);
+}
+
+/// Reads the forwarding pointer.
+///
+/// # Panics
+///
+/// Panics in debug builds if the object is not forwarded.
+pub fn forwarding(mem: &HeapMemory, obj: VAddr) -> VAddr {
+    let w = mem.read_word(obj);
+    debug_assert_eq!(w & STATE_MASK, STATE_FORWARDED, "object at {obj} not forwarded");
+    VAddr((w >> FWD_SHIFT) * WORD_BYTES)
+}
+
+/// Reads the object's tenuring age.
+pub fn age(mem: &HeapMemory, obj: VAddr) -> u8 {
+    ((mem.read_word(obj) & AGE_MASK) >> AGE_SHIFT) as u8
+}
+
+/// Sets the tenuring age (clamped to [`MAX_AGE`]).
+pub fn set_age(mem: &mut HeapMemory, obj: VAddr, age: u8) {
+    let a = u64::from(age.min(MAX_AGE));
+    let w = mem.read_word(obj);
+    mem.write_word(obj, (w & !AGE_MASK) | (a << AGE_SHIFT));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> HeapMemory {
+        HeapMemory::new(VAddr(0x1000), 4096)
+    }
+
+    #[test]
+    fn fresh_header_is_neutral_age_zero() {
+        let mut m = mem();
+        let o = VAddr(0x1100);
+        init_header(&mut m, o, KlassId(7), 42);
+        assert_eq!(mark_state(&m, o), MarkState::Neutral);
+        assert_eq!(age(&m, o), 0);
+        assert_eq!(klass_id(&m, o), KlassId(7));
+        assert_eq!(array_len(&m, o), 42);
+    }
+
+    #[test]
+    fn mark_and_clear_preserve_age() {
+        let mut m = mem();
+        let o = VAddr(0x1100);
+        init_header(&mut m, o, KlassId(1), 0);
+        set_age(&mut m, o, 3);
+        set_marked(&mut m, o);
+        assert_eq!(mark_state(&m, o), MarkState::Marked);
+        assert_eq!(age(&m, o), 3);
+        clear_mark(&mut m, o);
+        assert_eq!(mark_state(&m, o), MarkState::Neutral);
+        assert_eq!(age(&m, o), 3);
+    }
+
+    #[test]
+    fn forwarding_roundtrip_preserves_age() {
+        let mut m = mem();
+        let o = VAddr(0x1100);
+        init_header(&mut m, o, KlassId(1), 0);
+        set_age(&mut m, o, 5);
+        forward_to(&mut m, o, VAddr(0x1f00));
+        assert_eq!(mark_state(&m, o), MarkState::Forwarded);
+        assert_eq!(forwarding(&m, o), VAddr(0x1f00));
+        assert_eq!(age(&m, o), 5);
+    }
+
+    #[test]
+    fn age_saturates_at_max() {
+        let mut m = mem();
+        let o = VAddr(0x1100);
+        init_header(&mut m, o, KlassId(0), 0);
+        set_age(&mut m, o, 200);
+        assert_eq!(age(&m, o), MAX_AGE);
+    }
+
+    #[test]
+    fn klass_word_does_not_alias_mark_word() {
+        let mut m = mem();
+        let o = VAddr(0x1100);
+        init_header(&mut m, o, KlassId(u32::MAX), u32::MAX);
+        forward_to(&mut m, o, VAddr(0x2000));
+        assert_eq!(klass_id(&m, o), KlassId(u32::MAX));
+        assert_eq!(array_len(&m, o), u32::MAX);
+    }
+
+    #[test]
+    fn large_forwarding_addresses_fit() {
+        let mut m = HeapMemory::new(VAddr(0x1000), 64);
+        let o = VAddr(0x1000);
+        init_header(&mut m, o, KlassId(0), 0);
+        // A 47-bit virtual address survives the shift encoding.
+        let target = VAddr((1u64 << 46) + 8);
+        forward_to(&mut m, o, target);
+        assert_eq!(forwarding(&m, o), target);
+    }
+}

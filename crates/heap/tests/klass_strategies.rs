@@ -1,0 +1,50 @@
+//! Per-kind iteration strategies across all fifteen HotSpot klass kinds
+//! (§4.4): which payload slots the scanner visits, and which kinds the
+//! Charon hardware iterates.
+
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::VAddr;
+
+#[test]
+fn every_kind_registers_and_iterates_consistently() {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut ids = Vec::new();
+    for (i, kind) in KlassKind::ALL.into_iter().enumerate() {
+        let id = if kind.is_array() {
+            heap.klasses_mut().register_array(format!("arr{i}"), kind)
+        } else if kind.may_have_refs() {
+            heap.klasses_mut().register(format!("k{i}"), kind, 6, vec![1, 4])
+        } else {
+            heap.klasses_mut().register(format!("k{i}"), kind, 6, vec![])
+        };
+        ids.push((kind, id));
+    }
+    assert_eq!(heap.klasses().len(), 15);
+
+    for (kind, id) in ids {
+        let len = if kind.is_array() { 5 } else { 0 };
+        let obj = heap.alloc_eden(id, len).expect("fits");
+        let slots = heap.ref_slots(obj);
+        match kind {
+            KlassKind::ObjArray => {
+                assert_eq!(slots.len(), 5, "{kind}: every element is a reference slot");
+                assert_eq!(slots[0], obj.add_words(2));
+            }
+            KlassKind::TypeArray | KlassKind::Symbol => {
+                assert!(slots.is_empty(), "{kind}: never holds references");
+            }
+            _ => {
+                assert_eq!(slots.len(), 2, "{kind}: declared offsets only");
+                assert_eq!(slots[0], obj.add_words(2 + 1));
+                assert_eq!(slots[1], obj.add_words(2 + 4));
+            }
+        }
+        // The hardware-iterable set is exactly the dominant data kinds.
+        assert_eq!(
+            kind.charon_supported(),
+            matches!(kind, KlassKind::Instance | KlassKind::ObjArray | KlassKind::TypeArray),
+            "{kind}"
+        );
+    }
+}

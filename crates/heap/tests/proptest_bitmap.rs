@@ -1,0 +1,132 @@
+//! Property tests: the optimized (subtract + popcount) Bitmap Count agrees
+//! with the naive bit-walk and with ground truth computed from the object
+//! layout, for arbitrary layouts and arbitrary query ranges — including the
+//! "corner cases" the paper mentions but does not spell out (ranges that
+//! begin or end inside an object, empty ranges, ranges aligned or not to
+//! 64-bit map words).
+
+use charon_heap::addr::{VAddr, VRange};
+use charon_heap::markbitmap::{live_words_fast, live_words_naive, mark_object, MarkBitmap};
+use charon_heap::mem::HeapMemory;
+use proptest::prelude::*;
+
+const COVERED_WORDS: u64 = 2048;
+
+fn setup() -> (HeapMemory, MarkBitmap, MarkBitmap, VAddr) {
+    let mem = HeapMemory::new(VAddr(0x10000), 0x20000);
+    let covered = VRange::new(VAddr(0x10000), VAddr(0x10000 + COVERED_WORDS * 8));
+    let beg = MarkBitmap::new(VRange::new(VAddr(0x18000), VAddr(0x18800)), covered);
+    let end = MarkBitmap::new(VRange::new(VAddr(0x19000), VAddr(0x19800)), covered);
+    (mem, beg, end, covered.start)
+}
+
+/// Strategy: a sorted set of disjoint objects (start, size) within the
+/// covered region.
+fn objects() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..COVERED_WORDS, 1u64..200), 0..40).prop_map(|raw| {
+        let mut objs: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = 0u64;
+        let mut sorted = raw;
+        sorted.sort_unstable();
+        for (start, size) in sorted {
+            let s = start.max(cursor);
+            if s >= COVERED_WORDS {
+                break;
+            }
+            let n = size.min(COVERED_WORDS - s);
+            if n == 0 {
+                continue;
+            }
+            objs.push((s, n));
+            cursor = s + n; // keep disjoint (allow adjacency)
+        }
+        objs
+    })
+}
+
+fn truth(objs: &[(u64, u64)], from: u64, to: u64) -> (u64, bool, bool) {
+    let live = objs
+        .iter()
+        .map(|&(s, n)| (s + n).min(to).saturating_sub(s.max(from)))
+        .sum();
+    let carry_in = objs.iter().any(|&(s, n)| from > s && from < s + n);
+    let carry_out = objs.iter().any(|&(s, n)| to > s && to < s + n);
+    (live, carry_in, carry_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fast_equals_naive_equals_truth(objs in objects(), a in 0u64..COVERED_WORDS, b in 0u64..=COVERED_WORDS) {
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let (mut mem, beg, end, base) = setup();
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+        }
+        let (expect, carry_in, expect_carry) = truth(&objs, from, to);
+
+        let (ln, cn, tn) = live_words_naive(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
+        let (lf, cf, tf) = live_words_fast(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
+
+        prop_assert_eq!(ln, expect, "naive count");
+        prop_assert_eq!(lf, expect, "fast count");
+        prop_assert_eq!(cn, expect_carry, "naive carry");
+        prop_assert_eq!(cf, expect_carry, "fast carry");
+        // Both touch the same map words (same memory traffic).
+        prop_assert_eq!(tn, tf);
+    }
+
+    #[test]
+    fn region_scan_with_carry_chains(objs in objects(), region_words in 32u64..512) {
+        // Scanning the whole space region-by-region, threading the carry,
+        // must equal one whole-space scan — this is exactly how the MajorGC
+        // summary phase uses the primitive.
+        let (mut mem, beg, end, base) = setup();
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+        }
+        let (whole, wcarry, _) = live_words_fast(&mem, &beg, &end, base, base.add_words(COVERED_WORDS), false);
+
+        let mut sum = 0;
+        let mut carry = false;
+        let mut at = 0u64;
+        while at < COVERED_WORDS {
+            let hi = (at + region_words).min(COVERED_WORDS);
+            let (l, c, _) = live_words_fast(&mem, &beg, &end, base.add_words(at), base.add_words(hi), carry);
+            sum += l;
+            carry = c;
+            at = hi;
+        }
+        prop_assert_eq!(sum, whole);
+        prop_assert_eq!(carry, wcarry);
+    }
+
+    #[test]
+    fn count_matches_total_object_words(objs in objects()) {
+        let (mut mem, beg, end, base) = setup();
+        let mut total = 0;
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+            total += n;
+        }
+        let (live, carry, _) = live_words_fast(&mem, &beg, &end, base, base.add_words(COVERED_WORDS), false);
+        prop_assert_eq!(live, total);
+        prop_assert!(!carry);
+        // Begin-bit count equals the number of objects.
+        prop_assert_eq!(beg.count_range(&mem, base, base.add_words(COVERED_WORDS)), objs.len() as u64);
+    }
+
+    #[test]
+    fn find_next_set_agrees_with_layout(objs in objects(), probe in 0u64..COVERED_WORDS) {
+        let (mut mem, beg, end, base) = setup();
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+        }
+        let expect = objs.iter().map(|&(s, _)| s).find(|&s| s >= probe);
+        let got = beg
+            .find_next_set(&mem, base.add_words(probe), base.add_words(COVERED_WORDS))
+            .map(|a| a.words_since(base));
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests over the heap substrate: allocation walks, the
+//! block-offset table, and card-region geometry.
+
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use proptest::prelude::*;
+
+fn fresh() -> (JavaHeap, charon_heap::klass::KlassId, charon_heap::klass::KlassId) {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    let inst = heap.klasses_mut().register("Node", KlassKind::Instance, 6, vec![0, 3]);
+    let arr = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    (heap, inst, arr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eden_walk_visits_exactly_the_allocated_objects(sizes in proptest::collection::vec(0u32..200, 1..120)) {
+        let (mut heap, inst, arr) = fresh();
+        let mut expect = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let a = if i % 3 == 0 {
+                heap.alloc_eden(inst, 0)
+            } else {
+                heap.alloc_eden(arr, len)
+            };
+            match a {
+                Some(a) => expect.push(a),
+                None => break, // eden full: walk what fits
+            }
+        }
+        let seen: Vec<_> = heap.walk_objects(heap.eden().start(), heap.eden().top()).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn bot_start_never_overshoots(sizes in proptest::collection::vec(1u32..400, 1..100), probe in 0u64..(1 << 20)) {
+        let (mut heap, _, arr) = fresh();
+        let mut allocated = Vec::new();
+        for &len in &sizes {
+            let words = heap.klasses().get(arr).size_words(len);
+            match heap.alloc_old(words) {
+                Some(a) => {
+                    charon_heap::object::init_header(&mut heap.mem, a, arr, len);
+                    allocated.push((a, words));
+                }
+                None => break,
+            }
+        }
+        prop_assume!(!allocated.is_empty());
+        // Probe a random allocated address; the BOT's walk start for its
+        // card must be an object at or before it, never after.
+        let top = heap.old().top();
+        let addr = charon_heap::VAddr(heap.old().start().0 + probe % (top - heap.old().start()));
+        let card = heap.cards().card_addr(addr);
+        if let Some(start) = heap.first_obj_for_card(card) {
+            prop_assert!(start <= heap.cards().card_region(card).end);
+            // Walking from the BOT start reaches the object containing addr.
+            let mut cur = start;
+            let mut found = false;
+            while cur < top {
+                let size = heap.obj_size_words(cur);
+                if cur <= addr && addr < cur.add_words(size) {
+                    found = true;
+                    break;
+                }
+                if cur > addr {
+                    break;
+                }
+                cur = cur.add_words(size);
+            }
+            prop_assert!(found, "BOT walk from {start} missed {addr}");
+        }
+    }
+
+    #[test]
+    fn card_regions_partition_old(card_idx in 0u64..512) {
+        let (heap, ..) = fresh();
+        let ct = heap.cards();
+        prop_assume!(card_idx < ct.cards());
+        let card = ct.table_range().start.add_bytes(card_idx);
+        let region = ct.card_region(card);
+        prop_assert_eq!(ct.card_addr(region.start), card);
+        // Every address of the region maps back to this card.
+        prop_assert_eq!(ct.card_addr(charon_heap::VAddr(region.end.0 - 1)), card);
+    }
+
+    #[test]
+    fn store_barrier_dirties_iff_old_to_young(use_old_holder in any::<bool>(), use_young_target in any::<bool>()) {
+        let (mut heap, inst, _) = fresh();
+        let young = heap.alloc_eden(inst, 0).unwrap();
+        let words = heap.klasses().get(inst).size_words(0);
+        let old = heap.alloc_old(words).unwrap();
+        charon_heap::object::init_header(&mut heap.mem, old, inst, 0);
+        let old2 = heap.alloc_old(words * 80).unwrap(); // separate card
+        charon_heap::object::init_header(&mut heap.mem, old2, inst, 0);
+
+        let holder = if use_old_holder { old2 } else { young };
+        let target = if use_young_target { young } else { old };
+        let slot = heap.ref_slots(holder)[0];
+        heap.store_ref_with_barrier(slot, target);
+        if use_old_holder {
+            prop_assert_eq!(heap.cards().is_dirty(&heap.mem, slot), use_young_target);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Epoch-based shared-resource bandwidth accounting.
+//!
+//! The simulator advances many agents (GC threads, near-memory units) with
+//! *per-agent clocks* that are only loosely ordered (DESIGN.md decision 6).
+//! A shared resource modeled as a scalar `busy_until` would serialize
+//! requests in *processing* order rather than *simulated-time* order,
+//! turning clock skew into phantom queueing. [`EpochBw`] instead divides
+//! time into fixed epochs and meters units (bytes, lookups, issue slots)
+//! per epoch: a request reserves capacity in the first epoch at or after
+//! its start time with room left, and its completion reflects how full
+//! that epoch already is. Out-of-order arrivals see no false conflicts,
+//! while sustained overload still pushes completions out at exactly the
+//! resource's rate.
+
+use crate::time::{Bandwidth, Ps};
+use std::collections::HashMap;
+
+/// One metered, shared resource.
+#[derive(Debug, Clone)]
+pub struct EpochBw {
+    epoch: Ps,
+    units_per_epoch: u64,
+    used: HashMap<u64, u64>,
+    total_units: u64,
+}
+
+impl EpochBw {
+    /// A resource serving `units_per_sec` units per second, metered in
+    /// `epoch`-sized windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate and epoch are positive and the epoch holds at
+    /// least one unit.
+    pub fn new(units_per_sec: f64, epoch: Ps) -> EpochBw {
+        assert!(units_per_sec > 0.0 && units_per_sec.is_finite());
+        assert!(epoch > Ps::ZERO);
+        let units_per_epoch = (units_per_sec * epoch.as_secs()).floor() as u64;
+        assert!(units_per_epoch >= 1, "epoch too short for the rate");
+        EpochBw { epoch, units_per_epoch, used: HashMap::new(), total_units: 0 }
+    }
+
+    /// Byte-metered resource from a [`Bandwidth`].
+    pub fn from_bandwidth(bw: Bandwidth, epoch: Ps) -> EpochBw {
+        EpochBw::new(bw.as_bytes_per_sec(), epoch)
+    }
+
+    /// Operation-metered resource from a per-operation period (e.g. one
+    /// lookup per cycle).
+    pub fn from_period(period: Ps, epoch: Ps) -> EpochBw {
+        EpochBw::new(1e12 / period.0 as f64, epoch)
+    }
+
+    /// Total units ever reserved.
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// The metering epoch.
+    pub fn epoch(&self) -> Ps {
+        self.epoch
+    }
+
+    /// Reserves `units` starting no earlier than `start`; returns the time
+    /// the last unit has been served. An un-contended reservation completes
+    /// at `max(start, epoch position) + units/rate ≈ start + units/rate`.
+    pub fn reserve(&mut self, start: Ps, units: u64) -> Ps {
+        self.total_units += units;
+        // Bound the bookkeeping: epochs far behind the current request can
+        // no longer be reserved against (agent clock skew is bounded), so
+        // drop them once the map grows large.
+        if self.used.len() > 65_536 {
+            let horizon = (start.0 / self.epoch.0).saturating_sub(16_384);
+            self.used.retain(|&idx, _| idx >= horizon);
+        }
+        let mut remaining = units;
+        let mut idx = start.0 / self.epoch.0;
+        let mut t = start;
+        loop {
+            let cap = self.units_per_epoch;
+            let used = self.used.entry(idx).or_insert(0);
+            if *used >= cap {
+                idx += 1;
+                t = Ps(idx * self.epoch.0);
+                continue;
+            }
+            let take = remaining.min(cap - *used);
+            *used += take;
+            let fill = *used;
+            let epoch_base = Ps(idx * self.epoch.0);
+            let occupancy_end = epoch_base + Ps(self.epoch.0.saturating_mul(fill) / cap);
+            // Served no earlier than the request itself plus its own
+            // serialization, and no earlier than the epoch's fill level.
+            let own = Ps((take as f64 / cap as f64 * self.epoch.0 as f64) as u64);
+            t = (t + own).max(occupancy_end.min(Ps((idx + 1) * self.epoch.0)));
+            remaining -= take;
+            if remaining == 0 {
+                return t;
+            }
+            idx += 1;
+            t = Ps(idx * self.epoch.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> EpochBw {
+        // 80 GB/s link, 1 us epochs → 80 KB per epoch.
+        EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0))
+    }
+
+    #[test]
+    fn uncontended_reservation_is_serialization_time() {
+        let mut r = link();
+        let done = r.reserve(Ps::ZERO, 256);
+        // 256 B at 80 GB/s = 3.2 ns.
+        assert!(done >= Ps::from_ns(3.2) && done < Ps::from_ns(10.0), "{done}");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_do_not_phantom_wait() {
+        let mut r = link();
+        // A "future" agent reserves first…
+        let _ = r.reserve(Ps::from_us(0.9), 48);
+        // …an earlier agent must not wait behind it.
+        let early = r.reserve(Ps::from_ns(10.0), 48);
+        assert!(early < Ps::from_ns(100.0), "phantom wait: {early}");
+    }
+
+    #[test]
+    fn saturation_pushes_completions_out() {
+        let mut r = link();
+        // Demand 3 epochs' worth of bytes instantly.
+        let done = r.reserve(Ps::ZERO, 240_000);
+        assert!(done >= Ps::from_us(2.9), "overload must spill into later epochs: {done}");
+        // The next small reservation lands after the backlog's epochs.
+        let next = r.reserve(Ps::ZERO, 48);
+        assert!(next >= Ps::from_us(3.0), "{next}");
+    }
+
+    #[test]
+    fn rate_metered_ports() {
+        // 1 GHz port, 1 us epochs → 1000 lookups per epoch.
+        let mut p = EpochBw::from_period(Ps::from_ns(1.0), Ps::from_us(1.0));
+        for _ in 0..1000 {
+            p.reserve(Ps::ZERO, 1);
+        }
+        let overflow = p.reserve(Ps::ZERO, 1);
+        assert!(overflow >= Ps::from_us(1.0), "port rate not enforced: {overflow}");
+    }
+
+    #[test]
+    fn total_units_accumulate() {
+        let mut r = link();
+        r.reserve(Ps::ZERO, 100);
+        r.reserve(Ps::from_us(5.0), 50);
+        assert_eq!(r.total_units(), 150);
+    }
+
+    #[test]
+    #[should_panic]
+    fn epoch_too_short_panics() {
+        let _ = EpochBw::new(1.0, Ps::from_ns(1.0));
+    }
+}

@@ -1,0 +1,310 @@
+//! Set-associative write-back cache model with true LRU replacement.
+//!
+//! One implementation serves the host's L1/L2/L3 and Charon's dedicated
+//! bitmap cache (§4.5 of the paper). The model tracks tags, dirty bits and
+//! LRU state exactly; latency is charged by the caller from
+//! [`crate::config::CacheConfig::latency_cycles`].
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// Read or write, as seen by a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (allocates on miss; write-back, write-allocate policy).
+    Write,
+}
+
+/// Result of probing one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// A dirty victim block's base address, if the fill evicted one.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A single set-associative, write-back, write-allocate cache.
+///
+/// ```
+/// use charon_sim::cache::{AccessKind, Cache};
+/// use charon_sim::config::CacheConfig;
+///
+/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 64, latency_cycles: 1 };
+/// let mut c = Cache::new("demo", cfg);
+/// assert!(!c.access(0x40, AccessKind::Read).hit);  // cold miss
+/// assert!(c.access(0x40, AccessKind::Read).hit);   // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    block_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::sets`]) or the block size is not a power of two.
+    pub fn new(name: &'static str, cfg: CacheConfig) -> Cache {
+        assert!(cfg.block_bytes.is_power_of_two(), "block size must be a power of two");
+        let sets = cfg.sets();
+        Cache {
+            name,
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            set_mask: sets as u64 - 1,
+            block_shift: cfg.block_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The cache's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Hit/miss/writeback counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Block-aligns an address.
+    pub fn block_base(&self, addr: u64) -> u64 {
+        addr & !((self.cfg.block_bytes as u64) - 1)
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.block_shift;
+        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+    }
+
+    /// Probes and updates the cache for one block-sized access.
+    ///
+    /// On a miss the block is filled (write-allocate); if the victim way is
+    /// dirty its base address is returned for the caller to charge as
+    /// write-back traffic to the next level.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> Lookup {
+        self.tick += 1;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return Lookup { hit: true, writeback: None };
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way if any, else true-LRU.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache set has at least one way");
+        let victim = &mut set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let victim_block = (victim.tag << self.set_mask.count_ones()) | set_idx as u64;
+            Some(victim_block << self.block_shift)
+        } else {
+            None
+        };
+        *victim = Line { tag, valid: true, dirty: kind == AccessKind::Write, lru: self.tick };
+        Lookup { hit: false, writeback }
+    }
+
+    /// Probes without filling (used for coherence lookups from the
+    /// accelerator side). Returns whether the block was present.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates one block if present, returning `true` if it was dirty
+    /// (i.e. a write-back to memory is required). Models `clflush`.
+    pub fn flush_line(&mut self, addr: u64) -> Option<bool> {
+        let (set_idx, tag) = self.index(addr);
+        let line = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag)?;
+        let was_dirty = line.dirty;
+        line.valid = false;
+        line.dirty = false;
+        self.stats.flushed += 1;
+        if was_dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(was_dirty)
+    }
+
+    /// Invalidates the whole cache, returning `(lines_flushed,
+    /// dirty_lines_written_back)`. Models the bulk flush Charon performs at
+    /// the start of a GC (§4.6 "Effect on Host Cache").
+    pub fn flush_all(&mut self) -> (u64, u64) {
+        let mut flushed = 0;
+        let mut dirty = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid {
+                    flushed += 1;
+                    if line.dirty {
+                        dirty += 1;
+                    }
+                    line.valid = false;
+                    line.dirty = false;
+                }
+            }
+        }
+        self.stats.flushed += flushed;
+        self.stats.writebacks += dirty;
+        (flushed, dirty)
+    }
+
+    /// Number of currently valid lines (for tests and reports).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new("tiny", CacheConfig { size_bytes: 512, ways: 2, block_bytes: 64, latency_cycles: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, AccessKind::Read).hit);
+        assert!(c.access(0x0, AccessKind::Read).hit);
+        assert!(c.access(0x3f, AccessKind::Read).hit, "same block");
+        assert!(!c.access(0x40, AccessKind::Read).hit, "next block");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose block-number % 4 == 0: 0x000, 0x100, 0x200.
+        c.access(0x000, AccessKind::Read);
+        c.access(0x100, AccessKind::Read);
+        c.access(0x000, AccessKind::Read); // touch 0x000: 0x100 becomes LRU
+        c.access(0x200, AccessKind::Read); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x100, AccessKind::Read);
+        let r = c.access(0x200, AccessKind::Read); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Read);
+        c.access(0x100, AccessKind::Read);
+        let r = c.access(0x200, AccessKind::Read);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn flush_line_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0x40, AccessKind::Write);
+        c.access(0x80, AccessKind::Read);
+        assert_eq!(c.flush_line(0x40), Some(true));
+        assert_eq!(c.flush_line(0x80), Some(false));
+        assert_eq!(c.flush_line(0xc0), None);
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    fn flush_all_counts_dirty_lines() {
+        let mut c = tiny();
+        c.access(0x00, AccessKind::Write);
+        c.access(0x40, AccessKind::Write);
+        c.access(0x80, AccessKind::Read);
+        let (flushed, dirty) = c.flush_all();
+        assert_eq!(flushed, 3);
+        assert_eq!(dirty, 2);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn write_allocate_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x00, AccessKind::Write);
+        // Evicting it must produce a writeback even though it was never read.
+        c.access(0x100, AccessKind::Read);
+        let r = c.access(0x200, AccessKind::Read);
+        assert_eq!(r.writeback, Some(0x00));
+    }
+
+    #[test]
+    fn table2_l1d_geometry() {
+        let c = Cache::new("l1d", crate::config::HostConfig::table2().l1d);
+        assert_eq!(c.config().sets(), 64);
+        // Fill more than capacity and check residency is bounded.
+        let mut c = c;
+        for i in 0..1024u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        assert_eq!(c.resident_lines(), 512); // 32 KB / 64 B
+    }
+
+    #[test]
+    fn writeback_address_roundtrips_through_index() {
+        // Regression guard: the reconstructed victim address must map back
+        // to the same set it was stored in.
+        let mut c = tiny();
+        let addr = 0x7_3440; // arbitrary
+        c.access(addr, AccessKind::Write);
+        let mut evicted = None;
+        // Force eviction by filling the same set.
+        let set_stride = 4 * 64; // sets * block
+        for i in 1..=2u64 {
+            let r = c.access(addr + i * set_stride as u64, AccessKind::Read);
+            if let Some(wb) = r.writeback {
+                evicted = Some(wb);
+            }
+        }
+        assert_eq!(evicted, Some(c.block_base(addr)));
+    }
+}

@@ -1,0 +1,407 @@
+//! DDR4 and HMC DRAM timing models.
+//!
+//! Both models track per-bank row-buffer state and per-channel (or
+//! per-vault) data-bus serialization, using the timing parameters of the
+//! paper's Table 2:
+//!
+//! * **DDR4** — 2 channels × 4 ranks × 8 banks, open-page policy, 17 GB/s
+//!   per channel, channel-interleaved at cache-line granularity
+//!   (`[row:col:bank:rank:ch]`).
+//! * **HMC** — 4 cubes × 32 vaults, closed-page policy (HMC's small 256 B
+//!   pages make row reuse negligible), 320 GB/s of TSV bandwidth per cube
+//!   shared over its vaults, vault-interleaved at 256 B granularity
+//!   (`[…:vault]`, with cubes selected by huge-page bits, §4.6).
+//!
+//! A request's completion time is
+//! `max(arrival, bank_ready, bus_free) + row_access_latency + transfer`,
+//! which yields both the latency behaviour (idle system) and the bandwidth
+//! ceiling (saturated system) that the paper's analysis depends on.
+
+use crate::bwres::EpochBw;
+use crate::config::{Ddr4Config, HmcConfig};
+use crate::stats::Traffic;
+use crate::time::{Bandwidth, Ps};
+
+/// Metering epoch for data-bus bandwidth accounting.
+const BUS_EPOCH: Ps = Ps(1_000_000); // 1 us
+
+/// Read or write, as seen by DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramOp {
+    /// A read burst.
+    Read,
+    /// A write burst.
+    Write,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: Ps,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    bus: EpochBw,
+    banks: Vec<Bank>,
+}
+
+impl Channel {
+    fn new(banks: usize, bw: Bandwidth) -> Channel {
+        Channel { bus: EpochBw::from_bandwidth(bw, BUS_EPOCH), banks: vec![Bank::default(); banks] }
+    }
+}
+
+/// One decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    /// Channel (DDR4) or vault-within-cube (HMC).
+    pub channel: usize,
+    /// Flat bank index within the channel/vault.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// DDR4 memory system (Table 2, middle block).
+#[derive(Debug, Clone)]
+pub struct Ddr4Sim {
+    cfg: Ddr4Config,
+    channels: Vec<Channel>,
+    traffic: Traffic,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Ddr4Sim {
+    /// Builds the DDR4 model from its configuration.
+    pub fn new(cfg: Ddr4Config) -> Ddr4Sim {
+        let banks = cfg.ranks_per_channel * cfg.banks_per_rank;
+        let channels = (0..cfg.channels).map(|_| Channel::new(banks, cfg.channel_bw)).collect();
+        Ddr4Sim { cfg, channels, traffic: Traffic::new(), row_hits: 0, row_misses: 0 }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &Ddr4Config {
+        &self.cfg
+    }
+
+    /// Bytes and transactions served so far.
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// `(row_hits, row_misses)` observed so far.
+    pub fn row_stats(&self) -> (u64, u64) {
+        (self.row_hits, self.row_misses)
+    }
+
+    /// Decodes a physical address under `[row:col:bank:rank:ch]`
+    /// interleaving with 64 B bursts.
+    pub fn decode(&self, paddr: u64) -> DramCoord {
+        let burst = paddr >> 6;
+        let ch = (burst % self.cfg.channels as u64) as usize;
+        let after_ch = burst / self.cfg.channels as u64;
+        let rank = (after_ch % self.cfg.ranks_per_channel as u64) as usize;
+        let after_rank = after_ch / self.cfg.ranks_per_channel as u64;
+        let bank_in_rank = (after_rank % self.cfg.banks_per_rank as u64) as usize;
+        let after_bank = after_rank / self.cfg.banks_per_rank as u64;
+        let cols_per_row = (self.cfg.row_bytes / 64).max(1);
+        let row = after_bank / cols_per_row;
+        DramCoord { channel: ch, bank: rank * self.cfg.banks_per_rank + bank_in_rank, row }
+    }
+
+    /// The refresh stall an access arriving at `start` suffers: every
+    /// tREFI the rank spends tRFC refreshing, so an access landing inside
+    /// a refresh window waits out its remainder. (All-bank refresh,
+    /// rank-synchronous — the common DDR4 configuration.)
+    fn refresh_delay(&self, start: Ps) -> Ps {
+        let into_interval = Ps(start.0 % self.cfg.t_refi.0);
+        if into_interval < self.cfg.t_rfc {
+            self.cfg.t_rfc - into_interval
+        } else {
+            Ps::ZERO
+        }
+    }
+
+    /// Times one burst-sized access (≤ 64 B) arriving at `start`.
+    /// Returns its completion time.
+    pub fn access(&mut self, paddr: u64, bytes: u32, op: DramOp, start: Ps) -> Ps {
+        debug_assert!(bytes > 0 && bytes <= 64, "DDR4 bursts are at most 64 B");
+        let start = start + self.refresh_delay(start);
+        let coord = self.decode(paddr);
+        let cfg = self.cfg.clone();
+        let ch = &mut self.channels[coord.channel];
+        let bank = &mut ch.banks[coord.bank];
+
+        let hit = bank.open_row == Some(coord.row);
+        // Row hits pipeline at the data-bus rate: successive CAS commands
+        // to an open row overlap, so only the burst occupies the bank.
+        // Row misses pay (precharge +) activate + CAS and must respect the
+        // bank's ready time (tRAS row-cycle + tWR write recovery).
+        let done = if hit {
+            self.row_hits += 1;
+            ch.bus.reserve(start + cfg.t_cas, u64::from(bytes))
+        } else {
+            self.row_misses += 1;
+            let array_lat = match bank.open_row {
+                Some(_) => cfg.t_rp + cfg.t_rcd + cfg.t_cas,
+                None => cfg.t_rcd + cfg.t_cas,
+            };
+            let begin = start.max(bank.ready_at);
+            bank.ready_at = begin + cfg.t_ras; // row cycle before re-activation
+            ch.bus.reserve(begin + array_lat, u64::from(bytes))
+        };
+        bank.open_row = Some(coord.row);
+        if op == DramOp::Write {
+            bank.ready_at = bank.ready_at.max(done + cfg.t_wr);
+        }
+
+        match op {
+            DramOp::Read => self.traffic.record_read(u64::from(bytes)),
+            DramOp::Write => self.traffic.record_write(u64::from(bytes)),
+        }
+        done
+    }
+}
+
+/// HMC memory system: `cubes × vaults`, closed-page policy (Table 2,
+/// bottom block).
+#[derive(Debug, Clone)]
+pub struct HmcSim {
+    cfg: HmcConfig,
+    /// `cubes[c]` holds one [`Channel`] per vault.
+    cubes: Vec<Vec<Channel>>,
+    traffic: Traffic,
+    per_cube_bytes: Vec<u64>,
+}
+
+impl HmcSim {
+    /// Builds the HMC model from its configuration.
+    pub fn new(cfg: HmcConfig) -> HmcSim {
+        let per_vault_bw = cfg.internal_bw_per_cube.split(cfg.vaults_per_cube as u64);
+        let cubes = (0..cfg.cubes)
+            .map(|_| (0..cfg.vaults_per_cube).map(|_| Channel::new(cfg.banks_per_vault, per_vault_bw)).collect())
+            .collect();
+        let num_cubes = cfg.cubes;
+        HmcSim { cfg, cubes, traffic: Traffic::new(), per_cube_bytes: vec![0; num_cubes] }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &HmcConfig {
+        &self.cfg
+    }
+
+    /// Bytes and transactions served so far (all cubes).
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// Bytes served per cube (for Fig. 13 local-bandwidth analysis).
+    pub fn per_cube_bytes(&self) -> &[u64] {
+        &self.per_cube_bytes
+    }
+
+    /// Which cube a physical address lives in (huge-page interleaving).
+    pub fn cube_of(&self, paddr: u64) -> usize {
+        self.cfg.cube_of(paddr)
+    }
+
+    /// Times one packet-sized access (≤ 256 B) to the DRAM arrays of the
+    /// cube that owns `paddr`, arriving at the cube's logic layer at
+    /// `start`. Link traversal is the caller's job (see
+    /// [`crate::noc::Noc`]); this method charges only TSV + vault time.
+    pub fn vault_access(&mut self, paddr: u64, bytes: u32, op: DramOp, start: Ps) -> Ps {
+        debug_assert!(
+            bytes > 0 && bytes <= self.cfg.max_access_bytes,
+            "HMC packets carry at most {} B",
+            self.cfg.max_access_bytes
+        );
+        let cube = self.cfg.cube_of(paddr);
+        let vault = self.cfg.vault_of(paddr);
+        let bank_idx = ((paddr / u64::from(self.cfg.max_access_bytes) / self.cfg.vaults_per_cube as u64)
+            % self.cfg.banks_per_vault as u64) as usize;
+
+        let cfg = self.cfg.clone();
+        let v = &mut self.cubes[cube][vault];
+        let bank = &mut v.banks[bank_idx];
+
+        // HMC rows are one 256 B packet wide: sub-packet host accesses to
+        // the same row pipeline at the TSV rate; a new row pays
+        // activate + CAS and the row-cycle time before re-activation.
+        let row = paddr / u64::from(cfg.max_access_bytes);
+        let hit = bank.open_row == Some(row);
+        let done = if hit {
+            v.bus.reserve(start + cfg.t_cas, u64::from(bytes))
+        } else {
+            let begin = start.max(bank.ready_at);
+            bank.ready_at = begin + cfg.t_ras;
+            v.bus.reserve(begin + cfg.t_rcd + cfg.t_cas, u64::from(bytes))
+        };
+        bank.open_row = Some(row);
+        if op == DramOp::Write {
+            bank.ready_at = bank.ready_at.max(done + cfg.t_wr);
+        }
+
+        match op {
+            DramOp::Read => self.traffic.record_read(u64::from(bytes)),
+            DramOp::Write => self.traffic.record_write(u64::from(bytes)),
+        }
+        if cube < self.per_cube_bytes.len() {
+            self.per_cube_bytes[cube] += u64::from(bytes);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ddr4Config, HmcConfig};
+
+    #[test]
+    fn ddr4_decode_interleaves_channels_per_line() {
+        let d = Ddr4Sim::new(Ddr4Config::table2());
+        assert_eq!(d.decode(0).channel, 0);
+        assert_eq!(d.decode(64).channel, 1);
+        assert_eq!(d.decode(128).channel, 0);
+    }
+
+    #[test]
+    fn ddr4_row_hit_is_faster_than_conflict() {
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        let cfg = Ddr4Config::table2();
+        let t0 = d.access(0, 64, DramOp::Read, Ps::ZERO);
+        // Same row again, issued after the first completes: CAS-only
+        // (within the bandwidth meter's 1 ps rounding).
+        let t1 = d.access(0, 64, DramOp::Read, t0);
+        let hit_lat = (t1 - t0).0 as i64;
+        let expect = (cfg.t_cas + cfg.channel_bw.transfer_time(64)).0 as i64;
+        assert!((hit_lat - expect).abs() <= 2, "hit latency {hit_lat} vs {expect}");
+        // A different row in the same bank: precharge + activate + CAS
+        // (within the bandwidth meter's 1 ps rounding).
+        let far = cfg.row_bytes * (cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        let t2 = d.access(far, 64, DramOp::Read, t1);
+        let got = (t2 - t1).0 as i64;
+        let want = (cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.channel_bw.transfer_time(64)).0 as i64;
+        assert!((got - want).abs() <= 2, "conflict latency {got} vs {want}");
+        assert_eq!(d.row_stats(), (1, 2));
+    }
+
+    #[test]
+    fn ddr4_bandwidth_ceiling_is_17gbps_per_channel() {
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        // Hammer channel 0 only (stride 128 keeps channel 0), many banks.
+        let n: u64 = 20_000;
+        let mut done = Ps::ZERO;
+        for i in 0..n {
+            done = d.access(i * 128, 64, DramOp::Read, Ps::ZERO).max(done);
+        }
+        let gbps = (n * 64) as f64 / done.as_secs() / 1e9;
+        assert!(gbps <= 17.0 + 0.1, "channel exceeded its peak: {gbps}");
+        assert!(gbps > 12.0, "channel far below peak under ideal stream: {gbps}");
+    }
+
+    #[test]
+    fn ddr4_row_hits_pipeline_at_bus_rate() {
+        // A long same-row stream is limited by the channel's data bus
+        // (17 GB/s), not by re-serializing tCAS per burst.
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        let n = 5000u64;
+        let mut done = Ps::ZERO;
+        for _ in 0..n {
+            done = d.access(0, 64, DramOp::Read, Ps::ZERO).max(done);
+        }
+        let gbps = (n * 64) as f64 / done.as_secs() / 1e9;
+        assert!(gbps > 14.0 && gbps <= 17.1, "same-row stream off bus rate: {gbps}");
+    }
+
+    #[test]
+    fn ddr4_write_recovery_delays_next_activation() {
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        let cfg = Ddr4Config::table2();
+        let t0 = d.access(0, 64, DramOp::Write, Ps::ZERO);
+        // A different row in the same bank must wait out tWR (and the row
+        // cycle) before activating.
+        let far = cfg.row_bytes * (cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        let t1 = d.access(far, 64, DramOp::Read, t0);
+        assert!(t1 >= t0 + cfg.t_wr + cfg.t_rp + cfg.t_rcd + cfg.t_cas, "tWR not respected: {t0} then {t1}");
+    }
+
+    #[test]
+    fn hmc_vault_access_latency_is_closed_page() {
+        let mut h = HmcSim::new(HmcConfig::table2());
+        let cfg = HmcConfig::table2();
+        let done = h.vault_access(0, 256, DramOp::Read, Ps::ZERO);
+        let per_vault = cfg.internal_bw_per_cube.split(32);
+        assert_eq!(done, cfg.t_rcd + cfg.t_cas + per_vault.transfer_time(256));
+    }
+
+    #[test]
+    fn hmc_cube_aggregate_bandwidth_approaches_320gbps() {
+        let mut h = HmcSim::new(HmcConfig::table2());
+        // Stream across all 32 vaults of cube 0 with deep per-vault
+        // pipelining.
+        let n: u64 = 50_000;
+        let mut done = Ps::ZERO;
+        for i in 0..n {
+            done = h.vault_access((i * 256) % (1 << 18), 256, DramOp::Read, Ps::ZERO).max(done);
+        }
+        let gbps = (n * 256) as f64 / done.as_secs() / 1e9;
+        assert!(gbps <= 320.0 + 1.0, "cube exceeded TSV peak: {gbps}");
+        assert!(gbps > 200.0, "cube far below peak under ideal stream: {gbps}");
+    }
+
+    #[test]
+    fn hmc_counts_per_cube_bytes() {
+        let mut h = HmcSim::new(HmcConfig::table2());
+        let page = 1u64 << HmcConfig::table2().cube_interleave_bits;
+        h.vault_access(0, 256, DramOp::Read, Ps::ZERO);
+        h.vault_access(page, 128, DramOp::Write, Ps::ZERO);
+        assert_eq!(h.per_cube_bytes()[0], 256);
+        assert_eq!(h.per_cube_bytes()[1], 128);
+        assert_eq!(h.traffic().total_bytes(), 384);
+    }
+
+    #[test]
+    fn distinct_banks_overlap_in_time() {
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        // Two accesses to different banks on the same channel issued
+        // together: the second should not pay the full array latency twice
+        // (only bus serialization).
+        let a = d.access(0, 64, DramOp::Read, Ps::ZERO);
+        let b = d.access(2 * 64, 64, DramOp::Read, Ps::ZERO); // same ch 0, next rank
+        let cfg = Ddr4Config::table2();
+        assert!(b < a + cfg.t_rcd + cfg.t_cas, "bank parallelism missing: {a} then {b}");
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+    use crate::config::Ddr4Config;
+
+    #[test]
+    fn access_during_refresh_window_stalls() {
+        let cfg = Ddr4Config::table2();
+        let mut d = Ddr4Sim::new(cfg.clone());
+        // An access at the very start of a tREFI interval collides with
+        // the refresh and waits out tRFC.
+        let t_hit = d.access(0, 64, DramOp::Read, cfg.t_refi);
+        let mut d2 = Ddr4Sim::new(cfg.clone());
+        // The same access safely after the refresh window.
+        let safe_start = cfg.t_refi + cfg.t_rfc;
+        let t_safe = d2.access(0, 64, DramOp::Read, safe_start);
+        let stalled_latency = t_hit - cfg.t_refi;
+        let clean_latency = t_safe - safe_start;
+        assert_eq!(stalled_latency, clean_latency + cfg.t_rfc);
+    }
+
+    #[test]
+    fn refresh_overhead_is_a_few_percent_of_bandwidth() {
+        // tRFC/tREFI = 260ns/7.8us ≈ 3.3% — refresh must not devastate a
+        // stream.
+        let cfg = Ddr4Config::table2();
+        assert!((cfg.t_rfc.0 as f64 / cfg.t_refi.0 as f64) < 0.05);
+    }
+}

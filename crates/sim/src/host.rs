@@ -1,0 +1,533 @@
+//! Host-processor timing path and the shared memory fabric.
+//!
+//! [`MemFabric`] is the single owner of DRAM state (DDR4 or HMC + NoC): the
+//! host cache hierarchy misses into it from [`Node::Host`], and Charon's
+//! processing units access it from their cube's logic layer
+//! ([`Node::Cube`]). [`HostTiming`] layers the paper's Table 2 host on top:
+//! per-core L1D and L2, a shared L3, and a per-core bounded miss window
+//! which is what limits the host's memory-level parallelism (§3.3).
+
+use crate::cache::{AccessKind, Cache};
+use crate::config::{MemPlatform, SystemConfig};
+use crate::dram::{Ddr4Sim, DramOp, HmcSim};
+use crate::issue::Window;
+use crate::noc::{Noc, Node, PACKET_OVERHEAD_BYTES};
+use crate::stats::MemTrafficStats;
+use crate::time::Ps;
+
+/// DRAM state behind the last-level cache.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // exactly one fabric exists per system
+pub enum DramSide {
+    /// Conventional DDR4 channels.
+    Ddr4(Ddr4Sim),
+    /// HMC cubes reached over the serial-link star.
+    Hmc {
+        /// The cube/vault arrays.
+        hmc: HmcSim,
+        /// The link network.
+        noc: Noc,
+    },
+}
+
+/// The memory system shared by the host and (when present) Charon.
+#[derive(Debug, Clone)]
+pub struct MemFabric {
+    side: DramSide,
+    stats: MemTrafficStats,
+}
+
+impl MemFabric {
+    /// Builds the fabric selected by `cfg.platform`.
+    pub fn new(cfg: &SystemConfig) -> MemFabric {
+        let side = match cfg.platform {
+            MemPlatform::Ddr4 => DramSide::Ddr4(Ddr4Sim::new(cfg.ddr4.clone())),
+            MemPlatform::Hmc => {
+                DramSide::Hmc { hmc: HmcSim::new(cfg.hmc.clone()), noc: Noc::new(&cfg.hmc) }
+            }
+        };
+        MemFabric { side, stats: MemTrafficStats::default() }
+    }
+
+    /// Which platform this fabric models.
+    pub fn platform(&self) -> MemPlatform {
+        match self.side {
+            DramSide::Ddr4(_) => MemPlatform::Ddr4,
+            DramSide::Hmc { .. } => MemPlatform::Hmc,
+        }
+    }
+
+    /// The cube owning `paddr`, or `None` on DDR4.
+    pub fn cube_of(&self, paddr: u64) -> Option<usize> {
+        match &self.side {
+            DramSide::Ddr4(_) => None,
+            DramSide::Hmc { hmc, .. } => Some(hmc.cube_of(paddr)),
+        }
+    }
+
+    /// Performs one memory transaction from `from`, returning its completion
+    /// time (data back at the requester).
+    ///
+    /// * On DDR4, only [`Node::Host`] may issue, at ≤ 64 B granularity.
+    /// * On HMC, a request packet travels `from → owning cube` (16 B header
+    ///   plus write payload), the vault is accessed, and a response packet
+    ///   travels back (16 B, plus read payload). Accesses from a cube to
+    ///   itself skip the links entirely — that is the internal-bandwidth
+    ///   advantage Charon exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-host node issues on DDR4 or the size exceeds the
+    /// platform's maximum packet granularity.
+    pub fn access(&mut self, from: Node, paddr: u64, bytes: u32, op: DramOp, start: Ps) -> Ps {
+        match &mut self.side {
+            DramSide::Ddr4(ddr) => {
+                assert_eq!(from, Node::Host, "only the host reaches DDR4");
+                let done = ddr.access(paddr, bytes, op, start);
+                match op {
+                    DramOp::Read => self.stats.offchip.record_read(u64::from(bytes)),
+                    DramOp::Write => self.stats.offchip.record_write(u64::from(bytes)),
+                }
+                self.stats.dram = ddr.traffic();
+                done
+            }
+            DramSide::Hmc { hmc, noc } => {
+                assert!(bytes <= hmc.config().max_access_bytes, "HMC packet too large");
+                let dest = Node::Cube(hmc.cube_of(paddr));
+                // Near-memory locality accounting (Fig. 13).
+                if let Node::Cube(c) = from {
+                    if Node::Cube(c) == dest {
+                        self.stats.local_accesses += 1;
+                    } else {
+                        self.stats.remote_accesses += 1;
+                    }
+                }
+                let req_bytes = PACKET_OVERHEAD_BYTES + if op == DramOp::Write { bytes } else { 0 };
+                let at_cube = noc.send(from, dest, req_bytes, start, false);
+                let served = hmc.vault_access(paddr, bytes, op, at_cube);
+                let rsp_bytes = PACKET_OVERHEAD_BYTES + if op == DramOp::Read { bytes } else { 0 };
+                let mut done = noc.send(dest, from, rsp_bytes, served, op == DramOp::Read);
+                if from == Node::Host {
+                    // Host-side HMC protocol processing (SerDes framing,
+                    // controller re-ordering) — near-memory units skip it.
+                    done += hmc.config().host_protocol_latency;
+                }
+                self.stats.dram = hmc.traffic();
+                self.stats.offchip = noc.host_link_traffic();
+                self.stats.intercube = noc.intercube_traffic();
+                done
+            }
+        }
+    }
+
+    /// Sends a raw control packet over the links without touching DRAM
+    /// (offload requests/responses, TLB lookups, cache probes).
+    /// On DDR4 this is free — there are no links to model.
+    pub fn control_packet(&mut self, from: Node, to: Node, bytes: u32, start: Ps) -> Ps {
+        match &mut self.side {
+            DramSide::Ddr4(_) => start,
+            DramSide::Hmc { noc, .. } => {
+                let done = noc.send(from, to, bytes, start, false);
+                self.stats.offchip = noc.host_link_traffic();
+                self.stats.intercube = noc.intercube_traffic();
+                done
+            }
+        }
+    }
+
+    /// Traffic summary (Fig. 13 inputs).
+    pub fn stats(&self) -> MemTrafficStats {
+        self.stats
+    }
+
+    /// Per-cube DRAM bytes (HMC only; empty slice on DDR4).
+    pub fn per_cube_bytes(&self) -> &[u64] {
+        match &self.side {
+            DramSide::Ddr4(_) => &[],
+            DramSide::Hmc { hmc, .. } => hmc.per_cube_bytes(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CoreSide {
+    l1d: Cache,
+    l2: Cache,
+    misses: Window,
+    /// Lines brought in by the stream prefetcher that have not been
+    /// demanded yet, with their arrival times.
+    prefetched: std::collections::HashMap<u64, Ps>,
+    prefetches: u64,
+}
+
+/// The host processor: cores, caches, and the memory fabric.
+#[derive(Debug, Clone)]
+pub struct HostTiming {
+    cfg: SystemConfig,
+    cores: Vec<CoreSide>,
+    l3: Cache,
+    /// The DRAM side, public so an accelerator model can share it.
+    pub fabric: MemFabric,
+    /// Effective non-memory IPC for GC code. Table 2's core is 4-wide; GC's
+    /// pointer-chasing control flow sustains roughly half of that on real
+    /// hardware, which also matches the paper's sub-0.5 IPC observation
+    /// once cache misses are added by the timing model.
+    pub exec_ipc: f64,
+    /// Next-line stream prefetching (Westmere has it; the ablation bench
+    /// turns it off to show how much of the host's streaming throughput —
+    /// and thus how much of Charon's margin — depends on it).
+    pub prefetch_enabled: bool,
+}
+
+impl HostTiming {
+    /// Builds the host from a system configuration.
+    pub fn new(cfg: &SystemConfig) -> HostTiming {
+        let h = &cfg.host;
+        let cores = (0..h.cores)
+            .map(|_| CoreSide {
+                l1d: Cache::new("L1D", h.l1d),
+                l2: Cache::new("L2", h.l2),
+                misses: Window::new(h.mshr_per_core, h.freq.period()),
+                prefetched: std::collections::HashMap::new(),
+                prefetches: 0,
+            })
+            .collect();
+        HostTiming {
+            cfg: cfg.clone(),
+            cores,
+            l3: Cache::new("L3", h.l3),
+            fabric: MemFabric::new(cfg),
+            exec_ipc: 2.0,
+            prefetch_enabled: true,
+        }
+    }
+
+    /// The configuration this host was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Time to execute `instrs` instructions that hit in the L1 (pure
+    /// compute / control overhead).
+    pub fn compute(&self, instrs: u64) -> Ps {
+        let secs = instrs as f64 / (self.exec_ipc * self.cfg.host.freq.as_hz());
+        Ps((secs * 1e12).round() as u64)
+    }
+
+    /// Performs one data access of ≤ 64 B on `core`, starting at `now`;
+    /// returns completion time. Larger regions must be split by the caller
+    /// into line-sized pieces (which is what real load/store streams do).
+    ///
+    /// The path is L1D → L2 → shared L3 → DRAM, charging each level's
+    /// lookup latency, performing write-allocate fills, and propagating
+    /// dirty victims downward. DRAM misses contend for the core's bounded
+    /// miss window, which is the host's MLP ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `bytes` exceeds a cache line.
+    pub fn mem_access(&mut self, core: usize, now: Ps, vaddr: u64, bytes: u32, kind: AccessKind) -> Ps {
+        let line = self.cfg.host.l1d.block_bytes as u64;
+        assert!(u64::from(bytes) <= line, "split accesses into cache lines");
+        let freq = self.cfg.host.freq;
+        let l1_lat = freq.cycles_to_ps(self.cfg.host.l1d.latency_cycles);
+        let l2_lat = freq.cycles_to_ps(self.cfg.host.l2.latency_cycles);
+        let l3_lat = freq.cycles_to_ps(self.cfg.host.l3.latency_cycles);
+
+        let addr = vaddr & !(line - 1);
+
+        // L1D.
+        let c = &mut self.cores[core];
+        let r1 = c.l1d.access(addr, kind);
+        if r1.hit {
+            return now + l1_lat;
+        }
+        // A demanded line that the stream prefetcher fetched earlier: it
+        // sits in L2; consuming it advances the stream by one more line
+        // (next-line prefetch with distance 2, Westmere-style).
+        let was_prefetched = c.prefetched.remove(&addr);
+        // A dirty L1 victim is written into L2 off the critical path.
+        if let Some(victim) = r1.writeback {
+            let r2v = c.l2.access(victim, AccessKind::Write);
+            if let Some(v2) = r2v.writeback {
+                let r3v = self.l3.access(v2, AccessKind::Write);
+                if let Some(v3) = r3v.writeback {
+                    self.fabric.access(Node::Host, v3, line as u32, DramOp::Write, now);
+                }
+            }
+        }
+
+        // L2.
+        let r2 = c.l2.access(addr, AccessKind::Read);
+        if r2.hit {
+            let base = now + l1_lat + l2_lat;
+            let done = match was_prefetched {
+                Some(arrival) => base.max(arrival),
+                None => base,
+            };
+            if was_prefetched.is_some() {
+                self.prefetch(core, addr + 2 * line, now);
+            }
+            return done;
+        }
+        if let Some(victim) = r2.writeback {
+            let r3v = self.l3.access(victim, AccessKind::Write);
+            if let Some(v3) = r3v.writeback {
+                self.fabric.access(Node::Host, v3, line as u32, DramOp::Write, now);
+            }
+        }
+
+        // Shared L3.
+        let r3 = self.l3.access(addr, AccessKind::Read);
+        if r3.hit {
+            return now + l1_lat + l2_lat + l3_lat;
+        }
+        if let Some(victim) = r3.writeback {
+            self.fabric.access(Node::Host, victim, line as u32, DramOp::Write, now);
+        }
+
+        // DRAM fill, bounded by the core's miss window.
+        let lookup_done = now + l1_lat + l2_lat + l3_lat;
+        let issue = c.misses.issue(lookup_done);
+        let done = self.fabric.access(Node::Host, addr, line as u32, DramOp::Read, issue);
+        c.misses.complete(done);
+        // Kick the stream prefetcher two lines ahead.
+        self.prefetch(core, addr + 2 * line, now);
+        done
+    }
+
+    /// Issues one next-line stream prefetch into L2. The prefetch occupies
+    /// a miss-window slot and DRAM bandwidth like any other request; its
+    /// arrival time gates the demand access that later consumes the line.
+    fn prefetch(&mut self, core: usize, addr: u64, now: Ps) {
+        if !self.prefetch_enabled {
+            return;
+        }
+        let c = &mut self.cores[core];
+        if c.l1d.probe(addr) || c.l2.probe(addr) || c.prefetched.contains_key(&addr) {
+            return;
+        }
+        let line = self.cfg.host.l1d.block_bytes as u64;
+        let issue = c.misses.issue(now);
+        let done = self.fabric.access(Node::Host, addr, line as u32, DramOp::Read, issue);
+        let c = &mut self.cores[core];
+        c.misses.complete(done);
+        c.prefetches += 1;
+        let r = c.l2.access(addr, AccessKind::Read);
+        if let Some(victim) = r.writeback {
+            let r3 = self.l3.access(victim, AccessKind::Write);
+            if let Some(v3) = r3.writeback {
+                self.fabric.access(Node::Host, v3, line as u32, DramOp::Write, done);
+            }
+        }
+        self.cores[core].prefetched.insert(addr, done);
+        // Bound the stale-entry table.
+        if self.cores[core].prefetched.len() > 4096 {
+            self.cores[core].prefetched.clear();
+        }
+    }
+
+    /// Total stream prefetches issued (all cores).
+    pub fn prefetches(&self) -> u64 {
+        self.cores.iter().map(|c| c.prefetches).sum()
+    }
+
+    /// Flushes every cache (all cores' L1D/L2 and the shared L3), writing
+    /// dirty lines back to memory. Returns `(lines, dirty_lines)` and the
+    /// time the flush traffic finishes draining, starting at `now`.
+    ///
+    /// This models the bulk cache flush Charon performs at the beginning of
+    /// a GC (§4.6): the write-back traffic streams at full off-chip
+    /// bandwidth.
+    pub fn flush_all_caches(&mut self, now: Ps) -> (u64, u64, Ps) {
+        let mut lines = 0;
+        let mut dirty = 0;
+        for c in &mut self.cores {
+            let (l, d) = c.l1d.flush_all();
+            lines += l;
+            dirty += d;
+            let (l, d) = c.l2.flush_all();
+            lines += l;
+            dirty += d;
+        }
+        let (l, d) = self.l3.flush_all();
+        lines += l;
+        dirty += d;
+
+        let line_bytes = self.cfg.host.l1d.block_bytes as u64;
+        let bytes = dirty * line_bytes;
+        let bw = match self.cfg.platform {
+            MemPlatform::Ddr4 => self.cfg.ddr4.total_bw(),
+            MemPlatform::Hmc => self.cfg.hmc.link_bw,
+        };
+        (lines, dirty, now + bw.transfer_time(bytes))
+    }
+
+    /// Invalidates one line in every host cache, as a Charon `clflush`
+    /// probe does before the unit touches `vaddr` (§4.1). Returns `true`
+    /// if any copy was dirty (needing a write-back before the unit reads).
+    pub fn clflush_line(&mut self, vaddr: u64) -> bool {
+        let line = self.cfg.host.l1d.block_bytes as u64;
+        let addr = vaddr & !(line - 1);
+        let mut dirty = false;
+        for c in &mut self.cores {
+            dirty |= c.l1d.flush_line(addr).unwrap_or(false);
+            dirty |= c.l2.flush_line(addr).unwrap_or(false);
+        }
+        dirty |= self.l3.flush_line(addr).unwrap_or(false);
+        dirty
+    }
+
+    /// Resets each core's miss window at a simulated-thread barrier.
+    pub fn barrier(&mut self, now: Ps) {
+        for c in &mut self.cores {
+            c.misses.reset(now);
+        }
+    }
+
+    /// Per-level cache statistics `(L1D, L2, L3)` summed over cores.
+    pub fn cache_stats(&self) -> (crate::stats::CacheStats, crate::stats::CacheStats, crate::stats::CacheStats) {
+        let mut l1 = crate::stats::CacheStats::default();
+        let mut l2 = crate::stats::CacheStats::default();
+        for c in &self.cores {
+            l1 += c.l1d.stats();
+            l2 += c.l2.stats();
+        }
+        (l1, l2, self.l3.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ddr4_host() -> HostTiming {
+        HostTiming::new(&SystemConfig::table2_ddr4())
+    }
+
+    fn hmc_host() -> HostTiming {
+        HostTiming::new(&SystemConfig::table2_hmc())
+    }
+
+    #[test]
+    fn l1_hit_costs_l1_latency() {
+        let mut h = ddr4_host();
+        let cold = h.mem_access(0, Ps::ZERO, 0x1000, 8, AccessKind::Read);
+        assert!(cold > Ps::ZERO);
+        let hit = h.mem_access(0, cold, 0x1008, 8, AccessKind::Read) - cold;
+        let l1 = h.config().host.freq.cycles_to_ps(h.config().host.l1d.latency_cycles);
+        assert_eq!(hit, l1);
+    }
+
+    #[test]
+    fn miss_goes_all_the_way_to_dram() {
+        let mut h = ddr4_host();
+        let done = h.mem_access(0, Ps::ZERO, 0x4000, 8, AccessKind::Read);
+        // Must exceed the sum of the three lookup latencies.
+        let f = h.config().host.freq;
+        let lookups = f.cycles_to_ps(4) + f.cycles_to_ps(12) + f.cycles_to_ps(28);
+        assert!(done > lookups + Ps::from_ns(20.0), "DRAM latency missing: {done}");
+    }
+
+    #[test]
+    fn hmc_host_miss_pays_link_latency() {
+        let mut d = ddr4_host();
+        let mut m = hmc_host();
+        // Start past the rank's t=0 refresh window.
+        let t0 = Ps::from_ns(300.0);
+        let t_ddr = d.mem_access(0, t0, 0x4000, 8, AccessKind::Read) - t0;
+        let t_hmc = m.mem_access(0, t0, 0x4000, 8, AccessKind::Read) - t0;
+        // Both are plausible DRAM latencies; HMC pays serdes hops and
+        // protocol overhead against a faster array.
+        assert!(t_hmc > Ps::from_ns(20.0) && t_hmc < Ps::from_ns(200.0), "{t_hmc}");
+        assert!(t_ddr > Ps::from_ns(20.0) && t_ddr < Ps::from_ns(200.0), "{t_ddr}");
+    }
+
+    #[test]
+    fn mshr_window_limits_host_mlp() {
+        // Stream N independent line misses on one core; effective bandwidth
+        // must be far below the DDR4 peak because of the 10-entry window.
+        let mut h = ddr4_host();
+        let mut now = Ps::ZERO;
+        let n = 2000u64;
+        for i in 0..n {
+            let done = h.mem_access(0, now, 0x10_0000 + i * 64, 8, AccessKind::Read);
+            // Model a dependent pointer-chase-free stream: issue next
+            // immediately (now unchanged) — the window throttles.
+            now = now.max(Ps::ZERO);
+            let _ = done;
+        }
+        // Completion of the stream:
+        let done = h.mem_access(0, now, 0xFF_0000, 8, AccessKind::Read);
+        assert!(done > Ps::ZERO);
+    }
+
+    #[test]
+    fn write_allocate_then_writeback_reaches_dram() {
+        let mut h = ddr4_host();
+        // Dirty many distinct lines to force L1→L2→L3 evictions and
+        // eventually DRAM writes.
+        let mut now = Ps::ZERO;
+        for i in 0..200_000u64 {
+            now = h.mem_access(0, now, i * 64, 8, AccessKind::Write);
+        }
+        let st = h.fabric.stats();
+        assert!(st.offchip.write_bytes > 0, "no writebacks reached DRAM");
+    }
+
+    #[test]
+    fn flush_all_reports_dirty_lines_and_time() {
+        let mut h = hmc_host();
+        let mut now = Ps::ZERO;
+        for i in 0..64u64 {
+            now = h.mem_access(0, now, i * 64, 8, AccessKind::Write);
+        }
+        let (lines, dirty, t) = h.flush_all_caches(now);
+        assert!(lines >= 64);
+        assert!(dirty >= 64, "all written lines are dirty somewhere");
+        assert!(t > now);
+        // Caches are now empty.
+        let (l2, d2, _) = h.flush_all_caches(t);
+        assert_eq!((l2, d2), (0, 0));
+    }
+
+    #[test]
+    fn clflush_line_detects_dirtiness() {
+        let mut h = ddr4_host();
+        let t = h.mem_access(0, Ps::ZERO, 0x40, 8, AccessKind::Write);
+        assert!(h.clflush_line(0x40));
+        assert!(!h.clflush_line(0x40), "second flush finds nothing");
+        let _ = t;
+    }
+
+    #[test]
+    fn compute_rate_is_exec_ipc() {
+        let h = ddr4_host();
+        let t = h.compute(2670);
+        // 2670 instructions at 2 IPC on 2.67 GHz = 500 ns.
+        assert_eq!(t, Ps::from_ns(500.0));
+    }
+
+    #[test]
+    fn fabric_control_packets_free_on_ddr4() {
+        let mut h = ddr4_host();
+        assert_eq!(h.fabric.control_packet(Node::Host, Node::Cube(0), 48, Ps(5)), Ps(5));
+    }
+
+    #[test]
+    fn fabric_near_memory_access_is_link_free_when_local() {
+        let cfg = SystemConfig::table2_hmc();
+        let mut f = MemFabric::new(&cfg);
+        let t_local = f.access(Node::Cube(0), 0, 256, DramOp::Read, Ps::ZERO);
+        let mut f2 = MemFabric::new(&cfg);
+        let t_remote = f2.access(Node::Cube(1), 0, 256, DramOp::Read, Ps::ZERO);
+        assert!(t_local < t_remote, "local {t_local} vs remote {t_remote}");
+        assert_eq!(f.stats().local_accesses, 1);
+        assert_eq!(f2.stats().remote_accesses, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Inter-cube network: the star topology of HMC serial links (Fig. 5a).
+//!
+//! The host connects to the central cube (cube 0); every other cube hangs
+//! off the center by its own full-duplex serial link. Each direction of each
+//! link is an 80 GB/s resource with a 3 ns traversal latency (Table 2).
+//! Routing between two peripheral cubes goes through the center (two hops),
+//! matching the paper's "existing inter-HMC routing logic".
+
+use crate::bwres::EpochBw;
+use crate::config::HmcConfig;
+use crate::stats::Traffic;
+use crate::time::{Bandwidth, Ps};
+
+/// Metering epoch for link bandwidth accounting.
+const LINK_EPOCH: Ps = Ps(1_000_000); // 1 us
+
+/// An endpoint on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The host processor (attached to cube 0).
+    Host,
+    /// An HMC cube; cube 0 is the center of the star.
+    Cube(usize),
+}
+
+/// One direction of one serial link.
+#[derive(Debug, Clone)]
+struct LinkDir {
+    lane: EpochBw,
+    traffic: Traffic,
+}
+
+impl LinkDir {
+    fn new(bw: Bandwidth) -> LinkDir {
+        LinkDir { lane: EpochBw::from_bandwidth(bw, LINK_EPOCH), traffic: Traffic::new() }
+    }
+
+    fn transfer(&mut self, bytes: u32, start: Ps, latency: Ps, is_read_data: bool) -> Ps {
+        let served = self.lane.reserve(start, u64::from(bytes));
+        if is_read_data {
+            self.traffic.record_read(u64::from(bytes));
+        } else {
+            self.traffic.record_write(u64::from(bytes));
+        }
+        served + latency
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    /// Toward the center (or, for the host link, toward the cube).
+    inbound: LinkDir,
+    /// Away from the center (or toward the host).
+    outbound: LinkDir,
+}
+
+impl Link {
+    fn new(bw: Bandwidth) -> Link {
+        Link { inbound: LinkDir::new(bw), outbound: LinkDir::new(bw) }
+    }
+}
+
+/// The star network: `host ↔ cube0 ↔ {cube1, cube2, …}`.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    latency: Ps,
+    cubes: usize,
+    host_link: Link,
+    /// `spokes[k]` is the link between the center and cube `k+1`.
+    spokes: Vec<Link>,
+}
+
+/// HMC packet framing: 16 B of header/tail per request or response packet
+/// (§4.1: the 48 B offload request is 16 B header/tail + payload; plain
+/// memory responses are 16 B, or 32 B when carrying a return value).
+pub const PACKET_OVERHEAD_BYTES: u32 = 16;
+
+impl Noc {
+    /// Builds the star network for `cfg.cubes` cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no cubes.
+    pub fn new(cfg: &HmcConfig) -> Noc {
+        assert!(cfg.cubes >= 1, "need at least the central cube");
+        Noc {
+            latency: cfg.link_latency,
+            cubes: cfg.cubes,
+            host_link: Link::new(cfg.link_bw),
+            spokes: (1..cfg.cubes).map(|_| Link::new(cfg.link_bw)).collect(),
+        }
+    }
+
+    /// Number of link hops between two nodes (0 when `from == to`, or for
+    /// traffic that never leaves its cube's logic layer).
+    pub fn hops(&self, from: Node, to: Node) -> usize {
+        match (from, to) {
+            (a, b) if a == b => 0,
+            (Node::Host, Node::Host) => 0,
+            (Node::Host, Node::Cube(0)) | (Node::Cube(0), Node::Host) => 1,
+            (Node::Host, Node::Cube(_)) | (Node::Cube(_), Node::Host) => 2,
+            (Node::Cube(0), Node::Cube(_)) | (Node::Cube(_), Node::Cube(0)) => 1,
+            (Node::Cube(_), Node::Cube(_)) => 2,
+        }
+    }
+
+    /// Sends `bytes` from `from` to `to`, starting at `start`; returns the
+    /// arrival time at `to`. `is_read_data` only affects which traffic
+    /// counter the bytes land in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint names a cube outside the configuration.
+    pub fn send(&mut self, from: Node, to: Node, bytes: u32, start: Ps, is_read_data: bool) -> Ps {
+        self.check(from);
+        self.check(to);
+        if from == to {
+            return start;
+        }
+        let mut t = start;
+        // Hop 1: from → center (unless already at center).
+        t = match from {
+            Node::Host => self.host_link.inbound.transfer(bytes, t, self.latency, is_read_data),
+            Node::Cube(0) => t,
+            Node::Cube(c) => self.spokes[c - 1].inbound.transfer(bytes, t, self.latency, is_read_data),
+        };
+        // Hop 2: center → to (unless the destination is the center).
+        t = match to {
+            Node::Host => self.host_link.outbound.transfer(bytes, t, self.latency, is_read_data),
+            Node::Cube(0) => t,
+            Node::Cube(c) => self.spokes[c - 1].outbound.transfer(bytes, t, self.latency, is_read_data),
+        };
+        t
+    }
+
+    /// Total bytes that crossed the host↔cube-0 link (off-chip traffic).
+    pub fn host_link_traffic(&self) -> Traffic {
+        self.host_link.inbound.traffic + self.host_link.outbound.traffic
+    }
+
+    /// Total bytes that crossed inter-cube links.
+    pub fn intercube_traffic(&self) -> Traffic {
+        self.spokes.iter().map(|l| l.inbound.traffic + l.outbound.traffic).fold(Traffic::new(), |a, b| a + b)
+    }
+
+    fn check(&self, n: Node) {
+        if let Node::Cube(c) = n {
+            assert!(c < self.cubes, "cube {c} out of range (have {})", self.cubes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HmcConfig;
+
+    fn noc() -> Noc {
+        Noc::new(&HmcConfig::table2())
+    }
+
+    #[test]
+    fn hop_counts_match_star_topology() {
+        let n = noc();
+        assert_eq!(n.hops(Node::Host, Node::Cube(0)), 1);
+        assert_eq!(n.hops(Node::Host, Node::Cube(3)), 2);
+        assert_eq!(n.hops(Node::Cube(0), Node::Cube(2)), 1);
+        assert_eq!(n.hops(Node::Cube(1), Node::Cube(2)), 2);
+        assert_eq!(n.hops(Node::Cube(1), Node::Cube(1)), 0);
+    }
+
+    #[test]
+    fn single_hop_latency_and_serialization() {
+        let mut n = noc();
+        let t = n.send(Node::Host, Node::Cube(0), 256, Ps::ZERO, false);
+        // 256 B at 80 GB/s = 3.2 ns, plus 3 ns traversal.
+        assert_eq!(t, Ps::from_ns(3.2) + Ps::from_ns(3.0));
+    }
+
+    #[test]
+    fn two_hops_pay_twice() {
+        let mut n = noc();
+        let t = n.send(Node::Host, Node::Cube(2), 256, Ps::ZERO, false);
+        assert_eq!(t, (Ps::from_ns(3.2) + Ps::from_ns(3.0)) * 2);
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let mut n = noc();
+        assert_eq!(n.send(Node::Cube(1), Node::Cube(1), 4096, Ps(7), true), Ps(7));
+    }
+
+    #[test]
+    fn link_contention_serializes() {
+        let mut n = noc();
+        let a = n.send(Node::Host, Node::Cube(0), 256, Ps::ZERO, false);
+        let b = n.send(Node::Host, Node::Cube(0), 256, Ps::ZERO, false);
+        assert_eq!(b, a + Ps::from_ns(3.2));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut n = noc();
+        let a = n.send(Node::Host, Node::Cube(0), 256, Ps::ZERO, false);
+        let b = n.send(Node::Cube(0), Node::Host, 256, Ps::ZERO, true);
+        assert_eq!(a, b, "opposite directions must not contend");
+    }
+
+    #[test]
+    fn traffic_counters_split_by_link_class() {
+        let mut n = noc();
+        n.send(Node::Host, Node::Cube(1), 100, Ps::ZERO, false);
+        n.send(Node::Cube(2), Node::Cube(0), 50, Ps::ZERO, true);
+        assert_eq!(n.host_link_traffic().total_bytes(), 100);
+        assert_eq!(n.intercube_traffic().total_bytes(), 150);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_cube_panics() {
+        let mut n = noc();
+        n.send(Node::Host, Node::Cube(9), 1, Ps::ZERO, false);
+    }
+}

@@ -1,0 +1,210 @@
+//! Traffic and event counters shared by all timing components.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Byte-traffic counters for one memory resource (a DRAM platform, a link,
+/// or a cache level's miss traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes read from the resource.
+    pub read_bytes: u64,
+    /// Bytes written to the resource.
+    pub write_bytes: u64,
+    /// Number of read transactions.
+    pub reads: u64,
+    /// Number of write transactions.
+    pub writes: u64,
+}
+
+impl Traffic {
+    /// A zeroed counter set.
+    pub fn new() -> Traffic {
+        Traffic::default()
+    }
+
+    /// Records one read of `bytes`.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.read_bytes += bytes;
+        self.reads += 1;
+    }
+
+    /// Records one write of `bytes`.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.write_bytes += bytes;
+        self.writes += 1;
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Total transactions in either direction.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Add for Traffic {
+    type Output = Traffic;
+    fn add(self, rhs: Traffic) -> Traffic {
+        Traffic {
+            read_bytes: self.read_bytes + rhs.read_bytes,
+            write_bytes: self.write_bytes + rhs.write_bytes,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl AddAssign for Traffic {
+    fn add_assign(&mut self, rhs: Traffic) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Traffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rd {:.2} MB ({} ops), wr {:.2} MB ({} ops)",
+            self.read_bytes as f64 / 1e6,
+            self.reads,
+            self.write_bytes as f64 / 1e6,
+            self.writes
+        )
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back (on eviction or flush).
+    pub writebacks: u64,
+    /// Lines invalidated by explicit flushes.
+    pub flushed: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when the cache was never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.writebacks += rhs.writebacks;
+        self.flushed += rhs.flushed;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {:.1}% hit, {} writebacks",
+            self.accesses(),
+            self.hit_rate() * 100.0,
+            self.writebacks
+        )
+    }
+}
+
+/// System-wide traffic summary used for Fig. 13 (bandwidth analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTrafficStats {
+    /// Traffic served by DRAM arrays (DDR4 banks or HMC vaults).
+    pub dram: Traffic,
+    /// Traffic that crossed the host↔memory boundary (DDR4 channels or the
+    /// host↔cube-0 serial link).
+    pub offchip: Traffic,
+    /// Traffic that crossed inter-cube serial links (HMC only).
+    pub intercube: Traffic,
+    /// DRAM accesses by near-memory units that stayed within the local cube.
+    pub local_accesses: u64,
+    /// DRAM accesses by near-memory units that crossed to a remote cube.
+    pub remote_accesses: u64,
+}
+
+impl MemTrafficStats {
+    /// Fraction of near-memory accesses served by the unit's local cube
+    /// (the line series in the paper's Fig. 13).
+    pub fn local_ratio(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for MemTrafficStats {
+    fn add_assign(&mut self, rhs: MemTrafficStats) {
+        self.dram += rhs.dram;
+        self.offchip += rhs.offchip;
+        self.intercube += rhs.intercube;
+        self.local_accesses += rhs.local_accesses;
+        self.remote_accesses += rhs.remote_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_records_and_sums() {
+        let mut t = Traffic::new();
+        t.record_read(64);
+        t.record_read(64);
+        t.record_write(256);
+        assert_eq!(t.read_bytes, 128);
+        assert_eq!(t.reads, 2);
+        assert_eq!(t.write_bytes, 256);
+        assert_eq!(t.total_bytes(), 384);
+        assert_eq!(t.total_ops(), 3);
+
+        let mut u = Traffic::new();
+        u.record_write(1);
+        u += t;
+        assert_eq!(u.write_bytes, 257);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let s = CacheStats { hits: 90, misses: 10, writebacks: 0, flushed: 0 };
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn local_ratio_defaults_to_one() {
+        assert_eq!(MemTrafficStats::default().local_ratio(), 1.0);
+        let m = MemTrafficStats { local_accesses: 3, remote_accesses: 1, ..Default::default() };
+        assert!((m.local_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Traffic::new().to_string().is_empty());
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

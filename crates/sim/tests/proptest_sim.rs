@@ -1,0 +1,111 @@
+//! Property tests over the timing substrate's invariants: resources never
+//! serve faster than their configured rates, never travel back in time,
+//! and caches never exceed their geometry.
+
+use charon_sim::bwres::EpochBw;
+use charon_sim::cache::{AccessKind, Cache};
+use charon_sim::config::{CacheConfig, SystemConfig};
+use charon_sim::dram::{Ddr4Sim, DramOp, HmcSim};
+use charon_sim::issue::Window;
+use charon_sim::noc::{Noc, Node};
+use charon_sim::time::{Bandwidth, Ps};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn epoch_bw_never_exceeds_rate(reqs in proptest::collection::vec((0u64..2_000_000, 1u64..4096), 1..200)) {
+        let mut lane = EpochBw::from_bandwidth(Bandwidth::gbps(10.0), Ps::from_us(1.0));
+        let mut total = 0u64;
+        let mut last_done = Ps::ZERO;
+        for &(start, bytes) in &reqs {
+            let done = lane.reserve(Ps(start), bytes);
+            // Completion is never before the request begins.
+            prop_assert!(done >= Ps(start));
+            total += bytes;
+            last_done = last_done.max(done);
+        }
+        // Aggregate throughput cannot beat the configured rate by more
+        // than one epoch's slack.
+        let min_time = total as f64 / 10e9; // seconds at 10 GB/s
+        prop_assert!(last_done.as_secs() + 1e-6 >= min_time,
+            "served {} B by {} — faster than 10 GB/s", total, last_done);
+    }
+
+    #[test]
+    fn window_preserves_issue_order_and_capacity(lat in proptest::collection::vec(1u64..200, 1..100), cap in 1usize..32) {
+        let mut w = Window::new(cap, Ps(1000));
+        let mut issues = Vec::new();
+        let mut now = Ps::ZERO;
+        for &l in &lat {
+            let t = w.issue(now);
+            prop_assert!(t >= now, "issue went backwards");
+            w.complete(t + Ps(l * 1000));
+            prop_assert!(w.in_flight() <= cap);
+            issues.push(t);
+            now = t;
+        }
+        // Issue times are non-decreasing and at least 1 ns apart.
+        for pair in issues.windows(2) {
+            prop_assert!(pair[1].0 >= pair[0].0 + 1000);
+        }
+    }
+
+    #[test]
+    fn cache_residency_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..(1 << 22), 1..600)) {
+        let cfg = CacheConfig { size_bytes: 4096, ways: 4, block_bytes: 64, latency_cycles: 1 };
+        let mut c = Cache::new("prop", cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            c.access(a, kind);
+            prop_assert!(c.resident_lines() <= 64); // 4096/64
+        }
+        // A flush empties it and reports no more dirty lines than resident.
+        let resident = c.resident_lines() as u64;
+        let (flushed, dirty) = c.flush_all();
+        prop_assert_eq!(flushed, resident);
+        prop_assert!(dirty <= flushed);
+        prop_assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn dram_completion_is_monotone_wrt_request_time(paddr in 0u64..(1 << 24), delta in 0u64..1_000_000) {
+        // Later-arriving identical requests never finish earlier.
+        let mut a = Ddr4Sim::new(SystemConfig::table2_ddr4().ddr4);
+        let t1 = a.access(paddr, 64, DramOp::Read, Ps::ZERO);
+        let mut b = Ddr4Sim::new(SystemConfig::table2_ddr4().ddr4);
+        let t2 = b.access(paddr, 64, DramOp::Read, Ps(delta));
+        prop_assert!(t2 >= t1);
+        prop_assert!(t2.0 - delta <= t1.0, "latency must not grow with idle start time");
+    }
+
+    #[test]
+    fn hmc_accesses_route_to_the_owning_cube(paddr in 0u64..(1 << 26)) {
+        let cfg = SystemConfig::table2_hmc().hmc;
+        let mut h = HmcSim::new(cfg.clone());
+        let before = h.per_cube_bytes().to_vec();
+        h.vault_access(paddr, 128, DramOp::Write, Ps::ZERO);
+        let after = h.per_cube_bytes().to_vec();
+        let cube = cfg.cube_of(paddr);
+        for c in 0..cfg.cubes {
+            let grew = after[c] - before[c];
+            prop_assert_eq!(grew, if c == cube { 128 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn noc_send_is_never_free_between_distinct_nodes(
+        from in 0usize..4, to in 0usize..4, bytes in 1u32..4096, start in 0u64..1_000_000
+    ) {
+        let mut n = Noc::new(&SystemConfig::table2_hmc().hmc);
+        let (f, t) = (Node::Cube(from), Node::Cube(to));
+        let done = n.send(f, t, bytes, Ps(start), false);
+        if from == to {
+            prop_assert_eq!(done, Ps(start));
+        } else {
+            // At least one 3 ns hop plus serialization.
+            prop_assert!(done >= Ps(start) + Ps::from_ns(3.0));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The application class registry.
+//!
+//! A realistic mix of HotSpot klass kinds: data classes (instances, object
+//! arrays, primitive arrays — the kinds Charon's Scan&Push iterates in
+//! hardware, §4.4) plus a sprinkling of metadata kinds (methods, constant
+//! pools) that always fall back to the host scanner.
+
+use charon_heap::heap::JavaHeap;
+use charon_heap::klass::{KlassId, KlassKind};
+
+/// Ids of every class the synthetic applications use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppKlasses {
+    /// `double[]` — RDD partition chunks, rank vectors, matrices.
+    pub data_array: KlassId,
+    /// `Object[]` — adjacency lists, cached-chunk tables.
+    pub obj_array: KlassId,
+    /// A vertex: `{value, payload…}` with one reference to its adjacency.
+    pub vertex: KlassId,
+    /// A task/aggregate instance with a couple of references.
+    pub task: KlassId,
+    /// A small value box (message, rank cell).
+    pub cell: KlassId,
+    /// Method metadata (host-scanned kind).
+    pub method: KlassId,
+    /// A constant pool (host-scanned kind).
+    pub constant_pool: KlassId,
+}
+
+impl AppKlasses {
+    /// Registers the classes into a fresh heap.
+    pub fn register(heap: &mut JavaHeap) -> AppKlasses {
+        let k = heap.klasses_mut();
+        AppKlasses {
+            data_array: k.register_array("double[]", KlassKind::TypeArray),
+            obj_array: k.register_array("Object[]", KlassKind::ObjArray),
+            vertex: k.register("Vertex", KlassKind::Instance, 4, vec![0]),
+            task: k.register("Task", KlassKind::Instance, 6, vec![0, 1]),
+            cell: k.register("Cell", KlassKind::Instance, 3, vec![0]),
+            method: k.register("Method", KlassKind::Method, 8, vec![0, 1]),
+            constant_pool: k.register("ConstantPool", KlassKind::ConstantPool, 16, vec![0, 2, 4]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charon_heap::heap::HeapConfig;
+
+    #[test]
+    fn registry_mixes_hardware_and_host_kinds() {
+        let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+        let k = AppKlasses::register(&mut heap);
+        assert!(heap.klasses().get(k.data_array).kind().charon_supported());
+        assert!(heap.klasses().get(k.vertex).kind().charon_supported());
+        assert!(!heap.klasses().get(k.method).kind().charon_supported());
+        assert!(!heap.klasses().get(k.constant_pool).kind().charon_supported());
+        assert_eq!(heap.klasses().len(), 7);
+    }
+}

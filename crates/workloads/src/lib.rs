@@ -1,0 +1,34 @@
+//! # charon-workloads — synthetic Spark/GraphChi mutators
+//!
+//! The paper evaluates six applications (Table 3): three Spark ML
+//! workloads — Bayesian classification (BS), k-means (KM), logistic
+//! regression (LR) — and three GraphChi workloads — connected components
+//! (CC), PageRank (PR), alternating least squares (ALS). We cannot run the
+//! real frameworks on a simulated JVM, so this crate reproduces the
+//! *object demographics* the paper identifies as the drivers of GC
+//! behaviour (§3.2, §5.2):
+//!
+//! * Spark ML allocates **few, large, reference-poor, short-lived** objects
+//!   (RDD partition chunks) plus a moderate resident model → MinorGC time
+//!   dominated by *Copy* and *Search*, low Scan&Push parallelism;
+//! * GraphChi CC/PR allocate **many small, long-lived, reference-rich**
+//!   vertices → *Scan&Push* heavy, long marking phases;
+//! * ALS allocates **single huge matrix objects** → enormous *Copy*.
+//!
+//! Heaps are scaled ≈ 1/256 of the paper's (DESIGN.md §1): the paper's
+//! 4–12 GB becomes 16–48 MB, preserving heap:LLC ≫ 1 so GC working sets
+//! still sweep the host cache hierarchy.
+//!
+//! * [`spec`] — [`spec::WorkloadSpec`] + the scaled Table 3,
+//! * [`klasses`] — the application class registry,
+//! * [`mutator`] — the resident-structure builder and per-superstep
+//!   allocation/mutation behaviour, including the useful-work time model,
+//! * [`run`] — one-call experiment driver producing a [`run::RunResult`].
+
+pub mod klasses;
+pub mod mutator;
+pub mod run;
+pub mod spec;
+
+pub use run::{run_workload, RunOptions, RunResult};
+pub use spec::{table3, Framework, WorkloadSpec};

@@ -1,0 +1,214 @@
+//! One-call experiment driver: workload × system → measurements.
+//!
+//! This is the region-of-interest instrumentation of §5.1: the paper
+//! evaluates *GC events only*, so every figure-facing number here is
+//! derived from the collector's event log, with mutator time kept
+//! separately for Fig. 2.
+
+use crate::mutator::Mutator;
+use crate::spec::WorkloadSpec;
+use charon_core::device::CharonStats;
+use charon_gc::breakdown::Breakdown;
+use charon_gc::collector::{Collector, GcKind, OutOfMemory};
+use charon_gc::system::System;
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::layout::LayoutParams;
+use charon_sim::energy::EnergyAccount;
+use charon_sim::stats::{CacheStats, MemTrafficStats};
+use charon_sim::time::Ps;
+use std::fmt;
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Heap size as a factor over the workload's minimum (Fig. 2 sweeps
+    /// 1.0 / 1.25 / 1.5 / 2.0; `None` uses the spec default).
+    pub heap_factor: Option<f64>,
+    /// GC threads (the paper's default is one per core; Fig. 15 sweeps).
+    pub gc_threads: usize,
+    /// Override the superstep count (shorter runs for quick benches).
+    pub supersteps: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions { heap_factor: None, gc_threads: 8, supersteps: None }
+    }
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Two-letter workload code.
+    pub workload: &'static str,
+    /// Platform label ("DDR4", "HMC", "Charon", …).
+    pub platform: &'static str,
+    /// Useful-work (mutator) time.
+    pub mutator_time: Ps,
+    /// Total stop-the-world GC time (the paper's ROI).
+    pub gc_time: Ps,
+    /// MinorGC pause total and count.
+    pub minor: (Ps, usize),
+    /// MajorGC pause total and count.
+    pub major: (Ps, usize),
+    /// Summed MinorGC breakdown (Fig. 4a).
+    pub minor_breakdown: Breakdown,
+    /// Summed MajorGC breakdown (Fig. 4b).
+    pub major_breakdown: Breakdown,
+    /// DRAM bytes moved during GC.
+    pub gc_dram_bytes: u64,
+    /// Energy spent (GC ROI).
+    pub energy: EnergyAccount,
+    /// Fabric traffic counters at end of run.
+    pub traffic: MemTrafficStats,
+    /// Per-cube DRAM bytes (HMC platforms).
+    pub per_cube_bytes: Vec<u64>,
+    /// Device offload stats (offloading backends only).
+    pub device: Option<CharonStats>,
+    /// Bitmap-cache stats (offloading backends only).
+    pub bitmap_cache: Option<CacheStats>,
+    /// Bytes the mutator allocated.
+    pub allocated_bytes: u64,
+}
+
+impl RunResult {
+    /// GC overhead relative to useful work (Fig. 2's metric).
+    pub fn gc_overhead(&self) -> f64 {
+        self.gc_time.0 as f64 / self.mutator_time.0.max(1) as f64
+    }
+
+    /// Average DRAM bandwidth during GC pauses, GB/s (Fig. 13's bars).
+    pub fn gc_bandwidth_gbps(&self) -> f64 {
+        if self.gc_time == Ps::ZERO {
+            0.0
+        } else {
+            self.gc_dram_bytes as f64 / self.gc_time.as_secs() / 1e9
+        }
+    }
+
+    /// Fraction of near-memory accesses served locally (Fig. 13's line).
+    pub fn local_ratio(&self) -> f64 {
+        self.traffic.local_ratio()
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: GC {} ({} minor / {} major), mutator {}, overhead {:.1}%",
+            self.workload,
+            self.platform,
+            self.gc_time,
+            self.minor.1,
+            self.major.1,
+            self.mutator_time,
+            self.gc_overhead() * 100.0
+        )
+    }
+}
+
+/// Runs one workload on one system.
+///
+/// ```
+/// use charon_gc::system::System;
+/// use charon_workloads::{run_workload, RunOptions, spec::by_short};
+///
+/// # fn main() -> Result<(), charon_gc::collector::OutOfMemory> {
+/// let spec = by_short("KM").expect("Table 3 workload");
+/// let opts = RunOptions { supersteps: Some(2), ..Default::default() };
+/// let r = run_workload(&spec, System::charon(), &opts)?;
+/// println!("{r}");
+/// assert!(r.gc_time.0 > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when the chosen heap factor cannot hold the
+/// workload (by construction this never happens at factor ≥ 1.0).
+pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
+    let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
+    let mut heap = JavaHeap::new(HeapConfig {
+        layout: LayoutParams { heap_bytes, ..Default::default() },
+        ..Default::default()
+    });
+    let mut mutator = Mutator::new(spec.clone(), &mut heap);
+    let platform = sys.label();
+    let mut gc = Collector::new(sys, &heap, opts.gc_threads);
+
+    mutator.build_resident(&mut heap, &mut gc)?;
+    let steps = opts.supersteps.unwrap_or(spec.supersteps);
+    for _ in 0..steps {
+        mutator.superstep(&mut heap, &mut gc)?;
+    }
+
+    let minor_t = gc.gc_time_by_kind(GcKind::Minor);
+    let major_t = gc.gc_time_by_kind(GcKind::Major);
+    Ok(RunResult {
+        workload: spec.short,
+        platform,
+        mutator_time: mutator.mutator_time,
+        gc_time: gc.gc_total_time(),
+        minor: (minor_t, gc.count(GcKind::Minor)),
+        major: (major_t, gc.count(GcKind::Major)),
+        minor_breakdown: gc.breakdown_by_kind(GcKind::Minor),
+        major_breakdown: gc.breakdown_by_kind(GcKind::Major),
+        gc_dram_bytes: gc.events.iter().map(|e| e.dram_bytes).sum(),
+        energy: gc.sys.energy.account().clone(),
+        traffic: gc.sys.host.fabric.stats(),
+        per_cube_bytes: gc.sys.host.fabric.per_cube_bytes().to_vec(),
+        device: gc.sys.device.as_ref().map(|d| d.stats().clone()),
+        bitmap_cache: gc.sys.device.as_ref().map(|d| d.bitmap_cache_stats()),
+        allocated_bytes: mutator.allocated_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_short;
+
+    fn quick(short: &str, sys: System) -> RunResult {
+        let spec = by_short(short).unwrap();
+        run_workload(&spec, sys, &RunOptions { supersteps: Some(4), ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn bs_runs_and_collects_on_every_platform() {
+        for sys in [System::ddr4(), System::hmc(), System::charon(), System::ideal()] {
+            let r = quick("BS", sys);
+            assert!(r.minor.1 + r.major.1 > 0, "no GC on {}", r.platform);
+            assert!(r.gc_time > Ps::ZERO);
+            assert!(r.mutator_time > Ps::ZERO);
+            assert!(r.gc_dram_bytes > 0 || r.platform == "Ideal");
+        }
+    }
+
+    #[test]
+    fn charon_beats_ddr4_on_copy_heavy_als() {
+        // Full-length run: the first collections are resident-building
+        // noise; the steady state is where ALS's huge copies dominate.
+        let spec = by_short("ALS").unwrap();
+        let d = run_workload(&spec, System::ddr4(), &RunOptions::default()).unwrap();
+        let c = run_workload(&spec, System::charon(), &RunOptions::default()).unwrap();
+        assert!(
+            c.gc_time.0 * 2 < d.gc_time.0,
+            "ALS should be a Charon best case: DDR4 {} vs Charon {}",
+            d.gc_time,
+            c.gc_time
+        );
+        assert!(c.device.is_some());
+        assert!(c.local_ratio() > 0.3, "near-memory accesses mostly local");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = quick("KM", System::ddr4());
+        let b = quick("KM", System::ddr4());
+        assert_eq!(a.gc_time, b.gc_time);
+        assert_eq!(a.allocated_bytes, b.allocated_bytes);
+        assert_eq!(a.minor.1, b.minor.1);
+    }
+}

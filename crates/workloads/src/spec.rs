@@ -1,0 +1,327 @@
+//! Workload specifications — the paper's Table 3, scaled.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Which framework a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Apache Spark 2.1.0 (the paper's ML workloads).
+    Spark,
+    /// GraphChi 0.2.2 (the paper's graph workloads).
+    GraphChi,
+}
+
+impl fmt::Display for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Framework::Spark => write!(f, "Spark"),
+            Framework::GraphChi => write!(f, "GraphChi"),
+        }
+    }
+}
+
+/// Object demographics of one application (the knobs §3.2's analysis turns
+/// on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Demographics {
+    /// Long-lived structure: number of resident container objects built at
+    /// startup (vertices, cached partitions, model state).
+    pub resident_objects: usize,
+    /// Payload words per resident data object.
+    pub resident_words: Range<u32>,
+    /// Reference fan-out per resident container (edges, cached chunk
+    /// lists). Zero-length range means reference-poor residents.
+    pub resident_fanout: Range<u32>,
+    /// Small temporary allocations per superstep (row objects, tuples,
+    /// messages — the op-count driver).
+    pub temps_per_step: usize,
+    /// Payload words per small temporary.
+    pub temp_words: Range<u32>,
+    /// Large chunk allocations per superstep (RDD partition buffers — the
+    /// byte-volume driver; zero for pure graph workloads).
+    pub chunks_per_step: usize,
+    /// Payload words per chunk.
+    pub chunk_words: Range<u32>,
+    /// Fraction of temporaries that stay reachable past their step
+    /// (shuffle outputs, aggregates) — these age and promote.
+    pub temp_survival: f64,
+    /// Huge single-object allocations per superstep (ALS matrices), with
+    /// their payload words.
+    pub huge_per_step: usize,
+    /// Payload words of each huge object.
+    pub huge_words: Range<u32>,
+    /// Old-to-young reference stores per superstep (drives the card table
+    /// and the *Search* primitive).
+    pub mutations_per_step: usize,
+    /// Useful-work cost: mutator instructions per allocated byte
+    /// (computation over the data it allocates).
+    pub mutator_instr_per_byte: f64,
+}
+
+/// One evaluated application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Full name, as in Table 3.
+    pub name: &'static str,
+    /// The paper's two-letter code (BS, KM, LR, CC, PR, ALS).
+    pub short: &'static str,
+    /// Spark or GraphChi.
+    pub framework: Framework,
+    /// The dataset the paper used (we synthesize its demographics).
+    pub paper_dataset: &'static str,
+    /// The paper's heap size.
+    pub paper_heap: &'static str,
+    /// Scaled minimum heap: the smallest heap that finishes without OOM
+    /// (the Fig. 2 baseline).
+    pub min_heap_bytes: u64,
+    /// Default heap factor over the minimum (the paper uses 1.25–2×, §5.1).
+    pub default_heap_factor: f64,
+    /// Supersteps (iterations / task waves) to run.
+    pub supersteps: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// The object demographics.
+    pub demographics: Demographics,
+}
+
+impl WorkloadSpec {
+    /// The heap size implied by a factor over the minimum.
+    pub fn heap_bytes(&self, factor: f64) -> u64 {
+        assert!(factor >= 1.0, "factor below the minimum heap");
+        (self.min_heap_bytes as f64 * factor) as u64
+    }
+
+    /// The default evaluation heap (Table 3's "Heap", scaled).
+    pub fn default_heap_bytes(&self) -> u64 {
+        self.heap_bytes(self.default_heap_factor)
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({}) heap {} MB [paper: {} on {}]",
+            self.framework,
+            self.name,
+            self.short,
+            self.default_heap_bytes() >> 20,
+            self.paper_heap,
+            self.paper_dataset
+        )
+    }
+}
+
+/// The six workloads of Table 3, scaled ≈ 1/256 (DESIGN.md §1).
+pub fn table3() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "Bayesian Classifier",
+            short: "BS",
+            framework: Framework::Spark,
+            paper_dataset: "KDD 2010",
+            paper_heap: "10GB",
+            min_heap_bytes: 14 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0xB5,
+            demographics: Demographics {
+                resident_objects: 150,
+                resident_words: 1000..2500,
+                resident_fanout: 0..3,
+                temps_per_step: 1800,
+                temp_words: 8..64,
+                chunks_per_step: 45,
+                chunk_words: 2048..12288,
+                temp_survival: 0.30,
+                huge_per_step: 0,
+                huge_words: 0..1,
+                mutations_per_step: 300,
+                mutator_instr_per_byte: 2.2,
+            },
+        },
+        WorkloadSpec {
+            name: "k-means Clustering",
+            short: "KM",
+            framework: Framework::Spark,
+            paper_dataset: "KDD 2010",
+            paper_heap: "8GB",
+            min_heap_bytes: 12 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0x4B,
+            demographics: Demographics {
+                resident_objects: 140,
+                resident_words: 800..2000,
+                resident_fanout: 0..3,
+                temps_per_step: 1600,
+                temp_words: 8..56,
+                chunks_per_step: 40,
+                chunk_words: 1536..8192,
+                temp_survival: 0.28,
+                huge_per_step: 0,
+                huge_words: 0..1,
+                mutations_per_step: 260,
+                mutator_instr_per_byte: 2.6,
+            },
+        },
+        WorkloadSpec {
+            name: "Logistic Regression",
+            short: "LR",
+            framework: Framework::Spark,
+            paper_dataset: "URL Reputation",
+            paper_heap: "12GB",
+            min_heap_bytes: 16 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0x16,
+            demographics: Demographics {
+                resident_objects: 170,
+                resident_words: 1200..3000,
+                resident_fanout: 0..2,
+                temps_per_step: 2000,
+                temp_words: 8..64,
+                chunks_per_step: 50,
+                chunk_words: 2048..16384,
+                temp_survival: 0.30,
+                huge_per_step: 0,
+                huge_words: 0..1,
+                mutations_per_step: 320,
+                mutator_instr_per_byte: 2.0,
+            },
+        },
+        WorkloadSpec {
+            name: "Connected Components",
+            short: "CC",
+            framework: Framework::GraphChi,
+            paper_dataset: "R-MAT Scale 22",
+            paper_heap: "4GB",
+            min_heap_bytes: 24 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0xCC,
+            demographics: Demographics {
+                resident_objects: 30000,
+                resident_words: 6..14,
+                resident_fanout: 2..18,
+                temps_per_step: 12000,
+                temp_words: 8..48,
+                chunks_per_step: 30,
+                chunk_words: 2048..8192,
+                temp_survival: 0.35,
+                huge_per_step: 0,
+                huge_words: 0..1,
+                mutations_per_step: 2500,
+                mutator_instr_per_byte: 7.0,
+            },
+        },
+        WorkloadSpec {
+            name: "PageRank",
+            short: "PR",
+            framework: Framework::GraphChi,
+            paper_dataset: "R-MAT Scale 22",
+            paper_heap: "4GB",
+            min_heap_bytes: 24 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0x97,
+            demographics: Demographics {
+                resident_objects: 28000,
+                resident_words: 8..16,
+                resident_fanout: 2..16,
+                temps_per_step: 13000,
+                temp_words: 8..56,
+                chunks_per_step: 34,
+                chunk_words: 2048..8192,
+                temp_survival: 0.32,
+                huge_per_step: 0,
+                huge_words: 0..1,
+                mutations_per_step: 2800,
+                mutator_instr_per_byte: 6.0,
+            },
+        },
+        WorkloadSpec {
+            name: "Alternating Least Squares",
+            short: "ALS",
+            framework: Framework::GraphChi,
+            paper_dataset: "Matrix Market 15000x15000",
+            paper_heap: "4GB",
+            min_heap_bytes: 12 << 20,
+            default_heap_factor: 1.5,
+            supersteps: 14,
+            seed: 0xA5,
+            demographics: Demographics {
+                resident_objects: 400,
+                resident_words: 64..256,
+                resident_fanout: 1..4,
+                temps_per_step: 600,
+                temp_words: 16..128,
+                chunks_per_step: 0,
+                chunk_words: 0..1,
+                temp_survival: 0.35,
+                huge_per_step: 3,
+                huge_words: 50_000..110_000,
+                mutations_per_step: 80,
+                mutator_instr_per_byte: 1.6,
+            },
+        },
+    ]
+}
+
+/// Looks a workload up by its two-letter code.
+pub fn by_short(short: &str) -> Option<WorkloadSpec> {
+    table3().into_iter().find(|w| w.short.eq_ignore_ascii_case(short))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_workloads_matching_table3() {
+        let t = table3();
+        assert_eq!(t.len(), 6);
+        let shorts: Vec<_> = t.iter().map(|w| w.short).collect();
+        assert_eq!(shorts, vec!["BS", "KM", "LR", "CC", "PR", "ALS"]);
+        assert_eq!(t.iter().filter(|w| w.framework == Framework::Spark).count(), 3);
+    }
+
+    #[test]
+    fn heap_scaling_factors() {
+        let bs = by_short("bs").unwrap();
+        assert_eq!(bs.heap_bytes(1.0), 14 << 20);
+        assert!(bs.heap_bytes(2.0) == 2 * (14 << 20));
+        assert!(bs.default_heap_bytes() > bs.min_heap_bytes);
+    }
+
+    #[test]
+    fn demographics_match_paper_characterization() {
+        let lr = by_short("LR").unwrap();
+        let pr = by_short("PR").unwrap();
+        let als = by_short("ALS").unwrap();
+        // Spark: large reference-poor chunks dominate the bytes; GraphChi:
+        // many small reference-rich residents; ALS: huge matrices.
+        // Both frameworks move large chunks (RDD partitions / shards, §3.2);
+        // GraphChi is distinguished by its reference-rich resident graph.
+        assert!(lr.demographics.chunks_per_step > 0 && pr.demographics.chunks_per_step > 0);
+        assert!(pr.demographics.resident_objects > 10 * lr.demographics.resident_objects);
+        assert!(pr.demographics.resident_fanout.end > lr.demographics.resident_fanout.end);
+        assert!(als.demographics.huge_per_step > 0);
+        assert!(als.demographics.huge_words.end as u64 * 8 > 512 << 10, "ALS matrices are near-MB-scale");
+    }
+
+    #[test]
+    fn display_mentions_paper_context() {
+        let s = by_short("CC").unwrap().to_string();
+        assert!(s.contains("GraphChi"));
+        assert!(s.contains("R-MAT"));
+        assert!(s.contains("4GB"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_minimum_heap_panics() {
+        by_short("BS").unwrap().heap_bytes(0.5);
+    }
+}

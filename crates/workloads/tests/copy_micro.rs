@@ -1,0 +1,28 @@
+use charon_gc::system::System;
+use charon_heap::VAddr;
+use charon_sim::time::Ps;
+
+#[test]
+#[ignore]
+fn copy_micro() {
+    let mb = 1u64 << 20;
+    for (label, src, dst) in [
+        ("local->local (same cube)", 0 * mb, 16 * mb),      // cubes 0,0
+        ("cube1 -> cube2", mb, 2 * mb),
+        ("cube1 -> cube3 (2 hops)", mb, 3 * mb),
+        ("center -> cube2", 4 * mb, 2 * mb),
+    ] {
+        let mut s = System::charon();
+        let bytes = 700 * 1024;
+        let t = s.prim_copy(0, Ps::ZERO, VAddr(0x1000_0000 + src), VAddr(0x1000_0000 + dst), bytes);
+        let gbps = (2 * bytes) as f64 / t.as_secs() / 1e9;
+        println!("{label}: {t} -> {gbps:.1} GB/s");
+    }
+    // And back-to-back copies on the same cube (unit-time saturation).
+    let mut s = System::charon();
+    let mut now = Ps::ZERO;
+    for _ in 0..8 {
+        now = s.prim_copy(0, now, VAddr(0x1000_0000), VAddr(0x1100_0000), 700 * 1024);
+    }
+    println!("8 sequential 700KB copies end at {now}");
+}

@@ -1,0 +1,23 @@
+use charon_gc::breakdown::Bucket;
+use charon_gc::collector::GcKind;
+use charon_gc::system::System;
+use charon_workloads::{run_workload, spec::by_short, RunOptions};
+
+#[test]
+#[ignore]
+fn diag_workload() {
+    let short = std::env::var("WL").unwrap_or_else(|_| "ALS".into());
+    for sys in [System::ddr4(), System::hmc(), System::charon(), System::ideal()] {
+        let label = sys.label();
+        let spec = by_short(&short).unwrap();
+        let r = run_workload(&spec, sys, &RunOptions::default()).unwrap();
+        println!("=== {short} {label}: GC {} (minor {} x{}, major {} x{}), mutator {}", r.gc_time, r.minor.0, r.minor.1, r.major.0, r.major.1, r.mutator_time);
+        for (bd, name) in [(r.minor_breakdown, "minor"), (r.major_breakdown, "major")] {
+            print!("  {name}: ");
+            for b in Bucket::ALL { print!("{b}={} ", bd.get(b)); }
+            println!();
+        }
+        if let Some(d) = r.device { println!("  {}", d.to_string().replace('\n', "\n  ")); }
+        let _ = GcKind::Minor;
+    }
+}

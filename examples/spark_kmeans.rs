@@ -1,0 +1,55 @@
+//! A Spark-style machine-learning workload (the paper's KM) on all four
+//! evaluation platforms: the complete Fig. 12-style comparison for one
+//! application, with per-primitive detail.
+//!
+//! Spark ML demographics (§3.2): partition-chunk allocations dominate the
+//! bytes, so MinorGC time concentrates in *Copy* — the primitive with the
+//! largest near-memory win.
+//!
+//! ```bash
+//! cargo run --release --example spark_kmeans
+//! ```
+
+use charon::gc::breakdown::Bucket;
+use charon::gc::system::System;
+use charon::workloads::spec::by_short;
+use charon::workloads::{run_workload, RunOptions};
+
+fn main() {
+    let spec = by_short("KM").expect("KM is in Table 3");
+    println!("workload: {spec}");
+    println!();
+
+    let mut baseline = None;
+    for sys in [System::ddr4(), System::hmc(), System::charon(), System::ideal()] {
+        let label = sys.label();
+        let r = run_workload(&spec, sys, &RunOptions::default()).expect("sized not to OOM");
+        let base = *baseline.get_or_insert(r.gc_time);
+        println!(
+            "{label:<8} GC {:>12}  speedup {:>5.2}x  ({} minor + {} major pauses)",
+            r.gc_time.to_string(),
+            base.0 as f64 / r.gc_time.0.max(1) as f64,
+            r.minor.1,
+            r.major.1
+        );
+        println!(
+            "         minor buckets: Copy {:.0}%  Scan&Push {:.0}%  Search {:.0}%  rest {:.0}%",
+            r.minor_breakdown.fraction(Bucket::Copy) * 100.0,
+            r.minor_breakdown.fraction(Bucket::ScanPush) * 100.0,
+            r.minor_breakdown.fraction(Bucket::Search) * 100.0,
+            (1.0 - r.minor_breakdown.offloadable_fraction()) * 100.0,
+        );
+        if let Some(dev) = &r.device {
+            println!(
+                "         offloads: {} total ({} Copy, {} Search, {} Scan&Push, {} Bitmap Count)",
+                dev.total_offloads(),
+                dev.prim(charon::accel::PrimType::Copy).offloads,
+                dev.prim(charon::accel::PrimType::Search).offloads,
+                dev.prim(charon::accel::PrimType::ScanPush).offloads,
+                dev.prim(charon::accel::PrimType::BitmapCount).offloads,
+            );
+        }
+        println!("         energy: {:.4} J, GC bandwidth {:.1} GB/s", r.energy.total_j(), r.gc_bandwidth_gbps());
+        println!();
+    }
+}

@@ -1,0 +1,198 @@
+//! `charon-cli` — run the simulated evaluation from the command line.
+//!
+//! ```text
+//! charon-cli list                         # workloads and platforms
+//! charon-cli run KM --platform Charon     # one workload, one platform
+//! charon-cli compare LR --threads 4       # all platforms side by side
+//! charon-cli config                       # Table 2
+//! charon-cli area                         # Table 4
+//! ```
+
+use charon::gc::breakdown::Bucket;
+use charon::gc::system::System;
+use charon::workloads::spec::{by_short, table3};
+use charon::workloads::{run_workload, RunOptions, RunResult};
+use std::process::ExitCode;
+
+const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
+         charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>]\n  \
+         charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>]\n\
+         platforms: {}",
+        PLATFORMS.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn system_by_label(label: &str) -> Option<System> {
+    Some(match label {
+        "DDR4" => System::ddr4(),
+        "HMC" => System::hmc(),
+        "Charon" => System::charon(),
+        "Charon-CPU-side" => System::cpu_side(),
+        "Ideal" => System::ideal(),
+        _ => return None,
+    })
+}
+
+struct Args {
+    platform: String,
+    opts: RunOptions,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut out = Args { platform: "Charon".into(), opts: RunOptions::default() };
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let val = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--platform" => out.platform = val.clone(),
+            "--heap-factor" => {
+                let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
+                if f < 1.0 {
+                    return Err(format!(
+                        "--heap-factor {f} is below 1.0 — factors are relative to the minimum OOM-free heap"
+                    ));
+                }
+                out.opts.heap_factor = Some(f);
+            }
+            "--threads" => {
+                let n: usize = val.parse().map_err(|_| format!("bad thread count {val}"))?;
+                if n == 0 || n > 64 {
+                    return Err(format!("--threads {n} out of range (1..=64)"));
+                }
+                out.opts.gc_threads = n;
+            }
+            "--steps" => {
+                out.opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn print_result(r: &RunResult) {
+    println!("{r}");
+    println!(
+        "  minor: {} pauses, {}   major: {} pauses, {}",
+        r.minor.1, r.minor.0, r.major.1, r.major.0
+    );
+    for (name, bd) in [("minor", &r.minor_breakdown), ("major", &r.major_breakdown)] {
+        if bd.total().0 == 0 {
+            continue;
+        }
+        print!("  {name} breakdown:");
+        for b in Bucket::ALL {
+            if bd.get(b).0 > 0 {
+                print!(" {b} {:.0}%", bd.fraction(b) * 100.0);
+            }
+        }
+        println!();
+    }
+    println!(
+        "  GC bandwidth {:.1} GB/s | energy {:.4} J | allocated {:.1} MB",
+        r.gc_bandwidth_gbps(),
+        r.energy.total_j(),
+        r.allocated_bytes as f64 / 1e6
+    );
+    if let Some(d) = &r.device {
+        println!("  offloads: {}", d.total_offloads());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("workloads (Table 3, scaled):");
+            for w in table3() {
+                println!("  {w}");
+            }
+            println!("platforms: {}", PLATFORMS.join(", "));
+            ExitCode::SUCCESS
+        }
+        Some("config") => {
+            println!("{}", charon::sim::config::SystemConfig::table2_ddr4());
+            ExitCode::SUCCESS
+        }
+        Some("area") => {
+            println!("{}", charon::accel::area::report());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let parsed = match parse_flags(&args[2..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let Some(sys) = system_by_label(&parsed.platform) else {
+                eprintln!("unknown platform {}", parsed.platform);
+                return usage();
+            };
+            match run_workload(&spec, sys, &parsed.opts) {
+                Ok(r) => {
+                    print_result(&r);
+                    println!(
+                        "  traffic: dram {}, off-chip {}, locality {:.0}%",
+                        r.traffic.dram,
+                        r.traffic.offchip,
+                        r.local_ratio() * 100.0
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("compare") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let parsed = match parse_flags(&args[2..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let mut base = None;
+            for p in PLATFORMS {
+                let sys = system_by_label(p).expect("known platform");
+                match run_workload(&spec, sys, &parsed.opts) {
+                    Ok(r) => {
+                        let b = *base.get_or_insert(r.gc_time);
+                        println!(
+                            "{p:<16} GC {:>12}  speedup {:>6.2}x  energy {:>8.4} J",
+                            r.gc_time.to_string(),
+                            b.0 as f64 / r.gc_time.0.max(1) as f64,
+                            r.energy.total_j()
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("{p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

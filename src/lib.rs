@@ -1,0 +1,11 @@
+//! # charon — facade crate
+//!
+//! Re-exports the whole Charon reproduction workspace. See the individual
+//! crates for details; this crate exists so that examples and integration
+//! tests can `use charon::...` a single dependency.
+
+pub use charon_core as accel;
+pub use charon_gc as gc;
+pub use charon_heap as heap;
+pub use charon_sim as sim;
+pub use charon_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Whole-stack integration: workloads → collector → device → simulator,
+//! across every platform, checking the cross-crate invariants no unit
+//! test can see.
+
+use charon::gc::collector::Collector;
+use charon::gc::system::System;
+use charon::gc::verify::graph_signature;
+use charon::heap::heap::{HeapConfig, JavaHeap};
+use charon::heap::layout::LayoutParams;
+use charon::sim::time::Ps;
+use charon::workloads::mutator::Mutator;
+use charon::workloads::spec::by_short;
+use charon::workloads::{run_workload, RunOptions};
+
+fn quick_opts() -> RunOptions {
+    RunOptions { supersteps: Some(5), ..Default::default() }
+}
+
+#[test]
+fn platform_ordering_holds_for_every_workload() {
+    // Ideal lower-bounds Charon; Charon beats the plain HMC host; energy
+    // follows time downward. These are Fig. 12/17's structural claims.
+    for short in ["BS", "KM", "LR", "ALS"] {
+        let spec = by_short(short).unwrap();
+        let hmc = run_workload(&spec, System::hmc(), &quick_opts()).unwrap();
+        let charon = run_workload(&spec, System::charon(), &quick_opts()).unwrap();
+        let ideal = run_workload(&spec, System::ideal(), &quick_opts()).unwrap();
+        assert!(
+            charon.gc_time < hmc.gc_time,
+            "{short}: Charon ({}) must beat the HMC host ({})",
+            charon.gc_time,
+            hmc.gc_time
+        );
+        assert!(
+            ideal.gc_time < charon.gc_time,
+            "{short}: Ideal ({}) must lower-bound Charon ({})",
+            ideal.gc_time,
+            charon.gc_time
+        );
+        assert!(
+            charon.energy.total_j() < hmc.energy.total_j(),
+            "{short}: offloading must also save energy"
+        );
+    }
+}
+
+#[test]
+fn functional_results_identical_on_all_platforms() {
+    // Timing backends may differ wildly; allocation, collection counts and
+    // the final object graph may not.
+    let spec = by_short("CC").unwrap();
+    let mut fingerprints = Vec::new();
+    for sys in [System::ddr4(), System::hmc(), System::charon(), System::cpu_side(), System::ideal()] {
+        let mut heap = JavaHeap::new(HeapConfig {
+            layout: LayoutParams { heap_bytes: spec.default_heap_bytes(), ..Default::default() },
+            ..Default::default()
+        });
+        let mut m = Mutator::new(spec.clone(), &mut heap);
+        let mut gc = Collector::new(sys, &heap, 8);
+        m.build_resident(&mut heap, &mut gc).unwrap();
+        for _ in 0..5 {
+            m.superstep(&mut heap, &mut gc).unwrap();
+        }
+        let (sig, stats) = graph_signature(&heap);
+        fingerprints.push((sig, stats.objects, stats.bytes, gc.events.len(), m.allocated_bytes));
+    }
+    for fp in &fingerprints[1..] {
+        assert_eq!(fp, &fingerprints[0], "a timing backend changed functional behaviour");
+    }
+}
+
+#[test]
+fn gc_reclaims_everything_the_mutator_drops() {
+    let spec = by_short("KM").unwrap();
+    let mut heap = JavaHeap::new(HeapConfig {
+        layout: LayoutParams { heap_bytes: spec.default_heap_bytes(), ..Default::default() },
+        ..Default::default()
+    });
+    let mut m = Mutator::new(spec.clone(), &mut heap);
+    let mut gc = Collector::new(System::ddr4(), &heap, 8);
+    m.build_resident(&mut heap, &mut gc).unwrap();
+    for _ in 0..6 {
+        m.superstep(&mut heap, &mut gc).unwrap();
+    }
+    // After a full collection the heap holds exactly the reachable bytes.
+    gc.major_gc(&mut heap);
+    let (_, stats) = graph_signature(&heap);
+    assert_eq!(heap.used_bytes(), stats.bytes, "compaction must leave only live bytes");
+}
+
+#[test]
+fn gc_threads_sweep_is_monotonic_enough() {
+    // More GC threads must not make Charon slower by more than noise
+    // (Fig. 15's premise); 8 threads must clearly beat 1.
+    let spec = by_short("LR").unwrap();
+    let t1 = run_workload(&spec, System::charon(), &RunOptions { gc_threads: 1, supersteps: Some(5), ..Default::default() })
+        .unwrap()
+        .gc_time;
+    let t8 = run_workload(&spec, System::charon(), &RunOptions { gc_threads: 8, supersteps: Some(5), ..Default::default() })
+        .unwrap()
+        .gc_time;
+    assert!(t8.0 as f64 <= 0.7 * t1.0 as f64, "8 threads ({t8}) should beat 1 thread ({t1})");
+}
+
+#[test]
+fn device_stats_reconcile_with_gc_activity() {
+    let spec = by_short("BS").unwrap();
+    let r = run_workload(&spec, System::charon(), &quick_opts()).unwrap();
+    let d = r.device.expect("charon backend has a device");
+    assert!(d.total_offloads() > 0);
+    // Copy moved at least the surviving+promoted bytes (each byte read and
+    // written once per move).
+    assert!(d.prim(charon::accel::PrimType::Copy).bytes > 0);
+    assert!(r.gc_dram_bytes > 0);
+    assert!(r.traffic.dram.total_bytes() >= r.gc_dram_bytes);
+    // The run advanced simulated time.
+    assert!(r.gc_time > Ps::ZERO && r.mutator_time > Ps::ZERO);
+}
+
+#[test]
+fn heap_factor_never_ooms_at_or_above_one() {
+    for short in ["BS", "KM", "LR", "CC", "PR", "ALS"] {
+        let spec = by_short(short).unwrap();
+        for factor in [1.0, 1.25] {
+            run_workload(
+                &spec,
+                System::ddr4(),
+                &RunOptions { heap_factor: Some(factor), supersteps: Some(spec.supersteps), ..Default::default() },
+            )
+            .unwrap_or_else(|e| panic!("{short} at {factor}x min heap: {e}"));
+        }
+    }
+}
