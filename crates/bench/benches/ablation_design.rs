@@ -29,10 +29,10 @@ fn main() {
     print_row("offloaded", &["speedup".into()]);
     for (label, mask) in [
         ("none (=HMC)", OffloadMask::none()),
-        ("copy only", OffloadMask::only("copy")),
-        ("search only", OffloadMask::only("search")),
-        ("scan&push only", OffloadMask::only("scan_push")),
-        ("bitmap only", OffloadMask::only("bitmap_count")),
+        ("copy only", OffloadMask::only("copy").expect("known primitive")),
+        ("search only", OffloadMask::only("search").expect("known primitive")),
+        ("scan&push only", OffloadMask::only("scan&push").expect("known primitive")),
+        ("bitmap only", OffloadMask::only("bitmap_count").expect("known primitive")),
         ("all (paper)", OffloadMask::all()),
     ] {
         let mut sys = System::charon();
@@ -47,7 +47,11 @@ fn main() {
     for entries in [4usize, 16, 64, 256] {
         let mut sys = System::charon();
         sys.cfg.charon.mai_entries = entries;
-        let dev = charon_core::CharonDevice::new(&sys.cfg, charon_core::Placement::MemorySide, charon_core::StructureMode::Table4);
+        let dev = charon_core::CharonDevice::new(
+            &sys.cfg,
+            charon_core::Placement::MemorySide,
+            charon_core::StructureMode::Table4,
+        );
         sys.device = Some(dev);
         let t = run_workload(&spec, sys, &opts).expect("no OOM").gc_time;
         print_row(&entries.to_string(), &[speedup(t)]);
@@ -59,7 +63,11 @@ fn main() {
     for units in [4usize, 8, 16] {
         let mut sys = System::charon();
         sys.cfg.charon.copy_search_units = units;
-        let dev = charon_core::CharonDevice::new(&sys.cfg, charon_core::Placement::MemorySide, charon_core::StructureMode::Table4);
+        let dev = charon_core::CharonDevice::new(
+            &sys.cfg,
+            charon_core::Placement::MemorySide,
+            charon_core::StructureMode::Table4,
+        );
         sys.device = Some(dev);
         let t = run_workload(&spec, sys, &opts).expect("no OOM").gc_time;
         print_row(&units.to_string(), &[speedup(t)]);
@@ -75,9 +83,6 @@ fn main() {
         let mut c = System::charon();
         c.host.prefetch_enabled = on;
         let tc = run_workload(&spec, c, &opts).expect("no OOM").gc_time;
-        print_row(
-            if on { "on (default)" } else { "off" },
-            &[td.to_string(), ratio(td.0 as f64 / tc.0.max(1) as f64)],
-        );
+        print_row(if on { "on (default)" } else { "off" }, &[td.to_string(), ratio(td.0 as f64 / tc.0.max(1) as f64)]);
     }
 }

@@ -33,8 +33,5 @@ fn main() {
         print_row(spec.short, &cells);
     }
     println!("worst overhead observed: {} (paper: up to 365%)", pct(worst));
-    println!(
-        "mean overhead at 2.0x min: {} (paper: >= 15%)",
-        pct(at_2x.iter().sum::<f64>() / at_2x.len() as f64)
-    );
+    println!("mean overhead at 2.0x min: {} (paper: >= 15%)", pct(at_2x.iter().sum::<f64>() / at_2x.len() as f64));
 }

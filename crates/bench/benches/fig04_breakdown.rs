@@ -13,8 +13,15 @@ use charon_workloads::{table3, Framework, RunOptions};
 
 fn print_table(kind: &str, get: impl Fn(&charon_workloads::RunResult) -> Breakdown) {
     println!();
-    println!("Figure 4{}: {kind} runtime breakdown (DDR4 host, fraction of GC time)", if kind == "MinorGC" { "a" } else { "b" });
-    let cols: Vec<String> = Bucket::ALL.iter().map(|b| b.to_string()).chain(["offloadable".into()]).collect();
+    println!(
+        "Figure 4{}: {kind} runtime breakdown (DDR4 host, fraction of GC time)",
+        if kind == "MinorGC" { "a" } else { "b" }
+    );
+    let cols: Vec<String> = Bucket::ALL
+        .iter()
+        .map(|b| b.to_string())
+        .chain(["offloadable".into()])
+        .collect();
     print_row("workload", &cols);
 
     // A slightly tighter heap than the default so every workload reaches a

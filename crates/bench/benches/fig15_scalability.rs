@@ -36,9 +36,11 @@ fn main() {
                 let opts = RunOptions { gc_threads: t, ..Default::default() };
                 let gc_time = match mk {
                     None => run(&spec, "DDR4", &opts).gc_time,
-                    Some(mode) => run_workload(&spec, System::charon_structured(mode), &opts)
-                        .expect("no OOM")
-                        .gc_time,
+                    Some(mode) => {
+                        run_workload(&spec, System::charon_structured(mode), &opts)
+                            .expect("no OOM")
+                            .gc_time
+                    }
                 };
                 cells.push(ratio(base.0 as f64 / gc_time.0.max(1) as f64));
             }

@@ -27,11 +27,7 @@ fn main() {
         ratios.push(r);
         print_row(
             spec.short,
-            &[
-                ratio(base.0 as f64 / cpu.0.max(1) as f64),
-                ratio(base.0 as f64 / mem.0.max(1) as f64),
-                ratio(r),
-            ],
+            &[ratio(base.0 as f64 / cpu.0.max(1) as f64), ratio(base.0 as f64 / mem.0.max(1) as f64), ratio(r)],
         );
     }
     let g = geomean(&ratios);

@@ -20,7 +20,11 @@ fn main() {
     let mut vs_ddr4 = Vec::new();
     let mut vs_hmc = Vec::new();
     for spec in table3() {
-        let e: Vec<f64> = PLATFORMS.iter().take(3).map(|p| run(&spec, p, &opts).energy.total_j()).collect();
+        let e: Vec<f64> = PLATFORMS
+            .iter()
+            .take(3)
+            .map(|p| run(&spec, p, &opts).energy.total_j())
+            .collect();
         let cells: Vec<String> = e.iter().map(|&j| pct(j / e[0])).collect();
         vs_ddr4.push(1.0 - e[2] / e[0]);
         vs_hmc.push(1.0 - e[2] / e[1]);

@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the functional kernels and hot simulator paths —
+//! real wall-clock performance of this library (as opposed to the other
+//! bench targets, which report *simulated* time).
+//!
+//! Uses a plain `std::time::Instant` harness instead of criterion so the
+//! workspace builds with no registry access (see README "Building
+//! offline").
+
+use charon_heap::addr::{VAddr, VRange};
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::markbitmap::{live_words_fast, live_words_naive, mark_object, MarkBitmap};
+use charon_heap::mem::HeapMemory;
+use charon_sim::bwres::EpochBw;
+use charon_sim::cache::{AccessKind, Cache};
+use charon_sim::config::HostConfig;
+use charon_sim::time::{Bandwidth, Ps};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `iters` calls of `f` after a short warmup and prints ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "{name:<48} {:>10.1} ns/iter   ({iters} iters, {:.1} ms total)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64() * 1e3,
+    );
+}
+
+fn bitmaps() -> (HeapMemory, MarkBitmap, MarkBitmap, VAddr) {
+    let mut mem = HeapMemory::new(VAddr(0x10000), 0x80000);
+    let covered = VRange::new(VAddr(0x10000), VAddr(0x10000 + 32 * 1024 * 8));
+    let beg = MarkBitmap::new(VRange::new(VAddr(0x60000), VAddr(0x68000)), covered);
+    let end = MarkBitmap::new(VRange::new(VAddr(0x70000), VAddr(0x78000)), covered);
+    // Alternate live/dead runs.
+    let mut w = 0;
+    while w + 24 < 32 * 1024 {
+        mark_object(&mut mem, &beg, &end, covered.start.add_words(w), 16);
+        w += 24;
+    }
+    (mem, beg, end, covered.start)
+}
+
+fn bench_bitmap_count() {
+    let (mem, beg, end, base) = bitmaps();
+    bench("live_words/4KB naive (Fig. 8 bit loop)", 20_000, || {
+        black_box(live_words_naive(&mem, &beg, &end, black_box(base), base.add_words(512), false));
+    });
+    bench("live_words/4KB fast (subtract+popcount, §4.3)", 200_000, || {
+        black_box(live_words_fast(&mem, &beg, &end, black_box(base), base.add_words(512), false));
+    });
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new("l1", HostConfig::table2().l1d);
+    let mut i = 0u64;
+    bench("cache/set-associative access", 1_000_000, || {
+        i = i.wrapping_add(64);
+        black_box(cache.access(i % (1 << 20), AccessKind::Read));
+    });
+}
+
+fn bench_epoch_bw() {
+    let mut lane = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+    let mut t = 0u64;
+    bench("bwres/epoch reservation (mixed skew)", 1_000_000, || {
+        t = t.wrapping_add(100_000);
+        black_box(lane.reserve(Ps(t % 1_000_000_000), 256));
+    });
+}
+
+fn bench_alloc() {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(16 << 20));
+    let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    bench("heap/alloc_eden + header init", 1_000_000, || {
+        if heap.eden().free_bytes() < 4096 {
+            heap.reset_young();
+        }
+        black_box(heap.alloc_eden(k, 62));
+    });
+}
+
+fn bench_minor_gc() {
+    use charon_gc::collector::Collector;
+    use charon_gc::system::System;
+    bench("gc/minor collection (2MB live, DDR4 timing)", 40, || {
+        let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(16 << 20));
+        let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+        let mut gc = Collector::new(System::ddr4(), &heap, 8);
+        for i in 0..2000 {
+            let a = gc.alloc(&mut heap, k, 126).expect("fits");
+            if i % 4 == 0 {
+                heap.add_root(a);
+            }
+        }
+        gc.minor_gc(&mut heap);
+        black_box(gc.gc_total_time());
+    });
+}
+
+fn main() {
+    bench_bitmap_count();
+    bench_cache();
+    bench_epoch_bw();
+    bench_alloc();
+    bench_minor_gc();
+}

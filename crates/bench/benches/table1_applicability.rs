@@ -73,13 +73,14 @@ fn main() {
         charon_gc::g1lite::g1_mixed_collect(&mut gc.sys, &mut heap, &mut threads, m.klasses().data_array);
     let after = gc.sys.device.as_ref().expect("device").stats().clone();
     let d = |p: PrimType| after.prim(p).offloads > before.prim(p).offloads;
+    let g1_note = format!("Low latency (measured; {} regions evacuated)", g1s.collection_set);
     println!(
         "{:<18}{:>12}{:>12}{:>14}  {}",
         "G1",
         mark(d(PrimType::Copy) || ps.prim(PrimType::Search).offloads > 0, true),
         mark(d(PrimType::ScanPush), true),
         mark(d(PrimType::BitmapCount), false),
-        format!("Low latency (measured; {} regions evacuated)", g1s.collection_set)
+        g1_note
     );
 
     // CMS-style mark-sweep: measured — no compaction, so Bitmap Count
@@ -98,12 +99,13 @@ fn main() {
     let after = gc.sys.device.as_ref().expect("device").stats().clone();
     let bc_fired = after.prim(PrimType::BitmapCount).offloads > before.prim(PrimType::BitmapCount).offloads;
     let sp_fired = after.prim(PrimType::ScanPush).offloads > before.prim(PrimType::ScanPush).offloads;
+    let cms_note = format!("No compaction (measured; swept {} KB)", sweep.freed_bytes / 1024);
     println!(
         "{:<18}{:>12}{:>12}{:>14}  {}",
         "CMS",
         mark(before.prim(PrimType::Copy).offloads > 0, true), // young scavenges still copy
         mark(sp_fired, true),
         mark(bc_fired, false),
-        format!("No compaction (measured; swept {} KB)", sweep.freed_bytes / 1024)
+        cms_note
     );
 }

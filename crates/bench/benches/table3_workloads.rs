@@ -6,10 +6,7 @@ use charon_workloads::table3;
 
 fn main() {
     banner("Table 3: Workloads", "paper heaps scaled ~1/256; synthetic datasets reproduce demographics");
-    println!(
-        "{:<10}{:<28}{:<28}{:>12}{:>14}",
-        "", "Workload", "Dataset (paper)", "Heap(paper)", "Heap(scaled)"
-    );
+    println!("{:<10}{:<28}{:<28}{:>12}{:>14}", "", "Workload", "Dataset (paper)", "Heap(paper)", "Heap(scaled)");
     for w in table3() {
         println!(
             "{:<10}{:<28}{:<28}{:>12}{:>11} MB",

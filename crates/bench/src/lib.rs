@@ -31,8 +31,7 @@ pub fn system_by_label(label: &str) -> System {
 /// Runs one workload on one platform with default options (or the given
 /// overrides), panicking on OOM — benches are sized never to OOM.
 pub fn run(spec: &WorkloadSpec, label: &str, opts: &RunOptions) -> RunResult {
-    run_workload(spec, system_by_label(label), opts)
-        .unwrap_or_else(|e| panic!("{} on {label}: {e}", spec.short))
+    run_workload(spec, system_by_label(label), opts).unwrap_or_else(|e| panic!("{} on {label}: {e}", spec.short))
 }
 
 /// Geometric mean of a non-empty slice.

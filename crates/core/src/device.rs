@@ -29,6 +29,7 @@ use crate::sched::Scheduler;
 use crate::tlb::{AccelTlb, TlbMode};
 use crate::units::UnitPool;
 use charon_heap::addr::VAddr;
+use charon_sim::bwres::{BatchCompletion, BwOccupancy};
 use charon_sim::cache::AccessKind;
 use charon_sim::config::SystemConfig;
 use charon_sim::dram::DramOp;
@@ -196,7 +197,11 @@ impl fmt::Display for CharonStats {
             writeln!(
                 f,
                 "{p}: {} offloads, busy {}, {:.2} MB, transport {}, queue {}",
-                s.offloads, s.busy, s.bytes as f64 / 1e6, s.transport, s.queue
+                s.offloads,
+                s.busy,
+                s.bytes as f64 / 1e6,
+                s.transport,
+                s.queue
             )?;
         }
         Ok(())
@@ -366,6 +371,48 @@ impl CharonDevice {
         done
     }
 
+    /// A batched streaming run: `bytes` of contiguous memory issued as one
+    /// run of [`STREAM_GRANULE`]-sized unit requests. The run occupies one
+    /// MAI window slot for its head, takes one cube issue cycle per chunk
+    /// (metered as a batch), translates once at the head (the unit's
+    /// sequential walk reuses the translation), and streams the fabric
+    /// accesses through [`charon_sim::host::MemFabric::access_many`].
+    ///
+    /// Returns the completion of the head chunk (for dependent consumers
+    /// that pipeline on the first datum) and of the whole run.
+    #[allow(clippy::too_many_arguments)]
+    fn unit_stream_run(
+        &mut self,
+        host: &mut HostTiming,
+        stream: &mut charon_sim::issue::Window,
+        cube: usize,
+        addr: VAddr,
+        bytes: u64,
+        op: DramOp,
+        now: Ps,
+    ) -> BatchCompletion {
+        debug_assert!(bytes > 0);
+        let chunks = bytes.div_ceil(STREAM_GRANULE).max(1);
+        let mi = self.mai_idx(cube);
+        let issued = self.mai[mi].issue_many(stream, now, chunks);
+        let t = match self.placement {
+            Placement::MemorySide => {
+                let dest = host.fabric.cube_of(addr.0).unwrap_or(0);
+                self.tlb.translate(&mut host.fabric, cube, dest, issued.first)
+            }
+            Placement::CpuSide => issued.first + self.cfg.charon.unit_freq.period(),
+        };
+        let run = host.fabric.access_many(self.node_of(cube), addr.0, bytes, op, t);
+        let last = run.last.max(issued.last);
+        stream.complete(last);
+        BatchCompletion { first: run.first, last }
+    }
+
+    /// Aggregate MAI issue-meter occupancy across all cubes.
+    pub fn mai_occupancy(&self) -> BwOccupancy {
+        self.mai.iter().map(Mai::occupancy).fold(BwOccupancy::default(), |a, b| a + b)
+    }
+
     /// Invalidates the host-cached lines of `[start, start+bytes)` before a
     /// unit touches them (§4.1). Dirty hits are written back to memory
     /// before `now`; returns the time the region is safe to read.
@@ -396,7 +443,8 @@ impl CharonDevice {
     fn send_response(&mut self, host: &mut HostTiming, cube: usize, prim: PrimType, done: Ps) -> Ps {
         match self.placement {
             Placement::MemorySide => {
-                host.fabric.control_packet(Node::Cube(cube), Node::Host, prim.response_bytes(), done)
+                host.fabric
+                    .control_packet(Node::Cube(cube), Node::Host, prim.response_bytes(), done)
             }
             Placement::CpuSide => done,
         }
@@ -454,24 +502,12 @@ impl CharonDevice {
         let flushed = self.clflush_range(host, dst, bytes, flushed);
 
         // Reads stream out one per cycle as long as the MAI accepts
-        // (§4.2); each chunk's store issues when its load returns, without
-        // blocking later loads.
+        // (§4.2); the store stream starts when the head load returns and
+        // overlaps the remaining loads (chunk-pipelined, batched).
         let mut stream = self.mai[self.mai_idx(cube)].stream();
-        let chunks = bytes.div_ceil(STREAM_GRANULE);
-        let mut read_done = Vec::with_capacity(chunks as usize);
-        for i in 0..chunks {
-            let off = i * STREAM_GRANULE;
-            let len = STREAM_GRANULE.min(bytes - off) as u32;
-            read_done.push(self.unit_mem(host, &mut stream, cube, src.add_bytes(off), len, DramOp::Read, flushed));
-        }
-        let mut end = flushed;
-        for i in 0..chunks {
-            let off = i * STREAM_GRANULE;
-            let len = STREAM_GRANULE.min(bytes - off) as u32;
-            let w_done =
-                self.unit_mem(host, &mut stream, cube, dst.add_bytes(off), len, DramOp::Write, read_done[i as usize]);
-            end = end.max(w_done);
-        }
+        let reads = self.unit_stream_run(host, &mut stream, cube, src, bytes, DramOp::Read, flushed);
+        let writes = self.unit_stream_run(host, &mut stream, cube, dst, bytes, DramOp::Write, reads.first);
+        let end = reads.last.max(writes.last);
         let served = self.copy_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
         let end = end.max(served);
@@ -493,14 +529,9 @@ impl CharonDevice {
         let flushed = self.clflush_range(host, start_addr, scanned_bytes, start);
 
         let mut stream = self.mai[self.mai_idx(cube)].stream();
-        let mut end = flushed;
-        let chunks = scanned_bytes.div_ceil(STREAM_GRANULE).max(1);
-        for i in 0..chunks {
-            let off = i * STREAM_GRANULE;
-            let len = STREAM_GRANULE.min(scanned_bytes.saturating_sub(off)).max(MIN_ACCESS as u64) as u32;
-            let done = self.unit_mem(host, &mut stream, cube, start_addr.add_bytes(off), len, DramOp::Read, flushed);
-            end = end.max(done);
-        }
+        let read_bytes = scanned_bytes.max(u64::from(MIN_ACCESS));
+        let run = self.unit_stream_run(host, &mut stream, cube, start_addr, read_bytes, DramOp::Read, flushed);
+        let end = flushed.max(run.last);
         // Search shares the Copy unit (§4.2).
         let served = self.copy_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
@@ -540,19 +571,20 @@ impl CharonDevice {
         let mut total = 0;
         for &(span_start, bytes) in spans {
             if bytes <= CACHED_SPAN_LIMIT {
-                let done =
-                    self.bitmap_cache.access_range(&mut host.fabric, cube, span_start.0, bytes, AccessKind::Read, start);
+                let done = self.bitmap_cache.access_range(
+                    &mut host.fabric,
+                    cube,
+                    span_start.0,
+                    bytes,
+                    AccessKind::Read,
+                    start,
+                );
                 end = end.max(done);
                 total += bytes;
             } else {
-                let chunks = bytes.div_ceil(STREAM_GRANULE);
-                for i in 0..chunks {
-                    let off = i * STREAM_GRANULE;
-                    let len = STREAM_GRANULE.min(bytes - off).max(MIN_ACCESS as u64) as u32;
-                    let done = self.unit_mem(host, &mut stream, cube, span_start.add_bytes(off), len, DramOp::Read, start);
-                    end = end.max(done);
-                    total += u64::from(len);
-                }
+                let run = self.unit_stream_run(host, &mut stream, cube, span_start, bytes, DramOp::Read, start);
+                end = end.max(run.last);
+                total += bytes;
             }
         }
         let served = self.bc_units.charge(cube, start, end - start);
@@ -566,6 +598,11 @@ impl CharonDevice {
     /// Offloads a *Scan&Push* over an object whose reference fields occupy
     /// `field_bytes` starting at `fields_start`; `refs` describes each
     /// non-null referent and the dependent action (§4.4).
+    ///
+    /// Unlike Copy/Search/Bitmap Count, this primitive stays on the
+    /// per-request path: its referent-header loads are irregular and its
+    /// actions depend on each header's return time, so batching the runs
+    /// would erase exactly the dependent-load behaviour §4.4 models.
     pub fn offload_scan_push(
         &mut self,
         host: &mut HostTiming,
@@ -625,8 +662,12 @@ impl CharonDevice {
                 ScanAction::MarkAndPush { beg_word, end_word, stack_slot } => {
                     // mark_obj: atomic RMWs on the begin and end map words,
                     // served by the bitmap cache (§4.5).
-                    let m1 = self.bitmap_cache.access(&mut host.fabric, cube, beg_word.0, AccessKind::Write, h_done);
-                    let m2 = self.bitmap_cache.access(&mut host.fabric, cube, end_word.0, AccessKind::Write, m1);
+                    let m1 = self
+                        .bitmap_cache
+                        .access(&mut host.fabric, cube, beg_word.0, AccessKind::Write, h_done);
+                    let m2 = self
+                        .bitmap_cache
+                        .access(&mut host.fabric, cube, end_word.0, AccessKind::Write, m1);
                     self.unit_mem(host, &mut stream, cube, stack_slot, MIN_ACCESS, DramOp::Write, m2)
                 }
                 ScanAction::None => h_done,
@@ -671,7 +712,7 @@ mod tests {
         let s = dev.stats().prim(PrimType::Copy);
         assert_eq!(s.offloads, 1);
         assert_eq!(s.bytes, 8192); // read + write
-        // DRAM saw the traffic.
+                                   // DRAM saw the traffic.
         assert!(host.fabric.stats().dram.total_bytes() >= 8192);
     }
 
@@ -693,10 +734,7 @@ mod tests {
         let t_mem = d1.offload_copy(&mut h1, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
         let (mut h2, mut d2) = setup(Placement::CpuSide);
         let t_cpu = d2.offload_copy(&mut h2, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
-        assert!(
-            t_cpu.0 as f64 > 1.2 * t_mem.0 as f64,
-            "CPU-side ({t_cpu}) should trail memory-side ({t_mem})"
-        );
+        assert!(t_cpu.0 as f64 > 1.2 * t_mem.0 as f64, "CPU-side ({t_cpu}) should trail memory-side ({t_mem})");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   metered across all units with epoch accounting so that
 //!   loosely-ordered GC threads don't serialize spuriously.
 
-use charon_sim::bwres::EpochBw;
+use charon_sim::bwres::{BatchCompletion, BwOccupancy, EpochBw};
 use charon_sim::issue::Window;
 use charon_sim::time::{Freq, Ps};
 
@@ -56,6 +56,23 @@ impl Mai {
         let slot = stream.issue(now);
         self.rate.reserve(slot, 1)
     }
+
+    /// Issues `n` requests of one streaming run together at `now`: the run
+    /// takes one buffer slot for its head (batched-MLP simplification — a
+    /// streaming unit's run occupies the window as one logical request)
+    /// and `n` cube issue cycles metered as a batch. Returns when the
+    /// first and last request leave the cube.
+    pub fn issue_many(&mut self, stream: &mut Window, now: Ps, n: u64) -> BatchCompletion {
+        debug_assert!(n >= 1);
+        self.requests += n;
+        let slot = stream.issue(now);
+        self.rate.reserve_many(slot, n, 1)
+    }
+
+    /// Epoch-meter occupancy of the issue-rate limiter.
+    pub fn occupancy(&self) -> BwOccupancy {
+        self.rate.occupancy()
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +106,30 @@ mod tests {
         let t2 = m.issue(&mut s, Ps::ZERO);
         assert!(t2 >= Ps::from_ns(100.0), "{t2}");
         assert_eq!(m.requests(), 3);
+    }
+
+    #[test]
+    fn issue_many_matches_single_issue_metering() {
+        let mut a = Mai::new(64, Freq::ghz(1.0));
+        let mut b = Mai::new(64, Freq::ghz(1.0));
+        let mut sa = a.stream();
+        let run = a.issue_many(&mut sa, Ps::ZERO, 500);
+        sa.complete(run.last);
+        let mut first = Ps::ZERO;
+        let mut last = Ps::ZERO;
+        for i in 0..500 {
+            // Same meter sequence: every request of the batch enters the
+            // rate limiter at the head slot's time.
+            let t = b.rate.reserve(Ps::ZERO, 1);
+            if i == 0 {
+                first = t;
+            }
+            last = last.max(t);
+        }
+        assert_eq!(run.first, first);
+        assert_eq!(run.last, last);
+        assert_eq!(a.requests(), 500);
+        assert_eq!(a.occupancy().total_units, b.occupancy().total_units);
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl AccelTlb {
         };
         AccelTlb {
             mode,
-            ports: (0..ports).map(|_| EpochBw::from_period(unit_freq.period(), TLB_EPOCH)).collect(),
+            ports: (0..ports)
+                .map(|_| EpochBw::from_period(unit_freq.period(), TLB_EPOCH))
+                .collect(),
             entries_per_cube,
             lookups: 0,
             remote_lookups: 0,

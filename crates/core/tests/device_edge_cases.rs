@@ -159,10 +159,6 @@ fn general_component_energy_is_negligible() {
     let e = dev.component_energy();
     assert!(e.total_pj() > 0.0);
     let general = e.general_fraction();
-    assert!(
-        general < 0.05,
-        "general components should be negligible (paper max 3.18%), got {:.2}%",
-        general * 100.0
-    );
+    assert!(general < 0.05, "general components should be negligible (paper max 3.18%), got {:.2}%", general * 100.0);
     assert!(general > 0.0, "but not zero — the structures do switch");
 }

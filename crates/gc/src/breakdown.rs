@@ -4,6 +4,7 @@
 //! runtime breakdowns (Fig. 4a/4b) and per-primitive speedups (Fig. 14)
 //! are ratios over these.
 
+use charon_sim::bwres::BwOccupancy;
 use charon_sim::time::Ps;
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -31,15 +32,8 @@ pub enum Bucket {
 
 impl Bucket {
     /// All buckets in display order.
-    pub const ALL: [Bucket; 7] = [
-        Bucket::Search,
-        Bucket::ScanPush,
-        Bucket::Copy,
-        Bucket::BitmapCount,
-        Bucket::Pop,
-        Bucket::Push,
-        Bucket::Other,
-    ];
+    pub const ALL: [Bucket; 7] =
+        [Bucket::Search, Bucket::ScanPush, Bucket::Copy, Bucket::BitmapCount, Bucket::Pop, Bucket::Push, Bucket::Other];
 
     /// Whether Charon offloads this bucket's work (§3.3).
     pub fn offloadable(self) -> bool {
@@ -67,6 +61,9 @@ impl fmt::Display for Bucket {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
     buckets: [Ps; 7],
+    /// Bandwidth-meter occupancy the collection generated across the
+    /// memory fabric (total/spilled units, clamped late reservations).
+    bw: BwOccupancy,
 }
 
 impl Breakdown {
@@ -109,6 +106,20 @@ impl Breakdown {
     pub fn offloadable_fraction(&self) -> f64 {
         Bucket::ALL.iter().filter(|b| b.offloadable()).map(|&b| self.fraction(b)).sum()
     }
+
+    /// Folds a fabric bandwidth-occupancy delta into this breakdown
+    /// (recorded once per collection by the collector).
+    pub fn record_bw(&mut self, bw: BwOccupancy) {
+        self.bw += bw;
+    }
+
+    /// The bandwidth-meter occupancy this breakdown accumulated. A nonzero
+    /// `spilled_units` or `late_reservations` flags that agent clocks
+    /// skewed past the metering window during the collection, i.e. the
+    /// timing is conservative rather than exact.
+    pub fn bw(&self) -> BwOccupancy {
+        self.bw
+    }
 }
 
 impl Add for Breakdown {
@@ -118,6 +129,7 @@ impl Add for Breakdown {
         for (i, v) in rhs.buckets.iter().enumerate() {
             out.buckets[i] += *v;
         }
+        out.bw += rhs.bw;
         out
     }
 }
@@ -134,6 +146,15 @@ impl fmt::Display for Breakdown {
             if self.get(b) > Ps::ZERO {
                 write!(f, "{b}: {} ({:.1}%)  ", self.get(b), self.fraction(b) * 100.0)?;
             }
+        }
+        if self.bw.total_units > 0 {
+            write!(
+                f,
+                "[bw: {:.2} MB metered, {} spilled, {} late]",
+                self.bw.total_units as f64 / 1e6,
+                self.bw.spilled_units,
+                self.bw.late_reservations
+            )?;
         }
         Ok(())
     }
@@ -177,6 +198,21 @@ mod tests {
         assert_eq!(c.get(Bucket::Push), Ps(1));
         a += b;
         assert_eq!(a.get(Bucket::Pop), Ps(12));
+    }
+
+    #[test]
+    fn bw_occupancy_folds_and_displays() {
+        let mut a = Breakdown::new();
+        a.record(Bucket::Copy, Ps(100));
+        a.record_bw(BwOccupancy { total_units: 1 << 20, spilled_units: 3, late_reservations: 1 });
+        let mut b = Breakdown::new();
+        b.record_bw(BwOccupancy { total_units: 1 << 20, spilled_units: 0, late_reservations: 0 });
+        let c = a + b;
+        assert_eq!(c.bw().total_units, 2 << 20);
+        assert_eq!(c.bw().spilled_units, 3);
+        assert_eq!(c.bw().late_reservations, 1);
+        let s = c.to_string();
+        assert!(s.contains("spilled"), "occupancy missing from display: {s}");
     }
 
     #[test]

@@ -175,10 +175,11 @@ impl Collector {
         }
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
+        let bw_before = self.sys.host.fabric.occupancy();
         let mut threads = GcThreads::new(self.gc_threads, start);
         self.sys.host.barrier(start);
 
-        let (breakdown, minor, major) = match kind {
+        let (mut breakdown, minor, major) = match kind {
             GcKind::Minor => {
                 let (bd, st) = minor_gc(&mut self.sys, heap, &mut threads);
                 (bd, Some(st), None)
@@ -192,9 +193,11 @@ impl Collector {
         let wall = end - start;
         let host_active = threads.total_host_active();
         let dram_bytes = self.sys.dram_bytes() - dram_before;
+        breakdown.record_bw(self.sys.host.fabric.occupancy() - bw_before);
         self.sys.charge_gc_energy(wall, self.gc_threads, host_active, dram_bytes);
         self.now = end;
-        self.events.push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });
+        self.events
+            .push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });
         self.events.last().expect("just pushed")
     }
 

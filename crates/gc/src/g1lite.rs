@@ -155,8 +155,7 @@ pub fn g1_mixed_collect(
     // straddles into or out of (a full G1 never splits objects across its
     // own region moves; we skip straddled regions for the same reason).
     let boundaries: Vec<u64> = {
-        let mut b: Vec<u64> =
-            heap.walk_objects(heap.old().start(), heap.old().top()).map(|o| o.0).collect();
+        let mut b: Vec<u64> = heap.walk_objects(heap.old().start(), heap.old().top()).map(|o| o.0).collect();
         b.push(heap.old().top().0);
         b
     };

@@ -101,8 +101,7 @@ impl CompactPlan {
     /// Count* use the paper offloads (Fig. 8).
     pub fn new_addr(&self, heap: &JavaHeap, obj: VAddr) -> (VAddr, VRange) {
         let r = self.region_of(obj);
-        let (tail, _, _) =
-            live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), r.range.start, obj, r.carry_in);
+        let (tail, _, _) = live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), r.range.start, obj, r.carry_in);
         let words = r.dest_prefix_words + tail;
         (self.dest_base.add_words(words), VRange::new(r.range.start, obj))
     }
@@ -115,12 +114,11 @@ impl CompactPlan {
     /// was actually read (possibly empty).
     pub fn new_addr_cached(&self, heap: &JavaHeap, cache: &mut LastQuery, obj: VAddr) -> (VAddr, VRange) {
         let r = self.region_of(obj);
-        let (span_start, carry_in, base_live) =
-            if cache.region_start == Some(r.range.start) && obj >= cache.last_addr {
-                (cache.last_addr, cache.carry, cache.live_words)
-            } else {
-                (r.range.start, r.carry_in, 0)
-            };
+        let (span_start, carry_in, base_live) = if cache.region_start == Some(r.range.start) && obj >= cache.last_addr {
+            (cache.last_addr, cache.carry, cache.live_words)
+        } else {
+            (r.range.start, r.carry_in, 0)
+        };
         let (delta, carry_out, _) =
             live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), span_start, obj, carry_in);
         let live = base_live + delta;
@@ -257,8 +255,7 @@ pub(crate) fn mark_phase(
             continue;
         }
         // Weak referent of an InstanceRef holder: discovered, not marked.
-        let weak_slot =
-            (kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
+        let weak_slot = (kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
         let mut refs = Vec::new();
         for s in &slots {
             if weak_slot == Some(*s) {
@@ -437,7 +434,6 @@ fn adjust_slot(
     *drain = (*drain).max(mem);
 }
 
-
 /// Charges one `live_words_in_range` query over `span`. Tiny incremental
 /// tails (the common cached case, under four map words) stay on the host on
 /// every backend — §3.3: "operations … are essentially single atomic
@@ -505,10 +501,10 @@ fn compact_phase(
     // HotSpot's collector likewise moves whole dense regions).
     let mut run: Option<(VAddr, VAddr, u64)> = None; // (src, dst, words)
     let flush_run = |sys: &mut System,
-                         heap: &mut JavaHeap,
-                         threads: &mut GcThreads,
-                         bd: &mut Breakdown,
-                         run: &mut Option<(VAddr, VAddr, u64)>| {
+                     heap: &mut JavaHeap,
+                     threads: &mut GcThreads,
+                     bd: &mut Breakdown,
+                     run: &mut Option<(VAddr, VAddr, u64)>| {
         if let Some((src, dst, words)) = run.take() {
             if src != dst {
                 heap.copy_object_words(src, dst, words);
@@ -541,9 +537,7 @@ fn compact_phase(
             st.moved_bytes += size * 8;
         }
         match &mut run {
-            Some((src, dst, words))
-                if src.add_words(*words) == obj && dst.add_words(*words) == new =>
-            {
+            Some((src, dst, words)) if src.add_words(*words) == obj && dst.add_words(*words) == new => {
                 *words += size;
             }
             _ => {
@@ -594,7 +588,10 @@ fn epilogue(
         bm.clear_all(&mut heap.mem);
         let em = *heap.end_map();
         em.clear_all(&mut heap.mem);
-        { let ct = *heap.cards(); ct.clear_all(&mut heap.mem); }
+        {
+            let ct = *heap.cards();
+            ct.clear_all(&mut heap.mem);
+        }
     }
     // The clears are streaming memsets: writes issue back-to-back and
     // overlap in the core's miss window.
@@ -605,7 +602,9 @@ fn epilogue(
         let mut end = start;
         let lines = range.bytes() / 64;
         for i in 0..lines {
-            let done = sys.host.mem_access(t % cores, cursor, range.start.add_bytes(i * 64).0, 64, AccessKind::Write);
+            let done = sys
+                .host
+                .mem_access(t % cores, cursor, range.start.add_bytes(i * 64).0, 64, AccessKind::Write);
             end = end.max(done);
             cursor += sys.compute(2);
         }

@@ -55,11 +55,7 @@ fn offloaded(sys: &System, hardware_iterable: bool) -> bool {
 
 /// Runs one MinorGC. `threads` carries the start time; the caller reads
 /// the end time from the barrier it returns into the thread clocks.
-pub fn minor_gc(
-    sys: &mut System,
-    heap: &mut JavaHeap,
-    threads: &mut GcThreads,
-) -> (Breakdown, MinorStats) {
+pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) -> (Breakdown, MinorStats) {
     let mut bd = Breakdown::new();
     let mut st = MinorStats::default();
     let cores = sys.host.cores();
@@ -126,12 +122,8 @@ pub fn minor_gc(
     while let Some((slot, slot_addr)) = stack.pop() {
         let t = threads.least_loaded();
         let now = threads.clock(t);
-        let end = sys.host_op(
-            t % cores,
-            now,
-            sys.costs.pop,
-            &[(slot_addr, AccessKind::Read), (slot, AccessKind::Read)],
-        );
+        let end =
+            sys.host_op(t % cores, now, sys.costs.pop, &[(slot_addr, AccessKind::Read), (slot, AccessKind::Read)]);
         bd.record(Bucket::Pop, end - now);
         threads.advance(t, end, true);
 
@@ -179,11 +171,8 @@ pub fn minor_gc(
     if heap.config().adaptive_tenuring {
         let half_survivor = heap.to_space().capacity_bytes() / 2;
         let max = heap.config().tenuring_threshold;
-        let next = if st.survived_bytes > half_survivor {
-            tenuring.saturating_sub(1).max(1)
-        } else {
-            (tenuring + 1).min(max)
-        };
+        let next =
+            if st.survived_bytes > half_survivor { tenuring.saturating_sub(1).max(1) } else { (tenuring + 1).min(max) };
         sys.tenuring = Some(next);
     }
     threads.barrier();
@@ -220,8 +209,8 @@ fn scan_dirty_card(
         threads.advance(t, end, true);
 
         let size = heap.obj_size_words(obj);
-        let weak_slot = (heap.obj_klass(obj).kind() == charon_heap::klass::KlassKind::InstanceRef)
-            .then(|| heap.ref_slots(obj)[0]);
+        let weak_slot =
+            (heap.obj_klass(obj).kind() == charon_heap::klass::KlassKind::InstanceRef).then(|| heap.ref_slots(obj)[0]);
         for slot in heap.ref_slots(obj) {
             if slot < region.start || slot >= region.end {
                 continue; // only slots within this card
@@ -237,12 +226,8 @@ fn scan_dirty_card(
                 let t = threads.least_loaded();
                 let now = threads.clock(t);
                 let s = stack.push(slot);
-                let end = sys.host_op(
-                    t % cores,
-                    now,
-                    sys.costs.push,
-                    &[(slot, AccessKind::Read), (s, AccessKind::Write)],
-                );
+                let end =
+                    sys.host_op(t % cores, now, sys.costs.push, &[(slot, AccessKind::Read), (s, AccessKind::Write)]);
                 bd.record(Bucket::Push, end - now);
                 threads.advance(t, end, true);
             }
@@ -284,7 +269,10 @@ fn process_slot(
         heap.write_ref(slot, fwd);
         let mut dirty_card = Vec::new();
         if heap.in_old(slot) && heap.in_young(fwd) {
-            { let ct = *heap.cards(); ct.dirty(&mut heap.mem, slot); }
+            {
+                let ct = *heap.cards();
+                ct.dirty(&mut heap.mem, slot);
+            }
             dirty_card.push((heap.cards().card_addr(slot), AccessKind::Write));
         }
         let now = threads.clock(t);
@@ -301,11 +289,7 @@ fn process_slot(
     let bytes = size * 8;
     let age = object::age(&heap.mem, r);
     let to_free = heap.to_space().free_bytes();
-    let dest = if age + 1 < tenuring && to_free >= bytes {
-        heap.alloc_to(size)
-    } else {
-        None
-    };
+    let dest = if age + 1 < tenuring && to_free >= bytes { heap.alloc_to(size) } else { None };
     let (dest, promoted) = match dest {
         Some(d) => (d, false),
         None => match heap.alloc_old(size) {
@@ -326,7 +310,10 @@ fn process_slot(
     heap.write_ref(slot, dest);
     object::set_age(&mut heap.mem, dest, age + 1);
     if heap.in_old(slot) && !promoted {
-        { let ct = *heap.cards(); ct.dirty(&mut heap.mem, slot); }
+        {
+            let ct = *heap.cards();
+            ct.dirty(&mut heap.mem, slot);
+        }
     }
     if promoted {
         st.promoted_bytes += bytes;
@@ -342,12 +329,8 @@ fn process_slot(
         bd.record(Bucket::Copy, end - now);
         threads.advance(t, end, !offloaded(sys, true));
         let now = threads.clock(t);
-        let end = sys.host_op(
-            t % cores,
-            now,
-            sys.costs.copy_fixup,
-            &[(r, AccessKind::Write), (slot, AccessKind::Write)],
-        );
+        let end =
+            sys.host_op(t % cores, now, sys.costs.copy_fixup, &[(r, AccessKind::Write), (slot, AccessKind::Write)]);
         bd.record(Bucket::Copy, end - now);
         threads.advance(t, end, true);
     }
@@ -360,8 +343,7 @@ fn process_slot(
     }
     // `java.lang.ref.Reference` holders: the referent (first declared
     // reference field) is weak — discover it instead of scavenging it.
-    let weak_slot = (klass_kind == charon_heap::klass::KlassKind::InstanceRef)
-        .then(|| slots[0]);
+    let weak_slot = (klass_kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
     let mut refs = Vec::new();
     for s in &slots {
         if weak_slot == Some(*s) {
@@ -376,13 +358,13 @@ fn process_slot(
             let fwd = object::forwarding(&heap.mem, v);
             heap.write_ref(*s, fwd);
             if promoted && heap.in_young(fwd) {
-                { let ct = *heap.cards(); ct.dirty(&mut heap.mem, *s); }
+                {
+                    let ct = *heap.cards();
+                    ct.dirty(&mut heap.mem, *s);
+                }
                 refs.push(ScanRef {
                     referent: v,
-                    action: ScanAction::UpdateFieldAndCard {
-                        field_slot: *s,
-                        card_addr: heap.cards().card_addr(*s),
-                    },
+                    action: ScanAction::UpdateFieldAndCard { field_slot: *s, card_addr: heap.cards().card_addr(*s) },
                 });
             } else {
                 refs.push(ScanRef { referent: v, action: ScanAction::UpdateField { field_slot: *s } });

@@ -63,21 +63,20 @@ impl OffloadMask {
         OffloadMask { copy: false, search: false, scan_push: false, bitmap_count: false }
     }
 
-    /// Only the named primitive offloaded.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown name.
-    pub fn only(name: &str) -> OffloadMask {
+    /// Only the named primitive offloaded, or `None` for an unknown name.
+    /// Accepts the paper's spellings as aliases, case-insensitively:
+    /// `"copy"`, `"search"`, `"scan_push"`/`"scan-push"`/`"scan&push"`,
+    /// `"bitmap_count"`/`"bitmap-count"`/`"bitmapcount"`.
+    pub fn only(name: &str) -> Option<OffloadMask> {
         let mut m = OffloadMask::none();
-        match name {
+        match name.to_ascii_lowercase().as_str() {
             "copy" => m.copy = true,
             "search" => m.search = true,
-            "scan_push" => m.scan_push = true,
-            "bitmap_count" => m.bitmap_count = true,
-            other => panic!("unknown primitive {other}"),
+            "scan_push" | "scan-push" | "scan&push" | "scanpush" => m.scan_push = true,
+            "bitmap_count" | "bitmap-count" | "bitmap count" | "bitmapcount" => m.bitmap_count = true,
+            _ => return None,
         }
-        m
+        Some(m)
     }
 }
 
@@ -203,13 +202,7 @@ impl System {
     /// Returns `(cpu_done, memory_done)` — the caller advances its thread
     /// clock by the former and folds the latter into a phase-level drain
     /// time (see `GcThreads::advance_all_to`).
-    pub fn host_stream_op(
-        &mut self,
-        core: usize,
-        now: Ps,
-        instrs: u64,
-        accesses: &[(VAddr, AccessKind)],
-    ) -> (Ps, Ps) {
+    pub fn host_stream_op(&mut self, core: usize, now: Ps, instrs: u64, accesses: &[(VAddr, AccessKind)]) -> (Ps, Ps) {
         if self.record_traces {
             if let Some(t) = self.traces.last_mut() {
                 t.ops.push(crate::trace::TraceOp::HostOp {
@@ -277,7 +270,10 @@ impl System {
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device.as_mut().expect("device present").offload_copy(&mut self.host, dispatch, src, dst, bytes)
+                self.device
+                    .as_mut()
+                    .expect("device present")
+                    .offload_copy(&mut self.host, dispatch, src, dst, bytes)
             }
             Backend::Ideal => now,
         }
@@ -298,7 +294,12 @@ impl System {
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device.as_mut().expect("device present").offload_search(&mut self.host, dispatch, start, scanned_bytes)
+                self.device.as_mut().expect("device present").offload_search(
+                    &mut self.host,
+                    dispatch,
+                    start,
+                    scanned_bytes,
+                )
             }
             Backend::Ideal => now,
         }
@@ -318,7 +319,10 @@ impl System {
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device.as_mut().expect("device present").offload_bitmap_count(&mut self.host, dispatch, spans)
+                self.device
+                    .as_mut()
+                    .expect("device present")
+                    .offload_bitmap_count(&mut self.host, dispatch, spans)
             }
             Backend::Ideal => now,
         }
@@ -354,10 +358,13 @@ impl System {
             Backend::Charon | Backend::CpuSideCharon => {
                 if hardware_iterable {
                     let dispatch = now + self.compute(self.costs.prim_dispatch);
-                    self.device
-                        .as_mut()
-                        .expect("device present")
-                        .offload_scan_push(&mut self.host, dispatch, fields_start, field_bytes, refs)
+                    self.device.as_mut().expect("device present").offload_scan_push(
+                        &mut self.host,
+                        dispatch,
+                        fields_start,
+                        field_bytes,
+                        refs,
+                    )
                 } else {
                     self.host_scan_push(core, now, fields_start, field_bytes, refs)
                 }
@@ -503,10 +510,7 @@ mod tests {
         let t_host = host.prim_copy(0, Ps::ZERO, VAddr(0), VAddr(0x10_0000), bytes);
         let mut dev = System::charon();
         let t_dev = dev.prim_copy(0, Ps::ZERO, VAddr(0), VAddr(0x10_0000), bytes);
-        assert!(
-            t_dev.0 * 3 < t_host.0,
-            "Charon copy ({t_dev}) should be several times faster than host ({t_host})"
-        );
+        assert!(t_dev.0 * 3 < t_host.0, "Charon copy ({t_dev}) should be several times faster than host ({t_host})");
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl GcTrace {
             .filter(|o| {
                 matches!(
                     o,
-                    TraceOp::Copy { .. } | TraceOp::Search { .. } | TraceOp::BitmapCount { .. } | TraceOp::ScanPush { .. }
+                    TraceOp::Copy { .. }
+                        | TraceOp::Search { .. }
+                        | TraceOp::BitmapCount { .. }
+                        | TraceOp::ScanPush { .. }
                 )
             })
             .count()

@@ -56,10 +56,7 @@ pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
 
     // BFS.
     while let Some(obj) = queue.pop_front() {
-        assert!(
-            heap.in_young(obj) || heap.in_old(obj),
-            "reachable reference {obj} points outside the heap"
-        );
+        assert!(heap.in_young(obj) || heap.in_old(obj), "reachable reference {obj} points outside the heap");
         for slot in heap.ref_slots(obj) {
             let v = heap.read_ref(slot);
             if v.is_null() || ids.contains_key(&v.0) {
@@ -159,10 +156,12 @@ pub fn reachable_bytes(heap: &JavaHeap) -> u64 {
 /// (no leftover marks or forwarding after a completed GC).
 pub fn assert_headers_clean(heap: &JavaHeap) {
     let mut seen = std::collections::HashSet::new();
-    let mut queue: Vec<_> = (0..heap.root_count()).filter_map(|i| {
-        let r = heap.read_root(i);
-        (!r.is_null()).then_some(r)
-    }).collect();
+    let mut queue: Vec<_> = (0..heap.root_count())
+        .filter_map(|i| {
+            let r = heap.read_root(i);
+            (!r.is_null()).then_some(r)
+        })
+        .collect();
     while let Some(obj) = queue.pop() {
         if !seen.insert(obj.0) {
             continue;

@@ -107,10 +107,7 @@ fn copy_time_grows_with_size_on_every_backend() {
         let small = sys.prim_copy(0, Ps::ZERO, VAddr(0x1000_0000), VAddr(0x1200_0000), 1 << 10);
         let mut sys = mk();
         let big = sys.prim_copy(0, Ps::ZERO, VAddr(0x1000_0000), VAddr(0x1200_0000), 1 << 20);
-        assert!(
-            big.0 > 4 * small.0,
-            "{label}: 1 MB copy ({big}) must dwarf 1 KB copy ({small})"
-        );
+        assert!(big.0 > 4 * small.0, "{label}: 1 MB copy ({big}) must dwarf 1 KB copy ({small})");
     }
 }
 

@@ -22,7 +22,12 @@ fn diag_breakdowns() {
         let mut live: Vec<usize> = Vec::new();
         let mut roots: Vec<usize> = Vec::new();
         for _ in 0..6000 {
-            let k = match rng.gen_range(0..4) { 0 => point, 1 => node, 2 => arr, _ => bytes };
+            let k = match rng.gen_range(0..4) {
+                0 => point,
+                1 => node,
+                2 => arr,
+                _ => bytes,
+            };
             let len = match heap.klasses().get(k).kind() {
                 KlassKind::ObjArray => rng.gen_range(8..64),
                 KlassKind::TypeArray => rng.gen_range(256..4096),
@@ -37,7 +42,11 @@ fn diag_breakdowns() {
                     }
                 }
             }
-            if rng.gen_bool(0.33) { let idx = heap.add_root(a); roots.push(idx); live.push(idx); }
+            if rng.gen_bool(0.33) {
+                let idx = heap.add_root(a);
+                roots.push(idx);
+                live.push(idx);
+            }
             if !roots.is_empty() && rng.gen_bool(0.05) {
                 let idx = roots[rng.gen_range(0..roots.len())];
                 heap.set_root(idx, VAddr::NULL);
@@ -45,9 +54,14 @@ fn diag_breakdowns() {
         }
         gc.minor_gc(&mut heap);
         gc.major_gc(&mut heap);
-        println!("=== {label}: total {} (minor {} x{}, major {} x{})", gc.gc_total_time(),
-            gc.gc_time_by_kind(GcKind::Minor), gc.count(GcKind::Minor),
-            gc.gc_time_by_kind(GcKind::Major), gc.count(GcKind::Major));
+        println!(
+            "=== {label}: total {} (minor {} x{}, major {} x{})",
+            gc.gc_total_time(),
+            gc.gc_time_by_kind(GcKind::Minor),
+            gc.count(GcKind::Minor),
+            gc.gc_time_by_kind(GcKind::Major),
+            gc.count(GcKind::Major)
+        );
         if let Some(dev) = gc.sys.device.as_ref() {
             println!("  device stats:\n{}", dev.stats());
             println!("  bitmap cache: {}", dev.bitmap_cache_stats());
@@ -56,7 +70,9 @@ fn diag_breakdowns() {
         for (k, name) in [(GcKind::Minor, "minor"), (GcKind::Major, "major")] {
             let bd = gc.breakdown_by_kind(k);
             print!("  {name}: ");
-            for b in Bucket::ALL { print!("{b}={} ", bd.get(b)); }
+            for b in Bucket::ALL {
+                print!("{b}={} ", bd.get(b));
+            }
             println!();
         }
     }

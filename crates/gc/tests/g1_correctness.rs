@@ -75,10 +75,7 @@ fn g1_exercises_all_primitives_under_charon() {
     let after = gc.sys.device.as_ref().unwrap().stats().clone();
     assert!(stats.collection_set > 0);
     for p in [PrimType::Copy, PrimType::ScanPush, PrimType::BitmapCount] {
-        assert!(
-            after.prim(p).offloads > before.prim(p).offloads,
-            "G1 must exercise {p} (Table 1 row)"
-        );
+        assert!(after.prim(p).offloads > before.prim(p).offloads, "G1 must exercise {p} (Table 1 row)");
     }
 }
 

@@ -98,11 +98,7 @@ fn run_backend(sys: System, seed: u64) -> (u64, u64, usize, usize) {
     assert_eq!(stats_before.objects, stats_after.objects);
     assert_eq!(stats_before.bytes, stats_after.bytes);
     assert_eq!(fx.heap.young_used_bytes(), 0, "young must be empty after MajorGC");
-    assert_eq!(
-        fx.heap.old().used_bytes(),
-        stats_after.bytes,
-        "old must hold exactly the live bytes after compaction"
-    );
+    assert_eq!(fx.heap.old().used_bytes(), stats_after.bytes, "old must hold exactly the live bytes after compaction");
     assert_headers_clean(&fx.heap);
     let violations = charon_heap::check::verify_heap(&fx.heap);
     assert!(violations.is_empty(), "heap invariants violated after GC: {violations:?}");
@@ -139,11 +135,10 @@ fn graph_survives_gc_on_cpu_side() {
 fn all_backends_agree_functionally() {
     // Same seed → identical final graph signature and GC counts on every
     // backend: timing must never affect semantics.
-    let results: Vec<_> =
-        [System::ddr4(), System::hmc(), System::charon(), System::ideal(), System::cpu_side()]
-            .into_iter()
-            .map(|s| run_backend(s, 42))
-            .collect();
+    let results: Vec<_> = [System::ddr4(), System::hmc(), System::charon(), System::ideal(), System::cpu_side()]
+        .into_iter()
+        .map(|s| run_backend(s, 42))
+        .collect();
     for r in &results[1..] {
         assert_eq!(r, &results[0], "backend changed functional behaviour");
     }
@@ -263,10 +258,7 @@ fn charon_is_faster_than_ddr4_on_gc() {
     let t_ddr4 = mk(System::ddr4());
     let t_charon = mk(System::charon());
     let t_ideal = mk(System::ideal());
-    assert!(
-        t_charon.0 as f64 <= 0.8 * t_ddr4.0 as f64,
-        "Charon ({t_charon}) should clearly beat DDR4 ({t_ddr4})"
-    );
+    assert!(t_charon.0 as f64 <= 0.8 * t_ddr4.0 as f64, "Charon ({t_charon}) should clearly beat DDR4 ({t_ddr4})");
     assert!(t_ideal < t_charon, "Ideal must lower-bound Charon");
 }
 
@@ -317,8 +309,7 @@ fn mark_sweep_preserves_graph_and_frees_old_garbage() {
     }
     let (sig, _) = graph_signature(&fx.heap);
     let mut threads = GcThreads::new(4, gc.now);
-    let (_bd, st, free) =
-        mark_sweep_old(&mut gc.sys, &mut fx.heap, &mut threads, fx.bytes);
+    let (_bd, st, free) = mark_sweep_old(&mut gc.sys, &mut fx.heap, &mut threads, fx.bytes);
     let (sig2, _) = graph_signature(&fx.heap);
     assert_eq!(sig, sig2, "mark-sweep corrupted the graph");
     assert!(st.freed_bytes > 0, "dropping roots must free old garbage");

@@ -15,7 +15,9 @@ fn metadata_kinds_survive_collections_via_host_scanning() {
     for sys in [System::ddr4(), System::charon()] {
         let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
         let method = heap.klasses_mut().register("Method", KlassKind::Method, 8, vec![0, 2]);
-        let pool = heap.klasses_mut().register("ConstantPool", KlassKind::ConstantPool, 12, vec![0, 5, 9]);
+        let pool = heap
+            .klasses_mut()
+            .register("ConstantPool", KlassKind::ConstantPool, 12, vec![0, 5, 9]);
         let data = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
         let mut gc = Collector::new(sys, &heap, 4);
 

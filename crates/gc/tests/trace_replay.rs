@@ -41,10 +41,7 @@ fn replay_on_same_config_approximates_live_run() {
     // Replay starts from a cold machine and merges host buckets, so exact
     // equality is not expected — but it must land in the same ballpark.
     let ratio = replayed.0 as f64 / live.0 as f64;
-    assert!(
-        (0.5..2.0).contains(&ratio),
-        "replayed {replayed} vs live {live} (ratio {ratio:.2})"
-    );
+    assert!((0.5..2.0).contains(&ratio), "replayed {replayed} vs live {live} (ratio {ratio:.2})");
     assert!(bd.get(charon_gc::Bucket::Copy).0 > 0);
 }
 

@@ -19,7 +19,9 @@ struct Fx {
 fn fx(sys: System) -> Fx {
     let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
     // Reference layout: payload word 0 = referent (weak), word 1 = next.
-    let weak = heap.klasses_mut().register("WeakReference", KlassKind::InstanceRef, 3, vec![0, 1]);
+    let weak = heap
+        .klasses_mut()
+        .register("WeakReference", KlassKind::InstanceRef, 3, vec![0, 1]);
     let point = heap.klasses_mut().register("Point", KlassKind::Instance, 2, vec![]);
     let gc = Collector::new(sys, &heap, 4);
     Fx { heap, gc, weak, point }

@@ -311,10 +311,7 @@ impl JavaHeap {
     ///
     /// Panics if the root area is full.
     pub fn add_root(&mut self, value: VAddr) -> usize {
-        assert!(
-            ((self.root_count as u64) + 1) * WORD_BYTES <= self.layout.roots.bytes(),
-            "root area full"
-        );
+        assert!(((self.root_count as u64) + 1) * WORD_BYTES <= self.layout.roots.bytes(), "root area full");
         let idx = self.root_count;
         self.root_count += 1;
         let slot = self.root_slot_addr(idx);

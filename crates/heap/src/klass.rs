@@ -198,14 +198,12 @@ impl KlassTable {
         ref_offsets: Vec<u32>,
     ) -> KlassId {
         assert!(!kind.is_array(), "use register_array for array kinds");
-        assert!(
-            ref_offsets.windows(2).all(|w| w[0] < w[1]),
-            "reference offsets must be strictly increasing"
-        );
+        assert!(ref_offsets.windows(2).all(|w| w[0] < w[1]), "reference offsets must be strictly increasing");
         assert!(ref_offsets.iter().all(|&o| o < field_words), "reference offset beyond payload");
         assert!(kind.may_have_refs() || ref_offsets.is_empty(), "{kind} cannot hold references");
         let id = KlassId(self.klasses.len() as u32);
-        self.klasses.push(Klass { id, name: name.into(), kind, field_words, ref_offsets });
+        self.klasses
+            .push(Klass { id, name: name.into(), kind, field_words, ref_offsets });
         id
     }
 
@@ -218,7 +216,8 @@ impl KlassTable {
     pub fn register_array(&mut self, name: impl Into<String>, kind: KlassKind) -> KlassId {
         assert!(kind.is_array(), "register_array requires an array kind");
         let id = KlassId(self.klasses.len() as u32);
-        self.klasses.push(Klass { id, name: name.into(), kind, field_words: 0, ref_offsets: Vec::new() });
+        self.klasses
+            .push(Klass { id, name: name.into(), kind, field_words: 0, ref_offsets: Vec::new() });
         id
     }
 

@@ -356,10 +356,8 @@ mod tests {
             let expect = truth(&objs, from, to);
             // Determine correct carry_in: inside an object at `from`?
             let carry_in = objs.iter().any(|&(s, n)| from > s && from < s + n);
-            let (ln, cn, _) =
-                live_words_naive(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
-            let (lf, cf, _) =
-                live_words_fast(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
+            let (ln, cn, _) = live_words_naive(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
+            let (lf, cf, _) = live_words_fast(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
             assert_eq!(ln, expect, "naive wrong for [{from},{to})");
             assert_eq!(lf, expect, "fast wrong for [{from},{to})");
             assert_eq!(cn, cf, "carry mismatch for [{from},{to})");

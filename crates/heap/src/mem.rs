@@ -57,11 +57,7 @@ impl HeapMemory {
 
     fn index(&self, addr: VAddr) -> usize {
         debug_assert!(addr.is_word_aligned(), "unaligned word access at {addr}");
-        debug_assert!(
-            addr >= self.base && addr < self.end(),
-            "access at {addr} outside mapped {}",
-            self.range()
-        );
+        debug_assert!(addr >= self.base && addr < self.end(), "access at {addr} outside mapped {}", self.range());
         ((addr.0 - self.base.0) / WORD_BYTES) as usize
     }
 

@@ -71,10 +71,7 @@ impl ObjStack {
     /// switch to a chained stack; our workloads are sized not to).
     pub fn push(&mut self, obj: VAddr) -> VAddr {
         let depth = self.items.len();
-        assert!(
-            ((depth as u64) + 1) * WORD_BYTES <= self.region.bytes(),
-            "object stack overflow at depth {depth}"
-        );
+        assert!(((depth as u64) + 1) * WORD_BYTES <= self.region.bytes(), "object stack overflow at depth {depth}");
         self.items.push(obj);
         self.max_depth = self.max_depth.max(self.items.len());
         self.pushes += 1;

@@ -4,7 +4,6 @@
 
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::klass::KlassKind;
-use charon_heap::VAddr;
 
 #[test]
 fn every_kind_registers_and_iterates_consistently() {

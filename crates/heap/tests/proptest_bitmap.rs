@@ -45,10 +45,7 @@ fn objects() -> impl Strategy<Value = Vec<(u64, u64)>> {
 }
 
 fn truth(objs: &[(u64, u64)], from: u64, to: u64) -> (u64, bool, bool) {
-    let live = objs
-        .iter()
-        .map(|&(s, n)| (s + n).min(to).saturating_sub(s.max(from)))
-        .sum();
+    let live = objs.iter().map(|&(s, n)| (s + n).min(to).saturating_sub(s.max(from))).sum();
     let carry_in = objs.iter().any(|&(s, n)| from > s && from < s + n);
     let carry_out = objs.iter().any(|&(s, n)| to > s && to < s + n);
     (live, carry_in, carry_out)
@@ -115,6 +112,31 @@ proptest! {
         prop_assert!(!carry);
         // Begin-bit count equals the number of objects.
         prop_assert_eq!(beg.count_range(&mem, base, base.add_words(COVERED_WORDS)), objs.len() as u64);
+    }
+
+    #[test]
+    fn count_range_cross_checks_live_words_naive(objs in objects(), a in 0u64..COVERED_WORDS, b in 0u64..=COVERED_WORDS) {
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let (mut mem, beg, end, base) = setup();
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+        }
+        // The begin-bit population count over any subrange is the number of
+        // objects starting inside it.
+        let starts_in: Vec<&(u64, u64)> = objs.iter().filter(|&&(s, _)| s >= from && s < to).collect();
+        let count = beg.count_range(&mem, base.add_words(from), base.add_words(to));
+        prop_assert_eq!(count, starts_in.len() as u64, "begin-bit count over [{}, {})", from, to);
+
+        // Cross-check against the naive bit-walk counter: when the range
+        // splits no object, the live words it reports are exactly the words
+        // of the objects count_range counted.
+        let (live, carry_in, carry_out) = truth(&objs, from, to);
+        let (ln, ..) = live_words_naive(&mem, &beg, &end, base.add_words(from), base.add_words(to), carry_in);
+        prop_assert_eq!(ln, live, "naive live words");
+        if !carry_in && !carry_out {
+            let counted_words: u64 = starts_in.iter().map(|&&(_, n)| n).sum();
+            prop_assert_eq!(ln, counted_words, "live words of exactly the counted objects");
+        }
     }
 
     #[test]

@@ -11,17 +11,123 @@
 //! that epoch already is. Out-of-order arrivals see no false conflicts,
 //! while sustained overload still pushes completions out at exactly the
 //! resource's rate.
+//!
+//! # Ring-buffer metering
+//!
+//! Epoch fill levels live in a fixed-capacity power-of-two ring indexed by
+//! `epoch_index & mask`, giving O(1) access with no hashing and no
+//! eviction sweeps. The ring remembers the last [`WINDOW_EPOCHS`] epochs
+//! behind the highest epoch ever touched (the *bounded-skew window*,
+//! DESIGN.md "Bounded-skew ring-buffer metering"). A slot whose stored
+//! epoch tag falls out of the window is reclaimed lazily on next touch and
+//! its units fold into a `spilled_units` counter, so the conservation
+//! invariant — live slot fills plus spilled units equals
+//! [`EpochBw::total_units`] — always holds. A reservation that starts
+//! *below* the window floor is clamped to the floor and counted in
+//! `late_reservations` rather than being granted capacity the resource
+//! already handed out; the predecessor `HashMap` implementation (kept
+//! below as [`HashMapOracle`]) instead dropped old epochs wholesale once
+//! the map grew past 65k entries, letting an out-of-order early agent
+//! reserve against an epoch that had in fact been full — un-serializing
+//! traffic.
 
 use crate::time::{Bandwidth, Ps};
 use std::collections::HashMap;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Epochs the ring remembers behind the newest one touched. Power of two.
+///
+/// At the typical 1 µs metering epoch this tolerates ~4 ms of backwards
+/// agent-clock skew, far beyond what the phase-synchronized collector
+/// threads and device units exhibit; reservations older than that clamp to
+/// the window floor (see `BwOccupancy::late_reservations`).
+pub const WINDOW_EPOCHS: usize = 4096;
+
+/// Tag value of a never-used ring slot (no real epoch index gets here: it
+/// would need a start time of ~u64::MAX picoseconds).
+const EMPTY: u64 = u64::MAX;
+
+/// One ring slot: the epoch index currently stored and its fill level.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tag: u64,
+    used: u64,
+}
+
+/// Monotonic occupancy counters of one metered resource, cheap to snapshot
+/// and to aggregate across resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BwOccupancy {
+    /// Units ever reserved.
+    pub total_units: u64,
+    /// Units whose epochs aged out of the skew window (still served; only
+    /// their per-epoch bookkeeping was folded away).
+    pub spilled_units: u64,
+    /// Reservations that started below the window floor and were clamped
+    /// to it. Nonzero means agent clocks skewed further apart than
+    /// [`WINDOW_EPOCHS`] epochs — completions are then conservative
+    /// (serialized at the floor) rather than optimistic.
+    pub late_reservations: u64,
+}
+
+impl AddAssign for BwOccupancy {
+    fn add_assign(&mut self, rhs: BwOccupancy) {
+        self.total_units += rhs.total_units;
+        self.spilled_units += rhs.spilled_units;
+        self.late_reservations += rhs.late_reservations;
+    }
+}
+
+impl Add for BwOccupancy {
+    type Output = BwOccupancy;
+    fn add(mut self, rhs: BwOccupancy) -> BwOccupancy {
+        self += rhs;
+        self
+    }
+}
+
+impl Sub for BwOccupancy {
+    type Output = BwOccupancy;
+    /// Delta between two snapshots of the same (monotone) meter set.
+    fn sub(self, rhs: BwOccupancy) -> BwOccupancy {
+        BwOccupancy {
+            total_units: self.total_units - rhs.total_units,
+            spilled_units: self.spilled_units - rhs.spilled_units,
+            late_reservations: self.late_reservations - rhs.late_reservations,
+        }
+    }
+}
+
+/// Completion times of a batched reservation (see [`EpochBw::reserve_many`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCompletion {
+    /// When the first chunk has been served — the earliest a pipelined
+    /// consumer can start on the head of the transfer.
+    pub first: Ps,
+    /// When the last unit has been served.
+    pub last: Ps,
+}
 
 /// One metered, shared resource.
 #[derive(Debug, Clone)]
 pub struct EpochBw {
     epoch: Ps,
     units_per_epoch: u64,
-    used: HashMap<u64, u64>,
+    /// Ring of epoch slots, allocated lazily on first reservation.
+    slots: Vec<Slot>,
+    mask: u64,
+    /// Highest epoch index ever touched; the window floor derives from it.
+    max_idx: u64,
     total_units: u64,
+    spilled_units: u64,
+    late_reservations: u64,
+    /// `(start, epoch index)` of where the last placement finished: a
+    /// subsequent reservation with the *same* start time can begin its
+    /// epoch scan there, because every epoch between its start and the
+    /// memo was full at memo time and epochs only ever fill up. Turns the
+    /// hammer-one-start pattern (bandwidth-ceiling tests, batched
+    /// transfers) from O(backlog) per call into O(1).
+    memo: Option<(Ps, u64)>,
 }
 
 impl EpochBw {
@@ -37,7 +143,17 @@ impl EpochBw {
         assert!(epoch > Ps::ZERO);
         let units_per_epoch = (units_per_sec * epoch.as_secs()).floor() as u64;
         assert!(units_per_epoch >= 1, "epoch too short for the rate");
-        EpochBw { epoch, units_per_epoch, used: HashMap::new(), total_units: 0 }
+        EpochBw {
+            epoch,
+            units_per_epoch,
+            slots: Vec::new(),
+            mask: WINDOW_EPOCHS as u64 - 1,
+            max_idx: 0,
+            total_units: 0,
+            spilled_units: 0,
+            late_reservations: 0,
+            memo: None,
+        }
     }
 
     /// Byte-metered resource from a [`Bandwidth`].
@@ -61,9 +177,167 @@ impl EpochBw {
         self.epoch
     }
 
+    /// Snapshot of this resource's occupancy counters.
+    pub fn occupancy(&self) -> BwOccupancy {
+        BwOccupancy {
+            total_units: self.total_units,
+            spilled_units: self.spilled_units,
+            late_reservations: self.late_reservations,
+        }
+    }
+
     /// Reserves `units` starting no earlier than `start`; returns the time
     /// the last unit has been served. An un-contended reservation completes
     /// at `max(start, epoch position) + units/rate ≈ start + units/rate`.
+    pub fn reserve(&mut self, start: Ps, units: u64) -> Ps {
+        self.place(start, units)
+    }
+
+    /// Reserves `units` as a sequence of `chunk`-sized reservations all
+    /// starting at `start` (the final chunk carries the remainder), as one
+    /// call. Bit-for-bit equivalent to the same sequence of [`reserve`]
+    /// calls — multi-line transfers get one O(chunks) batched reservation
+    /// with the cursor memo hot instead of one epoch scan per line — while
+    /// also reporting when the *first* chunk lands, so pipelined consumers
+    /// (e.g. copy engines overlapping reads with writes) need no second
+    /// bookkeeping pass.
+    ///
+    /// [`reserve`]: EpochBw::reserve
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn reserve_many(&mut self, start: Ps, units: u64, chunk: u64) -> BatchCompletion {
+        assert!(chunk >= 1, "chunk must hold at least one unit");
+        if units == 0 {
+            let t = self.place(start, 0);
+            return BatchCompletion { first: t, last: t };
+        }
+        let mut remaining = units;
+        let mut first = Ps::ZERO;
+        let mut last = start;
+        let mut is_first = true;
+        while remaining > 0 {
+            let take = remaining.min(chunk);
+            last = self.place(start, take);
+            if is_first {
+                first = last;
+                is_first = false;
+            }
+            remaining -= take;
+        }
+        BatchCompletion { first, last }
+    }
+
+    /// The placement core: fills epochs from the first one at or after
+    /// `start` (clamped to the skew window) and returns the completion
+    /// time of the last unit.
+    fn place(&mut self, start: Ps, units: u64) -> Ps {
+        self.total_units += units;
+        if self.slots.is_empty() {
+            self.slots = vec![Slot { tag: EMPTY, used: 0 }; WINDOW_EPOCHS];
+        }
+        let floor = self.max_idx.saturating_sub(self.mask);
+        let mut idx = start.0 / self.epoch.0;
+        let mut t = start;
+        if idx < floor {
+            self.late_reservations += 1;
+            idx = floor;
+            t = Ps(idx * self.epoch.0);
+        }
+        if let Some((memo_start, memo_idx)) = self.memo {
+            // Everything between this start and the memo was full when the
+            // memo was taken, and epochs only fill — skip the scan.
+            if memo_start == start && memo_idx.max(floor) > idx {
+                idx = memo_idx.max(floor);
+                t = Ps(idx * self.epoch.0);
+            }
+        }
+        let cap = self.units_per_epoch;
+        let mut remaining = units;
+        loop {
+            if idx > self.max_idx {
+                self.max_idx = idx;
+            }
+            let slot = &mut self.slots[(idx & self.mask) as usize];
+            if slot.tag != idx {
+                // Lazily reclaim whatever epoch lived here; its units are
+                // out of the window and fold into the spill counter.
+                self.spilled_units += slot.used;
+                slot.tag = idx;
+                slot.used = 0;
+            }
+            if slot.used >= cap {
+                idx += 1;
+                t = t.max(Ps(idx * self.epoch.0));
+                continue;
+            }
+            let take = remaining.min(cap - slot.used);
+            slot.used += take;
+            let fill = slot.used;
+            let epoch_base = Ps(idx * self.epoch.0);
+            let occupancy_end = epoch_base + Ps(self.epoch.0.saturating_mul(fill) / cap);
+            // Served no earlier than the request itself plus its own
+            // serialization, and no earlier than the epoch's fill level.
+            let own = Ps((take as f64 / cap as f64 * self.epoch.0 as f64) as u64);
+            t = (t + own).max(occupancy_end.min(Ps((idx + 1) * self.epoch.0)));
+            remaining -= take;
+            if remaining == 0 {
+                self.memo = Some((start, if fill >= cap { idx + 1 } else { idx }));
+                return t;
+            }
+            idx += 1;
+            // Carry the serialization floor across the boundary: units in
+            // the next epoch cannot be served before the epoch begins *or*
+            // before this request's earlier units are done — dropping the
+            // floor here made completions non-monotone in `units` when a
+            // late-in-epoch request spilled into an emptier epoch.
+            t = t.max(Ps(idx * self.epoch.0));
+        }
+    }
+}
+
+/// The pre-ring `HashMap` implementation, kept as a differential oracle
+/// for the proptest equivalence property and as the baseline of
+/// `benches/bwres_micro.rs`. The epoch arithmetic is the old code with one
+/// shared correction — the serialization floor is carried across epoch
+/// boundaries, matching [`EpochBw`], so completions are monotone in units.
+/// Not used by the simulator itself — it still carries the latent eviction
+/// bug described in the module docs.
+#[derive(Debug, Clone)]
+pub struct HashMapOracle {
+    epoch: Ps,
+    units_per_epoch: u64,
+    used: HashMap<u64, u64>,
+    total_units: u64,
+}
+
+impl HashMapOracle {
+    /// See [`EpochBw::new`].
+    pub fn new(units_per_sec: f64, epoch: Ps) -> HashMapOracle {
+        assert!(units_per_sec > 0.0 && units_per_sec.is_finite());
+        assert!(epoch > Ps::ZERO);
+        let units_per_epoch = (units_per_sec * epoch.as_secs()).floor() as u64;
+        assert!(units_per_epoch >= 1, "epoch too short for the rate");
+        HashMapOracle { epoch, units_per_epoch, used: HashMap::new(), total_units: 0 }
+    }
+
+    /// See [`EpochBw::from_bandwidth`].
+    pub fn from_bandwidth(bw: Bandwidth, epoch: Ps) -> HashMapOracle {
+        HashMapOracle::new(bw.as_bytes_per_sec(), epoch)
+    }
+
+    /// See [`EpochBw::from_period`].
+    pub fn from_period(period: Ps, epoch: Ps) -> HashMapOracle {
+        HashMapOracle::new(1e12 / period.0 as f64, epoch)
+    }
+
+    /// See [`EpochBw::total_units`].
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// See [`EpochBw::reserve`].
     pub fn reserve(&mut self, start: Ps, units: u64) -> Ps {
         self.total_units += units;
         // Bound the bookkeeping: epochs far behind the current request can
@@ -81,7 +355,7 @@ impl EpochBw {
             let used = self.used.entry(idx).or_insert(0);
             if *used >= cap {
                 idx += 1;
-                t = Ps(idx * self.epoch.0);
+                t = t.max(Ps(idx * self.epoch.0));
                 continue;
             }
             let take = remaining.min(cap - *used);
@@ -89,8 +363,6 @@ impl EpochBw {
             let fill = *used;
             let epoch_base = Ps(idx * self.epoch.0);
             let occupancy_end = epoch_base + Ps(self.epoch.0.saturating_mul(fill) / cap);
-            // Served no earlier than the request itself plus its own
-            // serialization, and no earlier than the epoch's fill level.
             let own = Ps((take as f64 / cap as f64 * self.epoch.0 as f64) as u64);
             t = (t + own).max(occupancy_end.min(Ps((idx + 1) * self.epoch.0)));
             remaining -= take;
@@ -98,7 +370,7 @@ impl EpochBw {
                 return t;
             }
             idx += 1;
-            t = Ps(idx * self.epoch.0);
+            t = t.max(Ps(idx * self.epoch.0));
         }
     }
 }
@@ -164,5 +436,132 @@ mod tests {
     #[should_panic]
     fn epoch_too_short_panics() {
         let _ = EpochBw::new(1.0, Ps::from_ns(1.0));
+    }
+
+    #[test]
+    fn matches_oracle_on_mixed_skew_sequences() {
+        let mut ring = link();
+        let mut oracle = HashMapOracle::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        // Deterministic mixed-skew pattern well inside the skew window.
+        let mut t = 0u64;
+        for i in 0..20_000u64 {
+            t = (t
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407))
+                % 3_000_000_000;
+            let units = 1 + (i * 37) % 4096;
+            assert_eq!(
+                ring.reserve(Ps(t), units),
+                oracle.reserve(Ps(t), units),
+                "diverged at call {i} (start {t} ps, {units} units)"
+            );
+        }
+        assert_eq!(ring.total_units(), oracle.total_units());
+    }
+
+    #[test]
+    fn golden_trace_reserve_many_equals_single_unit_sequence() {
+        // Batched completion times must be identical to the unbatched
+        // single-unit sequence — the determinism contract that lets call
+        // sites switch to reserve_many without perturbing any timing.
+        let starts = [0u64, 500, 999_000, 10, 2_500_000, 2_500_000, 0, 77_777, 1_000_000, 950_000];
+        let mut singles = link();
+        let mut batched = link();
+        for (i, &s) in starts.iter().enumerate() {
+            let n = 1 + (i as u64 * 13) % 300;
+            let mut last_single = Ps::ZERO;
+            let mut first_single = Ps::ZERO;
+            for k in 0..n {
+                last_single = singles.reserve(Ps(s), 1);
+                if k == 0 {
+                    first_single = last_single;
+                }
+            }
+            let batch = batched.reserve_many(Ps(s), n, 1);
+            assert_eq!(batch.first, first_single, "first diverged at seq {i}");
+            assert_eq!(batch.last, last_single, "last diverged at seq {i}");
+        }
+        assert_eq!(singles.total_units(), batched.total_units());
+        assert_eq!(singles.occupancy(), batched.occupancy());
+    }
+
+    #[test]
+    fn reserve_many_chunks_match_manual_chunk_loop() {
+        let mut manual = link();
+        let mut batched = link();
+        let start = Ps::from_us(3.0);
+        let mut last = Ps::ZERO;
+        let mut first = Ps::ZERO;
+        // 10 full chunks of 4096 plus a 104-unit remainder.
+        for k in 0..11u64 {
+            let take = if k == 10 { 104 } else { 4096 };
+            last = manual.reserve(start, take);
+            if k == 0 {
+                first = last;
+            }
+        }
+        let batch = batched.reserve_many(start, 10 * 4096 + 104, 4096);
+        assert_eq!(batch.first, first);
+        assert_eq!(batch.last, last);
+    }
+
+    #[test]
+    fn window_spill_folds_units_and_conserves_totals() {
+        let mut r = link();
+        r.reserve(Ps::ZERO, 1000);
+        // Epoch W lands on epoch 0's ring slot; the old fill must fold
+        // into the spill counter when the slot is retagged, not vanish.
+        let far = Ps(WINDOW_EPOCHS as u64 * 1_000_000);
+        r.reserve(far, 2000);
+        // With max epoch W the floor sits at epoch 1, so a start back at
+        // epoch 0 is below the window: clamp to the floor and count it.
+        let done = r.reserve(Ps::ZERO, 10);
+        let occ = r.occupancy();
+        assert_eq!(occ.total_units, 3010);
+        assert_eq!(occ.spilled_units, 1000, "old epoch fill must spill, not vanish");
+        assert_eq!(occ.late_reservations, 1, "below-floor start must clamp and count");
+        assert!(done >= Ps(1_000_000), "must serialize at the window floor: {done}");
+    }
+
+    #[test]
+    fn late_reservation_cannot_reclaim_a_full_past_epoch() {
+        // The bug the ring fixes: after the old eviction sweep, an early
+        // agent could re-reserve a freed-but-actually-full epoch and
+        // complete unrealistically early. Fill "now", jump far ahead, then
+        // arrive before the window: completion must land at/after the
+        // floor, not back at the stale epoch's serialization time.
+        let mut r = link();
+        let done_full = r.reserve(Ps::ZERO, 80_000); // epoch 0 exactly full
+        assert!(done_full <= Ps::from_us(1.0));
+        let far = Ps((WINDOW_EPOCHS as u64 * 4) * 1_000_000);
+        r.reserve(far, 48);
+        let late = r.reserve(Ps::ZERO, 48);
+        let floor_base = (WINDOW_EPOCHS as u64 * 3 + 1) * 1_000_000;
+        assert!(late >= Ps(floor_base), "late reservation must serialize at the window floor: {late}");
+        assert_eq!(r.occupancy().late_reservations, 1);
+    }
+
+    #[test]
+    fn memoized_cursor_matches_cold_scans() {
+        // Hammering one start time (the bandwidth-ceiling pattern) must
+        // produce exactly the completions a cold scan would, while the
+        // memo keeps it O(1) per call.
+        let mut hot = link();
+        let mut oracle = HashMapOracle::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        for i in 0..50_000u64 {
+            let (a, b) = (hot.reserve(Ps::ZERO, 64), oracle.reserve(Ps::ZERO, 64));
+            assert_eq!(a, b, "diverged at call {i}");
+        }
+        // Interleave a different start and return — memo must not leak
+        // stale cursors across start times.
+        let (a, b) = (hot.reserve(Ps::from_us(2.0), 64), oracle.reserve(Ps::from_us(2.0), 64));
+        assert_eq!(a, b);
+        let (a, b) = (hot.reserve(Ps::ZERO, 64), oracle.reserve(Ps::ZERO, 64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_is_zero_before_any_reservation() {
+        assert_eq!(link().occupancy(), BwOccupancy::default());
     }
 }

@@ -351,12 +351,14 @@ impl fmt::Display for SystemConfig {
         writeln!(
             f,
             "  {} x {} OoO cores, {}-entry IW / {}-entry ROB / {}-way issue, {} MSHRs/core",
-            self.host.cores, self.host.freq, self.host.instr_window, self.host.rob, self.host.issue_width,
+            self.host.cores,
+            self.host.freq,
+            self.host.instr_window,
+            self.host.rob,
+            self.host.issue_width,
             self.host.mshr_per_core
         )?;
-        let c = |cc: &CacheConfig| {
-            format!("{} KB, {}-way, {}-cycle", cc.size_bytes / 1024, cc.ways, cc.latency_cycles)
-        };
+        let c = |cc: &CacheConfig| format!("{} KB, {}-way, {}-cycle", cc.size_bytes / 1024, cc.ways, cc.latency_cycles);
         writeln!(f, "  L1I {} / L1D {}", c(&self.host.l1i), c(&self.host.l1d))?;
         writeln!(f, "  L2  {}", c(&self.host.l2))?;
         writeln!(f, "  L3  {} (shared)", c(&self.host.l3))?;
@@ -364,19 +366,30 @@ impl fmt::Display for SystemConfig {
         writeln!(
             f,
             "  {} GB, {} channels, {} ranks/ch, {} banks/rank",
-            self.ddr4.capacity_bytes >> 30, self.ddr4.channels, self.ddr4.ranks_per_channel, self.ddr4.banks_per_rank
+            self.ddr4.capacity_bytes >> 30,
+            self.ddr4.channels,
+            self.ddr4.ranks_per_channel,
+            self.ddr4.banks_per_rank
         )?;
         writeln!(
             f,
             "  tCK={} tRAS={} tRCD={} tCAS={} tWR={} tRP={}",
             self.ddr4.t_ck, self.ddr4.t_ras, self.ddr4.t_rcd, self.ddr4.t_cas, self.ddr4.t_wr, self.ddr4.t_rp
         )?;
-        writeln!(f, "  {} total ({} per channel) / {} pJ/bit", self.ddr4.total_bw(), self.ddr4.channel_bw, self.ddr4.pj_per_bit)?;
+        writeln!(
+            f,
+            "  {} total ({} per channel) / {} pJ/bit",
+            self.ddr4.total_bw(),
+            self.ddr4.channel_bw,
+            self.ddr4.pj_per_bit
+        )?;
         writeln!(f, "HMC Main Memory System")?;
         writeln!(
             f,
             "  {} GB, {} cubes, {} vaults per cube",
-            self.hmc.capacity_bytes >> 30, self.hmc.cubes, self.hmc.vaults_per_cube
+            self.hmc.capacity_bytes >> 30,
+            self.hmc.cubes,
+            self.hmc.vaults_per_cube
         )?;
         writeln!(
             f,
@@ -394,9 +407,15 @@ impl fmt::Display for SystemConfig {
         writeln!(
             f,
             "  Bitmap cache {} KB, {}-way, {} B blocks",
-            self.charon.bitmap_cache.size_bytes / 1024, self.charon.bitmap_cache.ways, self.charon.bitmap_cache.block_bytes
+            self.charon.bitmap_cache.size_bytes / 1024,
+            self.charon.bitmap_cache.ways,
+            self.charon.bitmap_cache.block_bytes
         )?;
-        write!(f, "  TLB {} entries per cube / MAI {} entries", self.charon.tlb_entries_per_cube, self.charon.mai_entries)
+        write!(
+            f,
+            "  TLB {} entries per cube / MAI {} entries",
+            self.charon.tlb_entries_per_cube, self.charon.mai_entries
+        )
     }
 }
 

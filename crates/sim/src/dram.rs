@@ -17,7 +17,7 @@
 //! which yields both the latency behaviour (idle system) and the bandwidth
 //! ceiling (saturated system) that the paper's analysis depends on.
 
-use crate::bwres::EpochBw;
+use crate::bwres::{BatchCompletion, BwOccupancy, EpochBw};
 use crate::config::{Ddr4Config, HmcConfig};
 use crate::stats::Traffic;
 use crate::time::{Bandwidth, Ps};
@@ -50,6 +50,30 @@ impl Channel {
     fn new(banks: usize, bw: Bandwidth) -> Channel {
         Channel { bus: EpochBw::from_bandwidth(bw, BUS_EPOCH), banks: vec![Bank::default(); banks] }
     }
+}
+
+/// A group of same-start bursts accumulated while walking a run, flushed
+/// as one batched bus reservation per channel/vault.
+#[derive(Debug, Clone)]
+struct PendingGroup {
+    bus_start: Ps,
+    bytes: u64,
+    banks: Vec<usize>,
+}
+
+/// Reserves a pending group on `ch`'s bus with `chunk`-sized bursts and
+/// applies write recovery to every bank the group touched. Keeping the
+/// per-channel reservation order identical to the single-access path is
+/// what makes the batched APIs bit-for-bit deterministic.
+fn flush_group(ch: &mut Channel, group: PendingGroup, op: DramOp, chunk: u64, t_wr: Ps) -> BatchCompletion {
+    let run = ch.bus.reserve_many(group.bus_start, group.bytes, chunk);
+    if op == DramOp::Write {
+        for b in group.banks {
+            let bank = &mut ch.banks[b];
+            bank.ready_at = bank.ready_at.max(run.last + t_wr);
+        }
+    }
+    run
 }
 
 /// One decoded DRAM coordinate.
@@ -163,6 +187,92 @@ impl Ddr4Sim {
         }
         done
     }
+
+    /// Times a whole `bytes`-long streaming run of 64 B bursts issued
+    /// together at `start` — the batched equivalent of calling
+    /// [`Ddr4Sim::access`] once per line with the same `start`. Per-bank
+    /// row-buffer bookkeeping is identical; consecutive lines on the same
+    /// channel whose bursts start at the same instant are folded into one
+    /// [`EpochBw::reserve_many`] call, preserving per-channel reservation
+    /// order (reads are bit-for-bit equal to the per-line loop; writes use
+    /// run-granular recovery: every bank the run touched becomes ready at
+    /// the run's last burst + tWR).
+    ///
+    /// Returns the completion of the first burst (for pipelined consumers)
+    /// and of the whole run.
+    pub fn access_run(&mut self, paddr: u64, bytes: u64, op: DramOp, start: Ps) -> BatchCompletion {
+        debug_assert!(bytes > 0);
+        let start = start + self.refresh_delay(start);
+        let cfg = self.cfg.clone();
+        let lines = bytes.div_ceil(64);
+        let head_ch = self.decode(paddr).channel;
+        let mut pending: Vec<Option<PendingGroup>> = vec![None; self.channels.len()];
+        let mut first: Option<Ps> = None;
+        let mut last = start;
+        for i in 0..lines {
+            let off = i * 64;
+            let len = (bytes - off).min(64);
+            let coord = self.decode(paddr + off);
+            let ch = &mut self.channels[coord.channel];
+            let bank = &mut ch.banks[coord.bank];
+            let hit = bank.open_row == Some(coord.row);
+            let bus_start = if hit {
+                self.row_hits += 1;
+                start + cfg.t_cas
+            } else {
+                self.row_misses += 1;
+                let array_lat = match bank.open_row {
+                    Some(_) => cfg.t_rp + cfg.t_rcd + cfg.t_cas,
+                    None => cfg.t_rcd + cfg.t_cas,
+                };
+                let begin = start.max(bank.ready_at);
+                bank.ready_at = begin + cfg.t_ras;
+                begin + array_lat
+            };
+            bank.open_row = Some(coord.row);
+            match op {
+                DramOp::Read => self.traffic.record_read(len),
+                DramOp::Write => self.traffic.record_write(len),
+            }
+            match &mut pending[coord.channel] {
+                Some(g) if g.bus_start == bus_start => {
+                    g.bytes += len;
+                    if !g.banks.contains(&coord.bank) {
+                        g.banks.push(coord.bank);
+                    }
+                }
+                slot => {
+                    if let Some(group) = slot.take() {
+                        let run = flush_group(&mut self.channels[coord.channel], group, op, 64, cfg.t_wr);
+                        if first.is_none() && coord.channel == head_ch {
+                            first = Some(run.first);
+                        }
+                        last = last.max(run.last);
+                    }
+                    *slot = Some(PendingGroup { bus_start, bytes: len, banks: vec![coord.bank] });
+                }
+            }
+        }
+        for (ch_idx, slot) in pending.iter_mut().enumerate() {
+            if let Some(group) = slot.take() {
+                let run = flush_group(&mut self.channels[ch_idx], group, op, 64, cfg.t_wr);
+                if first.is_none() && ch_idx == head_ch {
+                    first = Some(run.first);
+                }
+                last = last.max(run.last);
+            }
+        }
+        BatchCompletion { first: first.unwrap_or(last), last }
+    }
+
+    /// Aggregate epoch-meter occupancy over every channel bus.
+    pub fn occupancy(&self) -> BwOccupancy {
+        let mut o = BwOccupancy::default();
+        for ch in &self.channels {
+            o += ch.bus.occupancy();
+        }
+        o
+    }
 }
 
 /// HMC memory system: `cubes × vaults`, closed-page policy (Table 2,
@@ -181,7 +291,11 @@ impl HmcSim {
     pub fn new(cfg: HmcConfig) -> HmcSim {
         let per_vault_bw = cfg.internal_bw_per_cube.split(cfg.vaults_per_cube as u64);
         let cubes = (0..cfg.cubes)
-            .map(|_| (0..cfg.vaults_per_cube).map(|_| Channel::new(cfg.banks_per_vault, per_vault_bw)).collect())
+            .map(|_| {
+                (0..cfg.vaults_per_cube)
+                    .map(|_| Channel::new(cfg.banks_per_vault, per_vault_bw))
+                    .collect()
+            })
             .collect();
         let num_cubes = cfg.cubes;
         HmcSim { cfg, cubes, traffic: Traffic::new(), per_cube_bytes: vec![0; num_cubes] }
@@ -251,6 +365,94 @@ impl HmcSim {
             self.per_cube_bytes[cube] += u64::from(bytes);
         }
         done
+    }
+
+    /// Times a whole `bytes`-long streaming run of packet-sized accesses
+    /// issued together at `start` — the batched equivalent of calling
+    /// [`HmcSim::vault_access`] once per 256 B packet with the same
+    /// `start`. Per-bank bookkeeping is identical; same-start packets on
+    /// the same vault fold into one [`EpochBw::reserve_many`] call, so the
+    /// per-vault reservation order matches the per-packet loop exactly
+    /// (writes use run-granular recovery, as in [`Ddr4Sim::access_run`]).
+    pub fn vault_access_run(&mut self, paddr: u64, bytes: u64, op: DramOp, start: Ps) -> BatchCompletion {
+        debug_assert!(bytes > 0);
+        let cfg = self.cfg.clone();
+        let packet = u64::from(cfg.max_access_bytes);
+        let packets = bytes.div_ceil(packet);
+        let vaults = cfg.vaults_per_cube;
+        let head_key = self.cfg.cube_of(paddr) * vaults + self.cfg.vault_of(paddr);
+        let mut pending: Vec<(usize, PendingGroup)> = Vec::new();
+        let mut first: Option<Ps> = None;
+        let mut last = start;
+        for i in 0..packets {
+            let off = i * packet;
+            let len = (bytes - off).min(packet);
+            let pa = paddr + off;
+            let cube = cfg.cube_of(pa);
+            let vault = cfg.vault_of(pa);
+            let key = cube * vaults + vault;
+            let bank_idx = ((pa / packet / vaults as u64) % cfg.banks_per_vault as u64) as usize;
+            let row = pa / packet;
+            let v = &mut self.cubes[cube][vault];
+            let bank = &mut v.banks[bank_idx];
+            let hit = bank.open_row == Some(row);
+            let bus_start = if hit {
+                start + cfg.t_cas
+            } else {
+                let begin = start.max(bank.ready_at);
+                bank.ready_at = begin + cfg.t_ras;
+                begin + cfg.t_rcd + cfg.t_cas
+            };
+            bank.open_row = Some(row);
+            match op {
+                DramOp::Read => self.traffic.record_read(len),
+                DramOp::Write => self.traffic.record_write(len),
+            }
+            if cube < self.per_cube_bytes.len() {
+                self.per_cube_bytes[cube] += len;
+            }
+            match pending.iter().position(|(k, _)| *k == key) {
+                Some(p) if pending[p].1.bus_start == bus_start => {
+                    let g = &mut pending[p].1;
+                    g.bytes += len;
+                    if !g.banks.contains(&bank_idx) {
+                        g.banks.push(bank_idx);
+                    }
+                }
+                Some(p) => {
+                    let group = std::mem::replace(
+                        &mut pending[p].1,
+                        PendingGroup { bus_start, bytes: len, banks: vec![bank_idx] },
+                    );
+                    let run = flush_group(&mut self.cubes[cube][vault], group, op, packet, cfg.t_wr);
+                    if first.is_none() && key == head_key {
+                        first = Some(run.first);
+                    }
+                    last = last.max(run.last);
+                }
+                None => pending.push((key, PendingGroup { bus_start, bytes: len, banks: vec![bank_idx] })),
+            }
+        }
+        for (key, group) in pending {
+            let (cube, vault) = (key / vaults, key % vaults);
+            let run = flush_group(&mut self.cubes[cube][vault], group, op, packet, cfg.t_wr);
+            if first.is_none() && key == head_key {
+                first = Some(run.first);
+            }
+            last = last.max(run.last);
+        }
+        BatchCompletion { first: first.unwrap_or(last), last }
+    }
+
+    /// Aggregate epoch-meter occupancy over every vault bus of every cube.
+    pub fn occupancy(&self) -> BwOccupancy {
+        let mut o = BwOccupancy::default();
+        for cube in &self.cubes {
+            for v in cube {
+                o += v.bus.occupancy();
+            }
+        }
+        o
     }
 }
 
@@ -361,6 +563,75 @@ mod tests {
         assert_eq!(h.per_cube_bytes()[0], 256);
         assert_eq!(h.per_cube_bytes()[1], 128);
         assert_eq!(h.traffic().total_bytes(), 384);
+    }
+
+    #[test]
+    fn ddr4_read_run_matches_per_line_loop() {
+        // Golden equivalence: for reads, `access_run` must be bit-for-bit
+        // identical to issuing one `access` per 64 B line at the same
+        // start — completions, traffic, row stats, and meter occupancy.
+        let cfg = Ddr4Config::table2();
+        let mut a = Ddr4Sim::new(cfg.clone());
+        let mut b = Ddr4Sim::new(cfg);
+        for (base, bytes, start) in [
+            (0x4000u64, 64 * 57 + 24u64, Ps::from_us(3.0)),
+            (0x9a40, 64 * 9, Ps::from_us(3.2)),
+            (0x100, 40, Ps::from_us(8.0)),
+        ] {
+            let run = a.access_run(base, bytes, DramOp::Read, start);
+            let lines = bytes.div_ceil(64);
+            let mut first = Ps::ZERO;
+            let mut last = Ps::ZERO;
+            for i in 0..lines {
+                let off = i * 64;
+                let len = (bytes - off).min(64) as u32;
+                let t = b.access(base + off, len, DramOp::Read, start);
+                if i == 0 {
+                    first = t;
+                }
+                last = last.max(t);
+            }
+            assert_eq!(run.first, first, "first completion diverged");
+            assert_eq!(run.last, last, "last completion diverged");
+        }
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.row_stats(), b.row_stats());
+        assert_eq!(a.occupancy(), b.occupancy());
+    }
+
+    #[test]
+    fn hmc_read_run_matches_per_packet_loop() {
+        let cfg = HmcConfig::table2();
+        let mut a = HmcSim::new(cfg.clone());
+        let mut b = HmcSim::new(cfg);
+        let (base, bytes, start) = (0x200u64, 256 * 40 + 100u64, Ps::from_us(2.0));
+        let run = a.vault_access_run(base, bytes, DramOp::Read, start);
+        let packets = bytes.div_ceil(256);
+        let mut first = Ps::ZERO;
+        let mut last = Ps::ZERO;
+        for i in 0..packets {
+            let off = i * 256;
+            let len = (bytes - off).min(256) as u32;
+            let t = b.vault_access(base + off, len, DramOp::Read, start);
+            if i == 0 {
+                first = t;
+            }
+            last = last.max(t);
+        }
+        assert_eq!(run.first, first);
+        assert_eq!(run.last, last);
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.per_cube_bytes(), b.per_cube_bytes());
+        assert_eq!(a.occupancy(), b.occupancy());
+    }
+
+    #[test]
+    fn occupancy_meters_every_reserved_byte() {
+        let mut d = Ddr4Sim::new(Ddr4Config::table2());
+        d.access(0, 64, DramOp::Read, Ps::ZERO);
+        d.access_run(0x1000, 1000, DramOp::Write, Ps::from_us(1.0));
+        assert_eq!(d.occupancy().total_units, d.traffic().total_bytes());
+        assert_eq!(d.occupancy().spilled_units, 0);
     }
 
     #[test]

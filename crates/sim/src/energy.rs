@@ -146,7 +146,7 @@ mod tests {
     fn dram_energy_matches_pj_per_bit() {
         let mut m = EnergyModel::new(EnergyParams::default());
         m.add_dram_bytes(MemPlatform::Ddr4, 1_000_000); // 1 MB
-        // 1e6 B * 8 b/B * 35 pJ = 2.8e8 pJ = 2.8e-4 J.
+                                                        // 1e6 B * 8 b/B * 35 pJ = 2.8e8 pJ = 2.8e-4 J.
         assert!((m.account().dram_j - 2.8e-4).abs() < 1e-9);
         let mut h = EnergyModel::new(EnergyParams::default());
         h.add_dram_bytes(MemPlatform::Hmc, 1_000_000);

@@ -7,6 +7,7 @@
 //! per-core L1D and L2, a shared L3, and a per-core bounded miss window
 //! which is what limits the host's memory-level parallelism (§3.3).
 
+use crate::bwres::{BatchCompletion, BwOccupancy};
 use crate::cache::{AccessKind, Cache};
 use crate::config::{MemPlatform, SystemConfig};
 use crate::dram::{Ddr4Sim, DramOp, HmcSim};
@@ -42,9 +43,7 @@ impl MemFabric {
     pub fn new(cfg: &SystemConfig) -> MemFabric {
         let side = match cfg.platform {
             MemPlatform::Ddr4 => DramSide::Ddr4(Ddr4Sim::new(cfg.ddr4.clone())),
-            MemPlatform::Hmc => {
-                DramSide::Hmc { hmc: HmcSim::new(cfg.hmc.clone()), noc: Noc::new(&cfg.hmc) }
-            }
+            MemPlatform::Hmc => DramSide::Hmc { hmc: HmcSim::new(cfg.hmc.clone()), noc: Noc::new(&cfg.hmc) },
         };
         MemFabric { side, stats: MemTrafficStats::default() }
     }
@@ -120,6 +119,100 @@ impl MemFabric {
         }
     }
 
+    /// Batched [`MemFabric::access`]: streams `bytes` from `from` as one
+    /// run of platform-granularity transactions all issued at `start`.
+    ///
+    /// * On DDR4 this is exactly [`Ddr4Sim::access_run`] (per-line
+    ///   bit-for-bit equal to an `access` loop for reads).
+    /// * On HMC the run is split at cube-interleave boundaries; each
+    ///   segment sends one batched request burst to its owning cube,
+    ///   streams the vault accesses when the *head* request packet
+    ///   arrives, and streams the response burst when the head packet is
+    ///   served — a pipelined model of a streaming unit, deterministic
+    ///   but intentionally coarser than per-packet `access` calls.
+    ///
+    /// Returns the completion window at the requester. Host-issued HMC
+    /// runs pay `host_protocol_latency` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-host node issues on DDR4, or `bytes == 0`.
+    pub fn access_many(&mut self, from: Node, paddr: u64, bytes: u64, op: DramOp, start: Ps) -> BatchCompletion {
+        assert!(bytes > 0, "empty runs have no completion time");
+        match &mut self.side {
+            DramSide::Ddr4(ddr) => {
+                assert_eq!(from, Node::Host, "only the host reaches DDR4");
+                let run = ddr.access_run(paddr, bytes, op, start);
+                let lines = bytes.div_ceil(64);
+                match op {
+                    DramOp::Read => self.stats.offchip.record_reads(bytes, lines),
+                    DramOp::Write => self.stats.offchip.record_writes(bytes, lines),
+                }
+                self.stats.dram = ddr.traffic();
+                run
+            }
+            DramSide::Hmc { hmc, noc } => {
+                let packet = u64::from(hmc.config().max_access_bytes);
+                let page = 1u64 << hmc.config().cube_interleave_bits;
+                let overhead = u64::from(PACKET_OVERHEAD_BYTES);
+                let mut first: Option<Ps> = None;
+                let mut last = start;
+                let mut pa = paddr;
+                let end = paddr + bytes;
+                while pa < end {
+                    let seg_end = end.min((pa | (page - 1)) + 1);
+                    let seg_bytes = seg_end - pa;
+                    let packets = seg_bytes.div_ceil(packet);
+                    let dest = Node::Cube(hmc.cube_of(pa));
+                    if let Node::Cube(c) = from {
+                        if Node::Cube(c) == dest {
+                            self.stats.local_accesses += packets;
+                        } else {
+                            self.stats.remote_accesses += packets;
+                        }
+                    }
+                    let wr_payload = if op == DramOp::Write { seg_bytes } else { 0 };
+                    let req_chunk = overhead + if op == DramOp::Write { packet } else { 0 };
+                    let req = noc.send_many(from, dest, packets * overhead + wr_payload, start, false, req_chunk);
+                    let served = hmc.vault_access_run(pa, seg_bytes, op, req.first);
+                    let rd_payload = if op == DramOp::Read { seg_bytes } else { 0 };
+                    let rsp_chunk = overhead + if op == DramOp::Read { packet } else { 0 };
+                    let rsp = noc.send_many(
+                        dest,
+                        from,
+                        packets * overhead + rd_payload,
+                        served.first,
+                        op == DramOp::Read,
+                        rsp_chunk,
+                    );
+                    if first.is_none() {
+                        first = Some(rsp.first);
+                    }
+                    last = last.max(rsp.last).max(served.last);
+                    pa = seg_end;
+                }
+                let mut run = BatchCompletion { first: first.expect("bytes > 0 yields a segment"), last };
+                if from == Node::Host {
+                    run.first += hmc.config().host_protocol_latency;
+                    run.last += hmc.config().host_protocol_latency;
+                }
+                self.stats.dram = hmc.traffic();
+                self.stats.offchip = noc.host_link_traffic();
+                self.stats.intercube = noc.intercube_traffic();
+                run
+            }
+        }
+    }
+
+    /// Aggregate epoch-meter occupancy over every bandwidth resource the
+    /// fabric owns (channel buses, vault buses, link lanes).
+    pub fn occupancy(&self) -> BwOccupancy {
+        match &self.side {
+            DramSide::Ddr4(ddr) => ddr.occupancy(),
+            DramSide::Hmc { hmc, noc } => hmc.occupancy() + noc.occupancy(),
+        }
+    }
+
     /// Sends a raw control packet over the links without touching DRAM
     /// (offload requests/responses, TLB lookups, cache probes).
     /// On DDR4 this is free — there are no links to model.
@@ -135,9 +228,12 @@ impl MemFabric {
         }
     }
 
-    /// Traffic summary (Fig. 13 inputs).
+    /// Traffic summary (Fig. 13 inputs), with the epoch-meter occupancy
+    /// aggregate composed in at snapshot time.
     pub fn stats(&self) -> MemTrafficStats {
-        self.stats
+        let mut s = self.stats;
+        s.bw = self.occupancy();
+        s
     }
 
     /// Per-cube DRAM bytes (HMC only; empty slice on DDR4).
@@ -517,6 +613,56 @@ mod tests {
     fn fabric_control_packets_free_on_ddr4() {
         let mut h = ddr4_host();
         assert_eq!(h.fabric.control_packet(Node::Host, Node::Cube(0), 48, Ps(5)), Ps(5));
+    }
+
+    #[test]
+    fn fabric_ddr4_read_run_matches_access_loop() {
+        let cfg = SystemConfig::table2_ddr4();
+        let mut a = MemFabric::new(&cfg);
+        let mut b = MemFabric::new(&cfg);
+        let (base, bytes, start) = (0x8000u64, 64 * 21 + 40u64, Ps::from_us(1.5));
+        let run = a.access_many(Node::Host, base, bytes, DramOp::Read, start);
+        let mut first = Ps::ZERO;
+        let mut last = Ps::ZERO;
+        for i in 0..bytes.div_ceil(64) {
+            let off = i * 64;
+            let len = (bytes - off).min(64) as u32;
+            let t = b.access(Node::Host, base + off, len, DramOp::Read, start);
+            if i == 0 {
+                first = t;
+            }
+            last = last.max(t);
+        }
+        assert_eq!(run.first, first);
+        assert_eq!(run.last, last);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fabric_hmc_run_splits_at_cube_boundaries() {
+        let cfg = SystemConfig::table2_hmc();
+        let page = 1u64 << cfg.hmc.cube_interleave_bits;
+        let mut f = MemFabric::new(&cfg);
+        // A unit on cube 0 streams a run straddling the cube 0/1 boundary.
+        let bytes = 4096u64;
+        let run = f.access_many(Node::Cube(0), page - 2048, bytes, DramOp::Read, Ps::ZERO);
+        assert!(run.first <= run.last);
+        let st = f.stats();
+        assert_eq!(st.local_accesses, 8, "first half stays on cube 0");
+        assert_eq!(st.remote_accesses, 8, "second half crosses to cube 1");
+        assert_eq!(st.dram.total_bytes(), bytes);
+        assert!(st.intercube.total_bytes() > 0, "remote half crossed a spoke");
+        // Every reserved unit is accounted in the occupancy snapshot.
+        assert!(st.bw.total_units > 0);
+        assert_eq!(st.bw.spilled_units, 0);
+    }
+
+    #[test]
+    fn fabric_stats_snapshot_carries_occupancy() {
+        let cfg = SystemConfig::table2_ddr4();
+        let mut f = MemFabric::new(&cfg);
+        f.access(Node::Host, 0, 64, DramOp::Read, Ps::ZERO);
+        assert_eq!(f.stats().bw.total_units, 64);
     }
 
     #[test]

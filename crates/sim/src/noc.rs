@@ -6,7 +6,7 @@
 //! Routing between two peripheral cubes goes through the center (two hops),
 //! matching the paper's "existing inter-HMC routing logic".
 
-use crate::bwres::EpochBw;
+use crate::bwres::{BatchCompletion, BwOccupancy, EpochBw};
 use crate::config::HmcConfig;
 use crate::stats::Traffic;
 use crate::time::{Bandwidth, Ps};
@@ -43,6 +43,21 @@ impl LinkDir {
             self.traffic.record_write(u64::from(bytes));
         }
         served + latency
+    }
+
+    /// Batched [`LinkDir::transfer`]: `bytes` total, metered in
+    /// `chunk`-sized packets issued together at `start`. Completions are
+    /// bit-for-bit those of a per-packet `transfer` loop at the same
+    /// `start` (both sides of the returned window include `latency`).
+    fn transfer_many(&mut self, bytes: u64, start: Ps, latency: Ps, is_read_data: bool, chunk: u64) -> BatchCompletion {
+        let run = self.lane.reserve_many(start, bytes, chunk);
+        let packets = bytes.div_ceil(chunk).max(1);
+        if is_read_data {
+            self.traffic.record_reads(bytes, packets);
+        } else {
+            self.traffic.record_writes(bytes, packets);
+        }
+        BatchCompletion { first: run.first + latency, last: run.last + latency }
     }
 }
 
@@ -133,6 +148,72 @@ impl Noc {
         t
     }
 
+    /// Batched [`Noc::send`]: streams `bytes` from `from` to `to` as
+    /// `chunk`-sized packets all issued at `start`. The second hop begins
+    /// when the *first* packet clears the first hop (wormhole-style
+    /// pipelining of the run's head), so a long run overlaps its two hops
+    /// instead of paying full store-and-forward serialization twice.
+    /// Returns the arrival window at `to`: `first` is the head packet's
+    /// arrival, `last` the tail's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint names a cube outside the configuration,
+    /// or if `chunk == 0`.
+    pub fn send_many(
+        &mut self,
+        from: Node,
+        to: Node,
+        bytes: u64,
+        start: Ps,
+        is_read_data: bool,
+        chunk: u64,
+    ) -> BatchCompletion {
+        assert!(chunk >= 1, "chunk must be at least one byte");
+        self.check(from);
+        self.check(to);
+        if from == to || bytes == 0 {
+            return BatchCompletion { first: start, last: start };
+        }
+        let lat = self.latency;
+        // Hop 1: from → center (unless already at center).
+        let hop1 = match from {
+            Node::Host => Some(self.host_link.inbound.transfer_many(bytes, start, lat, is_read_data, chunk)),
+            Node::Cube(0) => None,
+            Node::Cube(c) => Some(self.spokes[c - 1].inbound.transfer_many(bytes, start, lat, is_read_data, chunk)),
+        };
+        let at_center = hop1.unwrap_or(BatchCompletion { first: start, last: start });
+        // Hop 2: center → to (unless the destination is the center).
+        let hop2 = match to {
+            Node::Host => Some(
+                self.host_link
+                    .outbound
+                    .transfer_many(bytes, at_center.first, lat, is_read_data, chunk),
+            ),
+            Node::Cube(0) => None,
+            Node::Cube(c) => {
+                Some(
+                    self.spokes[c - 1]
+                        .outbound
+                        .transfer_many(bytes, at_center.first, lat, is_read_data, chunk),
+                )
+            }
+        };
+        match hop2 {
+            Some(h2) => BatchCompletion { first: h2.first, last: h2.last.max(at_center.last) },
+            None => at_center,
+        }
+    }
+
+    /// Aggregate epoch-meter occupancy over every link direction.
+    pub fn occupancy(&self) -> BwOccupancy {
+        let mut o = self.host_link.inbound.lane.occupancy() + self.host_link.outbound.lane.occupancy();
+        for l in &self.spokes {
+            o += l.inbound.lane.occupancy() + l.outbound.lane.occupancy();
+        }
+        o
+    }
+
     /// Total bytes that crossed the host↔cube-0 link (off-chip traffic).
     pub fn host_link_traffic(&self) -> Traffic {
         self.host_link.inbound.traffic + self.host_link.outbound.traffic
@@ -140,7 +221,10 @@ impl Noc {
 
     /// Total bytes that crossed inter-cube links.
     pub fn intercube_traffic(&self) -> Traffic {
-        self.spokes.iter().map(|l| l.inbound.traffic + l.outbound.traffic).fold(Traffic::new(), |a, b| a + b)
+        self.spokes
+            .iter()
+            .map(|l| l.inbound.traffic + l.outbound.traffic)
+            .fold(Traffic::new(), |a, b| a + b)
     }
 
     fn check(&self, n: Node) {
@@ -213,6 +297,44 @@ mod tests {
         n.send(Node::Cube(2), Node::Cube(0), 50, Ps::ZERO, true);
         assert_eq!(n.host_link_traffic().total_bytes(), 100);
         assert_eq!(n.intercube_traffic().total_bytes(), 150);
+    }
+
+    #[test]
+    fn single_hop_send_many_matches_per_packet_loop() {
+        let mut a = noc();
+        let mut b = noc();
+        let bytes = 256u64 * 33 + 80;
+        let run = a.send_many(Node::Host, Node::Cube(0), bytes, Ps::ZERO, false, 256);
+        let packets = bytes.div_ceil(256);
+        let mut first = Ps::ZERO;
+        let mut last = Ps::ZERO;
+        for i in 0..packets {
+            let len = (bytes - i * 256).min(256) as u32;
+            let t = b.send(Node::Host, Node::Cube(0), len, Ps::ZERO, false);
+            if i == 0 {
+                first = t;
+            }
+            last = last.max(t);
+        }
+        assert_eq!(run.first, first);
+        assert_eq!(run.last, last);
+        assert_eq!(a.host_link_traffic(), b.host_link_traffic());
+        assert_eq!(a.occupancy(), b.occupancy());
+    }
+
+    #[test]
+    fn two_hop_send_many_pipelines_the_head() {
+        let mut n = noc();
+        let bytes = 256u64 * 64;
+        let run = n.send_many(Node::Host, Node::Cube(2), bytes, Ps::ZERO, false, 256);
+        // Head packet pays both hops back to back.
+        assert_eq!(run.first, (Ps::from_ns(3.2) + Ps::from_ns(3.0)) * 2);
+        // The tail overlaps the hops: far less than store-and-forward of
+        // the whole run on each hop in sequence.
+        let serialize_all = Ps::from_ns(3.2) * 64;
+        assert!(run.last < serialize_all * 2, "hops failed to overlap: {run:?}");
+        assert!(run.last >= serialize_all, "tail cannot beat link serialization: {run:?}");
+        assert_eq!(n.occupancy().total_units, 2 * bytes);
     }
 
     #[test]

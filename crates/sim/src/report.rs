@@ -72,12 +72,7 @@ impl fmt::Display for MachineReport {
         writeln!(f, "  L1D {}", self.l1d)?;
         writeln!(f, "  L2  {}", self.l2)?;
         writeln!(f, "  L3  {}  ({} prefetches)", self.l3, self.prefetches)?;
-        writeln!(
-            f,
-            "  DRAM {} ({:.1} GB/s avg)",
-            self.traffic.dram,
-            self.avg_dram_bandwidth_gbps()
-        )?;
+        writeln!(f, "  DRAM {} ({:.1} GB/s avg)", self.traffic.dram, self.avg_dram_bandwidth_gbps())?;
         writeln!(f, "  off-chip {}", self.traffic.offchip)?;
         if !self.per_cube_bytes.is_empty() {
             write!(f, "  per-cube MB:")?;

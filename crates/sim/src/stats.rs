@@ -1,5 +1,6 @@
 //! Traffic and event counters shared by all timing components.
 
+use crate::bwres::BwOccupancy;
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
@@ -33,6 +34,18 @@ impl Traffic {
     pub fn record_write(&mut self, bytes: u64) {
         self.write_bytes += bytes;
         self.writes += 1;
+    }
+
+    /// Records `n` reads totalling `bytes` (batched transfers).
+    pub fn record_reads(&mut self, bytes: u64, n: u64) {
+        self.read_bytes += bytes;
+        self.reads += n;
+    }
+
+    /// Records `n` writes totalling `bytes` (batched transfers).
+    pub fn record_writes(&mut self, bytes: u64, n: u64) {
+        self.write_bytes += bytes;
+        self.writes += n;
     }
 
     /// Total bytes moved in either direction.
@@ -117,13 +130,7 @@ impl AddAssign for CacheStats {
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} accesses, {:.1}% hit, {} writebacks",
-            self.accesses(),
-            self.hit_rate() * 100.0,
-            self.writebacks
-        )
+        write!(f, "{} accesses, {:.1}% hit, {} writebacks", self.accesses(), self.hit_rate() * 100.0, self.writebacks)
     }
 }
 
@@ -141,6 +148,11 @@ pub struct MemTrafficStats {
     pub local_accesses: u64,
     /// DRAM accesses by near-memory units that crossed to a remote cube.
     pub remote_accesses: u64,
+    /// Aggregate epoch-meter occupancy over every bandwidth resource in
+    /// the fabric (DRAM buses, NoC lanes): total units metered, units
+    /// spilled past the bounded-skew window, and clamped late
+    /// reservations. See [`crate::bwres::EpochBw`].
+    pub bw: BwOccupancy,
 }
 
 impl MemTrafficStats {
@@ -163,6 +175,7 @@ impl AddAssign for MemTrafficStats {
         self.intercube += rhs.intercube;
         self.local_accesses += rhs.local_accesses;
         self.remote_accesses += rhs.remote_accesses;
+        self.bw += rhs.bw;
     }
 }
 

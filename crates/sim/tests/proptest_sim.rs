@@ -2,7 +2,7 @@
 //! serve faster than their configured rates, never travel back in time,
 //! and caches never exceed their geometry.
 
-use charon_sim::bwres::EpochBw;
+use charon_sim::bwres::{EpochBw, HashMapOracle};
 use charon_sim::cache::{AccessKind, Cache};
 use charon_sim::config::{CacheConfig, SystemConfig};
 use charon_sim::dram::{Ddr4Sim, DramOp, HmcSim};
@@ -31,6 +31,108 @@ proptest! {
         let min_time = total as f64 / 10e9; // seconds at 10 GB/s
         prop_assert!(last_done.as_secs() + 1e-6 >= min_time,
             "served {} B by {} — faster than 10 GB/s", total, last_done);
+    }
+
+    #[test]
+    fn epoch_bw_conserves_units(reqs in proptest::collection::vec((0u64..50_000_000, 1u64..100_000), 1..200)) {
+        // total_units counts every unit ever reserved, and spilled units
+        // (per-epoch bookkeeping folded out of the skew window) can never
+        // exceed them.
+        let mut lane = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        let mut sum = 0u64;
+        for &(start, units) in &reqs {
+            lane.reserve(Ps(start), units);
+            sum += units;
+            let occ = lane.occupancy();
+            prop_assert_eq!(occ.total_units, sum);
+            prop_assert!(occ.spilled_units <= occ.total_units);
+        }
+    }
+
+    #[test]
+    fn epoch_bw_completion_monotone_in_units(
+        history in proptest::collection::vec((0u64..2_000_000, 1u64..4096), 0..50),
+        start in 0u64..2_000_000, units in 1u64..100_000, extra in 0u64..100_000
+    ) {
+        // With identical prior traffic, asking for more units never
+        // completes earlier.
+        let mut a = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        let mut b = a.clone();
+        for &(s, u) in &history {
+            a.reserve(Ps(s), u);
+            b.reserve(Ps(s), u);
+        }
+        let ta = a.reserve(Ps(start), units);
+        let tb = b.reserve(Ps(start), units + extra);
+        prop_assert!(tb >= ta, "{units}+{extra} units finished at {tb}, before {units} at {ta}");
+    }
+
+    #[test]
+    fn epoch_bw_disjoint_arrivals_commute(
+        raw in proptest::collection::vec((0u64..500, 0u64..1_000_000, 1u64..=80_000), 1..40)
+    ) {
+        // Requests landing in distinct epochs (each within one epoch's
+        // capacity — 80 KB at 80 GB/s over 1 µs) never contend, so arrival
+        // order must not change any completion time: out-of-order agent
+        // clocks see no phantom queueing.
+        let mut seen = std::collections::HashSet::new();
+        let reqs: Vec<(Ps, u64)> = raw
+            .into_iter()
+            .filter(|&(e, _, _)| seen.insert(e))
+            .map(|(e, off, u)| (Ps(e * 1_000_000 + off.min(999_999)), u))
+            .collect();
+        let mut fwd = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        let mut rev = fwd.clone();
+        let t_fwd: Vec<Ps> = reqs.iter().map(|&(s, u)| fwd.reserve(s, u)).collect();
+        let mut t_rev = vec![Ps::ZERO; reqs.len()];
+        for i in (0..reqs.len()).rev() {
+            t_rev[i] = rev.reserve(reqs[i].0, reqs[i].1);
+        }
+        prop_assert_eq!(t_fwd, t_rev);
+        prop_assert_eq!(fwd.occupancy(), rev.occupancy());
+    }
+
+    #[test]
+    fn ring_matches_hashmap_oracle_within_window(
+        reqs in proptest::collection::vec((0u64..4_000_000_000, 1u64..200_000), 1..100)
+    ) {
+        // Differential check against the pre-ring implementation: while all
+        // starts stay inside the bounded-skew window (4000 epochs < 4096),
+        // the ring is bit-for-bit the old HashMap meter, with nothing
+        // spilled and nothing clamped.
+        let mut ring = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        let mut oracle = HashMapOracle::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        for &(s, u) in &reqs {
+            prop_assert_eq!(ring.reserve(Ps(s), u), oracle.reserve(Ps(s), u));
+        }
+        prop_assert_eq!(ring.total_units(), oracle.total_units());
+        prop_assert_eq!(ring.occupancy().spilled_units, 0);
+        prop_assert_eq!(ring.occupancy().late_reservations, 0);
+    }
+
+    #[test]
+    fn reserve_many_equals_repeated_reserve(
+        prefill in 0u64..200_000, start in 0u64..2_000_000,
+        units in 1u64..500_000, chunk in 1u64..5_000
+    ) {
+        // The batched API is a pure call-count optimization: same chunk
+        // sequence, same completions, same occupancy.
+        let mut a = EpochBw::from_bandwidth(Bandwidth::gbps(80.0), Ps::from_us(1.0));
+        a.reserve(Ps::ZERO, prefill);
+        let mut b = a.clone();
+        let run = a.reserve_many(Ps(start), units, chunk);
+        let mut first = None;
+        let mut last = Ps(start);
+        let mut rem = units;
+        while rem > 0 {
+            let take = rem.min(chunk);
+            last = b.reserve(Ps(start), take);
+            first.get_or_insert(last);
+            rem -= take;
+        }
+        prop_assert_eq!(run.first, first.expect("units >= 1"));
+        prop_assert_eq!(run.last, last);
+        prop_assert_eq!(a.occupancy(), b.occupancy());
     }
 
     #[test]

@@ -130,10 +130,8 @@ impl fmt::Display for RunResult {
 /// workload (by construction this never happens at factor ≥ 1.0).
 pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
     let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
-    let mut heap = JavaHeap::new(HeapConfig {
-        layout: LayoutParams { heap_bytes, ..Default::default() },
-        ..Default::default()
-    });
+    let mut heap =
+        JavaHeap::new(HeapConfig { layout: LayoutParams { heap_bytes, ..Default::default() }, ..Default::default() });
     let mut mutator = Mutator::new(spec.clone(), &mut heap);
     let platform = sys.label();
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);

@@ -7,7 +7,7 @@ use charon_sim::time::Ps;
 fn copy_micro() {
     let mb = 1u64 << 20;
     for (label, src, dst) in [
-        ("local->local (same cube)", 0 * mb, 16 * mb),      // cubes 0,0
+        ("local->local (same cube)", 0, 16 * mb), // cubes 0,0
         ("cube1 -> cube2", mb, 2 * mb),
         ("cube1 -> cube3 (2 hops)", mb, 3 * mb),
         ("center -> cube2", 4 * mb, 2 * mb),

@@ -11,13 +11,20 @@ fn diag_workload() {
         let label = sys.label();
         let spec = by_short(&short).unwrap();
         let r = run_workload(&spec, sys, &RunOptions::default()).unwrap();
-        println!("=== {short} {label}: GC {} (minor {} x{}, major {} x{}), mutator {}", r.gc_time, r.minor.0, r.minor.1, r.major.0, r.major.1, r.mutator_time);
+        println!(
+            "=== {short} {label}: GC {} (minor {} x{}, major {} x{}), mutator {}",
+            r.gc_time, r.minor.0, r.minor.1, r.major.0, r.major.1, r.mutator_time
+        );
         for (bd, name) in [(r.minor_breakdown, "minor"), (r.major_breakdown, "major")] {
             print!("  {name}: ");
-            for b in Bucket::ALL { print!("{b}={} ", bd.get(b)); }
+            for b in Bucket::ALL {
+                print!("{b}={} ", bd.get(b));
+            }
             println!();
         }
-        if let Some(d) = r.device { println!("  {}", d.to_string().replace('\n', "\n  ")); }
+        if let Some(d) = r.device {
+            println!("  {}", d.to_string().replace('\n', "\n  "));
+        }
         let _ = GcKind::Minor;
     }
 }

@@ -58,15 +58,15 @@ fn main() {
                     )
                 }
             };
-            println!("  #{i:<3} {:<8} at {:>12}  pause {:>12}  {what}", e.kind.to_string(), e.start.to_string(), e.wall.to_string());
+            println!(
+                "  #{i:<3} {:<8} at {:>12}  pause {:>12}  {what}",
+                e.kind.to_string(),
+                e.start.to_string(),
+                e.wall.to_string()
+            );
         }
         let max_pause = gc.events.iter().map(|e| e.wall).max().unwrap_or_default();
-        println!(
-            "[{label}] {} pauses, total {}, worst {}\n",
-            gc.events.len(),
-            gc.gc_total_time(),
-            max_pause
-        );
+        println!("[{label}] {} pauses, total {}, worst {}\n", gc.events.len(), gc.gc_total_time(), max_pause);
     }
     println!("The worst-case pause is what §1 calls GC-induced tail latency; offloading");
     println!("shortens every stop-the-world window the mutator would otherwise absorb.");

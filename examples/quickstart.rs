@@ -61,7 +61,9 @@ fn main() {
         let (sig_after, _) = graph_signature(&heap);
         assert_eq!(sig_before, sig_after, "GC must preserve the reachable graph");
 
-        let copy_share = gc.breakdown_by_kind(charon::gc::collector::GcKind::Minor).fraction(Bucket::Copy);
+        let copy_share = gc
+            .breakdown_by_kind(charon::gc::collector::GcKind::Minor)
+            .fraction(Bucket::Copy);
         println!("[{label}] minor-GC Copy share: {:.0}%  | total GC: {}", copy_share * 100.0, gc.gc_total_time());
         println!("[{label}] energy: {}\n", gc.sys.energy.account());
     }

@@ -61,11 +61,7 @@ fn main() {
         sys.cfg.charon.mai_entries = mai;
         sys.device = Some(CharonDevice::new(&sys.cfg, Placement::MemorySide, StructureMode::Table4));
         let t = total(&mut sys);
-        println!(
-            "{label:<34}{:>14}{:>9.2}x",
-            t.to_string(),
-            base.0 as f64 / t.0.max(1) as f64
-        );
+        println!("{label:<34}{:>14}{:>9.2}x", t.to_string(), base.0 as f64 / t.0.max(1) as f64);
     }
     println!("\nEach Charon row re-timed the identical operation stream — the execution-driven");
     println!("run happened once. (See charon_gc::trace for the mechanics.)");

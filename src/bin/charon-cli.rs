@@ -67,9 +67,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                 }
                 out.opts.gc_threads = n;
             }
-            "--steps" => {
-                out.opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?)
-            }
+            "--steps" => out.opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -79,10 +77,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
 
 fn print_result(r: &RunResult) {
     println!("{r}");
-    println!(
-        "  minor: {} pauses, {}   major: {} pauses, {}",
-        r.minor.1, r.minor.0, r.major.1, r.major.0
-    );
+    println!("  minor: {} pauses, {}   major: {} pauses, {}", r.minor.1, r.minor.0, r.major.1, r.major.0);
     for (name, bd) in [("minor", &r.minor_breakdown), ("major", &r.major_breakdown)] {
         if bd.total().0 == 0 {
             continue;

@@ -37,10 +37,7 @@ fn platform_ordering_holds_for_every_workload() {
             ideal.gc_time,
             charon.gc_time
         );
-        assert!(
-            charon.energy.total_j() < hmc.energy.total_j(),
-            "{short}: offloading must also save energy"
-        );
+        assert!(charon.energy.total_j() < hmc.energy.total_j(), "{short}: offloading must also save energy");
     }
 }
 
@@ -93,12 +90,14 @@ fn gc_threads_sweep_is_monotonic_enough() {
     // More GC threads must not make Charon slower by more than noise
     // (Fig. 15's premise); 8 threads must clearly beat 1.
     let spec = by_short("LR").unwrap();
-    let t1 = run_workload(&spec, System::charon(), &RunOptions { gc_threads: 1, supersteps: Some(5), ..Default::default() })
-        .unwrap()
-        .gc_time;
-    let t8 = run_workload(&spec, System::charon(), &RunOptions { gc_threads: 8, supersteps: Some(5), ..Default::default() })
-        .unwrap()
-        .gc_time;
+    let t1 =
+        run_workload(&spec, System::charon(), &RunOptions { gc_threads: 1, supersteps: Some(5), ..Default::default() })
+            .unwrap()
+            .gc_time;
+    let t8 =
+        run_workload(&spec, System::charon(), &RunOptions { gc_threads: 8, supersteps: Some(5), ..Default::default() })
+            .unwrap()
+            .gc_time;
     assert!(t8.0 as f64 <= 0.7 * t1.0 as f64, "8 threads ({t8}) should beat 1 thread ({t1})");
 }
 
