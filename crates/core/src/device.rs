@@ -24,7 +24,7 @@
 
 use crate::bitmap_cache::{BitmapCache, SliceMode};
 use crate::mai::Mai;
-use crate::packet::{InitializeParams, PrimType, REQUEST_BYTES};
+use crate::packet::{InitializeParams, PrimType, REQUEST_BYTES, RESPONSE_NACK_BYTES};
 use crate::sched::Scheduler;
 use crate::tlb::{AccelTlb, TlbMode};
 use crate::units::UnitPool;
@@ -33,6 +33,7 @@ use charon_sim::bwres::{BatchCompletion, BwOccupancy};
 use charon_sim::cache::AccessKind;
 use charon_sim::config::SystemConfig;
 use charon_sim::dram::DramOp;
+use charon_sim::faults::{FaultInjector, FaultRates, FaultSite, RecoveryConfig};
 use charon_sim::host::HostTiming;
 use charon_sim::noc::Node;
 use charon_sim::time::Ps;
@@ -208,6 +209,121 @@ impl fmt::Display for CharonStats {
     }
 }
 
+/// One offload described as data, for the fault-aware [`CharonDevice::offload`]
+/// entry point: a retry loop needs to re-issue the same primitive, so the
+/// call is reified instead of threaded through four separate methods.
+#[derive(Debug, Clone, Copy)]
+pub enum OffloadCall<'a> {
+    /// [`CharonDevice::offload_copy`].
+    Copy {
+        /// Copy source.
+        src: VAddr,
+        /// Copy destination.
+        dst: VAddr,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// [`CharonDevice::offload_search`].
+    Search {
+        /// Scan start (card-table address).
+        start: VAddr,
+        /// Bytes scanned before the hit (or the full range).
+        scanned_bytes: u64,
+    },
+    /// [`CharonDevice::offload_bitmap_count`].
+    BitmapCount {
+        /// `(start, bytes)` bitmap spans read.
+        spans: &'a [(VAddr, u64)],
+    },
+    /// [`CharonDevice::offload_scan_push`].
+    ScanPush {
+        /// First reference-field address.
+        fields_start: VAddr,
+        /// Bytes of reference fields.
+        field_bytes: u64,
+        /// Referents and their dependent actions.
+        refs: &'a [ScanRef],
+    },
+}
+
+impl OffloadCall<'_> {
+    /// Which primitive this call invokes.
+    pub fn prim(&self) -> PrimType {
+        match self {
+            OffloadCall::Copy { .. } => PrimType::Copy,
+            OffloadCall::Search { .. } => PrimType::Search,
+            OffloadCall::BitmapCount { .. } => PrimType::BitmapCount,
+            OffloadCall::ScanPush { .. } => PrimType::ScanPush,
+        }
+    }
+
+    /// The first address operand — what the scheduler routes on.
+    pub fn lead_addr(&self) -> VAddr {
+        match *self {
+            OffloadCall::Copy { src, .. } => src,
+            OffloadCall::Search { start, .. } => start,
+            OffloadCall::BitmapCount { spans } => spans.first().map(|&(a, _)| a).unwrap_or(VAddr::NULL),
+            OffloadCall::ScanPush { fields_start, .. } => fields_start,
+        }
+    }
+}
+
+/// A successful (possibly retried) offload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadGrant {
+    /// When the host thread unblocks.
+    pub done: Ps,
+    /// Attempts that failed before the one that succeeded.
+    pub retries: u32,
+}
+
+/// An offload the recovery layer gave up on: the caller must complete the
+/// primitive on the host software path, resuming at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadAbandoned {
+    /// When the final failure was observed (all timeouts and backoffs
+    /// charged) — the host fallback starts here.
+    pub at: Ps,
+    /// Re-issues charged beyond the first attempt (`retry_budget`, or 0
+    /// when the unit was already dead).
+    pub retries: u32,
+    /// The site that killed the final attempt.
+    pub site: FaultSite,
+    /// `true` once the watchdog has declared this primitive's unit class
+    /// dead: the caller should clear the primitive's `OffloadMask` bit so
+    /// no further offloads are attempted.
+    pub unit_dead: bool,
+}
+
+/// The device's fault-injection and recovery state. Absent by default —
+/// the fault-free path never consults it, which is what keeps zero-rate
+/// timing bit-identical to a build without the layer.
+#[derive(Debug, Clone)]
+struct FaultLayer {
+    injector: FaultInjector,
+    recovery: RecoveryConfig,
+    /// Consecutive abandoned offloads per primitive (watchdog input).
+    consecutive: [u32; 4],
+    /// Primitives the watchdog has declared dead.
+    dead: [bool; 4],
+    /// Total re-issues beyond each offload's first attempt, per primitive.
+    retries: [u64; 4],
+    /// Offloads abandoned to the host path, per primitive.
+    abandoned: [u64; 4],
+}
+
+/// Snapshot of the recovery layer's counters, indexed by
+/// [`PrimType::encode`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceFaultCounters {
+    /// Re-issues beyond each offload's first attempt, per primitive.
+    pub retries: [u64; 4],
+    /// Offloads abandoned to the host path per primitive.
+    pub abandoned: [u64; 4],
+    /// Primitives declared dead by the watchdog.
+    pub dead: [bool; 4],
+}
+
 /// The assembled accelerator.
 #[derive(Debug, Clone)]
 pub struct CharonDevice {
@@ -223,6 +339,7 @@ pub struct CharonDevice {
     bitmap_cache: BitmapCache,
     init: Option<InitializeParams>,
     stats: CharonStats,
+    faults: Option<FaultLayer>,
 }
 
 /// Granularity of the Copy/Search unit's streamed requests (the maximum
@@ -290,7 +407,55 @@ impl CharonDevice {
             bitmap_cache,
             init: None,
             stats: CharonStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arms the fault-injection and recovery layer. The default device
+    /// has none: raw `offload_*` timing stays bit-identical whether or
+    /// not this is ever called, and [`CharonDevice::offload`] with no
+    /// layer (or all rates zero) dispatches straight through.
+    pub fn enable_faults(&mut self, seed: u64, rates: FaultRates, recovery: RecoveryConfig) {
+        self.faults = Some(FaultLayer {
+            injector: FaultInjector::new(seed, rates),
+            recovery,
+            consecutive: [0; 4],
+            dead: [false; 4],
+            retries: [0; 4],
+            abandoned: [0; 4],
+        });
+    }
+
+    /// Whether a fault layer is armed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The armed injector, for campaign reporting.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref().map(|f| &f.injector)
+    }
+
+    /// Whether the watchdog has declared `prim`'s unit class dead.
+    pub fn unit_dead(&self, prim: PrimType) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.dead[prim.encode() as usize])
+    }
+
+    /// Snapshot of the recovery counters (zeroes when no layer is armed).
+    pub fn fault_counters(&self) -> DeviceFaultCounters {
+        match &self.faults {
+            None => DeviceFaultCounters::default(),
+            Some(f) => DeviceFaultCounters { retries: f.retries, abandoned: f.abandoned, dead: f.dead },
+        }
+    }
+
+    /// Injected-fault totals per site `(site, count)`, for reports.
+    pub fn injected_by_site(&self) -> [(FaultSite, u64); 5] {
+        let mut out = [(FaultSite::Link, 0); 5];
+        for (i, site) in FaultSite::ALL.into_iter().enumerate() {
+            out[i] = (site, self.faults.as_ref().map_or(0, |f| f.injector.injected(site)));
+        }
+        out
     }
 
     /// The `initialize()` intrinsic (§4.1): ships global addresses to every
@@ -482,6 +647,156 @@ impl CharonDevice {
         let s = &mut self.stats.prims[prim.encode() as usize];
         s.transport += arrive - now;
         s.queue += queue_delay;
+    }
+
+    // --- fault-aware entry point ---------------------------------------
+
+    /// Dispatches `call` to the matching raw primitive.
+    fn dispatch(&mut self, host: &mut HostTiming, now: Ps, call: &OffloadCall<'_>) -> Ps {
+        match *call {
+            OffloadCall::Copy { src, dst, bytes } => self.offload_copy(host, now, src, dst, bytes),
+            OffloadCall::Search { start, scanned_bytes } => self.offload_search(host, now, start, scanned_bytes),
+            OffloadCall::BitmapCount { spans } => self.offload_bitmap_count(host, now, spans),
+            OffloadCall::ScanPush { fields_start, field_bytes, refs } => {
+                self.offload_scan_push(host, now, fields_start, field_bytes, refs)
+            }
+        }
+    }
+
+    /// The unit pool serving `prim`.
+    fn pool_mut(&mut self, prim: PrimType) -> &mut UnitPool {
+        match prim {
+            PrimType::Copy | PrimType::Search => &mut self.copy_units,
+            PrimType::BitmapCount => &mut self.bc_units,
+            PrimType::ScanPush => &mut self.sp_units,
+        }
+    }
+
+    /// Charges one failed attempt: the request transport that still
+    /// happened, the site-specific failure bookkeeping, and the wait
+    /// until the host *observes* the failure. Returns the observation
+    /// time (strictly after `t` — silent failures cost the full timeout,
+    /// an explicit queue NACK costs its round trip).
+    #[allow(clippy::too_many_arguments)]
+    fn observe_failure(
+        &mut self,
+        host: &mut HostTiming,
+        prim: PrimType,
+        addr: VAddr,
+        t: Ps,
+        site: FaultSite,
+        attempt: u32,
+        timeout: Ps,
+    ) -> Ps {
+        let cube = match self.placement {
+            Placement::MemorySide => self.sched.cube_for_attempt(prim, addr, attempt),
+            Placement::CpuSide => 0,
+        };
+        match site {
+            FaultSite::Link => {
+                // The packet left the host and died en route: first-hop
+                // bandwidth is consumed, nothing arrives, and the host
+                // only learns at its timeout.
+                if self.placement == Placement::MemorySide {
+                    host.fabric
+                        .control_packet_dropped(Node::Host, Node::Cube(cube), REQUEST_BYTES, t);
+                }
+                t + timeout
+            }
+            FaultSite::Queue => {
+                // The packet arrived but the command queue was full; the
+                // cube NACKs explicitly, so the host learns at the NACK's
+                // arrival rather than its timeout.
+                let arrive = self.send_request(host, cube, t);
+                let nack = match self.placement {
+                    Placement::MemorySide => {
+                        host.fabric
+                            .control_packet(Node::Cube(cube), Node::Host, RESPONSE_NACK_BYTES, arrive)
+                    }
+                    Placement::CpuSide => arrive,
+                };
+                // On-chip NACKs (CpuSide) are instantaneous; keep time
+                // strictly advancing with one unit cycle.
+                nack.max(t + self.cfg.charon.unit_freq.period())
+            }
+            FaultSite::Tlb => {
+                let arrive = self.send_request(host, cube, t);
+                self.tlb.record_unserviceable();
+                arrive.max(t + timeout)
+            }
+            FaultSite::Mai => {
+                let arrive = self.send_request(host, cube, t);
+                let mi = self.mai_idx(cube);
+                self.mai[mi].record_parity_error();
+                arrive.max(t + timeout)
+            }
+            FaultSite::Unit => {
+                let arrive = self.send_request(host, cube, t);
+                self.pool_mut(prim).record_wedge();
+                arrive.max(t + timeout)
+            }
+        }
+    }
+
+    /// The recovery-layer offload entry point (§4.1's blocking protocol
+    /// plus the RAS story the paper leaves to "the system"): rolls each
+    /// attempt through the armed [`FaultInjector`], charges timeout +
+    /// bounded exponential backoff for every failure, retries within the
+    /// budget, and feeds the per-primitive watchdog.
+    ///
+    /// With no fault layer armed — or one armed with all rates zero —
+    /// the first attempt succeeds unconditionally and timing is exactly
+    /// that of the matching raw `offload_*` call.
+    ///
+    /// # Errors
+    ///
+    /// [`OffloadAbandoned`] when the retry budget is exhausted (or the
+    /// unit class is already dead): the caller completes the primitive on
+    /// the host software path starting at `OffloadAbandoned::at`, and
+    /// clears the primitive's offload bit when `unit_dead` is set.
+    pub fn offload(
+        &mut self,
+        host: &mut HostTiming,
+        now: Ps,
+        call: OffloadCall<'_>,
+    ) -> Result<OffloadGrant, OffloadAbandoned> {
+        let prim = call.prim();
+        let pi = prim.encode() as usize;
+        let Some(layer) = &self.faults else {
+            return Ok(OffloadGrant { done: self.dispatch(host, now, &call), retries: 0 });
+        };
+        let recovery = layer.recovery;
+        if layer.dead[pi] {
+            // Watchdog already fired; don't waste simulated time probing.
+            return Err(OffloadAbandoned { at: now, retries: 0, site: FaultSite::Unit, unit_dead: true });
+        }
+        let addr = call.lead_addr();
+        let mut t = now;
+        let mut attempt = 0u32;
+        loop {
+            let rolled = self.faults.as_mut().expect("fault layer armed").injector.roll_attempt();
+            let Some(site) = rolled else {
+                let done = self.dispatch(host, t, &call);
+                let layer = self.faults.as_mut().expect("fault layer armed");
+                layer.consecutive[pi] = 0;
+                layer.retries[pi] += u64::from(attempt);
+                return Ok(OffloadGrant { done, retries: attempt });
+            };
+            let observed = self.observe_failure(host, prim, addr, t, site, attempt, recovery.timeout);
+            if attempt >= recovery.retry_budget {
+                let layer = self.faults.as_mut().expect("fault layer armed");
+                layer.retries[pi] += u64::from(attempt);
+                layer.abandoned[pi] += 1;
+                layer.consecutive[pi] += 1;
+                let unit_dead = layer.consecutive[pi] >= recovery.watchdog_threshold;
+                if unit_dead {
+                    layer.dead[pi] = true;
+                }
+                return Err(OffloadAbandoned { at: observed, retries: attempt, site, unit_dead });
+            }
+            t = observed + recovery.backoff(attempt);
+            attempt += 1;
+        }
     }
 
     // --- the four primitives -------------------------------------------
@@ -811,6 +1126,137 @@ mod tests {
             card_table_base: VAddr(0x3000_0000),
         });
         assert!(dev.is_initialized());
+    }
+
+    #[test]
+    fn offload_without_fault_layer_matches_raw_call() {
+        let (mut h1, mut d1) = setup(Placement::MemorySide);
+        let (mut h2, mut d2) = setup(Placement::MemorySide);
+        let raw = d1.offload_copy(&mut h1, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        let call = OffloadCall::Copy { src: VAddr(0x10000), dst: VAddr(0x50000), bytes: 4096 };
+        let grant = d2.offload(&mut h2, Ps::ZERO, call).expect("no layer, cannot fail");
+        assert_eq!(grant.done, raw);
+        assert_eq!(grant.retries, 0);
+        assert_eq!(h1.fabric.stats(), h2.fabric.stats());
+    }
+
+    #[test]
+    fn offload_with_zero_rates_matches_raw_call() {
+        let (mut h1, mut d1) = setup(Placement::MemorySide);
+        let (mut h2, mut d2) = setup(Placement::MemorySide);
+        d2.enable_faults(42, FaultRates::zero(), RecoveryConfig::default());
+        let raw = d1.offload_search(&mut h1, Ps::ZERO, VAddr(0x8000), 2048);
+        let grant = d2
+            .offload(&mut h2, Ps::ZERO, OffloadCall::Search { start: VAddr(0x8000), scanned_bytes: 2048 })
+            .expect("zero rates never fail");
+        assert_eq!(grant.done, raw);
+        assert_eq!(h1.fabric.stats(), h2.fabric.stats());
+        assert_eq!(d2.fault_counters(), DeviceFaultCounters::default());
+    }
+
+    #[test]
+    fn retries_cost_time_but_succeed_within_budget() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // p=0.1 per site compounds to ~41% per attempt; 17 consecutive
+        // failures is negligible and, more importantly, deterministic for
+        // this seed.
+        dev.enable_faults(
+            1,
+            FaultRates::uniform(0.1),
+            RecoveryConfig { retry_budget: 16, ..RecoveryConfig::default() },
+        );
+        let mut t = Ps::ZERO;
+        let mut total_retries = 0;
+        for i in 0..20u64 {
+            let call = OffloadCall::Copy { src: VAddr(i * 4096), dst: VAddr(0x80_0000 + i * 4096), bytes: 1024 };
+            let g = dev
+                .offload(&mut host, t, call)
+                .expect("budget 16 at ~41%/attempt cannot exhaust here");
+            assert!(g.done > t, "time must advance");
+            total_retries += g.retries;
+            t = g.done;
+        }
+        assert!(total_retries > 0, "~41%/attempt over 20 offloads must retry at least once");
+        assert_eq!(u64::from(total_retries), dev.fault_counters().retries.iter().sum::<u64>());
+        assert!(dev.fault_injector().unwrap().total_injected() > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_feeds_watchdog_until_unit_dies() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // Unit permanently wedged: every attempt fails, every offload
+        // abandons, and the third abandonment kills the unit class.
+        dev.enable_faults(
+            7,
+            FaultRates::only(FaultSite::Unit, 1.0),
+            RecoveryConfig { retry_budget: 2, watchdog_threshold: 3, ..RecoveryConfig::default() },
+        );
+        let mut t = Ps::ZERO;
+        let mut dead_seen = false;
+        for _ in 0..3 {
+            let e = dev
+                .offload(&mut host, t, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+                .expect_err("p=1.0 must exhaust the budget");
+            assert_eq!(e.site, FaultSite::Unit);
+            assert_eq!(e.retries, 2);
+            assert!(e.at > t, "timeouts and backoff must advance time");
+            t = e.at;
+            dead_seen = e.unit_dead;
+        }
+        assert!(dead_seen, "third consecutive abandonment must trip the watchdog");
+        assert!(dev.unit_dead(PrimType::Copy));
+        assert!(!dev.unit_dead(PrimType::ScanPush), "watchdog is per primitive");
+        // Once dead, offloads bounce immediately without burning time.
+        let e = dev
+            .offload(&mut host, t, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+            .expect_err("dead unit cannot serve");
+        assert_eq!((e.at, e.retries, e.unit_dead), (t, 0, true));
+        let c = dev.fault_counters();
+        assert_eq!(c.abandoned[PrimType::Copy.encode() as usize], 3);
+        assert!(c.dead[PrimType::Copy.encode() as usize]);
+    }
+
+    #[test]
+    fn each_fault_site_charges_its_own_bookkeeping() {
+        for site in FaultSite::ALL {
+            let (mut host, mut dev) = setup(Placement::MemorySide);
+            dev.enable_faults(
+                13,
+                FaultRates::only(site, 1.0),
+                RecoveryConfig { retry_budget: 1, ..RecoveryConfig::default() },
+            );
+            let e = dev
+                .offload(&mut host, Ps::ZERO, OffloadCall::Search { start: VAddr(0x9000), scanned_bytes: 512 })
+                .expect_err("p=1.0 must fail");
+            assert_eq!(e.site, site);
+            assert!(e.at > Ps::ZERO);
+            let injected = dev.injected_by_site();
+            assert_eq!(injected.iter().find(|&&(s, _)| s == site).unwrap().1, 2, "one per attempt");
+            match site {
+                FaultSite::Link => assert!(host.fabric.stats().link_drops > 0),
+                FaultSite::Tlb => assert!(dev.tlb.unserviceable_misses() > 0),
+                FaultSite::Mai => assert!(dev.mai.iter().map(Mai::parity_errors).sum::<u64>() > 0),
+                FaultSite::Unit => assert!(dev.copy_units.wedges() > 0),
+                FaultSite::Queue => {}
+            }
+        }
+    }
+
+    #[test]
+    fn queue_nack_is_observed_before_the_timeout() {
+        let recovery = RecoveryConfig { retry_budget: 0, ..RecoveryConfig::default() };
+        let (mut h1, mut d1) = setup(Placement::MemorySide);
+        d1.enable_faults(5, FaultRates::only(FaultSite::Queue, 1.0), recovery);
+        let nack = d1
+            .offload(&mut h1, Ps::ZERO, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+            .expect_err("queue full");
+        let (mut h2, mut d2) = setup(Placement::MemorySide);
+        d2.enable_faults(5, FaultRates::only(FaultSite::Unit, 1.0), recovery);
+        let wedge = d2
+            .offload(&mut h2, Ps::ZERO, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+            .expect_err("unit wedged");
+        assert!(nack.at < wedge.at, "an explicit NACK ({}) must beat a silent timeout ({})", nack.at, wedge.at);
+        assert!(wedge.at >= recovery.timeout);
     }
 
     #[test]

@@ -24,13 +24,14 @@ pub struct Mai {
     rate: EpochBw,
     entries: usize,
     requests: u64,
+    parity_errors: u64,
 }
 
 impl Mai {
     /// Creates an MAI with `entries` request-buffer slots, issuing at the
     /// logic-layer clock.
     pub fn new(entries: usize, unit_freq: Freq) -> Mai {
-        Mai { rate: EpochBw::from_period(unit_freq.period(), MAI_EPOCH), entries, requests: 0 }
+        Mai { rate: EpochBw::from_period(unit_freq.period(), MAI_EPOCH), entries, requests: 0, parity_errors: 0 }
     }
 
     /// Request-buffer capacity.
@@ -72,6 +73,18 @@ impl Mai {
     /// Epoch-meter occupancy of the issue-rate limiter.
     pub fn occupancy(&self) -> BwOccupancy {
         self.rate.occupancy()
+    }
+
+    /// Records an injected request-buffer parity error: the entry is
+    /// poisoned, the offload it belonged to never completes, and the host
+    /// recovers through its timeout. No issue cycle is metered.
+    pub fn record_parity_error(&mut self) {
+        self.parity_errors += 1;
+    }
+
+    /// Injected parity errors so far.
+    pub fn parity_errors(&self) -> u64 {
+        self.parity_errors
     }
 }
 

@@ -24,6 +24,11 @@ pub const REQUEST_BYTES: u32 = 48;
 pub const RESPONSE_WITH_VALUE_BYTES: u32 = 32;
 /// Response size when no value is returned (Copy, Scan&Push).
 pub const RESPONSE_EMPTY_BYTES: u32 = 16;
+/// Size of the NACK control packet a cube returns when its command queue
+/// cannot accept a request (fault campaigns only): bare header/tail, no
+/// payload. Silent failures — a dropped packet, a wedged unit — produce
+/// no packet at all; the host only learns of those through its timeout.
+pub const RESPONSE_NACK_BYTES: u32 = 16;
 /// HMC header/tail bytes inside the request.
 pub const HEADER_TAIL_BYTES: u32 = 16;
 /// Bits available for extra operands.

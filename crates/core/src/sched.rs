@@ -37,6 +37,16 @@ impl Scheduler {
     pub fn cube_of(&self, a: VAddr) -> usize {
         self.hmc.cube_of(a.0)
     }
+
+    /// Where retry `attempt` of a failed offload routes its request.
+    /// Attempt 0 is the normal [`Scheduler::cube_for`] placement; later
+    /// attempts rotate around the star so a request suspected of dying on
+    /// one link travels a different path. Only the request's *transport*
+    /// is re-routed — a retry that succeeds executes on the normally
+    /// scheduled cube, where the primitive's operands live.
+    pub fn cube_for_attempt(&self, prim: PrimType, src: VAddr, attempt: u32) -> usize {
+        (self.cube_for(prim, src) + attempt as usize) % self.hmc.cubes
+    }
 }
 
 #[cfg(test)]

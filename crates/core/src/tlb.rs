@@ -43,6 +43,7 @@ pub struct AccelTlb {
     entries_per_cube: usize,
     lookups: u64,
     remote_lookups: u64,
+    unserviceable_misses: u64,
 }
 
 impl AccelTlb {
@@ -61,6 +62,7 @@ impl AccelTlb {
             entries_per_cube,
             lookups: 0,
             remote_lookups: 0,
+            unserviceable_misses: 0,
         }
     }
 
@@ -78,6 +80,19 @@ impl AccelTlb {
     /// `(total_lookups, lookups_that_crossed_a_link)`.
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.remote_lookups)
+    }
+
+    /// Records an injected unserviceable miss: the duplicate-entry
+    /// invariant (pinned huge pages, mappings never miss) was violated
+    /// for this request, and the offload it belonged to cannot complete.
+    /// The host recovers through its timeout; no port cycle is metered.
+    pub fn record_unserviceable(&mut self) {
+        self.unserviceable_misses += 1;
+    }
+
+    /// Injected unserviceable misses so far.
+    pub fn unserviceable_misses(&self) -> u64 {
+        self.unserviceable_misses
     }
 
     /// Translates one request issued by a unit on `from_cube` destined for

@@ -22,6 +22,7 @@ pub struct UnitPool {
     units: Vec<usize>,
     busy: Ps,
     executions: u64,
+    wedges: u64,
 }
 
 impl UnitPool {
@@ -40,6 +41,7 @@ impl UnitPool {
             units: per_cube.to_vec(),
             busy: Ps::ZERO,
             executions: 0,
+            wedges: 0,
         }
     }
 
@@ -86,6 +88,18 @@ impl UnitPool {
     /// Executions served.
     pub fn executions(&self) -> u64 {
         self.executions
+    }
+
+    /// Records an injected stall/wedge: the unit accepted a request and
+    /// never responded. No unit-time is charged — a wedged unit does no
+    /// metered work; the cost surfaces as the requester's timeout.
+    pub fn record_wedge(&mut self) {
+        self.wedges += 1;
+    }
+
+    /// Injected stall/wedge events so far.
+    pub fn wedges(&self) -> u64 {
+        self.wedges
     }
 }
 

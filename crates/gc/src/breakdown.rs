@@ -56,6 +56,111 @@ impl fmt::Display for Bucket {
     }
 }
 
+/// Per-primitive display names in wire-encoding order (`PrimType::ALL`).
+const PRIM_NAMES: [&str; 4] = ["Copy", "Search", "Scan&Push", "Bitmap Count"];
+
+/// Offload-recovery accounting under fault injection, indexed by the
+/// primitive's wire encoding (Copy=0, Search=1, Scan&Push=2, Bitmap
+/// Count=3). All zero outside fault campaigns — the zero value is what
+/// keeps fault-free logs byte-identical to the pre-fault-layer output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Offload re-issues beyond each request's first attempt.
+    pub retries: [u64; 4],
+    /// Offloads abandoned to the host software path after the retry
+    /// budget ran out.
+    pub fallbacks: [u64; 4],
+    /// Primitives the watchdog declared dead, clearing their offload-mask
+    /// bit for the rest of the run (graceful degradation).
+    pub degraded: [bool; 4],
+}
+
+impl RecoverySummary {
+    /// True when nothing was retried, abandoned, or degraded.
+    pub fn is_empty(&self) -> bool {
+        self.retries.iter().all(|&r| r == 0)
+            && self.fallbacks.iter().all(|&f| f == 0)
+            && !self.degraded.iter().any(|&d| d)
+    }
+
+    /// Total re-issues across primitives.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().sum()
+    }
+
+    /// Total host-path fallbacks across primitives.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallbacks.iter().sum()
+    }
+
+    /// The change from `before` to `self`. Counters subtract; degradation
+    /// is monotone within a run, so a delta flags only primitives that
+    /// died in the interval.
+    pub fn since(&self, before: RecoverySummary) -> RecoverySummary {
+        let mut out = RecoverySummary::default();
+        for i in 0..4 {
+            out.retries[i] = self.retries[i] - before.retries[i];
+            out.fallbacks[i] = self.fallbacks[i] - before.fallbacks[i];
+            out.degraded[i] = self.degraded[i] && !before.degraded[i];
+        }
+        out
+    }
+}
+
+impl Add for RecoverySummary {
+    type Output = RecoverySummary;
+    fn add(self, rhs: RecoverySummary) -> RecoverySummary {
+        let mut out = self;
+        for i in 0..4 {
+            out.retries[i] += rhs.retries[i];
+            out.fallbacks[i] += rhs.fallbacks[i];
+            out.degraded[i] |= rhs.degraded[i];
+        }
+        out
+    }
+}
+
+impl AddAssign for RecoverySummary {
+    fn add_assign(&mut self, rhs: RecoverySummary) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for RecoverySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let join = |vals: &[u64; 4]| {
+            vals.iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0)
+                .map(|(i, v)| format!("{}={v}", PRIM_NAMES[i]))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut parts = Vec::new();
+        if self.total_retries() > 0 {
+            parts.push(format!("retries[{}]", join(&self.retries)));
+        }
+        if self.total_fallbacks() > 0 {
+            parts.push(format!("fallbacks[{}]", join(&self.fallbacks)));
+        }
+        if self.degraded.iter().any(|&d| d) {
+            let dead = self
+                .degraded
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| PRIM_NAMES[i])
+                .collect::<Vec<_>>()
+                .join(",");
+            parts.push(format!("degraded[{dead}]"));
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
+
 /// Accumulated per-bucket times (summed over GC threads, as profilers
 /// report them).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,6 +169,8 @@ pub struct Breakdown {
     /// Bandwidth-meter occupancy the collection generated across the
     /// memory fabric (total/spilled units, clamped late reservations).
     bw: BwOccupancy,
+    /// Offload-recovery events the collection absorbed (fault campaigns).
+    recovery: RecoverySummary,
 }
 
 impl Breakdown {
@@ -120,6 +227,17 @@ impl Breakdown {
     pub fn bw(&self) -> BwOccupancy {
         self.bw
     }
+
+    /// Folds an offload-recovery delta into this breakdown (recorded once
+    /// per collection by the collector, like [`Breakdown::record_bw`]).
+    pub fn record_recovery(&mut self, r: RecoverySummary) {
+        self.recovery += r;
+    }
+
+    /// The offload-recovery events this breakdown accumulated.
+    pub fn recovery(&self) -> RecoverySummary {
+        self.recovery
+    }
 }
 
 impl Add for Breakdown {
@@ -130,6 +248,7 @@ impl Add for Breakdown {
             out.buckets[i] += *v;
         }
         out.bw += rhs.bw;
+        out.recovery += rhs.recovery;
         out
     }
 }
@@ -155,6 +274,9 @@ impl fmt::Display for Breakdown {
                 self.bw.spilled_units,
                 self.bw.late_reservations
             )?;
+        }
+        if !self.recovery.is_empty() {
+            write!(f, "[recovery: {}]", self.recovery)?;
         }
         Ok(())
     }
@@ -213,6 +335,51 @@ mod tests {
         assert_eq!(c.bw().late_reservations, 1);
         let s = c.to_string();
         assert!(s.contains("spilled"), "occupancy missing from display: {s}");
+    }
+
+    #[test]
+    fn recovery_summary_deltas_and_display() {
+        let mut after = RecoverySummary::default();
+        after.retries[0] = 5;
+        after.fallbacks[0] = 2;
+        after.degraded[0] = true;
+        after.retries[1] = 1;
+        let mut before = RecoverySummary::default();
+        before.retries[0] = 3;
+        let d = after.since(before);
+        assert_eq!(d.retries[0], 2);
+        assert_eq!(d.fallbacks[0], 2);
+        assert!(d.degraded[0]);
+        assert_eq!(d.retries[1], 1);
+        let s = d.to_string();
+        assert!(s.contains("retries[Copy=2,Search=1]"), "{s}");
+        assert!(s.contains("fallbacks[Copy=2]"), "{s}");
+        assert!(s.contains("degraded[Copy]"), "{s}");
+        assert_eq!(RecoverySummary::default().to_string(), "none");
+        // Degradation already present before the interval is not re-flagged.
+        let again = after.since(after);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn recovery_folds_into_breakdown_and_display() {
+        let mut a = Breakdown::new();
+        a.record(Bucket::Copy, Ps(100));
+        assert!(!a.to_string().contains("recovery"), "fault-free display must not change");
+        let mut r = RecoverySummary::default();
+        r.retries[2] = 4;
+        a.record_recovery(r);
+        let mut b = Breakdown::new();
+        let mut r2 = RecoverySummary::default();
+        r2.retries[2] = 1;
+        r2.degraded[3] = true;
+        b.record_recovery(r2);
+        let c = a + b;
+        assert_eq!(c.recovery().retries[2], 5);
+        assert!(c.recovery().degraded[3]);
+        let s = c.to_string();
+        assert!(s.contains("recovery:"), "{s}");
+        assert!(s.contains("Scan&Push=5"), "{s}");
     }
 
     #[test]

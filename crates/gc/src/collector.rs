@@ -176,6 +176,7 @@ impl Collector {
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
         let bw_before = self.sys.host.fabric.occupancy();
+        let recovery_before = self.sys.recovery;
         let mut threads = GcThreads::new(self.gc_threads, start);
         self.sys.host.barrier(start);
 
@@ -194,6 +195,7 @@ impl Collector {
         let host_active = threads.total_host_active();
         let dram_bytes = self.sys.dram_bytes() - dram_before;
         breakdown.record_bw(self.sys.host.fabric.occupancy() - bw_before);
+        breakdown.record_recovery(self.sys.recovery.since(recovery_before));
         self.sys.charge_gc_energy(wall, self.gc_threads, host_active, dram_bytes);
         self.now = end;
         self.events

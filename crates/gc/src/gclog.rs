@@ -35,19 +35,27 @@ impl HeapSnapshot {
     }
 }
 
-/// Renders one event as a HotSpot-style log line.
+/// Renders one event as a HotSpot-style log line. Under fault injection,
+/// collections that absorbed recovery events (retries, host fallbacks,
+/// watchdog degradations) get an `[offload ...]` suffix; fault-free lines
+/// are byte-identical to the pre-fault-layer format.
 pub fn render(event: &GcEvent, snap: HeapSnapshot) -> String {
     let (tag, cause) = match event.kind {
         GcKind::Minor => ("GC", "Allocation Failure"),
         GcKind::Major => ("Full GC", "Ergonomics"),
     };
-    format!(
+    let mut line = format!(
         "[{tag} ({cause}) {}K->{}K({}K), {:.6} secs]",
         snap.used_before / 1024,
         snap.used_after / 1024,
         snap.capacity / 1024,
         event.wall.as_secs()
-    )
+    );
+    let recovery = event.breakdown.recovery();
+    if !recovery.is_empty() {
+        line.push_str(&format!(" [offload {recovery}]"));
+    }
+    line
 }
 
 /// Renders a whole run, one line per event, given the per-event snapshots.
@@ -92,6 +100,19 @@ mod tests {
         let snap = HeapSnapshot { used_before: 4096 * 1024, used_after: 1024 * 1024, capacity: 10240 * 1024 };
         let line = render(&event(GcKind::Major, 912.0), snap);
         assert!(line.starts_with("[Full GC (Ergonomics) 4096K->1024K"));
+    }
+
+    #[test]
+    fn recovery_events_append_an_offload_suffix() {
+        use crate::breakdown::RecoverySummary;
+        let snap = HeapSnapshot { used_before: 100 << 10, used_after: 10 << 10, capacity: 1 << 20 };
+        let mut e = event(GcKind::Minor, 5.0);
+        let mut r = RecoverySummary::default();
+        r.retries[0] = 3;
+        r.fallbacks[0] = 1;
+        e.breakdown.record_recovery(r);
+        let line = render(&e, snap);
+        assert!(line.contains("secs] [offload retries[Copy=3] fallbacks[Copy=1]"), "{line}");
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //! *functional* heap mutations itself and calls these methods purely to
 //! advance simulated time and traffic.
 
+use crate::breakdown::RecoverySummary;
 use crate::costs::CostModel;
-use charon_core::device::{CharonDevice, Placement, ScanRef, StructureMode};
+use charon_core::device::{CharonDevice, OffloadCall, Placement, ScanRef, StructureMode};
+use charon_core::packet::PrimType;
 use charon_heap::addr::VAddr;
 use charon_sim::cache::AccessKind;
 use charon_sim::config::{MemPlatform, SystemConfig};
 use charon_sim::energy::{EnergyModel, EnergyParams};
+use charon_sim::faults::{FaultRates, RecoveryConfig};
 use charon_sim::host::HostTiming;
 use charon_sim::time::Ps;
+use std::fmt;
 
 /// Which of the paper's platforms executes the primitives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +82,40 @@ impl OffloadMask {
         }
         Some(m)
     }
+
+    /// Enables or disables offloading of one primitive (the degradation
+    /// path flips bits off here when the watchdog kills a unit).
+    pub fn set(&mut self, prim: PrimType, on: bool) {
+        match prim {
+            PrimType::Copy => self.copy = on,
+            PrimType::Search => self.search = on,
+            PrimType::ScanPush => self.scan_push = on,
+            PrimType::BitmapCount => self.bitmap_count = on,
+        }
+    }
+
+    /// Whether `prim` currently offloads.
+    pub fn get(&self, prim: PrimType) -> bool {
+        match prim {
+            PrimType::Copy => self.copy,
+            PrimType::Search => self.search,
+            PrimType::ScanPush => self.scan_push,
+            PrimType::BitmapCount => self.bitmap_count,
+        }
+    }
+}
+
+impl fmt::Display for OffloadMask {
+    /// Enabled primitives joined by `+` (`"none"` when all are off):
+    /// `Copy+Search+Scan&Push+Bitmap Count`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let on: Vec<String> = PrimType::ALL.iter().filter(|&&p| self.get(p)).map(|p| p.to_string()).collect();
+        if on.is_empty() {
+            f.write_str("none")
+        } else {
+            f.write_str(&on.join("+"))
+        }
+    }
 }
 
 /// The simulated machine.
@@ -95,8 +133,13 @@ pub struct System {
     pub energy: EnergyModel,
     /// Host instruction-cost calibration.
     pub costs: CostModel,
-    /// Per-primitive offload enablement (ablations).
+    /// Per-primitive offload enablement (ablations; also cleared
+    /// dynamically by the degradation path when a unit's watchdog fires).
     pub offload: OffloadMask,
+    /// Cumulative offload-recovery accounting (all zero outside fault
+    /// campaigns). The collector records per-collection deltas into each
+    /// event's [`crate::breakdown::Breakdown`].
+    pub recovery: RecoverySummary,
     /// Current adaptive tenuring threshold (None = use the heap's
     /// configured initial value; updated by the scavenger when the heap
     /// enables adaptive tenuring).
@@ -152,6 +195,7 @@ impl System {
             energy: EnergyModel::new(EnergyParams::default()),
             costs: CostModel::default(),
             offload: OffloadMask::default(),
+            recovery: RecoverySummary::default(),
             tenuring: None,
             record_traces: false,
             traces: Vec::new(),
@@ -253,6 +297,60 @@ impl System {
         }
     }
 
+    /// Arms the device's deterministic fault-injection layer (see
+    /// [`charon_sim::faults`]). Offloads then run through timeout/retry
+    /// recovery, and a watchdog-killed unit degrades its primitive to the
+    /// host software path for the rest of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has no device to inject faults into.
+    pub fn inject_faults(&mut self, seed: u64, rates: FaultRates, recovery: RecoveryConfig) {
+        self.device
+            .as_mut()
+            .expect("fault injection requires an offloading backend")
+            .enable_faults(seed, rates, recovery);
+    }
+
+    /// Ships one offload through the device's fault-aware entry point.
+    /// A grant completes the primitive on the device; an abandoned offload
+    /// falls back to the host software path from the abandonment time, and
+    /// a watchdog verdict additionally clears the primitive's offload-mask
+    /// bit so later calls degrade without re-paying the timeouts.
+    fn offload_or_degrade(&mut self, core: usize, dispatch: Ps, call: OffloadCall<'_>) -> Ps {
+        let prim = call.prim();
+        let pi = prim.encode() as usize;
+        let outcome = self
+            .device
+            .as_mut()
+            .expect("device present")
+            .offload(&mut self.host, dispatch, call);
+        match outcome {
+            Ok(grant) => {
+                self.recovery.retries[pi] += u64::from(grant.retries);
+                grant.done
+            }
+            Err(abandoned) => {
+                self.recovery.retries[pi] += u64::from(abandoned.retries);
+                self.recovery.fallbacks[pi] += 1;
+                if abandoned.unit_dead && self.offload.get(prim) {
+                    self.offload.set(prim, false);
+                    self.recovery.degraded[pi] = true;
+                }
+                match call {
+                    OffloadCall::Copy { src, dst, bytes } => self.host_copy(core, abandoned.at, src, dst, bytes),
+                    OffloadCall::Search { start, scanned_bytes } => {
+                        self.host_search(core, abandoned.at, start, scanned_bytes)
+                    }
+                    OffloadCall::BitmapCount { spans } => self.host_bitmap_count(core, abandoned.at, spans),
+                    OffloadCall::ScanPush { fields_start, field_bytes, refs } => {
+                        self.host_scan_push(core, abandoned.at, fields_start, field_bytes, refs)
+                    }
+                }
+            }
+        }
+    }
+
     // ----- the four primitives ------------------------------------------
 
     /// *Copy* `bytes` from `src` to `dst` (timing only).
@@ -265,15 +363,12 @@ impl System {
         }
         match self.backend {
             Backend::Host => self.host_copy(core, now, src, dst, bytes),
-            Backend::Charon | Backend::CpuSideCharon if !self.offload.copy => {
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::Copy) => {
                 self.host_copy(core, now, src, dst, bytes)
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device
-                    .as_mut()
-                    .expect("device present")
-                    .offload_copy(&mut self.host, dispatch, src, dst, bytes)
+                self.offload_or_degrade(core, dispatch, OffloadCall::Copy { src, dst, bytes })
             }
             Backend::Ideal => now,
         }
@@ -289,17 +384,12 @@ impl System {
         }
         match self.backend {
             Backend::Host => self.host_search(core, now, start, scanned_bytes),
-            Backend::Charon | Backend::CpuSideCharon if !self.offload.search => {
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::Search) => {
                 self.host_search(core, now, start, scanned_bytes)
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device.as_mut().expect("device present").offload_search(
-                    &mut self.host,
-                    dispatch,
-                    start,
-                    scanned_bytes,
-                )
+                self.offload_or_degrade(core, dispatch, OffloadCall::Search { start, scanned_bytes })
             }
             Backend::Ideal => now,
         }
@@ -314,15 +404,12 @@ impl System {
         }
         match self.backend {
             Backend::Host => self.host_bitmap_count(core, now, spans),
-            Backend::Charon | Backend::CpuSideCharon if !self.offload.bitmap_count => {
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::BitmapCount) => {
                 self.host_bitmap_count(core, now, spans)
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 let dispatch = now + self.compute(self.costs.prim_dispatch);
-                self.device
-                    .as_mut()
-                    .expect("device present")
-                    .offload_bitmap_count(&mut self.host, dispatch, spans)
+                self.offload_or_degrade(core, dispatch, OffloadCall::BitmapCount { spans })
             }
             Backend::Ideal => now,
         }
@@ -352,19 +439,13 @@ impl System {
         }
         match self.backend {
             Backend::Host => self.host_scan_push(core, now, fields_start, field_bytes, refs),
-            Backend::Charon | Backend::CpuSideCharon if !self.offload.scan_push => {
+            Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::ScanPush) => {
                 self.host_scan_push(core, now, fields_start, field_bytes, refs)
             }
             Backend::Charon | Backend::CpuSideCharon => {
                 if hardware_iterable {
                     let dispatch = now + self.compute(self.costs.prim_dispatch);
-                    self.device.as_mut().expect("device present").offload_scan_push(
-                        &mut self.host,
-                        dispatch,
-                        fields_start,
-                        field_bytes,
-                        refs,
-                    )
+                    self.offload_or_degrade(core, dispatch, OffloadCall::ScanPush { fields_start, field_bytes, refs })
                 } else {
                     self.host_scan_push(core, now, fields_start, field_bytes, refs)
                 }
@@ -539,6 +620,67 @@ mod tests {
         let mut h = System::hmc();
         h.host.mem_access(0, Ps::ZERO, 0x40, 8, AccessKind::Write);
         assert_eq!(h.gc_prologue(Ps::from_us(1.0)), Ps::from_us(1.0));
+    }
+
+    #[test]
+    fn offload_mask_set_get_display() {
+        let mut m = OffloadMask::all();
+        assert!(m.get(PrimType::Copy));
+        assert_eq!(m.to_string(), "Copy+Search+Scan&Push+Bitmap Count");
+        m.set(PrimType::ScanPush, false);
+        assert!(!m.get(PrimType::ScanPush));
+        assert!(!m.scan_push);
+        assert_eq!(m.to_string(), "Copy+Search+Bitmap Count");
+        assert_eq!(OffloadMask::none().to_string(), "none");
+        for p in PrimType::ALL {
+            let o = OffloadMask::only(&p.to_string().to_ascii_lowercase()).expect("paper spelling accepted");
+            assert!(o.get(p), "only({p}) must enable {p}");
+        }
+    }
+
+    #[test]
+    fn fault_free_offload_path_is_unchanged() {
+        // The fault-aware entry point with no armed layer must produce the
+        // exact times the raw offload calls did (zero-rate bit-identity).
+        let bytes = 64 * 1024;
+        let mut plain = System::charon();
+        let dispatch = Ps::from_us(1.0) + plain.compute(plain.costs.prim_dispatch);
+        let t_raw = plain.device.as_mut().expect("device").offload_copy(
+            &mut plain.host,
+            dispatch,
+            VAddr(0),
+            VAddr(0x10_0000),
+            bytes,
+        );
+        let mut wired = System::charon();
+        let t_new = wired.prim_copy(0, Ps::from_us(1.0), VAddr(0), VAddr(0x10_0000), bytes);
+        assert_eq!(t_new, t_raw);
+        assert!(wired.recovery.is_empty());
+    }
+
+    #[test]
+    fn watchdog_degrades_primitive_to_host_path() {
+        use charon_sim::faults::{FaultRates, FaultSite, RecoveryConfig};
+        let mut s = System::charon();
+        let recovery = RecoveryConfig { retry_budget: 1, watchdog_threshold: 2, ..RecoveryConfig::default() };
+        s.inject_faults(7, FaultRates::only(FaultSite::Unit, 1.0), recovery);
+        let mut t = Ps::ZERO;
+        for _ in 0..3 {
+            t = s.prim_copy(0, t, VAddr(0), VAddr(0x10_0000), 4096);
+        }
+        assert!(!s.offload.get(PrimType::Copy), "watchdog must clear the Copy offload bit");
+        assert!(s.offload.get(PrimType::Search), "other primitives stay offloaded");
+        let pi = PrimType::Copy.encode() as usize;
+        assert!(s.recovery.degraded[pi]);
+        assert_eq!(s.recovery.fallbacks[pi], 2, "both abandoned offloads fell back to the host");
+        assert!(s.recovery.retries[pi] >= 2, "each abandonment burned the retry budget");
+        // Degraded primitive now takes the host path without consulting
+        // the (dead) device: the injector sees no further attempts.
+        let attempts_before = s.device.as_ref().and_then(|d| d.fault_injector()).expect("armed").attempts();
+        let done = s.prim_copy(0, Ps::from_ms(1.0), VAddr(0), VAddr(0x20_0000), 4096);
+        assert!(done > Ps::from_ms(1.0));
+        let attempts_after = s.device.as_ref().and_then(|d| d.fault_injector()).expect("armed").attempts();
+        assert_eq!(attempts_after, attempts_before, "degraded primitive must bypass the device");
     }
 
     #[test]

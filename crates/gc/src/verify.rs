@@ -7,10 +7,12 @@
 //! any lost object, dangling reference, corrupted payload word, or changed
 //! shape.
 
+use charon_heap::addr::VAddr;
 use charon_heap::heap::JavaHeap;
 use charon_heap::klass::KlassKind;
 use charon_heap::object;
 use std::collections::HashMap;
+use std::fmt;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
@@ -30,6 +32,24 @@ pub struct ReachableStats {
     pub edges: u64,
 }
 
+/// A reachable reference escaped the heap: the walk found `addr` on the
+/// reachable graph but neither generation contains it. Returned by
+/// [`try_graph_signature`] so fault campaigns can report the offending
+/// address instead of unwinding mid-verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptGraph {
+    /// The reachable reference that points outside the heap.
+    pub addr: VAddr,
+}
+
+impl fmt::Display for CorruptGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reachable reference {} points outside the heap", self.addr)
+    }
+}
+
+impl std::error::Error for CorruptGraph {}
+
 /// Computes the canonical signature and reachability counters.
 ///
 /// # Panics
@@ -37,6 +57,17 @@ pub struct ReachableStats {
 /// Panics if a reachable reference points outside the heap or at an
 /// object with an invalid klass — i.e. the heap is corrupt.
 pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
+    match try_graph_signature(heap) {
+        Ok(sig) => sig,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`graph_signature`], but reports a reachable reference that
+/// escaped the heap as an error instead of panicking. (An invalid klass
+/// on a reachable object still panics — that is heap-internal state the
+/// walk cannot step over.)
+pub fn try_graph_signature(heap: &JavaHeap) -> Result<(u64, ReachableStats), CorruptGraph> {
     let mut ids: HashMap<u64, u64> = HashMap::new();
     let mut order = Vec::new();
     let mut queue = std::collections::VecDeque::new();
@@ -56,7 +87,9 @@ pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
 
     // BFS.
     while let Some(obj) = queue.pop_front() {
-        assert!(heap.in_young(obj) || heap.in_old(obj), "reachable reference {obj} points outside the heap");
+        if !(heap.in_young(obj) || heap.in_old(obj)) {
+            return Err(CorruptGraph { addr: obj });
+        }
         for slot in heap.ref_slots(obj) {
             let v = heap.read_ref(slot);
             if v.is_null() || ids.contains_key(&v.0) {
@@ -121,7 +154,7 @@ pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
             }
         }
     }
-    (h, stats)
+    Ok((h, stats))
 }
 
 /// Total bytes reachable from the roots (a light walk — no hashing).

@@ -48,6 +48,40 @@ impl HeapConfig {
 /// Sentinel in the block-offset table for "no object known".
 const BOT_NONE: u64 = u64::MAX;
 
+/// Errors from heap operations whose failure an untrusted workload can
+/// provoke (as opposed to collector-internal invariant violations, which
+/// stay panics naming the invariant they protect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The root area has no free slot for another root.
+    RootAreaFull {
+        /// Total slots the root area holds.
+        capacity: usize,
+    },
+    /// A root slot index at or beyond the slots in use.
+    RootIndexOutOfRange {
+        /// The offending index.
+        idx: usize,
+        /// Slots currently in use.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::RootAreaFull { capacity } => {
+                write!(f, "root area full ({capacity} slots)")
+            }
+            HeapError::RootIndexOutOfRange { idx, count } => {
+                write!(f, "root index {idx} out of range ({count} slots in use)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
 /// The simulated HotSpot-style heap.
 #[derive(Debug, Clone)]
 pub struct JavaHeap {
@@ -299,30 +333,78 @@ impl JavaHeap {
         self.root_count
     }
 
+    /// Total root slots the root area can hold.
+    pub fn root_capacity(&self) -> usize {
+        (self.layout.roots.bytes() / WORD_BYTES) as usize
+    }
+
     /// The simulated address of root slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (invariant: root indices stay below `root_count`) on an
+    /// out-of-range index — callers validate workload-supplied indices
+    /// through [`JavaHeap::try_set_root`] / [`JavaHeap::try_read_root`].
     pub fn root_slot_addr(&self, idx: usize) -> VAddr {
-        debug_assert!(idx < self.root_count);
+        assert!(idx < self.root_count, "root-slot invariant: index {idx} >= {} slots in use", self.root_count);
         self.layout.roots.start.add_words(idx as u64)
+    }
+
+    /// Appends a root slot holding `value`; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::RootAreaFull`] when every slot is in use.
+    pub fn try_add_root(&mut self, value: VAddr) -> Result<usize, HeapError> {
+        if self.root_count >= self.root_capacity() {
+            return Err(HeapError::RootAreaFull { capacity: self.root_capacity() });
+        }
+        let idx = self.root_count;
+        self.root_count += 1;
+        let slot = self.root_slot_addr(idx);
+        self.mem.write_word(slot, value.0);
+        Ok(idx)
     }
 
     /// Appends a root slot holding `value`; returns its index.
     ///
     /// # Panics
     ///
-    /// Panics if the root area is full.
+    /// Panics if the root area is full (use [`JavaHeap::try_add_root`]
+    /// for the fallible form).
     pub fn add_root(&mut self, value: VAddr) -> usize {
-        assert!(((self.root_count as u64) + 1) * WORD_BYTES <= self.layout.roots.bytes(), "root area full");
-        let idx = self.root_count;
-        self.root_count += 1;
-        let slot = self.root_slot_addr(idx);
-        self.mem.write_word(slot, value.0);
-        idx
+        self.try_add_root(value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Overwrites root slot `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::RootIndexOutOfRange`] for an unused index.
+    pub fn try_set_root(&mut self, idx: usize, value: VAddr) -> Result<(), HeapError> {
+        if idx >= self.root_count {
+            return Err(HeapError::RootIndexOutOfRange { idx, count: self.root_count });
+        }
+        self.set_root(idx, value);
+        Ok(())
     }
 
     /// Overwrites root slot `idx`.
     pub fn set_root(&mut self, idx: usize, value: VAddr) {
         let slot = self.root_slot_addr(idx);
         self.mem.write_word(slot, value.0);
+    }
+
+    /// Reads root slot `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::RootIndexOutOfRange`] for an unused index.
+    pub fn try_read_root(&self, idx: usize) -> Result<VAddr, HeapError> {
+        if idx >= self.root_count {
+            return Err(HeapError::RootIndexOutOfRange { idx, count: self.root_count });
+        }
+        Ok(self.read_root(idx))
     }
 
     /// Reads root slot `idx`.
@@ -357,10 +439,23 @@ impl JavaHeap {
 
     /// The first object covering or preceding the card whose byte lives at
     /// `card_addr`, suitable as a walk start for scanning the card.
+    ///
+    /// # Panics
+    ///
+    /// Panics (invariant: cards cover exactly the old generation) when
+    /// `card_addr` maps outside the old generation's card range.
     pub fn first_obj_for_card(&self, card_addr: VAddr) -> Option<VAddr> {
         let region = self.cards.card_region(card_addr);
+        assert!(
+            region.start >= self.old.start(),
+            "card-table invariant: card at {card_addr} is below the old generation"
+        );
         let idx = (region.start - self.old.start()) / self.cards.card_bytes();
-        match self.bot[idx as usize] {
+        let raw = *self
+            .bot
+            .get(idx as usize)
+            .unwrap_or_else(|| panic!("card-table invariant: card at {card_addr} is beyond the old generation"));
+        match raw {
             BOT_NONE => None,
             raw => Some(VAddr(raw)),
         }
@@ -494,6 +589,45 @@ mod tests {
         h.set_root(idx, VAddr::NULL);
         assert_eq!(h.read_root(idx), VAddr::NULL);
         assert_eq!(h.root_count(), 1);
+    }
+
+    #[test]
+    fn root_area_exhaustion_is_a_typed_error() {
+        let (mut h, point, ..) = small_heap();
+        let a = h.alloc_eden(point, 0).unwrap();
+        let cap = h.root_capacity();
+        for _ in 0..cap {
+            h.try_add_root(a).unwrap();
+        }
+        let err = h.try_add_root(a).unwrap_err();
+        assert_eq!(err, HeapError::RootAreaFull { capacity: cap });
+        assert!(err.to_string().contains("root area full"), "{err}");
+        assert_eq!(h.root_count(), cap);
+    }
+
+    #[test]
+    fn out_of_range_root_access_is_a_typed_error() {
+        let (mut h, point, ..) = small_heap();
+        let a = h.alloc_eden(point, 0).unwrap();
+        let idx = h.add_root(a);
+        assert_eq!(h.try_read_root(idx), Ok(a));
+        assert_eq!(h.try_read_root(idx + 1), Err(HeapError::RootIndexOutOfRange { idx: idx + 1, count: 1 }));
+        assert_eq!(
+            h.try_set_root(idx + 1, VAddr::NULL),
+            Err(HeapError::RootIndexOutOfRange { idx: idx + 1, count: 1 })
+        );
+        h.try_set_root(idx, VAddr::NULL).unwrap();
+        assert_eq!(h.read_root(idx), VAddr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "root area full")]
+    fn add_root_panic_names_the_invariant() {
+        let (mut h, point, ..) = small_heap();
+        let a = h.alloc_eden(point, 0).unwrap();
+        for _ in 0..=h.root_capacity() {
+            h.add_root(a);
+        }
     }
 
     #[test]

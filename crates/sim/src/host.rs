@@ -228,6 +228,23 @@ impl MemFabric {
         }
     }
 
+    /// A control packet lost or corrupted on the links (fault
+    /// injection): the first hop's bandwidth is consumed and the drop is
+    /// counted, but nothing arrives. Free on DDR4 — there are no links
+    /// to lose a packet on.
+    pub fn control_packet_dropped(&mut self, from: Node, to: Node, bytes: u32, start: Ps) -> Ps {
+        match &mut self.side {
+            DramSide::Ddr4(_) => start,
+            DramSide::Hmc { noc, .. } => {
+                let t = noc.send_dropped(from, to, bytes, start, false);
+                self.stats.offchip = noc.host_link_traffic();
+                self.stats.intercube = noc.intercube_traffic();
+                self.stats.link_drops = noc.dropped().0;
+                t
+            }
+        }
+    }
+
     /// Traffic summary (Fig. 13 inputs), with the epoch-meter occupancy
     /// aggregate composed in at snapshot time.
     pub fn stats(&self) -> MemTrafficStats {

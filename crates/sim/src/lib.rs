@@ -12,6 +12,9 @@
 //!   row-buffer state and the paper's Table 2 parameters,
 //! * [`noc`] — the star topology of serial links between the host and the
 //!   four HMC cubes,
+//! * [`faults`] — seeded, replayable fault injection for the offload
+//!   pipeline (link drop, queue overflow, TLB miss, MAI parity, unit
+//!   wedge) plus the retry/backoff/watchdog recovery parameters,
 //! * [`bwres`] — epoch-metered shared-resource bandwidth accounting (no
 //!   phantom serialization between loosely-ordered agents),
 //! * [`issue`] — the bounded-window memory-level-parallelism model shared by
@@ -47,6 +50,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod energy;
+pub mod faults;
 pub mod host;
 pub mod issue;
 pub mod noc;

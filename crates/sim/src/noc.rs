@@ -83,6 +83,10 @@ pub struct Noc {
     host_link: Link,
     /// `spokes[k]` is the link between the center and cube `k+1`.
     spokes: Vec<Link>,
+    /// Packets injected by fault campaigns that died en route.
+    dropped_packets: u64,
+    /// Bytes those dropped packets carried.
+    dropped_bytes: u64,
 }
 
 /// HMC packet framing: 16 B of header/tail per request or response packet
@@ -103,6 +107,8 @@ impl Noc {
             cubes: cfg.cubes,
             host_link: Link::new(cfg.link_bw),
             spokes: (1..cfg.cubes).map(|_| Link::new(cfg.link_bw)).collect(),
+            dropped_packets: 0,
+            dropped_bytes: 0,
         }
     }
 
@@ -203,6 +209,38 @@ impl Noc {
             Some(h2) => BatchCompletion { first: h2.first, last: h2.last.max(at_center.last) },
             None => at_center,
         }
+    }
+
+    /// A `send` whose packet is lost or corrupted en route (fault
+    /// injection): the first hop's bandwidth is still consumed — the
+    /// packet left the source and was discarded at the receiving logic
+    /// layer — but the packet never arrives and nothing crosses the
+    /// second hop. Returns when the packet would have cleared hop 1,
+    /// which is when the loss becomes physically final; the sender
+    /// observes nothing until its own timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint names a cube outside the configuration.
+    pub fn send_dropped(&mut self, from: Node, to: Node, bytes: u32, start: Ps, is_read_data: bool) -> Ps {
+        self.check(from);
+        self.check(to);
+        self.dropped_packets += 1;
+        self.dropped_bytes += u64::from(bytes);
+        if from == to {
+            return start;
+        }
+        match from {
+            Node::Host => self.host_link.inbound.transfer(bytes, start, self.latency, is_read_data),
+            // Loss on the center's own logic layer: no link crossed.
+            Node::Cube(0) => start,
+            Node::Cube(c) => self.spokes[c - 1].inbound.transfer(bytes, start, self.latency, is_read_data),
+        }
+    }
+
+    /// `(packets, bytes)` lost to injected link faults so far.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped_packets, self.dropped_bytes)
     }
 
     /// Aggregate epoch-meter occupancy over every link direction.
@@ -335,6 +373,18 @@ mod tests {
         assert!(run.last < serialize_all * 2, "hops failed to overlap: {run:?}");
         assert!(run.last >= serialize_all, "tail cannot beat link serialization: {run:?}");
         assert_eq!(n.occupancy().total_units, 2 * bytes);
+    }
+
+    #[test]
+    fn dropped_packets_charge_only_the_first_hop() {
+        let mut n = noc();
+        let t = n.send_dropped(Node::Host, Node::Cube(2), 256, Ps::ZERO, false);
+        // Same cost as one hop of a delivered packet …
+        assert_eq!(t, Ps::from_ns(3.2) + Ps::from_ns(3.0));
+        // … and the spoke toward cube 2 stays untouched.
+        assert_eq!(n.intercube_traffic().total_bytes(), 0);
+        assert_eq!(n.host_link_traffic().total_bytes(), 256);
+        assert_eq!(n.dropped(), (1, 256));
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub struct MemTrafficStats {
     /// spilled past the bounded-skew window, and clamped late
     /// reservations. See [`crate::bwres::EpochBw`].
     pub bw: BwOccupancy,
+    /// Link packets lost to injected faults (zero outside fault
+    /// campaigns). See [`crate::faults`].
+    pub link_drops: u64,
 }
 
 impl MemTrafficStats {
@@ -176,6 +179,7 @@ impl AddAssign for MemTrafficStats {
         self.local_accesses += rhs.local_accesses;
         self.remote_accesses += rhs.remote_accesses;
         self.bw += rhs.bw;
+        self.link_drops += rhs.link_drops;
     }
 }
 

@@ -6,6 +6,7 @@ use charon_sim::bwres::{EpochBw, HashMapOracle};
 use charon_sim::cache::{AccessKind, Cache};
 use charon_sim::config::{CacheConfig, SystemConfig};
 use charon_sim::dram::{Ddr4Sim, DramOp, HmcSim};
+use charon_sim::faults::{FaultInjector, FaultRates, RecoveryConfig};
 use charon_sim::issue::Window;
 use charon_sim::noc::{Noc, Node};
 use charon_sim::time::{Bandwidth, Ps};
@@ -193,6 +194,53 @@ proptest! {
         for c in 0..cfg.cubes {
             let grew = after[c] - before[c];
             prop_assert_eq!(grew, if c == cube { 128 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn retry_bursts_never_beat_the_metered_rate(
+        offloads in proptest::collection::vec((0u64..2_000_000, 1u64..4096, 0u32..5), 1..100)
+    ) {
+        // Each failed offload re-reserves link bandwidth at
+        // timeout-plus-backoff spacing. However dense the retry bursts
+        // get, the epoch meter still cannot serve past its configured
+        // rate, never travels backwards, and loses no reservation.
+        let rc = RecoveryConfig::default();
+        let mut lane = EpochBw::from_bandwidth(Bandwidth::gbps(10.0), Ps::from_us(1.0));
+        let mut total = 0u64;
+        let mut last_done = Ps::ZERO;
+        for &(start, bytes, attempts) in &offloads {
+            let mut t = Ps(start);
+            for attempt in 0..=attempts {
+                let done = lane.reserve(t, bytes);
+                prop_assert!(done >= t, "retry completion went backwards: {done} < {t}");
+                total += bytes;
+                last_done = last_done.max(done);
+                t = done.max(t + rc.timeout) + rc.backoff(attempt);
+            }
+        }
+        let min_time = total as f64 / 10e9; // seconds at 10 GB/s
+        prop_assert!(last_done.as_secs() + 1e-6 >= min_time,
+            "retries pushed {} B through by {} — past the 10 GB/s meter", total, last_done);
+        prop_assert_eq!(lane.occupancy().total_units, total);
+    }
+
+    #[test]
+    fn fault_injector_replays_and_respects_zero_rates(
+        seed in any::<u64>(), p_milli in 0u32..=1000, rolls in 1usize..300
+    ) {
+        // Same seed, same rates → the same fault schedule, roll for roll;
+        // and a zero-rate injector never fires no matter the seed.
+        let rates = FaultRates::uniform(f64::from(p_milli) / 1000.0);
+        let mut a = FaultInjector::new(seed, rates);
+        let mut b = FaultInjector::new(seed, rates);
+        for _ in 0..rolls {
+            prop_assert_eq!(a.roll_attempt(), b.roll_attempt());
+        }
+        prop_assert_eq!(a.total_injected(), b.total_injected());
+        let mut z = FaultInjector::new(seed, FaultRates::zero());
+        for _ in 0..rolls {
+            prop_assert_eq!(z.roll_attempt(), None);
         }
     }
 

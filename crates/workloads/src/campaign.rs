@@ -1,0 +1,383 @@
+//! Seeded fault-injection campaigns over the offload path.
+//!
+//! A campaign runs one workload fault-free, then once per fault site with
+//! that site's failure rate turned up, and checks the robustness contract
+//! of the fault layer ([`charon_sim::faults`]): injected faults may cost
+//! time (retries, timeouts, host fallbacks, degradation) but must never
+//! change what the collector *does* — the reachable-graph signatures, the
+//! reachability counters, and the collection sequence must be identical to
+//! the fault-free run, and simulated time must stay strictly monotone
+//! across collections.
+
+use crate::mutator::Mutator;
+use crate::spec::WorkloadSpec;
+use charon_gc::breakdown::RecoverySummary;
+use charon_gc::collector::{Collector, GcKind, OutOfMemory};
+use charon_gc::system::System;
+use charon_gc::verify::{try_graph_signature, ReachableStats};
+use charon_heap::addr::VAddr;
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_sim::faults::{FaultRates, FaultSite, RecoveryConfig};
+use charon_sim::time::Ps;
+use std::fmt;
+
+/// Options shared by every run of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Heap size factor over the workload minimum (`None` = spec default).
+    pub heap_factor: Option<f64>,
+    /// GC threads.
+    pub gc_threads: usize,
+    /// Superstep count override (campaigns usually run short).
+    pub supersteps: Option<usize>,
+    /// Timeout/retry/watchdog parameters for the faulty runs.
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions { heap_factor: None, gc_threads: 8, supersteps: None, recovery: RecoveryConfig::default() }
+    }
+}
+
+/// A campaign run died outright (as opposed to completing with a failed
+/// check, which lands in the [`SiteVerdict`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The heap could not hold the workload.
+    OutOfMemory(OutOfMemory),
+    /// A reachable reference escaped the heap — the one thing injected
+    /// faults must never cause, caught by
+    /// [`charon_gc::verify::try_graph_signature`].
+    Corrupt {
+        /// Which checkpoint tripped ("resident", "step 3", …).
+        stage: String,
+        /// The escaping reference.
+        addr: VAddr,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::OutOfMemory(e) => write!(f, "{e}"),
+            CampaignError::Corrupt { stage, addr } => {
+                write!(f, "heap corruption at {stage}: reachable reference {addr} points outside the heap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// What one run (fault-free or faulty) produced.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// `(graph_signature, reachable_stats)` after resident build and after
+    /// every superstep — the correctness stream compared across runs.
+    pub signatures: Vec<(u64, ReachableStats)>,
+    /// Kind of every collection, in order.
+    pub event_kinds: Vec<GcKind>,
+    /// Total stop-the-world time.
+    pub gc_time: Ps,
+    /// Whether event times were strictly monotone (positive pauses, no
+    /// collection starting before the previous one ended).
+    pub monotone: bool,
+    /// Human-readable detail when `monotone` is false.
+    pub monotone_detail: Option<String>,
+    /// Cumulative recovery accounting (all zero on the fault-free run).
+    pub recovery: RecoverySummary,
+    /// Faults the injector fired, total across sites.
+    pub injected: u64,
+}
+
+fn checkpoint(heap: &JavaHeap, stage: &str) -> Result<(u64, ReachableStats), CampaignError> {
+    try_graph_signature(heap).map_err(|e| CampaignError::Corrupt { stage: stage.to_string(), addr: e.addr })
+}
+
+fn execute(
+    spec: &WorkloadSpec,
+    opts: &CampaignOptions,
+    fault: Option<(u64, FaultRates)>,
+) -> Result<CaseReport, CampaignError> {
+    let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(heap_bytes));
+    let mut mutator = Mutator::new(spec.clone(), &mut heap);
+    let mut sys = System::charon();
+    if let Some((seed, rates)) = fault {
+        sys.inject_faults(seed, rates, opts.recovery);
+    }
+    let mut gc = Collector::new(sys, &heap, opts.gc_threads);
+
+    let mut signatures = Vec::new();
+    mutator.build_resident(&mut heap, &mut gc).map_err(CampaignError::OutOfMemory)?;
+    signatures.push(checkpoint(&heap, "resident")?);
+    let steps = opts.supersteps.unwrap_or(spec.supersteps);
+    for step in 0..steps {
+        mutator.superstep(&mut heap, &mut gc).map_err(CampaignError::OutOfMemory)?;
+        signatures.push(checkpoint(&heap, &format!("step {step}"))?);
+    }
+
+    let mut monotone = true;
+    let mut monotone_detail = None;
+    let mut prev_end = Ps::ZERO;
+    for (i, e) in gc.events.iter().enumerate() {
+        if e.wall <= Ps::ZERO {
+            monotone = false;
+            monotone_detail = Some(format!("collection {i} has a non-positive pause {}", e.wall));
+            break;
+        }
+        if e.start < prev_end {
+            monotone = false;
+            monotone_detail =
+                Some(format!("collection {i} starts at {} before the previous one ended at {prev_end}", e.start));
+            break;
+        }
+        prev_end = e.start + e.wall;
+    }
+
+    let injected = gc
+        .sys
+        .device
+        .as_ref()
+        .and_then(|d| d.fault_injector())
+        .map(|inj| inj.total_injected())
+        .unwrap_or(0);
+    Ok(CaseReport {
+        signatures,
+        event_kinds: gc.events.iter().map(|e| e.kind).collect(),
+        gc_time: gc.gc_total_time(),
+        monotone,
+        monotone_detail,
+        recovery: gc.sys.recovery,
+        injected,
+    })
+}
+
+/// Runs one case: fault-free when `fault` is `None`, otherwise with the
+/// given injector seed and rates. Campaigns and property tests compare
+/// the returned [`CaseReport`]s.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the run cannot complete or a checkpoint
+/// finds heap corruption.
+pub fn run_case(
+    spec: &WorkloadSpec,
+    fault: Option<(u64, FaultRates)>,
+    opts: &CampaignOptions,
+) -> Result<CaseReport, CampaignError> {
+    execute(spec, opts, fault)
+}
+
+/// One row of the campaign matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixEntry {
+    /// Display label.
+    pub label: &'static str,
+    /// The site under fire.
+    pub site: FaultSite,
+    /// Injector seed (distinct per row so sites draw distinct schedules).
+    pub seed: u64,
+    /// The rates for this row.
+    pub rates: FaultRates,
+}
+
+/// The standard campaign matrix: one seeded run per fault site at a
+/// moderate rate (retries dominate), plus a near-certain unit-failure row
+/// that drives the watchdog all the way to per-primitive degradation.
+pub fn fault_matrix(base_seed: u64) -> Vec<MatrixEntry> {
+    let mut rows: Vec<MatrixEntry> = FaultSite::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &site)| MatrixEntry {
+            label: site.name(),
+            site,
+            seed: base_seed.wrapping_add(i as u64 + 1),
+            rates: FaultRates::only(site, 0.2),
+        })
+        .collect();
+    rows.push(MatrixEntry {
+        label: "unit-degrade",
+        site: FaultSite::Unit,
+        seed: base_seed.wrapping_add(99),
+        rates: FaultRates::only(FaultSite::Unit, 0.95),
+    });
+    rows
+}
+
+/// The checked outcome of one matrix row.
+#[derive(Debug, Clone)]
+pub struct SiteVerdict {
+    /// The matrix row.
+    pub entry: MatrixEntry,
+    /// Faults injected during the run.
+    pub injected: u64,
+    /// Recovery accounting (retries / fallbacks / degradations).
+    pub recovery: RecoverySummary,
+    /// Collections completed.
+    pub collections: usize,
+    /// Total GC time under faults (≥ the fault-free time).
+    pub gc_time: Ps,
+    /// All checks passed.
+    pub pass: bool,
+    /// What failed, when `pass` is false.
+    pub failures: Vec<String>,
+}
+
+/// A full campaign: fault-free baseline plus every matrix row.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Two-letter workload code.
+    pub workload: &'static str,
+    /// The fault-free reference run.
+    pub baseline: CaseReport,
+    /// One verdict per matrix row.
+    pub verdicts: Vec<SiteVerdict>,
+}
+
+impl CampaignReport {
+    /// True when every matrix row passed.
+    pub fn pass(&self) -> bool {
+        self.verdicts.iter().all(|v| v.pass)
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: fault-free {} over {} collections",
+            self.workload,
+            self.baseline.gc_time,
+            self.baseline.event_kinds.len()
+        )?;
+        for v in &self.verdicts {
+            writeln!(
+                f,
+                "  {:<14} seed={:<4} {:>7} injected  gc {}  recovery: {}  {}",
+                v.entry.label,
+                v.entry.seed,
+                v.injected,
+                v.gc_time,
+                v.recovery,
+                if v.pass { "PASS" } else { "FAIL" },
+            )?;
+            for msg in &v.failures {
+                writeln!(f, "      ! {msg}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check(entry: MatrixEntry, baseline: &CaseReport, case: &CaseReport) -> SiteVerdict {
+    let mut failures = Vec::new();
+    if case.signatures.len() != baseline.signatures.len() {
+        failures.push(format!(
+            "checkpoint count diverged: {} vs fault-free {}",
+            case.signatures.len(),
+            baseline.signatures.len()
+        ));
+    } else if let Some(i) = (0..case.signatures.len()).find(|&i| case.signatures[i] != baseline.signatures[i]) {
+        failures.push(format!(
+            "graph signature diverged at checkpoint {i}: {:016x} vs fault-free {:016x}",
+            case.signatures[i].0, baseline.signatures[i].0
+        ));
+    }
+    if case.event_kinds != baseline.event_kinds {
+        failures.push(format!(
+            "collection sequence diverged: {} events vs fault-free {}",
+            case.event_kinds.len(),
+            baseline.event_kinds.len()
+        ));
+    }
+    if !case.monotone {
+        failures.push(
+            case.monotone_detail
+                .clone()
+                .unwrap_or_else(|| "non-monotone simulated time".to_string()),
+        );
+    }
+    if case.injected == 0 {
+        failures.push(format!("fault site {} never fired — dead injection wiring", entry.site));
+    }
+    SiteVerdict {
+        entry,
+        injected: case.injected,
+        recovery: case.recovery,
+        collections: case.event_kinds.len(),
+        gc_time: case.gc_time,
+        pass: failures.is_empty(),
+        failures,
+    }
+}
+
+/// Runs the full campaign for one workload.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the *fault-free* run cannot complete;
+/// failures of the faulty runs land in their [`SiteVerdict`] instead.
+pub fn run_fault_campaign(
+    spec: &WorkloadSpec,
+    base_seed: u64,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    let baseline = execute(spec, opts, None)?;
+    let mut verdicts = Vec::new();
+    for entry in fault_matrix(base_seed) {
+        match execute(spec, opts, Some((entry.seed, entry.rates))) {
+            Ok(case) => verdicts.push(check(entry, &baseline, &case)),
+            Err(e) => verdicts.push(SiteVerdict {
+                entry,
+                injected: 0,
+                recovery: RecoverySummary::default(),
+                collections: 0,
+                gc_time: Ps::ZERO,
+                pass: false,
+                failures: vec![e.to_string()],
+            }),
+        }
+    }
+    Ok(CampaignReport { workload: spec.short, baseline, verdicts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_short;
+
+    #[test]
+    fn campaign_passes_on_bs_and_exercises_recovery() {
+        let spec = by_short("BS").unwrap();
+        let opts = CampaignOptions { supersteps: Some(2), ..Default::default() };
+        let report = run_fault_campaign(&spec, 42, &opts).unwrap();
+        assert!(report.pass(), "campaign failed:\n{report}");
+        assert!(report.baseline.recovery.is_empty(), "fault-free run must record no recovery events");
+        assert_eq!(report.baseline.injected, 0);
+        for v in &report.verdicts {
+            assert!(v.injected > 0, "{} fired nothing", v.entry.label);
+            assert!(v.gc_time >= report.baseline.gc_time, "{}: faults cannot make GC faster", v.entry.label);
+        }
+        // Every faulty run costs retries somewhere.
+        assert!(report.verdicts.iter().any(|v| v.recovery.total_retries() > 0));
+        // The near-certain unit-failure row must walk the whole ladder:
+        // retries, fallbacks, and at least one degraded primitive.
+        let degrade = report.verdicts.iter().find(|v| v.entry.label == "unit-degrade").unwrap();
+        assert!(degrade.recovery.total_fallbacks() > 0, "no fallbacks under {}", degrade.entry.label);
+        assert!(degrade.recovery.degraded.iter().any(|&d| d), "watchdog never degraded a primitive");
+    }
+
+    #[test]
+    fn fault_matrix_covers_every_site_with_distinct_seeds() {
+        let rows = fault_matrix(7);
+        for site in FaultSite::ALL {
+            assert!(rows.iter().any(|r| r.site == site && r.rates.get(site) > 0.0), "site {site} missing");
+        }
+        let mut seeds: Vec<u64> = rows.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), rows.len(), "matrix seeds must be distinct");
+    }
+}

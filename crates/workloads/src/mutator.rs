@@ -84,7 +84,9 @@ impl Mutator {
                 heap.set_root(idx, v);
                 idx
             }
-            None => heap.add_root(v),
+            None => heap
+                .try_add_root(v)
+                .unwrap_or_else(|e| panic!("workload {} demographics overran the root area: {e}", self.spec.short)),
         }
     }
 

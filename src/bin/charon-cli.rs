@@ -6,12 +6,13 @@
 //! charon-cli compare LR --threads 4       # all platforms side by side
 //! charon-cli config                       # Table 2
 //! charon-cli area                         # Table 4
+//! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
 //! ```
 
 use charon::gc::breakdown::Bucket;
 use charon::gc::system::System;
 use charon::workloads::spec::{by_short, table3};
-use charon::workloads::{run_workload, RunOptions, RunResult};
+use charon::workloads::{run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
 use std::process::ExitCode;
 
 const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
@@ -20,7 +21,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
          charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>]\n  \
-         charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>]\n\
+         charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>]\n  \
+         charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>]\n\
          platforms: {}",
         PLATFORMS.join(", ")
     );
@@ -73,6 +75,41 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         i += 2;
     }
     Ok(out)
+}
+
+/// Flags for `fault-campaign`: the campaign always runs on the Charon
+/// platform, so there is no `--platform`, but it gains a `--seed`.
+fn parse_campaign_flags(rest: &[String]) -> Result<(u64, CampaignOptions), String> {
+    let mut seed = 42u64;
+    let mut opts = CampaignOptions::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let val = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--seed" => seed = val.parse().map_err(|_| format!("bad seed {val}"))?,
+            "--heap-factor" => {
+                let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
+                if f < 1.0 {
+                    return Err(format!(
+                        "--heap-factor {f} is below 1.0 — factors are relative to the minimum OOM-free heap"
+                    ));
+                }
+                opts.heap_factor = Some(f);
+            }
+            "--threads" => {
+                let n: usize = val.parse().map_err(|_| format!("bad thread count {val}"))?;
+                if n == 0 || n > 64 {
+                    return Err(format!("--threads {n} out of range (1..=64)"));
+                }
+                opts.gc_threads = n;
+            }
+            "--steps" => opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok((seed, opts))
 }
 
 fn print_result(r: &RunResult) {
@@ -187,6 +224,35 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
+        }
+        Some("fault-campaign") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let (seed, opts) = match parse_campaign_flags(&args[2..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            match run_fault_campaign(&spec, seed, &opts) {
+                Ok(report) => {
+                    println!("{report}");
+                    if report.pass() {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("fault campaign FAILED for {short} (seed {seed})");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{short}: fault-free baseline failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }
