@@ -36,6 +36,7 @@ use charon_sim::dram::DramOp;
 use charon_sim::faults::{FaultInjector, FaultRates, FaultSite, RecoveryConfig};
 use charon_sim::host::HostTiming;
 use charon_sim::noc::Node;
+use charon_sim::telemetry::{Event, Telemetry};
 use charon_sim::time::Ps;
 use std::fmt;
 
@@ -189,6 +190,43 @@ impl CharonStats {
     pub fn total_busy(&self) -> Ps {
         self.prims.iter().map(|p| p.busy).sum()
     }
+
+    /// Machine-readable view: per-primitive counters keyed by name, plus
+    /// the component-energy split.
+    pub fn to_json(&self) -> charon_sim::json::Json {
+        use charon_sim::json::Json;
+        let prims = Json::obj(
+            PrimType::ALL
+                .iter()
+                .map(|&p| {
+                    let s = self.prim(p);
+                    (
+                        p.name().to_string(),
+                        Json::obj(vec![
+                            ("offloads", Json::U64(s.offloads)),
+                            ("busy_ps", Json::U64(s.busy.0)),
+                            ("bytes", Json::U64(s.bytes)),
+                            ("transport_ps", Json::U64(s.transport.0)),
+                            ("queue_ps", Json::U64(s.queue.0)),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        Json::obj(vec![
+            ("prims", prims),
+            (
+                "energy_pj",
+                Json::obj(vec![
+                    ("units", Json::F64(self.energy.units_pj)),
+                    ("queues", Json::F64(self.energy.queues_pj)),
+                    ("tlb", Json::F64(self.energy.tlb_pj)),
+                    ("bitmap_cache", Json::F64(self.energy.bitmap_cache_pj)),
+                    ("total", Json::F64(self.energy.total_pj())),
+                ]),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for CharonStats {
@@ -340,6 +378,7 @@ pub struct CharonDevice {
     init: Option<InitializeParams>,
     stats: CharonStats,
     faults: Option<FaultLayer>,
+    telemetry: Telemetry,
 }
 
 /// Granularity of the Copy/Search unit's streamed requests (the maximum
@@ -408,7 +447,14 @@ impl CharonDevice {
             init: None,
             stats: CharonStats::default(),
             faults: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry journal; the device records per-unit busy
+    /// spans and fault observations into it. Timing is unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Arms the fault-injection and recovery layer. The default device
@@ -615,12 +661,14 @@ impl CharonDevice {
         }
     }
 
-    fn record(&mut self, prim: PrimType, start: Ps, end: Ps, bytes: u64) {
+    fn record(&mut self, prim: PrimType, cube: usize, start: Ps, end: Ps, bytes: u64) {
         let s = &mut self.stats.prims[prim.encode() as usize];
         s.offloads += 1;
         s.busy += end - start;
         s.bytes += bytes;
         self.stats.energy.units_pj += bytes as f64 * UNIT_PJ_PER_BYTE;
+        self.telemetry
+            .record(|| Event::UnitSpan { prim: prim.name(), cube, start, end, bytes });
     }
 
     /// Folds the per-structure event counters (gathered since the last
@@ -783,6 +831,8 @@ impl CharonDevice {
                 return Ok(OffloadGrant { done, retries: attempt });
             };
             let observed = self.observe_failure(host, prim, addr, t, site, attempt, recovery.timeout);
+            self.telemetry
+                .record(|| Event::Fault { site: site.name(), prim: prim.name(), at: observed, attempt });
             if attempt >= recovery.retry_budget {
                 let layer = self.faults.as_mut().expect("fault layer armed");
                 layer.retries[pi] += u64::from(attempt);
@@ -826,7 +876,7 @@ impl CharonDevice {
         let served = self.copy_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
         let end = end.max(served);
-        self.record(PrimType::Copy, start, end, 2 * bytes);
+        self.record(PrimType::Copy, cube, start, end, 2 * bytes);
         self.record_wait(PrimType::Copy, now, arrive, queue_delay);
         self.send_response(host, cube, PrimType::Copy, end)
     }
@@ -851,7 +901,7 @@ impl CharonDevice {
         let served = self.copy_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
         let end = end.max(served);
-        self.record(PrimType::Search, start, end, scanned_bytes);
+        self.record(PrimType::Search, cube, start, end, scanned_bytes);
         self.record_wait(PrimType::Search, now, arrive, queue_delay);
         self.send_response(host, cube, PrimType::Search, end)
     }
@@ -905,7 +955,7 @@ impl CharonDevice {
         let served = self.bc_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
         let end = end.max(served);
-        self.record(PrimType::BitmapCount, start, end, total);
+        self.record(PrimType::BitmapCount, cube, start, end, total);
         self.record_wait(PrimType::BitmapCount, now, arrive, queue_delay);
         self.send_response(host, cube, PrimType::BitmapCount, end)
     }
@@ -992,7 +1042,7 @@ impl CharonDevice {
         let served = self.sp_units.charge(cube, start, end - start);
         let queue_delay = served.saturating_sub(end);
         let end = end.max(served);
-        self.record(PrimType::ScanPush, start, end, field_bytes + refs.len() as u64 * 16);
+        self.record(PrimType::ScanPush, cube, start, end, field_bytes + refs.len() as u64 * 16);
         self.record_wait(PrimType::ScanPush, now, arrive, queue_delay);
         self.send_response(host, cube, PrimType::ScanPush, end)
     }

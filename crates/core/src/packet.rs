@@ -86,17 +86,21 @@ impl PrimType {
             RESPONSE_EMPTY_BYTES
         }
     }
-}
 
-impl fmt::Display for PrimType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable static name (telemetry event labels; matches [`fmt::Display`]).
+    pub fn name(self) -> &'static str {
+        match self {
             PrimType::Copy => "Copy",
             PrimType::Search => "Search",
             PrimType::ScanPush => "Scan&Push",
             PrimType::BitmapCount => "Bitmap Count",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for PrimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -5,6 +5,7 @@
 //! are ratios over these.
 
 use charon_sim::bwres::BwOccupancy;
+use charon_sim::json::Json;
 use charon_sim::time::Ps;
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -91,6 +92,36 @@ impl RecoverySummary {
     /// Total host-path fallbacks across primitives.
     pub fn total_fallbacks(&self) -> u64 {
         self.fallbacks.iter().sum()
+    }
+
+    /// Machine-readable view: per-primitive retry/fallback/degraded
+    /// counters keyed by display name, plus the totals.
+    pub fn to_json(&self) -> Json {
+        let per_prim = |vals: &[u64; 4]| {
+            Json::obj(
+                PRIM_NAMES
+                    .iter()
+                    .zip(vals)
+                    .map(|(n, &v)| (n.to_string(), Json::U64(v)))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        Json::obj(vec![
+            ("retries", per_prim(&self.retries)),
+            ("fallbacks", per_prim(&self.fallbacks)),
+            (
+                "degraded",
+                Json::obj(
+                    PRIM_NAMES
+                        .iter()
+                        .zip(&self.degraded)
+                        .map(|(n, &d)| (n.to_string(), Json::Bool(d)))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("total_retries", Json::U64(self.total_retries())),
+            ("total_fallbacks", Json::U64(self.total_fallbacks())),
+        ])
     }
 
     /// The change from `before` to `self`. Counters subtract; degradation
@@ -237,6 +268,29 @@ impl Breakdown {
     /// The offload-recovery events this breakdown accumulated.
     pub fn recovery(&self) -> RecoverySummary {
         self.recovery
+    }
+
+    /// Machine-readable view: per-bucket picoseconds and fractions, the
+    /// total, the offloadable fraction, bandwidth occupancy, and recovery.
+    pub fn to_json(&self) -> Json {
+        let buckets = Json::obj(
+            Bucket::ALL
+                .iter()
+                .map(|&b| {
+                    (
+                        b.to_string(),
+                        Json::obj(vec![("ps", Json::U64(self.get(b).0)), ("fraction", Json::F64(self.fraction(b)))]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        Json::obj(vec![
+            ("buckets", buckets),
+            ("total_ps", Json::U64(self.total().0)),
+            ("offloadable_fraction", Json::F64(self.offloadable_fraction())),
+            ("bw", self.bw.to_json()),
+            ("recovery", self.recovery.to_json()),
+        ])
     }
 }
 

@@ -173,6 +173,7 @@ impl Collector {
         if self.sys.record_traces {
             self.sys.traces.push(crate::trace::GcTrace::default());
         }
+        self.sys.collection_seq = self.events.len() as u64;
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
         let bw_before = self.sys.host.fabric.occupancy();
@@ -197,6 +198,16 @@ impl Collector {
         breakdown.record_bw(self.sys.host.fabric.occupancy() - bw_before);
         breakdown.record_recovery(self.sys.recovery.since(recovery_before));
         self.sys.charge_gc_energy(wall, self.gc_threads, host_active, dram_bytes);
+        let seq = self.sys.collection_seq;
+        self.sys.telemetry.record(|| charon_sim::telemetry::Event::Collection {
+            seq,
+            kind: match kind {
+                GcKind::Minor => "minor",
+                GcKind::Major => "major",
+            },
+            start,
+            end,
+        });
         self.now = end;
         self.events
             .push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });

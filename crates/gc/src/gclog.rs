@@ -26,11 +26,15 @@ pub struct HeapSnapshot {
 impl HeapSnapshot {
     /// Captures the "after" side from a heap (the caller saved
     /// `used_before` before triggering the GC).
+    ///
+    /// Capacity follows HotSpot's reporting convention: old generation
+    /// plus eden plus ONE survivor space. The second survivor is always
+    /// empty (it is the copy target), so `-verbose:gc` never counts it.
     pub fn after(heap: &JavaHeap, used_before: u64) -> HeapSnapshot {
         HeapSnapshot {
             used_before,
             used_after: heap.used_bytes(),
-            capacity: heap.old().capacity_bytes() + heap.layout().young_bytes(),
+            capacity: heap.old().capacity_bytes() + heap.layout().young_capacity_bytes(),
         }
     }
 }
@@ -131,5 +135,18 @@ mod tests {
     #[should_panic]
     fn mismatched_snapshots_panic() {
         render_run(&[event(GcKind::Minor, 1.0)], &[]);
+    }
+
+    #[test]
+    fn capacity_counts_eden_plus_one_survivor() {
+        // HotSpot's -verbose:gc capacity is old + eden + ONE survivor; the
+        // copy-target survivor is never reported. Regression for the bug
+        // where both survivors were counted.
+        use charon_heap::heap::{HeapConfig, JavaHeap};
+        let heap = JavaHeap::new(HeapConfig::with_heap_bytes(8 << 20));
+        let snap = HeapSnapshot::after(&heap, 0);
+        let l = heap.layout();
+        assert_eq!(snap.capacity, heap.old().capacity_bytes() + l.eden.bytes() + l.from.bytes());
+        assert!(snap.capacity < heap.old().capacity_bytes() + l.young_bytes(), "both survivors must not be counted");
     }
 }

@@ -26,6 +26,7 @@ use charon_heap::markbitmap::{live_words_fast, mark_object};
 use charon_heap::object::{self, MarkState};
 use charon_heap::objstack::ObjStack;
 use charon_sim::cache::AccessKind;
+use charon_sim::telemetry::Event;
 
 /// Heap words per compaction region (HotSpot `ParallelCompactData`
 /// regions; 512 words = 4 KB).
@@ -142,6 +143,7 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
     let mut bd = Breakdown::new();
     let mut st = MajorStats::default();
     let cores = sys.host.cores();
+    let seq = sys.collection_seq;
     let mut stack = ObjStack::new(heap.layout().major_stack);
 
     // Prologue.
@@ -153,8 +155,11 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         threads.barrier();
     }
 
+    let p0 = threads.max_clock();
     let discovered = mark_phase(sys, heap, threads, &mut bd, &mut st, &mut stack, cores);
     st.stack_max = stack.max_depth();
+    let p1 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "mark", start: p0, end: p1 });
     // Reference processing: clear weak referents that marking never
     // reached strongly — before the summary, so their space is reclaimed
     // and the adjust phase never follows a dangling weak edge.
@@ -171,6 +176,8 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         threads.advance(t, end, true);
     }
     threads.barrier();
+    let p2 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "refs", start: p1, end: p2 });
     {
         let now = threads.clock(0);
         let end = sys.flush_bitmap_cache(now);
@@ -179,14 +186,27 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         threads.barrier();
     }
 
+    let p3 = threads.max_clock();
     let plan = summary_phase(sys, heap, threads, &mut bd, &mut st, cores);
     threads.barrier();
+    sys.note_phase_barrier();
+    let p4 = threads.max_clock();
+    sys.telemetry
+        .record(|| Event::Phase { seq, name: "summary", start: p3, end: p4 });
 
     adjust_phase(sys, heap, threads, &mut bd, &plan, cores);
     threads.barrier();
+    sys.note_phase_barrier();
+    let p5 = threads.max_clock();
+    sys.telemetry
+        .record(|| Event::Phase { seq, name: "adjust", start: p4, end: p5 });
 
     compact_phase(sys, heap, threads, &mut bd, &mut st, &plan, cores);
     threads.barrier();
+    sys.note_phase_barrier();
+    let p6 = threads.max_clock();
+    sys.telemetry
+        .record(|| Event::Phase { seq, name: "compact", start: p5, end: p6 });
     {
         let now = threads.clock(0);
         let end = sys.flush_bitmap_cache(now);
@@ -196,6 +216,9 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
 
     epilogue(sys, heap, threads, &mut bd, &plan, cores);
     threads.barrier();
+    let p7 = threads.max_clock();
+    sys.telemetry
+        .record(|| Event::Phase { seq, name: "epilogue", start: p6, end: p7 });
     (bd, st)
 }
 
@@ -598,18 +621,9 @@ fn epilogue(
     for range in [beg, end_r, cards] {
         let t = threads.least_loaded();
         let start = threads.clock(t);
-        let mut cursor = start;
-        let mut end = start;
-        let lines = range.bytes() / 64;
-        for i in 0..lines {
-            let done = sys
-                .host
-                .mem_access(t % cores, cursor, range.start.add_bytes(i * 64).0, 64, AccessKind::Write);
-            end = end.max(done);
-            cursor += sys.compute(2);
-        }
-        bd.record(Bucket::Other, end.max(cursor) - start);
-        threads.advance(t, end.max(cursor), true);
+        let end = sys.host_stream_clear(t % cores, start, range);
+        bd.record(Bucket::Other, end - start);
+        threads.advance(t, end, true);
     }
 }
 

@@ -20,6 +20,7 @@ use charon_heap::heap::JavaHeap;
 use charon_heap::object::{self, MarkState};
 use charon_heap::objstack::ObjStack;
 use charon_sim::cache::AccessKind;
+use charon_sim::telemetry::Event;
 
 /// Outcome counters of one MinorGC.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +60,7 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
     let mut bd = Breakdown::new();
     let mut st = MinorStats::default();
     let cores = sys.host.cores();
+    let seq = sys.collection_seq;
     let tenuring = sys.tenuring.unwrap_or(heap.config().tenuring_threshold);
     st.tenuring_threshold = tenuring;
     let mut stack = ObjStack::new(heap.layout().minor_stack);
@@ -76,6 +78,7 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
     }
 
     // Phase 1: root set → stack.
+    let p0 = threads.max_clock();
     for idx in 0..heap.root_count() {
         let slot = heap.root_slot_addr(idx);
         let r = heap.read_ref(slot);
@@ -93,6 +96,9 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
             st.roots_pushed += 1;
         }
     }
+
+    let p1 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "roots", start: p0, end: p1 });
 
     // Phase 2: card-table Search for old-to-young references.
     let table = heap.cards().table_range();
@@ -118,6 +124,9 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         pos = block.add_bytes(8);
     }
 
+    let p2 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "cards", start: p1, end: p2 });
+
     // Phase 3: drain the object stack.
     while let Some((slot, slot_addr)) = stack.pop() {
         let t = threads.least_loaded();
@@ -130,6 +139,8 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         process_slot(sys, heap, threads, &mut bd, &mut st, &mut stack, &mut discovered, slot, t, cores, tenuring);
     }
     st.stack_max = stack.max_depth();
+    let p3 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "drain", start: p2, end: p3 });
 
     // Reference processing: a weak referent that no strong path copied is
     // dead — clear the Reference; one that was copied gets the new address.
@@ -155,6 +166,9 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         threads.advance(t, end, true);
     }
 
+    let p4 = threads.max_clock();
+    sys.telemetry.record(|| Event::Phase { seq, name: "refs", start: p3, end: p4 });
+
     // Epilogue: swap survivor roles, reset Eden and the old from-space.
     {
         let t = threads.least_loaded();
@@ -176,6 +190,9 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         sys.tenuring = Some(next);
     }
     threads.barrier();
+    let p5 = threads.max_clock();
+    sys.telemetry
+        .record(|| Event::Phase { seq, name: "epilogue", start: p4, end: p5 });
     (bd, st)
 }
 

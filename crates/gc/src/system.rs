@@ -17,6 +17,7 @@ use charon_sim::config::{MemPlatform, SystemConfig};
 use charon_sim::energy::{EnergyModel, EnergyParams};
 use charon_sim::faults::{FaultRates, RecoveryConfig};
 use charon_sim::host::HostTiming;
+use charon_sim::telemetry::{Event, Telemetry};
 use charon_sim::time::Ps;
 use std::fmt;
 
@@ -149,6 +150,12 @@ pub struct System {
     pub record_traces: bool,
     /// Recorded traces, one per collection (only when `record_traces`).
     pub traces: Vec<crate::trace::GcTrace>,
+    /// The structured event journal ([`charon_sim::telemetry`]); disabled
+    /// by default and never consulted by any timing computation.
+    pub telemetry: Telemetry,
+    /// Ordinal of the collection currently in flight (set by the
+    /// collector); used only to tag telemetry phase events.
+    pub collection_seq: u64,
 }
 
 impl System {
@@ -199,8 +206,20 @@ impl System {
             tenuring: None,
             record_traces: false,
             traces: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            collection_seq: 0,
             cfg,
         }
+    }
+
+    /// Attaches a telemetry journal to this system and its device. The
+    /// journal records primitive, flush, fault, and recovery events;
+    /// timing is unaffected whether or not one is attached.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(dev) = &mut self.device {
+            dev.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     /// A short label for reports ("DDR4", "HMC", "Charon", …).
@@ -269,32 +288,92 @@ impl System {
     /// host caches so the units read up-to-date data (§4.6). Returns the
     /// time the flush traffic has drained.
     pub fn gc_prologue(&mut self, now: Ps) -> Ps {
-        if self.record_traces {
-            if let Some(t) = self.traces.last_mut() {
-                t.ops.push(crate::trace::TraceOp::Phase);
-            }
-        }
-        match self.backend {
+        let (flush, end) = match self.backend {
             Backend::Charon => {
-                let (_, _, done) = self.host.flush_all_caches(now);
-                done
+                let (lines, dirty, done) = self.host.flush_all_caches(now);
+                (crate::trace::FlushKind::HostCaches { lines, dirty }, done)
             }
-            _ => now,
-        }
+            _ => (crate::trace::FlushKind::Barrier, now),
+        };
+        self.note_phase(flush, now, end);
+        end
     }
 
     /// Flushes the device's bitmap cache at a MajorGC phase boundary
     /// (§4.5). No-op without a device.
     pub fn flush_bitmap_cache(&mut self, now: Ps) -> Ps {
+        let (flush, end) = match &mut self.device {
+            Some(dev) => {
+                let before = dev.bitmap_cache_stats().flushed;
+                let done = dev.flush_bitmap_cache(&mut self.host, now);
+                let lines = dev.bitmap_cache_stats().flushed - before;
+                (crate::trace::FlushKind::BitmapCache { lines }, done)
+            }
+            None => (crate::trace::FlushKind::Barrier, now),
+        };
+        self.note_phase(flush, now, end);
+        end
+    }
+
+    /// Records a bare phase barrier (MajorGC's summary/adjust/compact
+    /// boundaries) so trace replay resynchronizes its thread clocks and
+    /// folds outstanding stream drain exactly where the live run did.
+    /// Charges no time.
+    pub fn note_phase_barrier(&mut self) {
+        self.note_phase(crate::trace::FlushKind::Barrier, Ps::ZERO, Ps::ZERO);
+    }
+
+    /// Appends a `Phase` marker to the active trace and, for real flushes,
+    /// a `Flush` span to the journal. The flush itself already happened —
+    /// its host/device side effects record no trace ops, so the marker's
+    /// position in the op stream is the phase boundary.
+    fn note_phase(&mut self, flush: crate::trace::FlushKind, start: Ps, end: Ps) {
         if self.record_traces {
             if let Some(t) = self.traces.last_mut() {
-                t.ops.push(crate::trace::TraceOp::Phase);
+                t.ops.push(crate::trace::TraceOp::Phase { flush });
             }
         }
-        match &mut self.device {
-            Some(dev) => dev.flush_bitmap_cache(&mut self.host, now),
-            None => now,
+        if !matches!(flush, crate::trace::FlushKind::Barrier) {
+            self.telemetry
+                .record(|| Event::Flush { kind: flush.name(), start, end, lines: flush.lines() });
         }
+    }
+
+    /// Performs a recorded phase flush during replay: the same cache-state
+    /// reset (and timing charge) the live run took at this boundary,
+    /// applied to *this* system's caches. Not recorded into traces.
+    pub fn replay_flush(&mut self, now: Ps, flush: crate::trace::FlushKind) -> Ps {
+        match flush {
+            crate::trace::FlushKind::Barrier => now,
+            crate::trace::FlushKind::HostCaches { .. } => self.host.flush_all_caches(now).2,
+            crate::trace::FlushKind::BitmapCache { .. } => match &mut self.device {
+                Some(dev) => dev.flush_bitmap_cache(&mut self.host, now),
+                None => now,
+            },
+        }
+    }
+
+    /// A streaming clear of `range` — the major epilogue's bitmap and
+    /// card-table memsets. Writes issue back-to-back per 64 B line and
+    /// overlap in the core's miss window; returns when both the compute
+    /// stream and the last write are done.
+    pub fn host_stream_clear(&mut self, core: usize, now: Ps, range: charon_heap::addr::VRange) -> Ps {
+        if self.record_traces {
+            if let Some(t) = self.traces.last_mut() {
+                t.ops.push(crate::trace::TraceOp::StreamClear { range });
+            }
+        }
+        let mut cursor = now;
+        let mut end = now;
+        let lines = range.bytes() / 64;
+        for i in 0..lines {
+            let done = self
+                .host
+                .mem_access(core, cursor, range.start.add_bytes(i * 64).0, 64, AccessKind::Write);
+            end = end.max(done);
+            cursor += self.compute(2);
+        }
+        end.max(cursor)
     }
 
     /// Arms the device's deterministic fault-injection layer (see
@@ -328,15 +407,31 @@ impl System {
         match outcome {
             Ok(grant) => {
                 self.recovery.retries[pi] += u64::from(grant.retries);
+                if grant.retries > 0 {
+                    self.telemetry.record(|| Event::Recovery {
+                        prim: prim.name(),
+                        outcome: "retried",
+                        at: grant.done,
+                        retries: grant.retries,
+                    });
+                }
                 grant.done
             }
             Err(abandoned) => {
                 self.recovery.retries[pi] += u64::from(abandoned.retries);
                 self.recovery.fallbacks[pi] += 1;
+                let mut outcome_name = "fallback";
                 if abandoned.unit_dead && self.offload.get(prim) {
                     self.offload.set(prim, false);
                     self.recovery.degraded[pi] = true;
+                    outcome_name = "degraded";
                 }
+                self.telemetry.record(|| Event::Recovery {
+                    prim: prim.name(),
+                    outcome: outcome_name,
+                    at: abandoned.at,
+                    retries: abandoned.retries,
+                });
                 match call {
                     OffloadCall::Copy { src, dst, bytes } => self.host_copy(core, abandoned.at, src, dst, bytes),
                     OffloadCall::Search { start, scanned_bytes } => {
@@ -361,7 +456,7 @@ impl System {
                 t.ops.push(crate::trace::TraceOp::Copy { src, dst, bytes });
             }
         }
-        match self.backend {
+        let end = match self.backend {
             Backend::Host => self.host_copy(core, now, src, dst, bytes),
             Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::Copy) => {
                 self.host_copy(core, now, src, dst, bytes)
@@ -371,7 +466,10 @@ impl System {
                 self.offload_or_degrade(core, dispatch, OffloadCall::Copy { src, dst, bytes })
             }
             Backend::Ideal => now,
-        }
+        };
+        self.telemetry
+            .record(|| Event::Prim { prim: PrimType::Copy.name(), thread: core, start: now, end, bytes });
+        end
     }
 
     /// *Search* `scanned_bytes` of the card table from `start` (timing
@@ -382,7 +480,7 @@ impl System {
                 t.ops.push(crate::trace::TraceOp::Search { start, bytes: scanned_bytes });
             }
         }
-        match self.backend {
+        let end = match self.backend {
             Backend::Host => self.host_search(core, now, start, scanned_bytes),
             Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::Search) => {
                 self.host_search(core, now, start, scanned_bytes)
@@ -392,7 +490,15 @@ impl System {
                 self.offload_or_degrade(core, dispatch, OffloadCall::Search { start, scanned_bytes })
             }
             Backend::Ideal => now,
-        }
+        };
+        self.telemetry.record(|| Event::Prim {
+            prim: PrimType::Search.name(),
+            thread: core,
+            start: now,
+            end,
+            bytes: scanned_bytes,
+        });
+        end
     }
 
     /// *Bitmap Count* over byte `spans` of the begin and end maps.
@@ -402,7 +508,7 @@ impl System {
                 t.ops.push(crate::trace::TraceOp::BitmapCount { spans: spans.to_vec() });
             }
         }
-        match self.backend {
+        let end = match self.backend {
             Backend::Host => self.host_bitmap_count(core, now, spans),
             Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::BitmapCount) => {
                 self.host_bitmap_count(core, now, spans)
@@ -412,7 +518,15 @@ impl System {
                 self.offload_or_degrade(core, dispatch, OffloadCall::BitmapCount { spans })
             }
             Backend::Ideal => now,
-        }
+        };
+        self.telemetry.record(|| Event::Prim {
+            prim: PrimType::BitmapCount.name(),
+            thread: core,
+            start: now,
+            end,
+            bytes: spans.iter().map(|&(_, b)| b).sum(),
+        });
+        end
     }
 
     /// *Scan&Push* over an object's reference fields. `hardware_iterable`
@@ -437,7 +551,7 @@ impl System {
                 });
             }
         }
-        match self.backend {
+        let end = match self.backend {
             Backend::Host => self.host_scan_push(core, now, fields_start, field_bytes, refs),
             Backend::Charon | Backend::CpuSideCharon if !self.offload.get(PrimType::ScanPush) => {
                 self.host_scan_push(core, now, fields_start, field_bytes, refs)
@@ -451,7 +565,15 @@ impl System {
                 }
             }
             Backend::Ideal => now,
-        }
+        };
+        self.telemetry.record(|| Event::Prim {
+            prim: PrimType::ScanPush.name(),
+            thread: core,
+            start: now,
+            end,
+            bytes: field_bytes,
+        });
+        end
     }
 
     // ----- host software implementations ---------------------------------

@@ -90,6 +90,12 @@ impl GcThreads {
         max
     }
 
+    /// The latest clock in the team *without* synchronizing anything — a
+    /// read-only probe for telemetry span boundaries.
+    pub fn max_clock(&self) -> Ps {
+        self.clocks.iter().copied().max().expect("non-empty team")
+    }
+
     /// Sum of host-active time over all threads.
     pub fn total_host_active(&self) -> Ps {
         self.host_active.iter().copied().sum()

@@ -9,10 +9,16 @@
 //! run would have issued — what changes is only where each operation's
 //! time is charged.
 //!
-//! One known approximation: `Phase` markers replay as barriers only. The
-//! live run's prologue cache flush and bitmap-cache flushes depend on
-//! dirty state the replay does not reproduce (its caches start cold), so
-//! offloading backends replay marginally faster than they would run live.
+//! `Phase` markers record *what the live run did* at each boundary
+//! ([`FlushKind`]): the prologue's bulk host-cache flush, a bitmap-cache
+//! flush, or a bare barrier. Replay performs the recorded flush kind on
+//! its own system, reproducing both the timing charge and the cache-state
+//! reset — so a same-config replay started at the live collection's start
+//! time ([`replay_at`]) reproduces the live wall time exactly when
+//! `gc_threads == 1`. With more threads, replay re-picks the least-loaded
+//! thread per operation where the live collector sometimes keeps an
+//! operation on the thread that popped it, so multi-thread replay remains
+//! a close (documented) approximation.
 //!
 //! ```
 //! use charon_gc::collector::Collector;
@@ -45,7 +51,7 @@ use crate::breakdown::{Breakdown, Bucket};
 use crate::system::{Backend, System};
 use crate::threads::GcThreads;
 use charon_core::device::ScanRef;
-use charon_heap::addr::VAddr;
+use charon_heap::addr::{VAddr, VRange};
 use charon_sim::cache::AccessKind;
 use charon_sim::time::Ps;
 
@@ -95,8 +101,58 @@ pub enum TraceOp {
         /// Whether the klass kind is hardware-iterable.
         hw: bool,
     },
-    /// A phase boundary (prologue flush, bitmap-cache flush, barrier).
-    Phase,
+    /// A streaming clear of `range` (the major epilogue's bitmap and
+    /// card-table memsets).
+    StreamClear {
+        /// The cleared byte range.
+        range: VRange,
+    },
+    /// A phase boundary, carrying the cache work the live run performed
+    /// there.
+    Phase {
+        /// What happened at the boundary (see [`FlushKind`]).
+        flush: FlushKind,
+    },
+}
+
+/// The cache work a recorded [`TraceOp::Phase`] performed in the live run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushKind {
+    /// A bare synchronization barrier; no cache state was touched.
+    Barrier,
+    /// The GC prologue's bulk host-cache flush (§4.6): `lines` cache
+    /// lines invalidated, `dirty` of them written back.
+    HostCaches {
+        /// Lines invalidated across L1D/L2/L3.
+        lines: u64,
+        /// Dirty lines written back to memory.
+        dirty: u64,
+    },
+    /// A bitmap-cache flush at a MajorGC phase boundary (§4.5).
+    BitmapCache {
+        /// Lines invalidated in the bitmap cache.
+        lines: u64,
+    },
+}
+
+impl FlushKind {
+    /// Stable short name for telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushKind::Barrier => "barrier",
+            FlushKind::HostCaches { .. } => "host-caches",
+            FlushKind::BitmapCache { .. } => "bitmap-cache",
+        }
+    }
+
+    /// Lines the flush invalidated (zero for a bare barrier).
+    pub fn lines(self) -> u64 {
+        match self {
+            FlushKind::Barrier => 0,
+            FlushKind::HostCaches { lines, .. } => lines,
+            FlushKind::BitmapCache { lines } => lines,
+        }
+    }
 }
 
 /// One collection's recorded operation stream.
@@ -141,7 +197,20 @@ impl GcTrace {
 /// the live collector does, so thread-level overlap and resource
 /// contention re-emerge on the target configuration.
 pub fn replay(trace: &GcTrace, sys: &mut System, gc_threads: usize) -> (Ps, Breakdown) {
-    let start = Ps::ZERO;
+    replay_at(trace, sys, gc_threads, Ps::ZERO)
+}
+
+/// [`replay`], but starting the replayed collection at `start` instead of
+/// time zero.
+///
+/// Epoch-metered resources ([`charon_sim::bwres`]) index *absolute* time,
+/// and the live collector opens every collection with a host barrier at
+/// its start time — so replaying a recorded collection at the time it was
+/// recorded, on a system in the same pre-collection state, reproduces the
+/// live charges exactly. The `trace_replay` integration tests assert this
+/// live == replay equality at `gc_threads == 1`.
+pub fn replay_at(trace: &GcTrace, sys: &mut System, gc_threads: usize, start: Ps) -> (Ps, Breakdown) {
+    sys.host.barrier(start);
     let mut threads = GcThreads::new(gc_threads, start);
     let mut bd = Breakdown::new();
     let cores = sys.host.cores();
@@ -196,10 +265,20 @@ pub fn replay(trace: &GcTrace, sys: &mut System, gc_threads: usize) -> (Ps, Brea
                 bd.record(Bucket::ScanPush, end - now);
                 threads.advance(t, end, !offloaded(sys, *hw));
             }
-            TraceOp::Phase => {
+            TraceOp::StreamClear { range } => {
+                let t = threads.least_loaded();
+                let now = threads.clock(t);
+                let end = sys.host_stream_clear(t % cores, now, *range);
+                bd.record(Bucket::Other, end - now);
+                threads.advance(t, end, true);
+            }
+            TraceOp::Phase { flush } => {
                 threads.advance_all_to(drain);
                 drain = Ps::ZERO;
-                threads.barrier();
+                let now = threads.barrier();
+                let end = sys.replay_flush(now, *flush);
+                bd.record(Bucket::Other, end - now);
+                threads.advance_all_to(end);
             }
         }
     }
@@ -224,7 +303,7 @@ mod tests {
     fn synthetic_trace_orders_and_charges() {
         let t = GcTrace {
             ops: vec![
-                TraceOp::Phase,
+                TraceOp::Phase { flush: FlushKind::Barrier },
                 TraceOp::Copy { src: VAddr(0x1000_0000), dst: VAddr(0x1200_0000), bytes: 65536 },
                 TraceOp::Search { start: VAddr(0x1300_0000), bytes: 4096 },
                 TraceOp::BitmapCount { spans: vec![(VAddr(0x1400_0000), 64)] },

@@ -93,3 +93,99 @@ fn recording_does_not_change_timing() {
     };
     assert_eq!(run(false), run(true), "recording must be timing-transparent");
 }
+
+/// Builds the minor+major scenario at `gc_threads` threads on `sys`,
+/// returning the collector (with traces recorded) after both collections.
+fn record_minor_and_major(mut sys: System, gc_threads: usize) -> (Collector, JavaHeap) {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    sys.record_traces = true;
+    let mut gc = Collector::new(sys, &heap, gc_threads);
+    for _ in 0..1500u32 {
+        let a = gc.alloc(&mut heap, k, 100).unwrap();
+        heap.add_root(a);
+    }
+    gc.minor_gc(&mut heap);
+    for i in 0..heap.root_count() / 2 {
+        heap.set_root(i * 2, VAddr::NULL);
+    }
+    gc.major_gc(&mut heap);
+    (gc, heap)
+}
+
+/// Replay fidelity (the differential contract): a recorded collection,
+/// replayed at its live start time on a fresh system of the SAME
+/// configuration, reproduces the live wall time exactly at
+/// `gc_threads == 1`. The traces replay sequentially on ONE system so the
+/// cache and epoch-meter state carries across collections exactly as it
+/// did live; `Phase` ops re-perform the recorded flush kind, which is what
+/// keeps the cache state in sync.
+fn assert_live_equals_replay(make: fn() -> System) {
+    let (gc, _heap) = record_minor_and_major(make(), 1);
+    assert_eq!(gc.sys.traces.len(), gc.events.len());
+    assert!(gc.events.len() >= 2, "scenario must trigger both collections");
+
+    // A fresh same-config machine: built through a Collector on an
+    // identical heap so the device's initialize() intrinsic runs with the
+    // same global addresses.
+    let replay_heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    let mut replay_sys = Collector::new(make(), &replay_heap, 1).sys;
+    for (trace, event) in gc.sys.traces.iter().zip(&gc.events) {
+        let (wall, bd) = charon_gc::trace::replay_at(trace, &mut replay_sys, 1, event.start);
+        assert_eq!(
+            wall, event.wall,
+            "replayed wall {wall} != live wall {} for the {} at {}",
+            event.wall, event.kind, event.start
+        );
+        assert_eq!(bd.total(), event.breakdown.total(), "bucket totals must replay identically");
+    }
+}
+
+#[test]
+fn live_equals_replay_single_thread_ddr4() {
+    assert_live_equals_replay(System::ddr4);
+}
+
+#[test]
+fn live_equals_replay_single_thread_hmc() {
+    assert_live_equals_replay(System::hmc);
+}
+
+#[test]
+fn live_equals_replay_single_thread_charon() {
+    assert_live_equals_replay(System::charon);
+}
+
+#[test]
+fn live_equals_replay_single_thread_cpu_side() {
+    assert_live_equals_replay(System::cpu_side);
+}
+
+#[test]
+fn phase_ops_record_the_flush_kind() {
+    use charon_gc::trace::{FlushKind, TraceOp};
+    let (gc, _heap) = record_minor_and_major(System::charon(), 1);
+    let minor = &gc.sys.traces[0];
+    // The minor prologue under Charon is a bulk host-cache flush (the
+    // very first GC flushes cold caches, so the line count may be zero —
+    // the recorded *kind* is what replay needs).
+    assert!(
+        minor
+            .ops
+            .iter()
+            .any(|o| matches!(o, TraceOp::Phase { flush: FlushKind::HostCaches { .. } })),
+        "minor trace must record the prologue host-cache flush"
+    );
+    let major = gc.sys.traces.last().unwrap();
+    assert!(
+        major
+            .ops
+            .iter()
+            .any(|o| matches!(o, TraceOp::Phase { flush: FlushKind::BitmapCache { .. } })),
+        "major trace must record bitmap-cache flushes"
+    );
+    assert!(
+        major.ops.iter().any(|o| matches!(o, TraceOp::StreamClear { .. })),
+        "major trace must record the epilogue stream clears"
+    );
+}

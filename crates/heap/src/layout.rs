@@ -154,6 +154,14 @@ impl HeapLayout {
     pub fn young_bytes(&self) -> u64 {
         self.eden.bytes() + self.from.bytes() + self.to.bytes()
     }
+
+    /// Young-generation capacity as a JVM reports it: eden plus ONE
+    /// survivor space. At any instant only one survivor holds objects —
+    /// the other is the copy target — so HotSpot's `-verbose:gc` capacity
+    /// figure (and `Runtime.totalMemory()`) excludes it.
+    pub fn young_capacity_bytes(&self) -> u64 {
+        self.eden.bytes() + self.from.bytes()
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,18 @@ pub struct BwOccupancy {
     pub late_reservations: u64,
 }
 
+impl BwOccupancy {
+    /// Machine-readable form for reports ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("total_units", Json::U64(self.total_units)),
+            ("spilled_units", Json::U64(self.spilled_units)),
+            ("late_reservations", Json::U64(self.late_reservations)),
+        ])
+    }
+}
+
 impl AddAssign for BwOccupancy {
     fn add_assign(&mut self, rhs: BwOccupancy) {
         self.total_units += rhs.total_units;
@@ -184,6 +196,23 @@ impl EpochBw {
             spilled_units: self.spilled_units,
             late_reservations: self.late_reservations,
         }
+    }
+
+    /// Fill levels of the live (non-spilled) epochs still inside the skew
+    /// window, as `(epoch start, units used)` pairs in ascending time
+    /// order. A read-only snapshot for telemetry sampling
+    /// ([`crate::telemetry`]); epochs whose bookkeeping already folded
+    /// into `spilled_units` are not reconstructed.
+    pub fn epoch_fills(&self) -> Vec<(Ps, u64)> {
+        let floor = self.max_idx.saturating_sub(self.mask);
+        let mut out: Vec<(Ps, u64)> = self
+            .slots
+            .iter()
+            .filter(|s| s.tag != EMPTY && s.tag >= floor && s.used > 0)
+            .map(|s| (Ps(s.tag * self.epoch.0), s.used))
+            .collect();
+        out.sort_unstable_by_key(|&(t, _)| t);
+        out
     }
 
     /// Reserves `units` starting no earlier than `start`; returns the time

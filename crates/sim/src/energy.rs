@@ -68,6 +68,19 @@ impl EnergyAccount {
     pub fn total_j(&self) -> f64 {
         self.dram_j + self.core_active_j + self.core_idle_j + self.uncore_j + self.charon_j
     }
+
+    /// Machine-readable form for reports ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("dram_j", Json::F64(self.dram_j)),
+            ("core_active_j", Json::F64(self.core_active_j)),
+            ("core_idle_j", Json::F64(self.core_idle_j)),
+            ("uncore_j", Json::F64(self.uncore_j)),
+            ("charon_j", Json::F64(self.charon_j)),
+            ("total_j", Json::F64(self.total_j())),
+        ])
+    }
 }
 
 impl fmt::Display for EnergyAccount {

@@ -213,6 +213,15 @@ impl MemFabric {
         }
     }
 
+    /// Per-link epoch fill snapshots for telemetry ([`Noc::link_epoch_fills`]);
+    /// empty on DDR4, which has no serial links to meter.
+    pub fn link_epoch_fills(&self) -> Vec<(String, Vec<(Ps, u64)>)> {
+        match &self.side {
+            DramSide::Ddr4(_) => Vec::new(),
+            DramSide::Hmc { noc, .. } => noc.link_epoch_fills(),
+        }
+    }
+
     /// Sends a raw control packet over the links without touching DRAM
     /// (offload requests/responses, TLB lookups, cache probes).
     /// On DDR4 this is free — there are no links to model.

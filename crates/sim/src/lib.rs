@@ -25,7 +25,11 @@
 //! * [`energy`] — DRAM/link/core/accelerator energy accounting,
 //! * [`report`] — aggregated machine reports for CLIs and examples,
 //! * [`config`] — Table 2 encoded as data,
-//! * [`stats`] — traffic and event counters.
+//! * [`stats`] — traffic and event counters,
+//! * [`telemetry`] — the optional structured event journal and Chrome
+//!   trace-event exporter (zero-cost when disabled),
+//! * [`json`] — the dependency-free JSON writer/validator backing every
+//!   machine-readable report.
 //!
 //! The design intent (DESIGN.md §3) is that the two mechanisms Charon's
 //! speedups come from — the host's MLP ceiling and the off-chip bandwidth
@@ -53,9 +57,11 @@ pub mod energy;
 pub mod faults;
 pub mod host;
 pub mod issue;
+pub mod json;
 pub mod noc;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use config::SystemConfig;

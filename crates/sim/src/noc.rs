@@ -252,6 +252,23 @@ impl Noc {
         o
     }
 
+    /// Per-link-direction epoch fill snapshots for telemetry sampling:
+    /// `(link name, fills)` pairs where each fill list comes from
+    /// [`EpochBw::epoch_fills`]. Names follow the star topology:
+    /// `host.in`/`host.out` for the host↔cube-0 link, `spokeK.in`/
+    /// `spokeK.out` for the center↔cube-K links.
+    pub fn link_epoch_fills(&self) -> Vec<(String, Vec<(Ps, u64)>)> {
+        let mut out = vec![
+            ("host.in".to_string(), self.host_link.inbound.lane.epoch_fills()),
+            ("host.out".to_string(), self.host_link.outbound.lane.epoch_fills()),
+        ];
+        for (k, l) in self.spokes.iter().enumerate() {
+            out.push((format!("spoke{}.in", k + 1), l.inbound.lane.epoch_fills()));
+            out.push((format!("spoke{}.out", k + 1), l.outbound.lane.epoch_fills()));
+        }
+        out
+    }
+
     /// Total bytes that crossed the host↔cube-0 link (off-chip traffic).
     pub fn host_link_traffic(&self) -> Traffic {
         self.host_link.inbound.traffic + self.host_link.outbound.traffic

@@ -64,6 +64,23 @@ impl MachineReport {
         }
         1.0 - (self.traffic.offchip.total_bytes() as f64 / total as f64).min(1.0)
     }
+
+    /// Machine-readable form of the full report ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("elapsed_ps", Json::U64(self.elapsed.0)),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("l3", self.l3.to_json()),
+            ("prefetches", Json::U64(self.prefetches)),
+            ("traffic", self.traffic.to_json()),
+            ("per_cube_bytes", Json::Arr(self.per_cube_bytes.iter().map(|&b| Json::U64(b)).collect())),
+            ("avg_dram_bandwidth_gbps", Json::F64(self.avg_dram_bandwidth_gbps())),
+            ("onchip_traffic_ratio", Json::F64(self.onchip_traffic_ratio())),
+            ("energy", self.energy.to_json()),
+        ])
+    }
 }
 
 impl fmt::Display for MachineReport {

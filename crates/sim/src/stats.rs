@@ -57,6 +57,17 @@ impl Traffic {
     pub fn total_ops(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Machine-readable form for reports ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("read_bytes", Json::U64(self.read_bytes)),
+            ("write_bytes", Json::U64(self.write_bytes)),
+            ("reads", Json::U64(self.reads)),
+            ("writes", Json::U64(self.writes)),
+        ])
+    }
 }
 
 impl Add for Traffic {
@@ -117,6 +128,18 @@ impl CacheStats {
             self.hits as f64 / self.accesses() as f64
         }
     }
+
+    /// Machine-readable form for reports ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("hits", Json::U64(self.hits)),
+            ("misses", Json::U64(self.misses)),
+            ("writebacks", Json::U64(self.writebacks)),
+            ("flushed", Json::U64(self.flushed)),
+            ("hit_rate", Json::F64(self.hit_rate())),
+        ])
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -168,6 +191,21 @@ impl MemTrafficStats {
         } else {
             self.local_accesses as f64 / total as f64
         }
+    }
+
+    /// Machine-readable form for reports ([`crate::json`]).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("dram", self.dram.to_json()),
+            ("offchip", self.offchip.to_json()),
+            ("intercube", self.intercube.to_json()),
+            ("local_accesses", Json::U64(self.local_accesses)),
+            ("remote_accesses", Json::U64(self.remote_accesses)),
+            ("local_ratio", Json::F64(self.local_ratio())),
+            ("bw", self.bw.to_json()),
+            ("link_drops", Json::U64(self.link_drops)),
+        ])
     }
 }
 

@@ -18,6 +18,8 @@ use charon_gc::verify::{try_graph_signature, ReachableStats};
 use charon_heap::addr::VAddr;
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_sim::faults::{FaultRates, FaultSite, RecoveryConfig};
+use charon_sim::json::Json;
+use charon_sim::telemetry::Telemetry;
 use charon_sim::time::Ps;
 use std::fmt;
 
@@ -32,11 +34,20 @@ pub struct CampaignOptions {
     pub supersteps: Option<usize>,
     /// Timeout/retry/watchdog parameters for the faulty runs.
     pub recovery: RecoveryConfig,
+    /// Telemetry sink shared by every run of the campaign. Disabled by
+    /// default; the fault/recovery events land here when enabled.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CampaignOptions {
     fn default() -> CampaignOptions {
-        CampaignOptions { heap_factor: None, gc_threads: 8, supersteps: None, recovery: RecoveryConfig::default() }
+        CampaignOptions {
+            heap_factor: None,
+            gc_threads: 8,
+            supersteps: None,
+            recovery: RecoveryConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
     }
 }
 
@@ -107,6 +118,7 @@ fn execute(
     if let Some((seed, rates)) = fault {
         sys.inject_faults(seed, rates, opts.recovery);
     }
+    sys.set_telemetry(opts.telemetry.clone());
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);
 
     let mut signatures = Vec::new();
@@ -240,6 +252,42 @@ impl CampaignReport {
     /// True when every matrix row passed.
     pub fn pass(&self) -> bool {
         self.verdicts.iter().all(|v| v.pass)
+    }
+
+    /// Machine-readable view of the whole campaign.
+    pub fn to_json(&self) -> Json {
+        let case = |c: &CaseReport| {
+            Json::obj(vec![
+                ("gc_time_ps", Json::U64(c.gc_time.0)),
+                ("collections", Json::U64(c.event_kinds.len() as u64)),
+                ("checkpoints", Json::U64(c.signatures.len() as u64)),
+                ("monotone", Json::Bool(c.monotone)),
+                ("injected", Json::U64(c.injected)),
+                ("recovery", c.recovery.to_json()),
+            ])
+        };
+        let verdicts = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                Json::obj(vec![
+                    ("site", Json::str(v.entry.label)),
+                    ("seed", Json::U64(v.entry.seed)),
+                    ("injected", Json::U64(v.injected)),
+                    ("collections", Json::U64(v.collections as u64)),
+                    ("gc_time_ps", Json::U64(v.gc_time.0)),
+                    ("recovery", v.recovery.to_json()),
+                    ("pass", Json::Bool(v.pass)),
+                    ("failures", Json::Arr(v.failures.iter().map(Json::str).collect())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("pass", Json::Bool(self.pass())),
+            ("baseline", case(&self.baseline)),
+            ("verdicts", Json::Arr(verdicts)),
+        ])
     }
 }
 

@@ -14,7 +14,9 @@ use charon_gc::system::System;
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::layout::LayoutParams;
 use charon_sim::energy::EnergyAccount;
+use charon_sim::json::Json;
 use charon_sim::stats::{CacheStats, MemTrafficStats};
+use charon_sim::telemetry::{Event, Telemetry};
 use charon_sim::time::Ps;
 use std::fmt;
 
@@ -28,11 +30,14 @@ pub struct RunOptions {
     pub gc_threads: usize,
     /// Override the superstep count (shorter runs for quick benches).
     pub supersteps: Option<usize>,
+    /// Telemetry sink for the run. [`Telemetry::disabled`] (the default)
+    /// records nothing and leaves timing bit-identical.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { heap_factor: None, gc_threads: 8, supersteps: None }
+        RunOptions { heap_factor: None, gc_threads: 8, supersteps: None, telemetry: Telemetry::disabled() }
     }
 }
 
@@ -90,6 +95,43 @@ impl RunResult {
     pub fn local_ratio(&self) -> f64 {
         self.traffic.local_ratio()
     }
+
+    /// A compact identity of the run's simulated outcome. Two runs whose
+    /// fingerprints match produced the same timing and the same functional
+    /// result — the telemetry property tests assert this is invariant
+    /// under enabling telemetry.
+    pub fn fingerprint(&self) -> (&'static str, &'static str, u64, usize, usize, u64) {
+        (self.workload, self.platform, self.gc_time.0, self.minor.1, self.major.1, self.allocated_bytes)
+    }
+
+    /// Machine-readable view of everything the run measured.
+    pub fn to_json(&self) -> Json {
+        let pair = |(t, n): (Ps, usize)| Json::obj(vec![("ps", Json::U64(t.0)), ("count", Json::U64(n as u64))]);
+        let mut fields = vec![
+            ("workload", Json::str(self.workload)),
+            ("platform", Json::str(self.platform)),
+            ("mutator_time_ps", Json::U64(self.mutator_time.0)),
+            ("gc_time_ps", Json::U64(self.gc_time.0)),
+            ("gc_overhead", Json::F64(self.gc_overhead())),
+            ("minor", pair(self.minor)),
+            ("major", pair(self.major)),
+            ("minor_breakdown", self.minor_breakdown.to_json()),
+            ("major_breakdown", self.major_breakdown.to_json()),
+            ("gc_dram_bytes", Json::U64(self.gc_dram_bytes)),
+            ("gc_bandwidth_gbps", Json::F64(self.gc_bandwidth_gbps())),
+            ("energy", self.energy.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("per_cube_bytes", Json::Arr(self.per_cube_bytes.iter().map(|&b| Json::U64(b)).collect())),
+            ("allocated_bytes", Json::U64(self.allocated_bytes)),
+        ];
+        if let Some(d) = &self.device {
+            fields.push(("device", d.to_json()));
+        }
+        if let Some(c) = &self.bitmap_cache {
+            fields.push(("bitmap_cache", c.to_json()));
+        }
+        Json::obj(fields)
+    }
 }
 
 impl fmt::Display for RunResult {
@@ -128,11 +170,12 @@ impl fmt::Display for RunResult {
 ///
 /// Returns [`OutOfMemory`] when the chosen heap factor cannot hold the
 /// workload (by construction this never happens at factor ≥ 1.0).
-pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
+pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
     let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
     let mut heap =
         JavaHeap::new(HeapConfig { layout: LayoutParams { heap_bytes, ..Default::default() }, ..Default::default() });
     let mut mutator = Mutator::new(spec.clone(), &mut heap);
+    sys.set_telemetry(opts.telemetry.clone());
     let platform = sys.label();
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);
 
@@ -140,6 +183,17 @@ pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Resu
     let steps = opts.supersteps.unwrap_or(spec.supersteps);
     for _ in 0..steps {
         mutator.superstep(&mut heap, &mut gc)?;
+    }
+
+    // Drain per-link epoch occupancy into the journal (one counter sample
+    // per non-empty metering epoch) — read-only, so timing is untouched.
+    if opts.telemetry.is_enabled() {
+        for (link, fills) in gc.sys.host.fabric.link_epoch_fills() {
+            for (at, used) in fills {
+                opts.telemetry
+                    .record(|| Event::BwSample { link: link.clone(), epoch_start: at, used });
+            }
+        }
     }
 
     let minor_t = gc.gc_time_by_kind(GcKind::Minor);

@@ -1,0 +1,84 @@
+//! Committed timing baselines: the simulated outcome of every workload ×
+//! platform pair at the standard short configuration, pinned bit-exact.
+//!
+//! These fingerprints were captured before the telemetry layer landed and
+//! act as the regression floor for "telemetry off changes nothing": any
+//! change to the timing core, cache model, epoch metering, or collector
+//! phase structure that shifts a single picosecond fails here. When a
+//! deliberate timing change lands, re-capture with the loop at the bottom.
+
+use charon_gc::system::System;
+use charon_workloads::spec::by_short;
+use charon_workloads::{run_workload, RunOptions};
+
+fn opts() -> RunOptions {
+    RunOptions { supersteps: Some(2), ..Default::default() }
+}
+
+fn system_by_label(label: &str) -> System {
+    match label {
+        "DDR4" => System::ddr4(),
+        "HMC" => System::hmc(),
+        "Charon" => System::charon(),
+        "Charon-CPU-side" => System::cpu_side(),
+        "Ideal" => System::ideal(),
+        other => panic!("unknown platform {other}"),
+    }
+}
+
+/// `(workload, platform, gc_time ps, minor count, major count, allocated
+/// bytes)` at supersteps=2, default heap, 8 GC threads.
+const BASELINES: [(&str, &str, u64, usize, usize, u64); 15] = [
+    ("BS", "DDR4", 685110530, 1, 0, 8301176),
+    ("BS", "HMC", 394478741, 1, 0, 8301176),
+    ("BS", "Charon", 205784564, 1, 0, 8301176),
+    ("BS", "Charon-CPU-side", 200743835, 1, 0, 8301176),
+    ("BS", "Ideal", 81058157, 1, 0, 8301176),
+    ("KM", "DDR4", 708001304, 1, 0, 5686448),
+    ("KM", "HMC", 332313491, 1, 0, 5686448),
+    ("KM", "Charon", 190398335, 1, 0, 5686448),
+    ("KM", "Charon-CPU-side", 186611535, 1, 0, 5686448),
+    ("KM", "Ideal", 72211163, 1, 0, 5686448),
+    ("CC", "DDR4", 3666074441, 1, 0, 15862608),
+    ("CC", "HMC", 3670715017, 1, 0, 15862608),
+    ("CC", "Charon", 5274700853, 1, 0, 15862608),
+    ("CC", "Charon-CPU-side", 6109597410, 1, 0, 15862608),
+    ("CC", "Ideal", 2312736447, 1, 0, 15862608),
+];
+
+#[test]
+fn telemetry_off_fingerprints_match_committed_baselines() {
+    let mut mismatches = Vec::new();
+    for &(wl, platform, gc_ps, minors, majors, alloc) in &BASELINES {
+        let spec = by_short(wl).unwrap();
+        let r = run_workload(&spec, system_by_label(platform), &opts()).unwrap();
+        let got = r.fingerprint();
+        let want = (wl, platform, gc_ps, minors, majors, alloc);
+        if got != want {
+            mismatches.push(format!("  {want:?}\n  got {got:?}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} fingerprint(s) drifted from the committed baselines:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// Heap-factor and step overrides land in the fingerprint too.
+#[test]
+fn fingerprints_pin_heap_factor_and_steps() {
+    let cases = [
+        ("BS", "DDR4", 1503238658u64, 2usize),
+        ("BS", "Charon", 434481748, 2),
+        ("KM", "DDR4", 720723637, 1),
+        ("KM", "Charon", 193165778, 1),
+    ];
+    for (wl, platform, gc_ps, minors) in cases {
+        let spec = by_short(wl).unwrap();
+        let o = RunOptions { heap_factor: Some(1.0), supersteps: Some(2), ..Default::default() };
+        let r = run_workload(&spec, system_by_label(platform), &o).unwrap();
+        assert_eq!((r.gc_time.0, r.minor.1, r.major.1), (gc_ps, minors, 0), "{wl} on {platform} at heap factor 1.0");
+    }
+}

@@ -3,7 +3,11 @@
 //! ```text
 //! charon-cli list                         # workloads and platforms
 //! charon-cli run KM --platform Charon     # one workload, one platform
+//! charon-cli run KM --json --trace-out km.trace.json
 //! charon-cli compare LR --threads 4       # all platforms side by side
+//! charon-cli compare BS --json            # same, machine-readable
+//! charon-cli bench BS KM --steps 2        # writes BENCH_compare.json
+//! charon-cli check-json report.json       # validate a JSON artifact
 //! charon-cli config                       # Table 2
 //! charon-cli area                         # Table 4
 //! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
@@ -11,6 +15,8 @@
 
 use charon::gc::breakdown::Bucket;
 use charon::gc::system::System;
+use charon::sim::json::Json;
+use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::spec::{by_short, table3};
 use charon::workloads::{run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
 use std::process::ExitCode;
@@ -20,9 +26,13 @@ const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
-         charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>]\n  \
-         charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>]\n  \
-         charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>]\n\
+         charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
+         [--json] [--trace-out <FILE>]\n  \
+         charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json]\n  \
+         charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>]\n  \
+         charon-cli check-json <FILE>\n  \
+         charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] \
+         [--steps <N>] [--json]\n\
          platforms: {}",
         PLATFORMS.join(", ")
     );
@@ -40,19 +50,61 @@ fn system_by_label(label: &str) -> Option<System> {
     })
 }
 
-struct Args {
-    platform: String,
-    opts: RunOptions,
+/// Every flag any subcommand accepts: `(name, takes_value)`. One table,
+/// one parser — each subcommand passes the subset it allows.
+const FLAG_TABLE: [(&str, bool); 8] = [
+    ("--platform", true),
+    ("--heap-factor", true),
+    ("--threads", true),
+    ("--steps", true),
+    ("--seed", true),
+    ("--json", false),
+    ("--trace-out", true),
+    ("--out", true),
+];
+
+/// Parsed flag values, superset over all subcommands.
+#[derive(Debug, Clone, Default)]
+struct Flags {
+    platform: Option<String>,
+    heap_factor: Option<f64>,
+    threads: Option<usize>,
+    steps: Option<usize>,
+    seed: Option<u64>,
+    json: bool,
+    trace_out: Option<String>,
+    out: Option<String>,
 }
 
-fn parse_flags(rest: &[String]) -> Result<Args, String> {
-    let mut out = Args { platform: "Charon".into(), opts: RunOptions::default() };
+/// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
+/// flags, missing values, and malformed values — uniformly for every
+/// subcommand.
+fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut seen: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         let flag = rest[i].as_str();
-        let val = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
-        match flag {
-            "--platform" => out.platform = val.clone(),
+        let Some(&(name, takes_value)) = FLAG_TABLE.iter().find(|(n, _)| *n == flag) else {
+            return Err(format!("unknown flag {flag}"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("{name} is not valid for this subcommand"));
+        }
+        if seen.contains(&name) {
+            return Err(format!("duplicate flag {name}"));
+        }
+        seen.push(name);
+        let val = if takes_value {
+            let v = rest.get(i + 1).ok_or_else(|| format!("{name} needs a value"))?;
+            i += 2;
+            v.as_str()
+        } else {
+            i += 1;
+            ""
+        };
+        match name {
+            "--platform" => flags.platform = Some(val.to_string()),
             "--heap-factor" => {
                 let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
                 if f < 1.0 {
@@ -60,56 +112,44 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                         "--heap-factor {f} is below 1.0 — factors are relative to the minimum OOM-free heap"
                     ));
                 }
-                out.opts.heap_factor = Some(f);
+                flags.heap_factor = Some(f);
             }
             "--threads" => {
                 let n: usize = val.parse().map_err(|_| format!("bad thread count {val}"))?;
                 if n == 0 || n > 64 {
                     return Err(format!("--threads {n} out of range (1..=64)"));
                 }
-                out.opts.gc_threads = n;
+                flags.threads = Some(n);
             }
-            "--steps" => out.opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?),
-            other => return Err(format!("unknown flag {other}")),
+            "--steps" => flags.steps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?),
+            "--seed" => flags.seed = Some(val.parse().map_err(|_| format!("bad seed {val}"))?),
+            "--json" => flags.json = true,
+            "--trace-out" => flags.trace_out = Some(val.to_string()),
+            "--out" => flags.out = Some(val.to_string()),
+            _ => unreachable!("flag in table"),
         }
-        i += 2;
     }
-    Ok(out)
+    Ok(flags)
 }
 
-/// Flags for `fault-campaign`: the campaign always runs on the Charon
-/// platform, so there is no `--platform`, but it gains a `--seed`.
-fn parse_campaign_flags(rest: &[String]) -> Result<(u64, CampaignOptions), String> {
-    let mut seed = 42u64;
-    let mut opts = CampaignOptions::default();
-    let mut i = 0;
-    while i < rest.len() {
-        let flag = rest[i].as_str();
-        let val = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
-        match flag {
-            "--seed" => seed = val.parse().map_err(|_| format!("bad seed {val}"))?,
-            "--heap-factor" => {
-                let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
-                if f < 1.0 {
-                    return Err(format!(
-                        "--heap-factor {f} is below 1.0 — factors are relative to the minimum OOM-free heap"
-                    ));
-                }
-                opts.heap_factor = Some(f);
-            }
-            "--threads" => {
-                let n: usize = val.parse().map_err(|_| format!("bad thread count {val}"))?;
-                if n == 0 || n > 64 {
-                    return Err(format!("--threads {n} out of range (1..=64)"));
-                }
-                opts.gc_threads = n;
-            }
-            "--steps" => opts.supersteps = Some(val.parse().map_err(|_| format!("bad step count {val}"))?),
-            other => return Err(format!("unknown flag {other}")),
+impl Flags {
+    fn run_options(&self, telemetry: Telemetry) -> RunOptions {
+        RunOptions {
+            heap_factor: self.heap_factor,
+            gc_threads: self.threads.unwrap_or(8),
+            supersteps: self.steps,
+            telemetry,
         }
-        i += 2;
     }
-    Ok((seed, opts))
+
+    fn campaign_options(&self) -> CampaignOptions {
+        CampaignOptions {
+            heap_factor: self.heap_factor,
+            gc_threads: self.threads.unwrap_or(8),
+            supersteps: self.steps,
+            ..Default::default()
+        }
+    }
 }
 
 fn print_result(r: &RunResult) {
@@ -138,6 +178,40 @@ fn print_result(r: &RunResult) {
     }
 }
 
+fn write_file(path: &str, content: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, content).map_err(|e| {
+        eprintln!("cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Runs one workload on all platforms; returns the per-platform results
+/// in `PLATFORMS` order, or the failing platform's error.
+fn compare_runs(spec: &charon::workloads::spec::WorkloadSpec, opts: &RunOptions) -> Result<Vec<RunResult>, String> {
+    PLATFORMS
+        .iter()
+        .map(|p| {
+            let sys = system_by_label(p).expect("known platform");
+            run_workload(spec, sys, opts).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+/// The `compare` JSON shape: the workload, every platform's full report,
+/// and the DDR4-relative speedups.
+fn compare_json(short: &str, runs: &[RunResult]) -> Json {
+    let base = runs.first().map(|r| r.gc_time.0).unwrap_or(0);
+    let speedups = runs
+        .iter()
+        .map(|r| (r.platform.to_string(), Json::F64(base as f64 / r.gc_time.0.max(1) as f64)))
+        .collect::<Vec<_>>();
+    Json::obj(vec![
+        ("workload", Json::str(short)),
+        ("runs", Json::Arr(runs.iter().map(|r| r.to_json()).collect())),
+        ("speedup_vs_ddr4", Json::obj(speedups)),
+    ])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -163,26 +237,41 @@ fn main() -> ExitCode {
                 eprintln!("unknown workload {short}");
                 return usage();
             };
-            let parsed = match parse_flags(&args[2..]) {
-                Ok(p) => p,
+            let flags = match parse_flags(
+                &args[2..],
+                &["--platform", "--heap-factor", "--threads", "--steps", "--json", "--trace-out"],
+            ) {
+                Ok(f) => f,
                 Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
-            let Some(sys) = system_by_label(&parsed.platform) else {
-                eprintln!("unknown platform {}", parsed.platform);
+            let platform = flags.platform.clone().unwrap_or_else(|| "Charon".into());
+            let Some(sys) = system_by_label(&platform) else {
+                eprintln!("unknown platform {platform}");
                 return usage();
             };
-            match run_workload(&spec, sys, &parsed.opts) {
+            let telemetry = if flags.trace_out.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+            match run_workload(&spec, sys, &flags.run_options(telemetry.clone())) {
                 Ok(r) => {
-                    print_result(&r);
-                    println!(
-                        "  traffic: dram {}, off-chip {}, locality {:.0}%",
-                        r.traffic.dram,
-                        r.traffic.offchip,
-                        r.local_ratio() * 100.0
-                    );
+                    if let Some(path) = &flags.trace_out {
+                        let trace = chrome_trace(&telemetry.events());
+                        if let Err(code) = write_file(path, &trace.to_string()) {
+                            return code;
+                        }
+                    }
+                    if flags.json {
+                        println!("{}", r.to_json());
+                    } else {
+                        print_result(&r);
+                        println!(
+                            "  traffic: dram {}, off-chip {}, locality {:.0}%",
+                            r.traffic.dram,
+                            r.traffic.offchip,
+                            r.local_ratio() * 100.0
+                        );
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -197,33 +286,100 @@ fn main() -> ExitCode {
                 eprintln!("unknown workload {short}");
                 return usage();
             };
-            let parsed = match parse_flags(&args[2..]) {
-                Ok(p) => p,
+            let flags = match parse_flags(&args[2..], &["--heap-factor", "--threads", "--steps", "--json"]) {
+                Ok(f) => f,
                 Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
-            let mut base = None;
-            for p in PLATFORMS {
-                let sys = system_by_label(p).expect("known platform");
-                match run_workload(&spec, sys, &parsed.opts) {
-                    Ok(r) => {
-                        let b = *base.get_or_insert(r.gc_time);
-                        println!(
-                            "{p:<16} GC {:>12}  speedup {:>6.2}x  energy {:>8.4} J",
-                            r.gc_time.to_string(),
-                            b.0 as f64 / r.gc_time.0.max(1) as f64,
-                            r.energy.total_j()
-                        );
+            let runs = match compare_runs(&spec, &flags.run_options(Telemetry::disabled())) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flags.json {
+                println!("{}", compare_json(short, &runs));
+            } else {
+                let base = runs[0].gc_time;
+                for r in &runs {
+                    println!(
+                        "{:<16} GC {:>12}  speedup {:>6.2}x  energy {:>8.4} J",
+                        r.platform,
+                        r.gc_time.to_string(),
+                        base.0 as f64 / r.gc_time.0.max(1) as f64,
+                        r.energy.total_j()
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("bench") => {
+            let shorts: Vec<&String> = args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
+            let flag_start = 1 + shorts.len();
+            let flags = match parse_flags(&args[flag_start..], &["--heap-factor", "--threads", "--steps", "--out"]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let specs = if shorts.is_empty() {
+                table3()
+            } else {
+                let mut v = Vec::new();
+                for s in shorts {
+                    let Some(spec) = by_short(s) else {
+                        eprintln!("unknown workload {s}");
+                        return usage();
+                    };
+                    v.push(spec);
+                }
+                v
+            };
+            let opts = flags.run_options(Telemetry::disabled());
+            let mut benches = Vec::new();
+            for spec in &specs {
+                match compare_runs(spec, &opts) {
+                    Ok(runs) => {
+                        println!("{}: {} platforms benched", spec.short, runs.len());
+                        benches.push(compare_json(spec.short, &runs));
                     }
                     Err(e) => {
-                        eprintln!("{p}: {e}");
+                        eprintln!("{e}");
                         return ExitCode::FAILURE;
                     }
                 }
             }
+            let report = Json::obj(vec![("benches", Json::Arr(benches))]);
+            let path = flags.out.as_deref().unwrap_or("BENCH_compare.json");
+            if let Err(code) = write_file(path, &report.to_string()) {
+                return code;
+            }
+            println!("wrote {path}");
             ExitCode::SUCCESS
+        }
+        Some("check-json") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Json::parse(&text) {
+                Ok(_) => {
+                    println!("{path}: valid JSON");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some("fault-campaign") => {
             let Some(short) = args.get(1) else { return usage() };
@@ -231,16 +387,21 @@ fn main() -> ExitCode {
                 eprintln!("unknown workload {short}");
                 return usage();
             };
-            let (seed, opts) = match parse_campaign_flags(&args[2..]) {
-                Ok(p) => p,
+            let flags = match parse_flags(&args[2..], &["--seed", "--heap-factor", "--threads", "--steps", "--json"]) {
+                Ok(f) => f,
                 Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
-            match run_fault_campaign(&spec, seed, &opts) {
+            let seed = flags.seed.unwrap_or(42);
+            match run_fault_campaign(&spec, seed, &flags.campaign_options()) {
                 Ok(report) => {
-                    println!("{report}");
+                    if flags.json {
+                        println!("{}", report.to_json());
+                    } else {
+                        println!("{report}");
+                    }
                     if report.pass() {
                         ExitCode::SUCCESS
                     } else {
@@ -255,5 +416,83 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    const RUN_FLAGS: [&str; 6] = ["--platform", "--heap-factor", "--threads", "--steps", "--json", "--trace-out"];
+
+    #[test]
+    fn parses_every_run_flag() {
+        let f = parse_flags(
+            &argv(&[
+                "--platform",
+                "Charon",
+                "--heap-factor",
+                "1.5",
+                "--threads",
+                "4",
+                "--steps",
+                "3",
+                "--json",
+                "--trace-out",
+                "t.json",
+            ]),
+            &RUN_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(f.platform.as_deref(), Some("Charon"));
+        assert_eq!(f.heap_factor, Some(1.5));
+        assert_eq!(f.threads, Some(4));
+        assert_eq!(f.steps, Some(3));
+        assert!(f.json);
+        assert_eq!(f.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let e = parse_flags(&argv(&["--threads", "4", "--threads", "8"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("duplicate flag --threads"), "{e}");
+        let e = parse_flags(&argv(&["--json", "--json"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("duplicate flag --json"), "{e}");
+    }
+
+    #[test]
+    fn rejects_flags_outside_the_subcommand_allowlist() {
+        // `compare` takes no --platform; `fault-campaign` owns --seed.
+        let e = parse_flags(&argv(&["--platform", "Charon"]), &["--heap-factor", "--json"]).unwrap_err();
+        assert!(e.contains("not valid for this subcommand"), "{e}");
+        let e = parse_flags(&argv(&["--seed", "7"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("not valid for this subcommand"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        let e = parse_flags(&argv(&["--bogus"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("unknown flag --bogus"), "{e}");
+        let e = parse_flags(&argv(&["--threads"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("--threads needs a value"), "{e}");
+    }
+
+    #[test]
+    fn validates_flag_values() {
+        assert!(parse_flags(&argv(&["--heap-factor", "0.5"]), &RUN_FLAGS).is_err());
+        assert!(parse_flags(&argv(&["--threads", "0"]), &RUN_FLAGS).is_err());
+        assert!(parse_flags(&argv(&["--threads", "65"]), &RUN_FLAGS).is_err());
+        assert!(parse_flags(&argv(&["--steps", "abc"]), &RUN_FLAGS).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // `--json 5` parses --json alone; "5" is then an unknown token.
+        let e = parse_flags(&argv(&["--json", "5"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("unknown flag 5"), "{e}");
     }
 }
