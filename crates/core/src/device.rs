@@ -129,6 +129,41 @@ pub struct PrimStats {
     pub queue: Ps,
 }
 
+/// Per-unit-class utilization counters, mirrored out of the
+/// [`UnitPool`]s so [`CharonStats`] readers (reports, the profiler) see
+/// pool occupancy without reaching into the device internals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitClassStats {
+    /// Total unit-busy time accumulated by the pool.
+    pub busy: Ps,
+    /// Executions the pool served.
+    pub executions: u64,
+    /// Injected stall/wedge events.
+    pub wedges: u64,
+    /// Queue-depth high-water mark ([`UnitPool::queue_high_water`]).
+    pub queue_high_water: u64,
+    /// Unit instances in the pool (all cubes).
+    pub total_units: u64,
+}
+
+impl UnitClassStats {
+    /// Pool utilization over `elapsed` wall time: busy unit-time divided
+    /// by the pool's total unit-time capacity. Zero when nothing ran.
+    pub fn utilization(&self, elapsed: Ps) -> f64 {
+        let capacity = self.total_units * elapsed.0;
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy.0 as f64 / capacity as f64
+        }
+    }
+}
+
+/// JSON/report keys for the three unit classes, in the order of
+/// [`CharonStats::units`] (Copy/Search pool, Bitmap Count pool, Scan&Push
+/// pool).
+pub const UNIT_CLASS_NAMES: [&str; 3] = ["copy_search", "bitmap_count", "scan_push"];
+
 /// Component-level dynamic energy of the accelerator, picojoules.
 ///
 /// §5.3: "energy consumption of general components (i.e., queues, metadata
@@ -171,6 +206,8 @@ impl ComponentEnergy {
 pub struct CharonStats {
     /// Indexed by [`PrimType`] discriminant.
     pub prims: [PrimStats; 4],
+    /// Per-unit-class pool counters, in [`UNIT_CLASS_NAMES`] order.
+    pub units: [UnitClassStats; 3],
     /// Component-level dynamic energy.
     pub energy: ComponentEnergy,
 }
@@ -213,8 +250,27 @@ impl CharonStats {
                 })
                 .collect::<Vec<_>>(),
         );
+        let units = Json::obj(
+            UNIT_CLASS_NAMES
+                .iter()
+                .zip(self.units.iter())
+                .map(|(&name, u)| {
+                    (
+                        name.to_string(),
+                        Json::obj(vec![
+                            ("busy_ps", Json::U64(u.busy.0)),
+                            ("executions", Json::U64(u.executions)),
+                            ("wedges", Json::U64(u.wedges)),
+                            ("queue_high_water", Json::U64(u.queue_high_water)),
+                            ("total_units", Json::U64(u.total_units)),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
         Json::obj(vec![
             ("prims", prims),
+            ("units", units),
             (
                 "energy_pj",
                 Json::obj(vec![
@@ -433,7 +489,7 @@ impl CharonDevice {
             Placement::MemorySide => BitmapCache::new(slice_mode, cubes, ch.bitmap_cache, ch.unit_freq),
             Placement::CpuSide => BitmapCache::new_host_side(ch.bitmap_cache, ch.unit_freq),
         };
-        CharonDevice {
+        let mut dev = CharonDevice {
             cfg: cfg.clone(),
             placement,
             structure,
@@ -448,7 +504,9 @@ impl CharonDevice {
             stats: CharonStats::default(),
             faults: None,
             telemetry: Telemetry::disabled(),
-        }
+        };
+        dev.refresh_unit_stats();
+        dev
     }
 
     /// Attaches a telemetry journal; the device records per-unit busy
@@ -695,6 +753,26 @@ impl CharonDevice {
         let s = &mut self.stats.prims[prim.encode() as usize];
         s.transport += arrive - now;
         s.queue += queue_delay;
+        self.refresh_unit_stats();
+    }
+
+    /// Mirrors the pool counters into `stats.units` (cheap field copies;
+    /// idempotent). Called whenever a pool may have changed.
+    fn refresh_unit_stats(&mut self) {
+        for (slot, pool) in self
+            .stats
+            .units
+            .iter_mut()
+            .zip([&self.copy_units, &self.bc_units, &self.sp_units])
+        {
+            *slot = UnitClassStats {
+                busy: pool.busy_time(),
+                executions: pool.executions(),
+                wedges: pool.wedges(),
+                queue_high_water: pool.queue_high_water(),
+                total_units: pool.total_units(),
+            };
+        }
     }
 
     // --- fault-aware entry point ---------------------------------------
@@ -781,6 +859,7 @@ impl CharonDevice {
             FaultSite::Unit => {
                 let arrive = self.send_request(host, cube, t);
                 self.pool_mut(prim).record_wedge();
+                self.refresh_unit_stats();
                 arrive.max(t + timeout)
             }
         }
@@ -1079,6 +1158,23 @@ mod tests {
         assert_eq!(s.bytes, 8192); // read + write
                                    // DRAM saw the traffic.
         assert!(host.fabric.stats().dram.total_bytes() >= 8192);
+    }
+
+    #[test]
+    fn unit_class_stats_mirror_the_pools() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let s = dev.stats();
+        assert_eq!(s.units[0].total_units, 8, "Table 2: 8 Copy/Search units");
+        assert_eq!(s.units[2].total_units, 8, "Table 2: 8 Scan&Push units");
+        assert_eq!(s.units[0].executions, 0);
+        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        let s = dev.stats();
+        assert!(s.units[0].executions > 0, "copy offload runs on the Copy/Search pool");
+        assert!(s.units[0].busy > Ps::ZERO);
+        assert_eq!(s.units[0].busy, dev.copy_units.busy_time());
+        let j = s.to_json();
+        let u = j.get("units").unwrap().get("copy_search").unwrap();
+        assert_eq!(u.get("total_units").and_then(|v| v.as_u64()), Some(8));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct UnitPool {
     busy: Ps,
     executions: u64,
     wedges: u64,
+    queue_high_water: u64,
 }
 
 impl UnitPool {
@@ -42,6 +43,7 @@ impl UnitPool {
             busy: Ps::ZERO,
             executions: 0,
             wedges: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -77,12 +79,30 @@ impl UnitPool {
         let lane = self.lanes[cube].as_mut().unwrap_or_else(|| panic!("no units on cube {cube}"));
         self.busy += dur;
         self.executions += 1;
-        lane.reserve(start, dur.0.max(1))
+        let served = lane.reserve(start, dur.0.max(1));
+        // Queue-depth proxy: how many service quanta of this size were
+        // already ahead of us, inferred from the queueing delay.
+        let delay = served.saturating_sub(start + dur);
+        let depth = delay.0.div_ceil(dur.0.max(1));
+        self.queue_high_water = self.queue_high_water.max(depth);
+        served
     }
 
     /// Total unit-busy time accumulated.
     pub fn busy_time(&self) -> Ps {
         self.busy
+    }
+
+    /// Total unit instances across all cubes.
+    pub fn total_units(&self) -> u64 {
+        self.units.iter().map(|&n| n as u64).sum()
+    }
+
+    /// High-water mark of the queue-depth proxy: the most service quanta
+    /// ever observed ahead of one offload at charge time (0 means no
+    /// offload ever waited).
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water
     }
 
     /// Executions served.
@@ -151,6 +171,23 @@ mod tests {
         p.charge(0, Ps::from_ns(5.0), Ps::from_ns(20.0));
         assert_eq!(p.busy_time(), Ps::from_ns(20.0));
         assert_eq!(p.executions(), 1);
+        assert_eq!(p.total_units(), 1);
+    }
+
+    #[test]
+    fn queue_high_water_stays_zero_without_contention() {
+        let mut p = UnitPool::new(&[2]);
+        p.charge(0, Ps::ZERO, Ps::from_ns(100.0));
+        assert_eq!(p.queue_high_water(), 0);
+    }
+
+    #[test]
+    fn queue_high_water_rises_under_saturation() {
+        let mut p = UnitPool::new(&[2]);
+        for _ in 0..8 {
+            p.charge(0, Ps::ZERO, Ps::from_us(1.0));
+        }
+        assert!(p.queue_high_water() > 0, "saturated pool must record waiting quanta");
     }
 
     #[test]

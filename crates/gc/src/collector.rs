@@ -115,6 +115,10 @@ pub struct Collector {
     pub now: Ps,
     /// Every collection that has run.
     pub events: Vec<GcEvent>,
+    /// Heap demographics log ([`crate::census`]); `None` (the default)
+    /// skips the census walk entirely. Purely functional — enabling it
+    /// never changes simulated timing.
+    pub census: Option<crate::census::Census>,
 }
 
 impl Collector {
@@ -130,7 +134,7 @@ impl Collector {
                 card_table_base: heap.layout().cards.start,
             });
         }
-        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new() }
+        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None }
     }
 
     /// Advances the wall clock by mutator (useful-work) time.
@@ -174,6 +178,7 @@ impl Collector {
             self.sys.traces.push(crate::trace::GcTrace::default());
         }
         self.sys.collection_seq = self.events.len() as u64;
+        let pre_census = self.census.is_some().then(|| crate::census::pre(heap, kind));
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
         let bw_before = self.sys.host.fabric.occupancy();
@@ -209,6 +214,10 @@ impl Collector {
             end,
         });
         self.now = end;
+        if let (Some(census), Some(pre)) = (&mut self.census, pre_census) {
+            let threshold = minor.map_or(0, |m| m.tenuring_threshold);
+            census.records.push(crate::census::post(heap, kind, seq, &pre, threshold));
+        }
         self.events
             .push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });
         self.events.last().expect("just pushed")

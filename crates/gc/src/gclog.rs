@@ -11,6 +11,8 @@
 
 use crate::collector::{GcEvent, GcKind};
 use charon_heap::heap::JavaHeap;
+use charon_sim::hist::Histogram;
+use charon_sim::time::Ps;
 
 /// Heap occupancy bookkeeping the logger needs around each event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,15 +64,48 @@ pub fn render(event: &GcEvent, snap: HeapSnapshot) -> String {
     line
 }
 
-/// Renders a whole run, one line per event, given the per-event snapshots.
+/// End-of-run pause distribution summary, one `[pauses …]` group per
+/// collection kind that ran, in the `[offload …]` suffix style:
+///
+/// ```text
+/// [pauses MinorGC n=3 p50=1.2us p99=1.9us max=1.9us] [pauses MajorGC n=1 p50=9us p99=9us max=9us]
+/// ```
+///
+/// Empty when no collections ran.
+pub fn pause_summary(events: &[GcEvent]) -> String {
+    let mut groups = Vec::new();
+    for kind in [GcKind::Minor, GcKind::Major] {
+        let mut h = Histogram::new();
+        for e in events.iter().filter(|e| e.kind == kind) {
+            h.record(e.wall.0);
+        }
+        if !h.is_empty() {
+            groups.push(format!(
+                "[pauses {kind} n={} p50={} p99={} max={}]",
+                h.count(),
+                Ps(h.p50()),
+                Ps(h.p99()),
+                Ps(h.max())
+            ));
+        }
+    }
+    groups.join(" ")
+}
+
+/// Renders a whole run, one line per event, given the per-event
+/// snapshots, followed by the [`pause_summary`] line when any
+/// collections ran.
 pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
     assert_eq!(events.len(), snaps.len(), "one snapshot per event");
-    events
+    let mut lines: Vec<String> = events
         .iter()
         .zip(snaps)
         .map(|(e, &s)| format!("{:>12}: {}", format!("{}", e.start), render(e, s)))
-        .collect::<Vec<_>>()
-        .join("\n")
+        .collect();
+    if !events.is_empty() {
+        lines.push(pause_summary(events));
+    }
+    lines.join("\n")
 }
 
 #[cfg(test)]
@@ -120,15 +155,33 @@ mod tests {
     }
 
     #[test]
-    fn run_rendering_joins_lines() {
+    fn run_rendering_joins_lines_and_appends_pause_summary() {
         let snaps = [
             HeapSnapshot { used_before: 100 << 10, used_after: 10 << 10, capacity: 1 << 20 },
             HeapSnapshot { used_before: 200 << 10, used_after: 20 << 10, capacity: 1 << 20 },
         ];
         let events = [event(GcKind::Minor, 5.0), event(GcKind::Major, 9.0)];
         let s = render_run(&events, &snaps);
-        assert_eq!(s.lines().count(), 2);
+        assert_eq!(s.lines().count(), 3, "two event lines plus the pause summary");
         assert!(s.contains("[GC") && s.contains("[Full GC"));
+        let last = s.lines().last().unwrap();
+        assert!(last.contains("[pauses MinorGC n=1"), "{last}");
+        assert!(last.contains("[pauses MajorGC n=1"), "{last}");
+    }
+
+    #[test]
+    fn pause_summary_groups_by_kind_with_exact_max() {
+        let events = [event(GcKind::Minor, 5.0), event(GcKind::Minor, 8.0), event(GcKind::Minor, 11.0)];
+        let s = pause_summary(&events);
+        assert!(s.contains("n=3"), "{s}");
+        assert!(s.contains(&format!("max={}", Ps::from_us(11.0))), "{s}");
+        assert!(!s.contains("MajorGC"), "no majors ran: {s}");
+        assert_eq!(pause_summary(&[]), "");
+    }
+
+    #[test]
+    fn empty_run_renders_empty() {
+        assert_eq!(render_run(&[], &[]), "");
     }
 
     #[test]

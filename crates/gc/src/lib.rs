@@ -29,6 +29,8 @@
 //!   from Bitmap Count, garbage-first evacuation) — Table 1's G1 row,
 //! * [`collector`] — the top-level [`collector::Collector`] driving both
 //!   GCs with HotSpot's sizing/triggering policy,
+//! * [`census`] — opt-in per-GC heap demographics (per-klass live/dead,
+//!   survivor ages, dead-bytes fraction — the paper's Figs. 2/5 input),
 //! * [`gclog`] — `-verbose:gc`-style log rendering of the event stream,
 //! * [`trace`] — trace-driven re-timing: record a collection's operation
 //!   stream once, replay it on any machine configuration,
@@ -36,6 +38,7 @@
 //!   preserve the reachable object graph.
 
 pub mod breakdown;
+pub mod census;
 pub mod collector;
 pub mod costs;
 pub mod g1lite;

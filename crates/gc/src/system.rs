@@ -17,6 +17,7 @@ use charon_sim::config::{MemPlatform, SystemConfig};
 use charon_sim::energy::{EnergyModel, EnergyParams};
 use charon_sim::faults::{FaultRates, RecoveryConfig};
 use charon_sim::host::HostTiming;
+use charon_sim::profile::{Channel, Profiler};
 use charon_sim::telemetry::{Event, Telemetry};
 use charon_sim::time::Ps;
 use std::fmt;
@@ -153,6 +154,10 @@ pub struct System {
     /// The structured event journal ([`charon_sim::telemetry`]); disabled
     /// by default and never consulted by any timing computation.
     pub telemetry: Telemetry,
+    /// The latency profiler ([`charon_sim::profile`]); disabled by
+    /// default. Samples already-computed completion times, so timing is
+    /// bit-identical either way.
+    pub profiler: Profiler,
     /// Ordinal of the collection currently in flight (set by the
     /// collector); used only to tag telemetry phase events.
     pub collection_seq: u64,
@@ -207,6 +212,7 @@ impl System {
             record_traces: false,
             traces: Vec::new(),
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             collection_seq: 0,
             cfg,
         }
@@ -220,6 +226,14 @@ impl System {
             dev.set_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a latency profiler to this system and the memory fabric.
+    /// Per-primitive offload latencies and per-packet NoC/DRAM service
+    /// times are sampled into it; timing is unaffected.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.host.fabric.set_profiler(profiler.clone());
+        self.profiler = profiler;
     }
 
     /// A short label for reports ("DDR4", "HMC", "Charon", …).
@@ -469,6 +483,7 @@ impl System {
         };
         self.telemetry
             .record(|| Event::Prim { prim: PrimType::Copy.name(), thread: core, start: now, end, bytes });
+        self.profiler.record(Channel::PrimCopy, end.saturating_sub(now));
         end
     }
 
@@ -498,6 +513,7 @@ impl System {
             end,
             bytes: scanned_bytes,
         });
+        self.profiler.record(Channel::PrimSearch, end.saturating_sub(now));
         end
     }
 
@@ -526,6 +542,7 @@ impl System {
             end,
             bytes: spans.iter().map(|&(_, b)| b).sum(),
         });
+        self.profiler.record(Channel::PrimBitmapCount, end.saturating_sub(now));
         end
     }
 
@@ -573,6 +590,7 @@ impl System {
             end,
             bytes: field_bytes,
         });
+        self.profiler.record(Channel::PrimScanPush, end.saturating_sub(now));
         end
     }
 

@@ -33,12 +33,15 @@ fn log_renders_a_real_collection_sequence() {
     }
     assert!(!gc.events.is_empty(), "the loop must trigger collections");
     let log = render_run(&gc.events, &snaps);
-    // Every event renders one line in the HotSpot shape.
-    assert_eq!(log.lines().count(), gc.events.len());
-    for line in log.lines() {
+    // Every event renders one line in the HotSpot shape, then the run
+    // closes with the pause-distribution summary.
+    assert_eq!(log.lines().count(), gc.events.len() + 1);
+    let (summary, event_lines) = log.lines().next_back().zip(Some(log.lines().count() - 1)).unwrap();
+    for line in log.lines().take(event_lines) {
         assert!(line.contains("[GC (Allocation Failure)") || line.contains("[Full GC (Ergonomics)"), "{line}");
         assert!(line.contains("K->") && line.contains("secs]"), "{line}");
     }
+    assert!(summary.contains("[pauses MinorGC n="), "{summary}");
     // Occupancy drops across each minor collection (garbage dominated).
     for (e, s) in gc.events.iter().zip(&snaps) {
         if e.kind == charon_gc::GcKind::Minor {

@@ -109,8 +109,9 @@ fn chrome_trace_orders_collections_like_the_gclog() {
         })
         .map(|ev| (ev.get("name").and_then(Json::as_str).unwrap(), ev.get("ts").and_then(Json::as_f64).unwrap()))
         .collect();
-    let log_lines: Vec<&str> = log.lines().collect();
-    assert_eq!(spans.len(), log_lines.len(), "one trace span per gclog line");
+    // Drop the trailing `[pauses …]` summary: only event lines have spans.
+    let log_lines: Vec<&str> = log.lines().filter(|l| !l.trim_start().starts_with("[pauses")).collect();
+    assert_eq!(spans.len(), log_lines.len(), "one trace span per gclog event line");
     let mut last_ts = f64::NEG_INFINITY;
     for (i, ((name, ts), line)) in spans.iter().zip(&log_lines).enumerate() {
         let expected = if line.contains("[Full GC") { "major gc" } else { "minor gc" };

@@ -1,0 +1,278 @@
+//! Fixed-size log2-bucket histograms for latency and pause distributions.
+//!
+//! The paper's profiling argument (Figs. 2/5) is about *distributions* —
+//! which pauses dominate, what the tail of a primitive's latency looks
+//! like — not single totals. [`Histogram`] is the dependency-free
+//! aggregate every profiling layer records into: a fixed `[u64; 65]`
+//! bucket array (bucket 0 holds exact zeros; bucket *i* holds values in
+//! `[2^(i-1), 2^i)`), so it is `Copy`-cheap, mergeable with plain counter
+//! addition (merge is exactly commutative and associative), and needs no
+//! allocation on the record path.
+//!
+//! Percentile queries return the *upper bound* of the bucket holding the
+//! requested rank, clamped to the exact observed maximum. For any true
+//! percentile value `v > 0` the estimate `e` therefore satisfies
+//! `v <= e < 2v` — the property `proptest_hist.rs` checks against a
+//! sorted-`Vec` oracle.
+
+use crate::json::Json;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Bucket count: one for exact zeros plus one per bit position of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucket histogram over `u64` samples (picoseconds, bytes, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of `v`: 0 for zero, else `64 - leading_zeros`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value bucket `i` can hold.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `(0, 1]`): the upper bound of the first
+    /// bucket whose cumulative count reaches rank `ceil(q * count)`,
+    /// clamped to the observed maximum. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Raw bucket counts (index = bit position; see module docs).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Machine-readable form: summary fields plus the non-empty buckets as
+    /// `{lo, hi, count}` rows (lossless up to bucket granularity).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                Json::obj(vec![("lo", Json::U64(lo)), ("hi", Json::U64(bucket_upper(i))), ("count", Json::U64(c))])
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean())),
+            ("p50", Json::U64(self.p50())),
+            ("p90", Json::U64(self.p90())),
+            ("p99", Json::U64(self.p99())),
+            ("buckets", Json::Arr(rows)),
+        ])
+    }
+}
+
+impl Add for Histogram {
+    type Output = Histogram;
+    fn add(mut self, rhs: Histogram) -> Histogram {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Histogram {
+    fn add_assign(&mut self, rhs: Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += b;
+        }
+        self.count += rhs.count;
+        self.sum = self.sum.saturating_add(rhs.sum);
+        self.max = self.max.max(rhs.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} p50={} p90={} p99={} max={}", self.count, self.p50(), self.p90(), self.p99(), self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound of bucket {i} must stay in it");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!((h.count(), h.sum(), h.max(), h.p50(), h.p99()), (0, 0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_true_value() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        // True p50 is 500; estimate must be in [500, 1000).
+        let e = h.p50();
+        assert!((500..1000).contains(&e), "p50 estimate {e}");
+        // p99 true value 990 → estimate in [990, 1024); clamped to max 1000.
+        let e = h.p99();
+        assert!((990..=1000).contains(&e), "p99 estimate {e}");
+        assert_eq!(h.quantile(1.0), 1000, "q=1.0 is the exact max");
+    }
+
+    #[test]
+    fn max_is_exact_and_quantiles_clamp_to_it() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.p99(), 5, "single sample: every quantile is the sample");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        let m = a + b;
+        assert_eq!(m.count(), 5);
+        assert_eq!(m.sum(), 306);
+        assert_eq!(m.max(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_quantile_panics() {
+        Histogram::new().quantile(0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_strict_parser() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 4096] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let back = Json::parse(&j.to_string()).expect("histogram json parses");
+        assert_eq!(back.get("count").unwrap().as_u64(), Some(5));
+        assert_eq!(back.get("max").unwrap().as_u64(), Some(4096));
+        let rows = back.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 4, "0, 1, [4,8), [4096,8192) buckets");
+        assert_eq!(rows[2].get("count").unwrap().as_u64(), Some(2));
+    }
+}

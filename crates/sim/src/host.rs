@@ -13,6 +13,7 @@ use crate::config::{MemPlatform, SystemConfig};
 use crate::dram::{Ddr4Sim, DramOp, HmcSim};
 use crate::issue::Window;
 use crate::noc::{Noc, Node, PACKET_OVERHEAD_BYTES};
+use crate::profile::{Channel, Profiler};
 use crate::stats::MemTrafficStats;
 use crate::time::Ps;
 
@@ -36,6 +37,7 @@ pub enum DramSide {
 pub struct MemFabric {
     side: DramSide,
     stats: MemTrafficStats,
+    profiler: Profiler,
 }
 
 impl MemFabric {
@@ -45,7 +47,13 @@ impl MemFabric {
             MemPlatform::Ddr4 => DramSide::Ddr4(Ddr4Sim::new(cfg.ddr4.clone())),
             MemPlatform::Hmc => DramSide::Hmc { hmc: HmcSim::new(cfg.hmc.clone()), noc: Noc::new(&cfg.hmc) },
         };
-        MemFabric { side, stats: MemTrafficStats::default() }
+        MemFabric { side, stats: MemTrafficStats::default(), profiler: Profiler::disabled() }
+    }
+
+    /// Installs the latency profiler. Sampling reads already-computed
+    /// completion times, so simulated timing is identical either way.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Which platform this fabric models.
@@ -88,6 +96,7 @@ impl MemFabric {
                     DramOp::Write => self.stats.offchip.record_write(u64::from(bytes)),
                 }
                 self.stats.dram = ddr.traffic();
+                self.profiler.record(Channel::DramPacket, done.saturating_sub(start));
                 done
             }
             DramSide::Hmc { hmc, noc } => {
@@ -106,6 +115,11 @@ impl MemFabric {
                 let served = hmc.vault_access(paddr, bytes, op, at_cube);
                 let rsp_bytes = PACKET_OVERHEAD_BYTES + if op == DramOp::Read { bytes } else { 0 };
                 let mut done = noc.send(dest, from, rsp_bytes, served, op == DramOp::Read);
+                self.profiler.record(Channel::DramPacket, served.saturating_sub(at_cube));
+                if from != dest {
+                    self.profiler.record(Channel::NocPacket, at_cube.saturating_sub(start));
+                    self.profiler.record(Channel::NocPacket, done.saturating_sub(served));
+                }
                 if from == Node::Host {
                     // Host-side HMC protocol processing (SerDes framing,
                     // controller re-ordering) — near-memory units skip it.
@@ -149,6 +163,7 @@ impl MemFabric {
                     DramOp::Write => self.stats.offchip.record_writes(bytes, lines),
                 }
                 self.stats.dram = ddr.traffic();
+                self.profiler.record(Channel::DramBatch, run.last.saturating_sub(start));
                 run
             }
             DramSide::Hmc { hmc, noc } => {
@@ -185,6 +200,11 @@ impl MemFabric {
                         op == DramOp::Read,
                         rsp_chunk,
                     );
+                    self.profiler.record(Channel::DramBatch, served.last.saturating_sub(req.first));
+                    if from != dest {
+                        self.profiler.record(Channel::NocBatch, req.last.saturating_sub(start));
+                        self.profiler.record(Channel::NocBatch, rsp.last.saturating_sub(served.first));
+                    }
                     if first.is_none() {
                         first = Some(rsp.first);
                     }
@@ -232,6 +252,9 @@ impl MemFabric {
                 let done = noc.send(from, to, bytes, start, false);
                 self.stats.offchip = noc.host_link_traffic();
                 self.stats.intercube = noc.intercube_traffic();
+                if from != to {
+                    self.profiler.record(Channel::NocPacket, done.saturating_sub(start));
+                }
                 done
             }
         }

@@ -28,6 +28,10 @@
 //! * [`stats`] — traffic and event counters,
 //! * [`telemetry`] — the optional structured event journal and Chrome
 //!   trace-event exporter (zero-cost when disabled),
+//! * [`hist`] — fixed-size log2-bucket histograms (`Copy`-cheap,
+//!   mergeable, p50/p90/p99/max) used for every latency distribution,
+//! * [`profile`] — the optional per-channel latency profiler built on
+//!   [`hist`], same zero-cost-when-disabled contract as [`telemetry`],
 //! * [`json`] — the dependency-free JSON writer/validator backing every
 //!   machine-readable report.
 //!
@@ -55,10 +59,12 @@ pub mod config;
 pub mod dram;
 pub mod energy;
 pub mod faults;
+pub mod hist;
 pub mod host;
 pub mod issue;
 pub mod json;
 pub mod noc;
+pub mod profile;
 pub mod report;
 pub mod stats;
 pub mod telemetry;

@@ -129,15 +129,18 @@ impl CacheStats {
         }
     }
 
-    /// Machine-readable form for reports ([`crate::json`]).
+    /// Machine-readable form for reports ([`crate::json`]). A cache that
+    /// was never accessed has no meaningful hit rate — `hit_rate` is
+    /// `null` there, distinguishing it from a real 0% hit rate.
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
+        let rate = if self.accesses() == 0 { Json::Null } else { Json::F64(self.hit_rate()) };
         Json::obj([
             ("hits", Json::U64(self.hits)),
             ("misses", Json::U64(self.misses)),
             ("writebacks", Json::U64(self.writebacks)),
             ("flushed", Json::U64(self.flushed)),
-            ("hit_rate", Json::F64(self.hit_rate())),
+            ("hit_rate", rate),
         ])
     }
 }
@@ -153,7 +156,17 @@ impl AddAssign for CacheStats {
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} accesses, {:.1}% hit, {} writebacks", self.accesses(), self.hit_rate() * 100.0, self.writebacks)
+        if self.accesses() == 0 {
+            write!(f, "0 accesses, {} writebacks", self.writebacks)
+        } else {
+            write!(
+                f,
+                "{} accesses, {:.1}% hit, {} writebacks",
+                self.accesses(),
+                self.hit_rate() * 100.0,
+                self.writebacks
+            )
+        }
     }
 }
 
@@ -248,6 +261,17 @@ mod tests {
         let s = CacheStats { hits: 90, misses: 10, writebacks: 0, flushed: 0 };
         assert!((s.hit_rate() - 0.9).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn untouched_cache_reports_null_hit_rate() {
+        use crate::json::Json;
+        let idle = CacheStats { writebacks: 2, ..Default::default() };
+        assert_eq!(idle.to_json().get("hit_rate"), Some(&Json::Null));
+        assert!(!idle.to_string().contains('%'), "Display skips hit% with no accesses");
+        let used = CacheStats { hits: 1, ..Default::default() };
+        assert_eq!(used.to_json().get("hit_rate"), Some(&Json::F64(1.0)));
+        assert!(used.to_string().contains("100.0% hit"));
     }
 
     #[test]

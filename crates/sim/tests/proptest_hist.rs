@@ -1,0 +1,80 @@
+//! Property tests over the log2-bucket histogram against an exact
+//! sorted-`Vec` oracle: quantile estimates land in the right bucket
+//! (within the 2× resolution the bucketing guarantees), and merging is
+//! associative/commutative and conserves every counter.
+
+use charon_sim::hist::Histogram;
+use proptest::prelude::*;
+
+/// Exact quantile the estimator is allowed to round up from: the value of
+/// rank `max(1, ceil(q × n))` in the sorted sample.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_bound_the_oracle(mut values in proptest::collection::vec(0u64..1u64 << 48, 1..300)) {
+        let h = build(&values);
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = oracle_quantile(&values, q);
+            let est = h.quantile(q);
+            // The estimate is the upper bound of the exact value's power-of-two
+            // bucket: never below the oracle, less than 2× above it, and
+            // clamped to the recorded maximum.
+            prop_assert!(est >= exact, "q={q}: est {est} < oracle {exact}");
+            prop_assert!(est <= exact.saturating_mul(2).max(1), "q={q}: est {est} ≥ 2× oracle {exact}");
+            prop_assert!(est <= h.max(), "q={q}: est {est} above recorded max {}", h.max());
+        }
+        prop_assert_eq!(h.quantile(1.0), *values.last().unwrap(), "p100 is the exact max");
+    }
+
+    #[test]
+    fn counters_match_the_sample(values in proptest::collection::vec(0u64..1u64 << 32, 0..200)) {
+        let h = build(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(h.is_empty(), values.is_empty());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        c in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        prop_assert_eq!(ha + hb, hb + ha);
+        prop_assert_eq!((ha + hb) + hc, ha + (hb + hc));
+        // Merging equals recording the concatenated sample.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(ha + hb + hc, build(&all));
+    }
+
+    #[test]
+    fn merge_conserves_counters(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let m = ha + hb;
+        prop_assert_eq!(m.count(), ha.count() + hb.count());
+        prop_assert_eq!(m.sum(), ha.sum() + hb.sum());
+        prop_assert_eq!(m.max(), ha.max().max(hb.max()));
+    }
+}

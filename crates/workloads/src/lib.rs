@@ -24,15 +24,19 @@
 //! * [`mutator`] — the resident-structure builder and per-superstep
 //!   allocation/mutation behaviour, including the useful-work time model,
 //! * [`run`] — one-call experiment driver producing a [`run::RunResult`],
+//! * [`profile`] — opt-in per-run profile: pause/latency histograms, heap
+//!   demographics, and accelerator utilization ([`profile::RunProfile`]),
 //! * [`campaign`] — seeded fault-injection campaigns proving the offload
 //!   path degrades gracefully without changing GC correctness.
 
 pub mod campaign;
 pub mod klasses;
 pub mod mutator;
+pub mod profile;
 pub mod run;
 pub mod spec;
 
 pub use campaign::{fault_matrix, run_fault_campaign, CampaignOptions, CampaignReport};
+pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};
 pub use spec::{table3, Framework, WorkloadSpec};

@@ -6,6 +6,7 @@
 //! separately for Fig. 2.
 
 use crate::mutator::Mutator;
+use crate::profile::RunProfile;
 use crate::spec::WorkloadSpec;
 use charon_core::device::CharonStats;
 use charon_gc::breakdown::Breakdown;
@@ -15,6 +16,7 @@ use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::layout::LayoutParams;
 use charon_sim::energy::EnergyAccount;
 use charon_sim::json::Json;
+use charon_sim::profile::Profiler;
 use charon_sim::stats::{CacheStats, MemTrafficStats};
 use charon_sim::telemetry::{Event, Telemetry};
 use charon_sim::time::Ps;
@@ -33,11 +35,25 @@ pub struct RunOptions {
     /// Telemetry sink for the run. [`Telemetry::disabled`] (the default)
     /// records nothing and leaves timing bit-identical.
     pub telemetry: Telemetry,
+    /// Latency profiler for the run. [`Profiler::disabled`] (the default)
+    /// records nothing and leaves timing bit-identical; enabled, the run
+    /// produces [`RunResult::profile`].
+    pub profiler: Profiler,
+    /// Run the per-GC heap-demographics census ([`charon_gc::census`]).
+    /// Purely functional — never changes simulated timing.
+    pub census: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { heap_factor: None, gc_threads: 8, supersteps: None, telemetry: Telemetry::disabled() }
+        RunOptions {
+            heap_factor: None,
+            gc_threads: 8,
+            supersteps: None,
+            telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
+            census: false,
+        }
     }
 }
 
@@ -74,6 +90,10 @@ pub struct RunResult {
     pub bitmap_cache: Option<CacheStats>,
     /// Bytes the mutator allocated.
     pub allocated_bytes: u64,
+    /// Run profile (pause histograms, latency distributions, census,
+    /// unit utilization) — present when [`RunOptions::profiler`] was
+    /// enabled or [`RunOptions::census`] was set.
+    pub profile: Option<RunProfile>,
 }
 
 impl RunResult {
@@ -130,6 +150,9 @@ impl RunResult {
         if let Some(c) = &self.bitmap_cache {
             fields.push(("bitmap_cache", c.to_json()));
         }
+        if let Some(p) = &self.profile {
+            fields.push(("profile", p.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -176,8 +199,12 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
         JavaHeap::new(HeapConfig { layout: LayoutParams { heap_bytes, ..Default::default() }, ..Default::default() });
     let mut mutator = Mutator::new(spec.clone(), &mut heap);
     sys.set_telemetry(opts.telemetry.clone());
+    sys.set_profiler(opts.profiler.clone());
     let platform = sys.label();
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);
+    if opts.census {
+        gc.census = Some(charon_gc::census::Census::new());
+    }
 
     mutator.build_resident(&mut heap, &mut gc)?;
     let steps = opts.supersteps.unwrap_or(spec.supersteps);
@@ -198,6 +225,8 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
 
     let minor_t = gc.gc_time_by_kind(GcKind::Minor);
     let major_t = gc.gc_time_by_kind(GcKind::Major);
+    let profile = (opts.profiler.is_enabled() || opts.census)
+        .then(|| RunProfile::collect(spec.short, platform, &gc, opts.profiler.snapshot()));
     Ok(RunResult {
         workload: spec.short,
         platform,
@@ -214,6 +243,7 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
         device: gc.sys.device.as_ref().map(|d| d.stats().clone()),
         bitmap_cache: gc.sys.device.as_ref().map(|d| d.bitmap_cache_stats()),
         allocated_bytes: mutator.allocated_bytes,
+        profile,
     })
 }
 

@@ -66,6 +66,27 @@ fn telemetry_off_fingerprints_match_committed_baselines() {
     );
 }
 
+/// Enabling the latency profiler and the heap census must not move a
+/// single picosecond: both only observe values the simulation already
+/// computed. Every committed baseline must hold with them switched on.
+#[test]
+fn profiler_and_census_on_fingerprints_match_committed_baselines() {
+    use charon_sim::profile::Profiler;
+    for &(wl, platform, gc_ps, minors, majors, alloc) in &BASELINES {
+        let spec = by_short(wl).unwrap();
+        let o = RunOptions { profiler: Profiler::enabled(), census: true, ..opts() };
+        let r = run_workload(&spec, system_by_label(platform), &o).unwrap();
+        assert_eq!(
+            r.fingerprint(),
+            (wl, platform, gc_ps, minors, majors, alloc),
+            "{wl} on {platform}: profiling must be timing-invisible"
+        );
+        let p = r.profile.as_ref().expect("profiler enabled produces a profile");
+        assert_eq!(p.pause_minor.count() as usize + p.pause_major.count() as usize, minors + majors);
+        assert!(p.latencies.total_samples() > 0 || platform == "Ideal", "{wl} on {platform}: no latency samples");
+    }
+}
+
 /// Heap-factor and step overrides land in the fingerprint too.
 #[test]
 fn fingerprints_pin_heap_factor_and_steps() {

@@ -11,11 +11,14 @@
 //! charon-cli config                       # Table 2
 //! charon-cli area                         # Table 4
 //! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
+//! charon-cli profile KM --platform Charon # pause/latency histograms + census
+//! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate
 //! ```
 
 use charon::gc::breakdown::Bucket;
 use charon::gc::system::System;
 use charon::sim::json::Json;
+use charon::sim::profile::Profiler;
 use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::spec::{by_short, table3};
 use charon::workloads::{run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
@@ -32,7 +35,10 @@ fn usage() -> ExitCode {
          charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>]\n  \
          charon-cli check-json <FILE>\n  \
          charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] \
-         [--steps <N>] [--json]\n\
+         [--steps <N>] [--json]\n  \
+         charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
+         [--json] [--profile-out <FILE>]\n  \
+         charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n\
          platforms: {}",
         PLATFORMS.join(", ")
     );
@@ -52,7 +58,7 @@ fn system_by_label(label: &str) -> Option<System> {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 8] = [
+const FLAG_TABLE: [(&str, bool); 10] = [
     ("--platform", true),
     ("--heap-factor", true),
     ("--threads", true),
@@ -61,6 +67,8 @@ const FLAG_TABLE: [(&str, bool); 8] = [
     ("--json", false),
     ("--trace-out", true),
     ("--out", true),
+    ("--profile-out", true),
+    ("--tolerance", true),
 ];
 
 /// Parsed flag values, superset over all subcommands.
@@ -74,6 +82,8 @@ struct Flags {
     json: bool,
     trace_out: Option<String>,
     out: Option<String>,
+    profile_out: Option<String>,
+    tolerance: Option<f64>,
 }
 
 /// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
@@ -126,6 +136,14 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
             "--json" => flags.json = true,
             "--trace-out" => flags.trace_out = Some(val.to_string()),
             "--out" => flags.out = Some(val.to_string()),
+            "--profile-out" => flags.profile_out = Some(val.to_string()),
+            "--tolerance" => {
+                let t: f64 = val.parse().map_err(|_| format!("bad tolerance {val}"))?;
+                if !(0.0..=1000.0).contains(&t) {
+                    return Err(format!("--tolerance {t} out of range (0..=1000, percent)"));
+                }
+                flags.tolerance = Some(t);
+            }
             _ => unreachable!("flag in table"),
         }
     }
@@ -139,6 +157,7 @@ impl Flags {
             gc_threads: self.threads.unwrap_or(8),
             supersteps: self.steps,
             telemetry,
+            ..Default::default()
         }
     }
 
@@ -210,6 +229,80 @@ fn compare_json(short: &str, runs: &[RunResult]) -> Json {
         ("runs", Json::Arr(runs.iter().map(|r| r.to_json()).collect())),
         ("speedup_vs_ddr4", Json::obj(speedups)),
     ])
+}
+
+/// Pulls the gated metrics out of one run-shaped object (`RunResult` JSON,
+/// or a bare `RunProfile` JSON): wall GC time plus, when a profile is
+/// present, the per-kind p99 pause. Keys are `workload/platform/metric`.
+fn run_metrics(out: &mut Vec<(String, u64)>, run: &Json) {
+    let w = run.get("workload").and_then(Json::as_str).unwrap_or("?");
+    let p = run.get("platform").and_then(Json::as_str).unwrap_or("?");
+    if let Some(t) = run.get("gc_time_ps").and_then(Json::as_u64) {
+        out.push((format!("{w}/{p}/gc_time_ps"), t));
+    }
+    // Either a RunResult carrying a "profile" field, or a RunProfile itself.
+    let profile = run.get("profile").unwrap_or(run);
+    if let Some(pauses) = profile.get("pauses") {
+        for kind in ["minor", "major"] {
+            if let Some(p99) = pauses.get(kind).and_then(|h| h.get("p99")).and_then(Json::as_u64) {
+                out.push((format!("{w}/{p}/pause_{kind}_p99_ps"), p99));
+            }
+        }
+    }
+}
+
+/// Flattens any report this CLI writes — `bench` ({"benches": […]}),
+/// `compare --json` ({"runs": […]}), `run --json` / `profile --profile-out`
+/// (a single run or profile object) — into comparable metrics.
+fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
+        for bench in benches {
+            for run in bench.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+                run_metrics(&mut out, run);
+            }
+        }
+    } else if let Some(runs) = report.get("runs").and_then(Json::as_arr) {
+        for run in runs {
+            run_metrics(&mut out, run);
+        }
+    } else {
+        run_metrics(&mut out, report);
+    }
+    out
+}
+
+/// One metric that got slower beyond the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+struct Regression {
+    metric: String,
+    old: u64,
+    new: u64,
+}
+
+impl Regression {
+    fn ratio(&self) -> f64 {
+        self.new as f64 / self.old.max(1) as f64
+    }
+}
+
+/// Compares every metric present in BOTH reports; a regression is
+/// `new > old × (1 + tolerance/100)` (a zero baseline regresses on any
+/// nonzero new value). Returns (metrics compared, regressions).
+fn regressions(old: &Json, new: &Json, tolerance_pct: f64) -> (usize, Vec<Regression>) {
+    let old_metrics = extract_metrics(old);
+    let new_metrics = extract_metrics(new);
+    let mut compared = 0;
+    let mut regs = Vec::new();
+    for (metric, old_v) in old_metrics {
+        let Some((_, new_v)) = new_metrics.iter().find(|(m, _)| *m == metric) else { continue };
+        compared += 1;
+        let limit = old_v as f64 * (1.0 + tolerance_pct / 100.0);
+        if *new_v as f64 > limit || (old_v == 0 && *new_v > 0) {
+            regs.push(Regression { metric, old: old_v, new: *new_v });
+        }
+    }
+    (compared, regs)
 }
 
 fn main() -> ExitCode {
@@ -415,6 +508,94 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("profile") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let flags = match parse_flags(
+                &args[2..],
+                &["--platform", "--heap-factor", "--threads", "--steps", "--json", "--profile-out"],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let platform = flags.platform.clone().unwrap_or_else(|| "Charon".into());
+            let Some(sys) = system_by_label(&platform) else {
+                eprintln!("unknown platform {platform}");
+                return usage();
+            };
+            let opts =
+                RunOptions { profiler: Profiler::enabled(), census: true, ..flags.run_options(Telemetry::disabled()) };
+            match run_workload(&spec, sys, &opts) {
+                Ok(r) => {
+                    let profile = r.profile.as_ref().expect("profiler was enabled");
+                    if let Some(path) = &flags.profile_out {
+                        if let Err(code) = write_file(path, &profile.to_json().to_string()) {
+                            return code;
+                        }
+                        println!("wrote {path}");
+                    }
+                    if flags.json {
+                        println!("{}", profile.to_json());
+                    } else {
+                        print!("{profile}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("regress") => {
+            let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else { return usage() };
+            let flags = match parse_flags(&args[3..], &["--tolerance"]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let tolerance = flags.tolerance.unwrap_or(10.0);
+            let mut reports = Vec::new();
+            for path in [old_path, new_path] {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match Json::parse(&text) {
+                    Ok(j) => reports.push(j),
+                    Err(e) => {
+                        eprintln!("{path}: invalid JSON: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let (compared, regs) = regressions(&reports[0], &reports[1], tolerance);
+            if compared == 0 {
+                eprintln!("no comparable metrics between {old_path} and {new_path}");
+                return ExitCode::FAILURE;
+            }
+            for r in &regs {
+                println!("REGRESSION {}: {} -> {} ({:.2}x, tolerance {tolerance}%)", r.metric, r.old, r.new, r.ratio());
+            }
+            if regs.is_empty() {
+                println!("{compared} metrics within {tolerance}% of {old_path}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{} of {compared} metrics regressed beyond {tolerance}%", regs.len());
+                ExitCode::FAILURE
+            }
+        }
         _ => usage(),
     }
 }
@@ -494,5 +675,108 @@ mod tests {
         // `--json 5` parses --json alone; "5" is then an unknown token.
         let e = parse_flags(&argv(&["--json", "5"]), &RUN_FLAGS).unwrap_err();
         assert!(e.contains("unknown flag 5"), "{e}");
+    }
+
+    #[test]
+    fn tolerance_is_validated() {
+        let f = parse_flags(&argv(&["--tolerance", "12.5"]), &["--tolerance"]).unwrap();
+        assert_eq!(f.tolerance, Some(12.5));
+        assert!(parse_flags(&argv(&["--tolerance", "-1"]), &["--tolerance"]).is_err());
+        assert!(parse_flags(&argv(&["--tolerance", "abc"]), &["--tolerance"]).is_err());
+    }
+
+    /// A minimal bench-shaped report with one run per (workload, gc_time).
+    fn bench_report(runs: &[(&str, u64, u64)]) -> Json {
+        Json::obj(vec![(
+            "benches",
+            Json::Arr(vec![Json::obj(vec![(
+                "runs",
+                Json::Arr(
+                    runs.iter()
+                        .map(|&(w, gc, p99)| {
+                            Json::obj(vec![
+                                ("workload", Json::str(w)),
+                                ("platform", Json::str("Charon")),
+                                ("gc_time_ps", Json::U64(gc)),
+                                (
+                                    "profile",
+                                    Json::obj(vec![(
+                                        "pauses",
+                                        Json::obj(vec![("minor", Json::obj(vec![("p99", Json::U64(p99))]))]),
+                                    )]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )])]),
+        )])
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = bench_report(&[("BS", 1_000, 100), ("KM", 2_000, 200)]);
+        let (compared, regs) = regressions(&r, &r, 10.0);
+        assert_eq!(compared, 4, "gc_time + p99 per run");
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn doubled_gc_time_is_flagged() {
+        let old = bench_report(&[("BS", 1_000, 100)]);
+        let new = bench_report(&[("BS", 2_000, 100)]);
+        let (compared, regs) = regressions(&old, &new, 10.0);
+        assert_eq!(compared, 2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "BS/Charon/gc_time_ps");
+        assert!((regs[0].ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_regression_is_flagged_independently() {
+        let old = bench_report(&[("BS", 1_000, 100)]);
+        let new = bench_report(&[("BS", 1_000, 250)]);
+        let (_, regs) = regressions(&old, &new, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "BS/Charon/pause_minor_p99_ps");
+    }
+
+    #[test]
+    fn growth_within_tolerance_passes() {
+        let old = bench_report(&[("BS", 1_000, 100)]);
+        let new = bench_report(&[("BS", 1_050, 104)]);
+        let (_, regs) = regressions(&old, &new, 10.0);
+        assert!(regs.is_empty(), "{regs:?}");
+        let (_, regs) = regressions(&old, &new, 1.0);
+        assert_eq!(regs.len(), 2, "tighter tolerance flags both");
+    }
+
+    #[test]
+    fn zero_baseline_regresses_on_any_growth() {
+        let old = bench_report(&[("BS", 0, 0)]);
+        let new = bench_report(&[("BS", 1, 0)]);
+        let (_, regs) = regressions(&old, &new, 10.0);
+        assert_eq!(regs.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_reports_compare_nothing() {
+        let old = bench_report(&[("BS", 1_000, 100)]);
+        let new = bench_report(&[("KM", 1_000, 100)]);
+        let (compared, regs) = regressions(&old, &new, 10.0);
+        assert_eq!((compared, regs.len()), (0, 0));
+    }
+
+    #[test]
+    fn bare_profile_reports_are_comparable() {
+        // The `profile --profile-out` shape: pauses at top level.
+        let p = Json::obj(vec![
+            ("workload", Json::str("KM")),
+            ("platform", Json::str("DDR4")),
+            ("gc_time_ps", Json::U64(5_000)),
+            ("pauses", Json::obj(vec![("major", Json::obj(vec![("p99", Json::U64(900))]))])),
+        ]);
+        let m = extract_metrics(&p);
+        assert_eq!(m, vec![("KM/DDR4/gc_time_ps".to_string(), 5_000), ("KM/DDR4/pause_major_p99_ps".to_string(), 900)]);
     }
 }
