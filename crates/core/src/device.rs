@@ -545,6 +545,15 @@ impl CharonDevice {
         self.faults.as_ref().is_some_and(|f| f.dead[prim.encode() as usize])
     }
 
+    /// Watchdog verdict for all four unit classes at once, indexed by
+    /// [`PrimType::encode`]. All-false when no fault layer is armed.
+    pub fn dead_units(&self) -> [bool; 4] {
+        match &self.faults {
+            None => [false; 4],
+            Some(f) => f.dead,
+        }
+    }
+
     /// Snapshot of the recovery counters (zeroes when no layer is armed).
     pub fn fault_counters(&self) -> DeviceFaultCounters {
         match &self.faults {

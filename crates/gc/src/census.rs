@@ -375,6 +375,39 @@ mod tests {
     use charon_heap::heap::{HeapConfig, JavaHeap};
     use charon_heap::klass::KlassKind;
 
+    /// Empty spaces, empty records, and an empty census must all report
+    /// a dead fraction of exactly zero rather than dividing by zero —
+    /// the adaptive controller consumes these signals raw.
+    #[test]
+    fn dead_fraction_is_zero_on_empty_inputs() {
+        let empty_space =
+            SpaceCensus { name: "eden", collected: true, allocated_bytes: 0, live_bytes: 0, dead_bytes: 0 };
+        assert_eq!(empty_space.dead_fraction(), 0.0);
+        let record = CensusRecord {
+            seq: 0,
+            kind: GcKind::Minor,
+            spaces: [
+                empty_space,
+                SpaceCensus { name: "survivor", collected: true, allocated_bytes: 0, live_bytes: 0, dead_bytes: 0 },
+                // The uncollected old space never feeds the ratio, even
+                // when it is the only space holding bytes.
+                SpaceCensus { name: "old", collected: false, allocated_bytes: 4096, live_bytes: 4096, dead_bytes: 0 },
+            ],
+            per_klass: Vec::new(),
+            age_hist: [0; (charon_heap::object::MAX_AGE as usize) + 1],
+            promoted_objects: 0,
+            promoted_bytes: 0,
+            survived_objects: 0,
+            survived_bytes: 0,
+            tenuring_threshold: 0,
+        };
+        assert_eq!(record.collected_bytes(), 0);
+        assert_eq!(record.dead_fraction(), 0.0);
+        let census = Census::new();
+        assert_eq!(census.mean_dead_fraction(GcKind::Minor), 0.0);
+        assert_eq!(census.mean_dead_fraction(GcKind::Major), 0.0);
+    }
+
     /// Drives enough garbage through a small heap to trigger scavenges
     /// with a census enabled, then checks the conservation invariant.
     #[test]

@@ -119,6 +119,12 @@ pub struct Collector {
     /// skips the census walk entirely. Purely functional — enabling it
     /// never changes simulated timing.
     pub census: Option<crate::census::Census>,
+    /// Adaptive offload controller ([`crate::adapt`]); `None` (the
+    /// default) keeps the installed [`crate::system::OffloadMask`] fixed
+    /// for the whole run. When present, it re-decides the mask at every
+    /// GC prologue and observes the realized pause at the epilogue —
+    /// without ever advancing the simulated clock itself.
+    pub adapt: Option<crate::adapt::Controller>,
 }
 
 impl Collector {
@@ -134,7 +140,7 @@ impl Collector {
                 card_table_base: heap.layout().cards.start,
             });
         }
-        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None }
+        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None, adapt: None }
     }
 
     /// Advances the wall clock by mutator (useful-work) time.
@@ -178,6 +184,13 @@ impl Collector {
             self.sys.traces.push(crate::trace::GcTrace::default());
         }
         self.sys.collection_seq = self.events.len() as u64;
+        // Adaptive-offload prologue: the controller (taken out of `self`
+        // so it can borrow the rest) re-decides the mask before any
+        // collection work is timed.
+        if let Some(mut ctl) = self.adapt.take() {
+            ctl.decide(&mut self.sys, self.census.as_ref(), self.events.last(), kind, self.now);
+            self.adapt = Some(ctl);
+        }
         let pre_census = self.census.is_some().then(|| crate::census::pre(heap, kind));
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
@@ -220,6 +233,9 @@ impl Collector {
         }
         self.events
             .push(GcEvent { kind, start, wall, breakdown, minor, major, dram_bytes, host_active });
+        if let Some(ctl) = self.adapt.as_mut() {
+            ctl.observe(kind, wall);
+        }
         self.events.last().expect("just pushed")
     }
 

@@ -37,6 +37,7 @@
 //! * [`verify`] — heap-graph signatures used by tests to prove collections
 //!   preserve the reachable object graph.
 
+pub mod adapt;
 pub mod breakdown;
 pub mod census;
 pub mod collector;

@@ -85,6 +85,11 @@ impl OffloadMask {
         Some(m)
     }
 
+    /// Number of primitives currently offloaded.
+    pub fn count(&self) -> usize {
+        PrimType::ALL.iter().filter(|&&p| self.get(p)).count()
+    }
+
     /// Enables or disables offloading of one primitive (the degradation
     /// path flips bits off here when the watchdog kills a unit).
     pub fn set(&mut self, prim: PrimType, on: bool) {
@@ -104,6 +109,35 @@ impl OffloadMask {
             PrimType::ScanPush => self.scan_push,
             PrimType::BitmapCount => self.bitmap_count,
         }
+    }
+}
+
+impl std::str::FromStr for OffloadMask {
+    type Err = String;
+
+    /// Parses a mask from `"all"`, `"none"`, a single primitive name (the
+    /// same aliases [`OffloadMask::only`] accepts), or a `+`/`,`-joined
+    /// combination of primitive names: `"copy+search"`,
+    /// `"copy,scan-push,bitmap-count"`. Case-insensitive.
+    fn from_str(s: &str) -> Result<OffloadMask, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "all" => return Ok(OffloadMask::all()),
+            "none" => return Ok(OffloadMask::none()),
+            _ => {}
+        }
+        let mut mask = OffloadMask::none();
+        for part in s.split(['+', ',']) {
+            let part = part.trim();
+            let one = OffloadMask::only(part).ok_or_else(|| {
+                format!("unknown primitive {part:?} (expected copy, search, scan-push, bitmap-count, all, or none)")
+            })?;
+            for p in PrimType::ALL {
+                if one.get(p) {
+                    mask.set(p, true);
+                }
+            }
+        }
+        Ok(mask)
     }
 }
 
@@ -608,7 +642,9 @@ impl System {
             end = end.max(w);
             cursor += self.compute(self.costs.copy_per_line);
         }
-        end.max(cursor)
+        let end = end.max(cursor);
+        self.profiler.record(Channel::HostPrimCopy, end.saturating_sub(now));
+        end
     }
 
     fn host_search(&mut self, core: usize, now: Ps, start: VAddr, scanned_bytes: u64) -> Ps {
@@ -620,7 +656,9 @@ impl System {
             end = end.max(self.host.mem_access(core, cursor, a.0, 64, AccessKind::Read));
             cursor += self.compute(self.costs.search_per_block * 8);
         }
-        end.max(cursor)
+        let end = end.max(cursor);
+        self.profiler.record(Channel::HostPrimSearch, end.saturating_sub(now));
+        end
     }
 
     fn host_bitmap_count(&mut self, core: usize, now: Ps, spans: &[(VAddr, u64)]) -> Ps {
@@ -635,7 +673,9 @@ impl System {
                 cursor += self.compute(self.costs.bitmap_per_map_word * words);
             }
         }
-        end.max(cursor)
+        let end = end.max(cursor);
+        self.profiler.record(Channel::HostPrimBitmapCount, end.saturating_sub(now));
+        end
     }
 
     fn host_scan_push(&mut self, core: usize, now: Ps, fields_start: VAddr, field_bytes: u64, refs: &[ScanRef]) -> Ps {
@@ -677,7 +717,9 @@ impl System {
             end = end.max(a_done);
             cursor += self.compute(self.costs.scan_per_ref);
         }
-        end.max(cursor).max(*line_done.last().expect("at least one line"))
+        let end = end.max(cursor).max(*line_done.last().expect("at least one line"));
+        self.profiler.record(Channel::HostPrimScanPush, end.saturating_sub(now));
+        end
     }
 
     // ----- energy ---------------------------------------------------------
@@ -698,6 +740,17 @@ impl System {
     /// Total DRAM bytes moved so far (for per-GC deltas).
     pub fn dram_bytes(&self) -> u64 {
         self.host.fabric.stats().dram.total_bytes()
+    }
+
+    /// Watchdog verdict per unit class, indexed by [`PrimType::encode`].
+    /// All-false on host-only platforms and on devices without a fault
+    /// layer; a `true` entry means the recovery ladder killed that unit
+    /// class and it must never be offloaded to again.
+    pub fn unit_health(&self) -> [bool; 4] {
+        match &self.device {
+            None => [false; 4],
+            Some(d) => d.dead_units(),
+        }
     }
 }
 
@@ -776,6 +829,25 @@ mod tests {
             let o = OffloadMask::only(&p.to_string().to_ascii_lowercase()).expect("paper spelling accepted");
             assert!(o.get(p), "only({p}) must enable {p}");
         }
+    }
+
+    #[test]
+    fn offload_mask_from_str_round_trips() {
+        assert_eq!("all".parse::<OffloadMask>().unwrap(), OffloadMask::all());
+        assert_eq!("NONE".parse::<OffloadMask>().unwrap(), OffloadMask::none());
+        let m = "copy+scan-push".parse::<OffloadMask>().unwrap();
+        assert!(m.get(PrimType::Copy) && m.get(PrimType::ScanPush));
+        assert!(!m.get(PrimType::Search) && !m.get(PrimType::BitmapCount));
+        assert_eq!(m.count(), 2);
+        // Comma-joined and mixed-case aliases parse to the same mask.
+        assert_eq!("Copy, Scan&Push".parse::<OffloadMask>().unwrap(), m);
+        // Every primitive's Display spelling parses back to itself.
+        for p in PrimType::ALL {
+            let one = p.to_string().to_ascii_lowercase().parse::<OffloadMask>().unwrap();
+            assert_eq!(one, OffloadMask::only(&p.to_string()).unwrap());
+        }
+        assert!("copy+warp".parse::<OffloadMask>().is_err(), "unknown primitive rejected");
+        assert!("".parse::<OffloadMask>().is_err(), "empty spec rejected");
     }
 
     #[test]

@@ -35,11 +35,20 @@ pub enum Channel {
     PrimScanPush,
     /// One Bitmap-Count-primitive offload.
     PrimBitmapCount,
+    /// One Copy executed on the host software path (Host backends, masked
+    /// primitives, and offload fallbacks alike).
+    HostPrimCopy,
+    /// One Search executed on the host software path.
+    HostPrimSearch,
+    /// One Scan&Push executed on the host software path.
+    HostPrimScanPush,
+    /// One Bitmap Count executed on the host software path.
+    HostPrimBitmapCount,
 }
 
 impl Channel {
     /// Every channel, in JSON/report order.
-    pub const ALL: [Channel; 8] = [
+    pub const ALL: [Channel; 12] = [
         Channel::DramPacket,
         Channel::NocPacket,
         Channel::DramBatch,
@@ -48,6 +57,10 @@ impl Channel {
         Channel::PrimSearch,
         Channel::PrimScanPush,
         Channel::PrimBitmapCount,
+        Channel::HostPrimCopy,
+        Channel::HostPrimSearch,
+        Channel::HostPrimScanPush,
+        Channel::HostPrimBitmapCount,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -61,6 +74,10 @@ impl Channel {
             Channel::PrimSearch => "prim_search",
             Channel::PrimScanPush => "prim_scan_push",
             Channel::PrimBitmapCount => "prim_bitmap_count",
+            Channel::HostPrimCopy => "prim_copy_host",
+            Channel::HostPrimSearch => "prim_search_host",
+            Channel::HostPrimScanPush => "prim_scan_push_host",
+            Channel::HostPrimBitmapCount => "prim_bitmap_count_host",
         }
     }
 
@@ -74,6 +91,10 @@ impl Channel {
             Channel::PrimSearch => 5,
             Channel::PrimScanPush => 6,
             Channel::PrimBitmapCount => 7,
+            Channel::HostPrimCopy => 8,
+            Channel::HostPrimSearch => 9,
+            Channel::HostPrimScanPush => 10,
+            Channel::HostPrimBitmapCount => 11,
         }
     }
 }
@@ -81,7 +102,7 @@ impl Channel {
 /// The collected distributions: one histogram per [`Channel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyProfile {
-    hists: [Histogram; 8],
+    hists: [Histogram; 12],
 }
 
 impl LatencyProfile {

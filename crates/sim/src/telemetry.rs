@@ -62,6 +62,10 @@ pub enum Event {
     /// Fill level of one metered resource's epoch (`link` names the
     /// meter, e.g. `"dram"` or `"noc.spoke2"`).
     BwSample { link: String, epoch_start: Ps, used: u64 },
+    /// One adaptive-offload controller decision at the prologue of
+    /// collection `seq`: which policy spoke and what mask it chose
+    /// (rendered as the `+`-joined alias list, e.g. `"copy+search"`).
+    Decision { seq: u64, policy: &'static str, mask: String, at: Ps },
 }
 
 /// The event log. One journal is shared (via [`Telemetry`] clones) by
@@ -208,6 +212,13 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                 0,
                 *at,
                 Json::obj([("prim", Json::str(*prim)), ("retries", Json::U64(u64::from(*retries)))]),
+            ),
+            Event::Decision { seq, policy, mask, at } => instant(
+                &format!("decision:{policy}"),
+                PID_GC,
+                0,
+                *at,
+                Json::obj([("seq", Json::U64(*seq)), ("mask", Json::str(mask))]),
             ),
             Event::BwSample { link, epoch_start, used } => Json::obj([
                 ("name", Json::str(link)),

@@ -27,8 +27,11 @@
 //! * [`profile`] — opt-in per-run profile: pause/latency histograms, heap
 //!   demographics, and accelerator utilization ([`profile::RunProfile`]),
 //! * [`campaign`] — seeded fault-injection campaigns proving the offload
-//!   path degrades gracefully without changing GC correctness.
+//!   path degrades gracefully without changing GC correctness,
+//! * [`autotune`] — static-vs-adaptive offload comparison driver for the
+//!   [`charon_gc::adapt`] controller ([`autotune::AutotuneReport`]).
 
+pub mod autotune;
 pub mod campaign;
 pub mod klasses;
 pub mod mutator;
@@ -36,6 +39,7 @@ pub mod profile;
 pub mod run;
 pub mod spec;
 
+pub use autotune::{autotune, AutotuneReport};
 pub use campaign::{fault_matrix, run_fault_campaign, CampaignOptions, CampaignReport};
 pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};

@@ -45,6 +45,11 @@ pub struct Mutator {
     survivors: VecDeque<usize>,
     /// Recycled root slots.
     free_slots: Vec<usize>,
+    /// 0-based index of the next superstep (selects the demographics
+    /// phase for phase-shifting specs).
+    step: usize,
+    /// Useful-work cost of the demographics currently in force.
+    instr_per_byte: f64,
     /// Bytes allocated so far.
     pub allocated_bytes: u64,
     /// Accumulated useful-work (mutator) time.
@@ -56,6 +61,7 @@ impl Mutator {
     pub fn new(spec: WorkloadSpec, heap: &mut JavaHeap) -> Mutator {
         let k = AppKlasses::register(heap);
         let seed = spec.seed;
+        let instr_per_byte = spec.demographics.mutator_instr_per_byte;
         Mutator {
             spec,
             k,
@@ -63,6 +69,8 @@ impl Mutator {
             resident: Vec::new(),
             survivors: VecDeque::new(),
             free_slots: Vec::new(),
+            step: 0,
+            instr_per_byte,
             allocated_bytes: 0,
             mutator_time: Ps::ZERO,
         }
@@ -99,7 +107,7 @@ impl Mutator {
         self.allocated_bytes += bytes;
         // Useful work: the mutator computes over what it allocates, spread
         // over every core.
-        let instrs = (bytes as f64 * self.spec.demographics.mutator_instr_per_byte) as u64;
+        let instrs = (bytes as f64 * self.instr_per_byte) as u64;
         let cores = gc.sys.host.cores() as u64;
         self.mutator_time += gc.sys.compute(instrs) / cores;
     }
@@ -182,13 +190,16 @@ impl Mutator {
     }
 
     /// Runs one superstep: temporaries, huge allocations, mutation, and
-    /// end-of-step death.
+    /// end-of-step death. Phase-shifting specs swap the demographics in
+    /// at the step boundary ([`WorkloadSpec::demographics_at`]).
     ///
     /// # Errors
     ///
     /// Propagates [`OutOfMemory`].
     pub fn superstep(&mut self, heap: &mut JavaHeap, gc: &mut Collector) -> Result<(), OutOfMemory> {
-        let d = self.spec.demographics.clone();
+        let d = self.spec.demographics_at(self.step).clone();
+        self.step += 1;
+        self.instr_per_byte = d.mutator_instr_per_byte;
         let mut step_roots = Vec::with_capacity(d.temps_per_step);
 
         // Small row objects / messages — the op-count driver.

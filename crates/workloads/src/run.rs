@@ -9,6 +9,7 @@ use crate::mutator::Mutator;
 use crate::profile::RunProfile;
 use crate::spec::WorkloadSpec;
 use charon_core::device::CharonStats;
+use charon_gc::adapt::{Controller, DecisionJournal, PolicyKind};
 use charon_gc::breakdown::Breakdown;
 use charon_gc::collector::{Collector, GcKind, OutOfMemory};
 use charon_gc::system::System;
@@ -42,6 +43,14 @@ pub struct RunOptions {
     /// Run the per-GC heap-demographics census ([`charon_gc::census`]).
     /// Purely functional — never changes simulated timing.
     pub census: bool,
+    /// Attach an adaptive offload controller ([`charon_gc::adapt`]) that
+    /// re-decides the [`charon_gc::system::OffloadMask`] at every GC
+    /// prologue. `None` (the default) keeps the platform mask fixed; the
+    /// census is auto-enabled when a policy needs it.
+    pub policy: Option<PolicyKind>,
+    /// Seed for stochastic policies ([`PolicyKind::Bandit`]); ignored by
+    /// the deterministic ones.
+    pub policy_seed: u64,
 }
 
 impl Default for RunOptions {
@@ -53,6 +62,8 @@ impl Default for RunOptions {
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
             census: false,
+            policy: None,
+            policy_seed: 0xC4A0,
         }
     }
 }
@@ -94,6 +105,9 @@ pub struct RunResult {
     /// unit utilization) — present when [`RunOptions::profiler`] was
     /// enabled or [`RunOptions::census`] was set.
     pub profile: Option<RunProfile>,
+    /// The adaptive controller's decision journal — present when
+    /// [`RunOptions::policy`] was set.
+    pub decisions: Option<DecisionJournal>,
 }
 
 impl RunResult {
@@ -153,6 +167,9 @@ impl RunResult {
         if let Some(p) = &self.profile {
             fields.push(("profile", p.to_json()));
         }
+        if let Some(j) = &self.decisions {
+            fields.push(("decisions", j.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -205,6 +222,14 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
     if opts.census {
         gc.census = Some(charon_gc::census::Census::new());
     }
+    if let Some(kind) = opts.policy {
+        // The controller reads census signals, so attaching one implies
+        // the (timing-invisible) census walk.
+        if gc.census.is_none() {
+            gc.census = Some(charon_gc::census::Census::new());
+        }
+        gc.adapt = Some(Controller::new(kind.build(gc.sys.offload, opts.policy_seed)));
+    }
 
     mutator.build_resident(&mut heap, &mut gc)?;
     let steps = opts.supersteps.unwrap_or(spec.supersteps);
@@ -244,6 +269,7 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
         bitmap_cache: gc.sys.device.as_ref().map(|d| d.bitmap_cache_stats()),
         allocated_bytes: mutator.allocated_bytes,
         profile,
+        decisions: gc.adapt.as_ref().map(|c| c.journal.clone()),
     })
 }
 

@@ -59,6 +59,20 @@ pub struct Demographics {
     pub mutator_instr_per_byte: f64,
 }
 
+/// A mid-run demographics shift: from superstep `from_step` onward the
+/// mutator allocates per `demographics` instead of the spec's base set.
+/// This models applications whose phases differ — e.g. a bulk shuffle
+/// stage followed by a pointer-chasing aggregation — and is what gives
+/// the adaptive offload controller ([`charon_gc::adapt`]) something to
+/// win over a static mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// First superstep (0-based) this phase applies from.
+    pub from_step: usize,
+    /// The demographics in force during the phase.
+    pub demographics: Demographics,
+}
+
 /// One evaluated application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -81,8 +95,12 @@ pub struct WorkloadSpec {
     pub supersteps: usize,
     /// Deterministic seed.
     pub seed: u64,
-    /// The object demographics.
+    /// The object demographics (in force from step 0, and for
+    /// [`WorkloadSpec::build_resident`](crate::mutator::Mutator) setup).
     pub demographics: Demographics,
+    /// Mid-run demographics shifts, in ascending `from_step` order.
+    /// Empty (all of Table 3) means the base demographics hold throughout.
+    pub phases: Vec<Phase>,
 }
 
 impl WorkloadSpec {
@@ -95,6 +113,16 @@ impl WorkloadSpec {
     /// The default evaluation heap (Table 3's "Heap", scaled).
     pub fn default_heap_bytes(&self) -> u64 {
         self.heap_bytes(self.default_heap_factor)
+    }
+
+    /// The demographics in force at superstep `step`: the last phase whose
+    /// `from_step` is at or before it, else the base set.
+    pub fn demographics_at(&self, step: usize) -> &Demographics {
+        self.phases
+            .iter()
+            .rev()
+            .find(|p| p.from_step <= step)
+            .map_or(&self.demographics, |p| &p.demographics)
     }
 }
 
@@ -140,6 +168,7 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 300,
                 mutator_instr_per_byte: 2.2,
             },
+            phases: Vec::new(),
         },
         WorkloadSpec {
             name: "k-means Clustering",
@@ -165,6 +194,7 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 260,
                 mutator_instr_per_byte: 2.6,
             },
+            phases: Vec::new(),
         },
         WorkloadSpec {
             name: "Logistic Regression",
@@ -190,6 +220,7 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 320,
                 mutator_instr_per_byte: 2.0,
             },
+            phases: Vec::new(),
         },
         WorkloadSpec {
             name: "Connected Components",
@@ -215,6 +246,7 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 2500,
                 mutator_instr_per_byte: 7.0,
             },
+            phases: Vec::new(),
         },
         WorkloadSpec {
             name: "PageRank",
@@ -240,6 +272,7 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 2800,
                 mutator_instr_per_byte: 6.0,
             },
+            phases: Vec::new(),
         },
         WorkloadSpec {
             name: "Alternating Least Squares",
@@ -265,13 +298,69 @@ pub fn table3() -> Vec<WorkloadSpec> {
                 mutations_per_step: 80,
                 mutator_instr_per_byte: 1.6,
             },
+            phases: Vec::new(),
         },
     ]
 }
 
-/// Looks a workload up by its two-letter code.
+/// The phase-shifting workload (PS) — not part of Table 3. It opens in a
+/// *pointer* regime (tens of thousands of tiny temporaries per step, most
+/// of which survive each scavenge — the minor pause is per-object copy
+/// fix-ups, where offload dispatch overhead costs more than the units
+/// save) and shifts mid-run to a *bulk* regime (few large partition
+/// chunks per step, most of them dying young — BS-like, where offloading
+/// every primitive wins). A static [`OffloadMask`] is wrong in one regime
+/// or the other; this is the workload the adaptive controller
+/// ([`charon_gc::adapt`]) is evaluated on.
+///
+/// [`OffloadMask`]: charon_gc::system::OffloadMask
+pub fn phase_shift() -> WorkloadSpec {
+    let bulk = Demographics {
+        resident_objects: 6000,
+        resident_words: 6..14,
+        resident_fanout: 2..12,
+        temps_per_step: 800,
+        temp_words: 8..64,
+        chunks_per_step: 70,
+        chunk_words: 2048..12288,
+        temp_survival: 0.35,
+        huge_per_step: 0,
+        huge_words: 0..1,
+        mutations_per_step: 400,
+        mutator_instr_per_byte: 2.2,
+    };
+    let pointer = Demographics {
+        temps_per_step: 48000,
+        temp_words: 3..6,
+        chunks_per_step: 0,
+        chunk_words: 0..1,
+        temp_survival: 0.85,
+        mutations_per_step: 200,
+        mutator_instr_per_byte: 7.0,
+        ..bulk.clone()
+    };
+    WorkloadSpec {
+        name: "Phase Shift",
+        short: "PS",
+        framework: Framework::Spark,
+        paper_dataset: "synthetic (bulk/pointer alternation)",
+        paper_heap: "n/a",
+        min_heap_bytes: 24 << 20,
+        default_heap_factor: 1.25,
+        supersteps: 18,
+        seed: 0x95,
+        demographics: pointer,
+        phases: vec![Phase { from_step: 9, demographics: bulk }],
+    }
+}
+
+/// Looks a workload up by its two-letter code — Table 3 plus the
+/// synthetic [`phase_shift`] workload (`PS`).
 pub fn by_short(short: &str) -> Option<WorkloadSpec> {
-    table3().into_iter().find(|w| w.short.eq_ignore_ascii_case(short))
+    table3()
+        .into_iter()
+        .chain(std::iter::once(phase_shift()))
+        .find(|w| w.short.eq_ignore_ascii_case(short))
 }
 
 #[cfg(test)]
@@ -323,5 +412,33 @@ mod tests {
     #[should_panic]
     fn sub_minimum_heap_panics() {
         by_short("BS").unwrap().heap_bytes(0.5);
+    }
+
+    #[test]
+    fn phase_shift_alternates_regimes() {
+        let ps = phase_shift();
+        assert_eq!(ps.short, "PS");
+        assert!(by_short("ps").is_some(), "PS resolvable by code");
+        assert!(!table3().iter().any(|w| w.short == "PS"), "PS stays out of Table 3");
+        // Steps 0–8 pointer (the base demographics), 9+ bulk.
+        assert_eq!(ps.demographics_at(0), &ps.demographics);
+        assert_eq!(ps.demographics_at(8), &ps.demographics);
+        assert_eq!(ps.demographics.chunks_per_step, 0, "pointer regime has no bulk chunks");
+        assert!(ps.demographics.temp_survival > 0.8, "pointer temps mostly survive each scavenge");
+        let bulk = ps.demographics_at(9);
+        assert_ne!(bulk, &ps.demographics);
+        assert!(bulk.chunks_per_step > 0, "bulk regime allocates partition chunks");
+        assert!(ps.demographics.temps_per_step > 10 * bulk.temps_per_step);
+        assert_eq!(ps.demographics_at(17), bulk);
+    }
+
+    #[test]
+    fn table3_specs_are_phaseless() {
+        for w in table3() {
+            assert!(w.phases.is_empty(), "{} must keep fixed demographics", w.short);
+            for step in [0, 7, 13] {
+                assert_eq!(w.demographics_at(step), &w.demographics);
+            }
+        }
     }
 }

@@ -13,15 +13,17 @@
 //! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
 //! charon-cli profile KM --platform Charon # pause/latency histograms + census
 //! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate
+//! charon-cli autotune PS --policy census  # adaptive vs static offload mask
 //! ```
 
+use charon::gc::adapt::PolicyKind;
 use charon::gc::breakdown::Bucket;
-use charon::gc::system::System;
+use charon::gc::system::{OffloadMask, System};
 use charon::sim::json::Json;
 use charon::sim::profile::Profiler;
 use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::spec::{by_short, table3};
-use charon::workloads::{run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
+use charon::workloads::{autotune, run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
 use std::process::ExitCode;
 
 const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
@@ -30,7 +32,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
          charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
-         [--json] [--trace-out <FILE>]\n  \
+         [--mask <M>] [--json] [--trace-out <FILE>]\n  \
          charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json]\n  \
          charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>]\n  \
          charon-cli check-json <FILE>\n  \
@@ -38,7 +40,9 @@ fn usage() -> ExitCode {
          [--steps <N>] [--json]\n  \
          charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
          [--json] [--profile-out <FILE>]\n  \
-         charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n\
+         charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n  \
+         charon-cli autotune <BS|KM|LR|CC|PR|ALS|PS> [--platform <P>] [--policy <static|census|bandit>] [--seed <S>] \
+         [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>]\n\
          platforms: {}",
         PLATFORMS.join(", ")
     );
@@ -58,7 +62,7 @@ fn system_by_label(label: &str) -> Option<System> {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 10] = [
+const FLAG_TABLE: [(&str, bool); 12] = [
     ("--platform", true),
     ("--heap-factor", true),
     ("--threads", true),
@@ -69,6 +73,8 @@ const FLAG_TABLE: [(&str, bool); 10] = [
     ("--out", true),
     ("--profile-out", true),
     ("--tolerance", true),
+    ("--mask", true),
+    ("--policy", true),
 ];
 
 /// Parsed flag values, superset over all subcommands.
@@ -84,6 +90,8 @@ struct Flags {
     out: Option<String>,
     profile_out: Option<String>,
     tolerance: Option<f64>,
+    mask: Option<OffloadMask>,
+    policy: Option<PolicyKind>,
 }
 
 /// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
@@ -137,6 +145,8 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
             "--trace-out" => flags.trace_out = Some(val.to_string()),
             "--out" => flags.out = Some(val.to_string()),
             "--profile-out" => flags.profile_out = Some(val.to_string()),
+            "--mask" => flags.mask = Some(val.parse::<OffloadMask>()?),
+            "--policy" => flags.policy = Some(val.parse::<PolicyKind>()?),
             "--tolerance" => {
                 let t: f64 = val.parse().map_err(|_| format!("bad tolerance {val}"))?;
                 if !(0.0..=1000.0).contains(&t) {
@@ -332,7 +342,7 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--heap-factor", "--threads", "--steps", "--json", "--trace-out"],
+                &["--platform", "--heap-factor", "--threads", "--steps", "--mask", "--json", "--trace-out"],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -341,10 +351,13 @@ fn main() -> ExitCode {
                 }
             };
             let platform = flags.platform.clone().unwrap_or_else(|| "Charon".into());
-            let Some(sys) = system_by_label(&platform) else {
+            let Some(mut sys) = system_by_label(&platform) else {
                 eprintln!("unknown platform {platform}");
                 return usage();
             };
+            if let Some(mask) = flags.mask {
+                sys.offload = mask;
+            }
             let telemetry = if flags.trace_out.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
             match run_workload(&spec, sys, &flags.run_options(telemetry.clone())) {
                 Ok(r) => {
@@ -544,6 +557,53 @@ fn main() -> ExitCode {
                         println!("{}", profile.to_json());
                     } else {
                         print!("{profile}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("autotune") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let flags = match parse_flags(
+                &args[2..],
+                &["--platform", "--policy", "--seed", "--heap-factor", "--threads", "--steps", "--json", "--out"],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let platform = flags.platform.clone().unwrap_or_else(|| "Charon".into());
+            if system_by_label(&platform).is_none() {
+                eprintln!("unknown platform {platform}");
+                return usage();
+            }
+            let policy = flags.policy.unwrap_or(PolicyKind::Census);
+            let mut opts = flags.run_options(Telemetry::disabled());
+            if let Some(seed) = flags.seed {
+                opts.policy_seed = seed;
+            }
+            match autotune(&spec, || system_by_label(&platform).expect("validated above"), policy, &opts) {
+                Ok(rep) => {
+                    if let Some(path) = &flags.out {
+                        if let Err(code) = write_file(path, &rep.to_json().to_string()) {
+                            return code;
+                        }
+                        println!("wrote {path}");
+                    }
+                    if flags.json {
+                        println!("{}", rep.to_json());
+                    } else {
+                        print!("{rep}");
                     }
                     ExitCode::SUCCESS
                 }
