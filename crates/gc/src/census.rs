@@ -250,11 +250,10 @@ pub fn pre(heap: &JavaHeap, kind: GcKind) -> PreGc {
     let mut allocated_per_klass = vec![(0u64, 0u64); heap.klasses().len()];
     if kind == GcKind::Major {
         for &(start, top) in &[eden, from, old] {
-            for obj in heap.walk_objects(start, top) {
-                let bytes = heap.obj_size_words(obj) * 8;
-                let slot = &mut allocated_per_klass[heap.obj_klass(obj).id().0 as usize];
+            for (obj, words) in heap.walk_objects_sized(start, top) {
+                let slot = &mut allocated_per_klass[object::klass_id(&heap.mem, obj).0 as usize];
                 slot.0 += 1;
-                slot.1 += bytes;
+                slot.1 += words * 8;
             }
         }
     }
@@ -300,9 +299,9 @@ pub fn post(heap: &JavaHeap, kind: GcKind, seq: u64, pre: &PreGc, tenuring_thres
             // Source extents are intact: Forwarded ⇒ live, else dead.
             for &(si, (start, top)) in &young {
                 rec.spaces[si].allocated_bytes = top - start;
-                for obj in heap.walk_objects(start, top) {
-                    let bytes = heap.obj_size_words(obj) * 8;
-                    let k = &mut per_klass[heap.obj_klass(obj).id().0 as usize];
+                for (obj, words) in heap.walk_objects_sized(start, top) {
+                    let bytes = words * 8;
+                    let k = &mut per_klass[object::klass_id(&heap.mem, obj).0 as usize];
                     if object::mark_state(&heap.mem, obj) == MarkState::Forwarded {
                         rec.spaces[si].live_bytes += bytes;
                         k.live_count += 1;
@@ -330,11 +329,10 @@ pub fn post(heap: &JavaHeap, kind: GcKind, seq: u64, pre: &PreGc, tenuring_thres
         GcKind::Major => {
             // Every live object (old and young survivors) now sits packed
             // in [old.start, old.top): walk it for per-klass live totals.
-            for obj in heap.walk_objects(heap.old().start(), heap.old().top()) {
-                let bytes = heap.obj_size_words(obj) * 8;
-                let k = &mut per_klass[heap.obj_klass(obj).id().0 as usize];
+            for (obj, words) in heap.walk_objects_sized(heap.old().start(), heap.old().top()) {
+                let k = &mut per_klass[object::klass_id(&heap.mem, obj).0 as usize];
                 k.live_count += 1;
-                k.live_bytes += bytes;
+                k.live_bytes += words * 8;
             }
             for (k, &(count, bytes)) in per_klass.iter_mut().zip(pre.allocated_per_klass.iter()) {
                 k.dead_count = count.saturating_sub(k.live_count);
@@ -344,8 +342,8 @@ pub fn post(heap: &JavaHeap, kind: GcKind, seq: u64, pre: &PreGc, tenuring_thres
             let mut young_live = 0u64;
             for &(si, (start, top)) in &young {
                 rec.spaces[si].allocated_bytes = top - start;
-                for obj in heap.walk_objects(start, top) {
-                    let bytes = heap.obj_size_words(obj) * 8;
+                for (obj, words) in heap.walk_objects_sized(start, top) {
+                    let bytes = words * 8;
                     if object::mark_state(&heap.mem, obj) == MarkState::Marked {
                         rec.spaces[si].live_bytes += bytes;
                         young_live += bytes;

@@ -71,7 +71,10 @@ pub fn render(event: &GcEvent, snap: HeapSnapshot) -> String {
 /// [pauses MinorGC n=3 p50=1.2us p99=1.9us max=1.9us] [pauses MajorGC n=1 p50=9us p99=9us max=9us]
 /// ```
 ///
-/// Empty when no collections ran.
+/// `[pauses none]` when no collections ran — percentiles of zero samples
+/// do not exist ([`Histogram::try_quantile`] is `None`), so the summary
+/// says so explicitly instead of printing the 0 sentinel as if a 0 ps
+/// pause had been measured.
 pub fn pause_summary(events: &[GcEvent]) -> String {
     let mut groups = Vec::new();
     for kind in [GcKind::Minor, GcKind::Major] {
@@ -89,12 +92,15 @@ pub fn pause_summary(events: &[GcEvent]) -> String {
             ));
         }
     }
+    if groups.is_empty() {
+        return "[pauses none]".to_string();
+    }
     groups.join(" ")
 }
 
 /// Renders a whole run, one line per event, given the per-event
-/// snapshots, followed by the [`pause_summary`] line when any
-/// collections ran.
+/// snapshots, followed by the [`pause_summary`] line (which reports
+/// `[pauses none]` on a zero-GC run).
 pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
     assert_eq!(events.len(), snaps.len(), "one snapshot per event");
     let mut lines: Vec<String> = events
@@ -102,9 +108,7 @@ pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
         .zip(snaps)
         .map(|(e, &s)| format!("{:>12}: {}", format!("{}", e.start), render(e, s)))
         .collect();
-    if !events.is_empty() {
-        lines.push(pause_summary(events));
-    }
+    lines.push(pause_summary(events));
     lines.join("\n")
 }
 
@@ -176,12 +180,15 @@ mod tests {
         assert!(s.contains("n=3"), "{s}");
         assert!(s.contains(&format!("max={}", Ps::from_us(11.0))), "{s}");
         assert!(!s.contains("MajorGC"), "no majors ran: {s}");
-        assert_eq!(pause_summary(&[]), "");
     }
 
     #[test]
-    fn empty_run_renders_empty() {
-        assert_eq!(render_run(&[], &[]), "");
+    fn zero_gc_run_says_so_explicitly() {
+        // Percentiles of zero samples do not exist, so a run with no
+        // collections must say "[pauses none]" rather than render nothing
+        // (or worse, a 0 ps percentile).
+        assert_eq!(pause_summary(&[]), "[pauses none]");
+        assert_eq!(render_run(&[], &[]), "[pauses none]");
     }
 
     #[test]

@@ -369,14 +369,15 @@ fn summary_phase(
 }
 
 /// Iterates live-object start addresses via the begin bitmap.
+///
+/// Objects are disjoint, so every set begin bit in a used range is a live
+/// object start: one word-at-a-time pass over the map
+/// ([`charon_heap::markbitmap::MarkBitmap::iter_set`]) replaces the
+/// restart-per-hit `find_next_set` + header-decode loop.
 fn live_objects(heap: &JavaHeap) -> Vec<VAddr> {
     let mut out = Vec::new();
     for range in used_ranges(heap) {
-        let mut at = range.start;
-        while let Some(obj) = heap.beg_map().find_next_set(&heap.mem, at, range.end) {
-            out.push(obj);
-            at = obj.add_words(heap.obj_size_words(obj));
-        }
+        out.extend(heap.beg_map().iter_set(&heap.mem, range.start, range.end));
     }
     out
 }

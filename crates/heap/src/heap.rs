@@ -470,6 +470,14 @@ impl JavaHeap {
         ObjectWalk { heap: self, cur: start, top }
     }
 
+    /// Like [`JavaHeap::walk_objects`], but yields `(start, size_words)`
+    /// pairs so consumers that also need the size (the census, compaction
+    /// planning) decode each header once instead of twice — the walk must
+    /// compute the size anyway to advance.
+    pub fn walk_objects_sized(&self, start: VAddr, top: VAddr) -> SizedObjectWalk<'_> {
+        SizedObjectWalk { heap: self, cur: start, top }
+    }
+
     /// Copies an object's `words` words from `src` to `dst` (the functional
     /// half of the *Copy* primitive).
     pub fn copy_object_words(&mut self, src: VAddr, dst: VAddr, words: u64) {
@@ -496,6 +504,29 @@ impl Iterator for ObjectWalk<'_> {
         let obj = self.cur;
         self.cur = obj.add_words(self.heap.obj_size_words(obj));
         Some(obj)
+    }
+}
+
+/// Iterator over packed objects with their sizes.
+/// See [`JavaHeap::walk_objects_sized`].
+#[derive(Debug, Clone)]
+pub struct SizedObjectWalk<'a> {
+    heap: &'a JavaHeap,
+    cur: VAddr,
+    top: VAddr,
+}
+
+impl Iterator for SizedObjectWalk<'_> {
+    type Item = (VAddr, u64);
+
+    fn next(&mut self) -> Option<(VAddr, u64)> {
+        if self.cur >= self.top {
+            return None;
+        }
+        let obj = self.cur;
+        let words = self.heap.obj_size_words(obj);
+        self.cur = obj.add_words(words);
+        Some((obj, words))
     }
 }
 

@@ -112,8 +112,30 @@ impl MarkBitmap {
         None
     }
 
-    /// Counts set bits for heap addresses in `[from, to)` (test oracle).
+    /// Counts set bits for heap addresses in `[from, to)`.
+    ///
+    /// A single masked word-at-a-time `count_ones` pass — the software
+    /// mirror of the paper's Bitmap Count data path (Fig. 8). The original
+    /// bit-by-bit loop survives as [`MarkBitmap::count_range_naive`], the
+    /// property-test oracle.
     pub fn count_range(&self, mem: &HeapMemory, from: VAddr, to: VAddr) -> u64 {
+        if from >= to {
+            return 0;
+        }
+        let lo_bit = self.bit_index(from);
+        let hi_bit = to.words_since(self.covered.start);
+        let mut n = 0u64;
+        for w in lo_bit / 64..=(hi_bit - 1) / 64 {
+            n += u64::from(self.masked_word(mem, w, lo_bit, hi_bit).count_ones());
+        }
+        n
+    }
+
+    /// The original `count_range`: repeated [`MarkBitmap::find_next_set`],
+    /// which re-reads the map word holding every hit. Kept as the oracle
+    /// the word-at-a-time [`MarkBitmap::count_range`] is property-tested
+    /// against.
+    pub fn count_range_naive(&self, mem: &HeapMemory, from: VAddr, to: VAddr) -> u64 {
         let mut n = 0;
         let mut a = from;
         while let Some(hit) = self.find_next_set(mem, a, to) {
@@ -121,6 +143,30 @@ impl MarkBitmap {
             a = hit.add_words(1);
         }
         n
+    }
+
+    /// Iterates the heap addresses of set bits in `[from, to)`, in order.
+    ///
+    /// Unlike calling [`MarkBitmap::find_next_set`] in a loop — which
+    /// restarts the scan and re-reads the current map word once per hit —
+    /// the iterator holds the masked word it is draining, so each map word
+    /// is read exactly once however many bits it has set.
+    pub fn iter_set<'m>(&self, mem: &'m HeapMemory, from: VAddr, to: VAddr) -> SetBits<'m> {
+        if from >= to {
+            return SetBits { bm: *self, mem, pending: 0, word_idx: 1, last_word: 0, lo_bit: 0, hi_bit: 0 };
+        }
+        let lo_bit = self.bit_index(from);
+        let hi_bit = to.words_since(self.covered.start);
+        let word_idx = lo_bit / 64;
+        SetBits {
+            bm: *self,
+            mem,
+            pending: self.masked_word(mem, word_idx, lo_bit, hi_bit),
+            word_idx,
+            last_word: (hi_bit - 1) / 64,
+            lo_bit,
+            hi_bit,
+        }
     }
 
     /// Reads the raw 64-bit map word containing the bit for heap word-index
@@ -136,6 +182,39 @@ impl MarkBitmap {
             w &= (1u64 << (hi_bit - base)) - 1;
         }
         w
+    }
+}
+
+/// Iterator over set bits of a [`MarkBitmap`]; see [`MarkBitmap::iter_set`].
+#[derive(Debug, Clone)]
+pub struct SetBits<'m> {
+    bm: MarkBitmap,
+    mem: &'m HeapMemory,
+    /// Unconsumed set bits of the word at `word_idx`, already masked to
+    /// `[lo_bit, hi_bit)`.
+    pending: u64,
+    word_idx: u64,
+    last_word: u64,
+    lo_bit: u64,
+    hi_bit: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = VAddr;
+
+    fn next(&mut self) -> Option<VAddr> {
+        loop {
+            if self.pending != 0 {
+                let bit = self.word_idx * 64 + u64::from(self.pending.trailing_zeros());
+                self.pending &= self.pending - 1; // clear lowest set bit
+                return Some(self.bm.covered.start.add_words(bit));
+            }
+            if self.word_idx >= self.last_word {
+                return None;
+            }
+            self.word_idx += 1;
+            self.pending = self.bm.masked_word(self.mem, self.word_idx, self.lo_bit, self.hi_bit);
+        }
     }
 }
 
@@ -394,6 +473,102 @@ mod tests {
         let (live, carry, _) = live_words_fast(&mem, &beg, &end, base, base.add_words(1024), false);
         assert_eq!(live, 0);
         assert!(!carry);
+    }
+
+    #[test]
+    fn count_range_matches_naive_on_word_boundaries() {
+        // The shift-arithmetic corners: bit 0, bit 63, bit 64, and ranges
+        // whose `from`/`to` land exactly on 64-bit map-word boundaries.
+        let (mut mem, beg, _, base) = setup();
+        for bit in [0u64, 63, 64, 127, 128, 191] {
+            beg.set(&mut mem, base.add_words(bit));
+        }
+        for (from, to) in [
+            (0u64, 64u64), // exactly the first map word
+            (0, 63),       // ends one bit short of the boundary
+            (63, 64),      // the single boundary bit
+            (64, 65),      // the single bit after the boundary
+            (64, 128),     // exactly the second map word
+            (0, 128),      // two full words
+            (63, 65),      // straddles the boundary
+            (1, 192),      // unaligned from, aligned to
+            (128, 192),    // full word holding bit 128 and 191
+            (192, 1024),   // empty tail
+            (5, 5),        // empty range
+        ] {
+            let fast = beg.count_range(&mem, base.add_words(from), base.add_words(to));
+            let naive = beg.count_range_naive(&mem, base.add_words(from), base.add_words(to));
+            assert_eq!(fast, naive, "count mismatch over [{from},{to})");
+        }
+        // Spot-check the absolute values too.
+        assert_eq!(beg.count_range(&mem, base, base.add_words(64)), 2, "bits 0 and 63");
+        assert_eq!(beg.count_range(&mem, base.add_words(64), base.add_words(128)), 2, "bits 64 and 127");
+        assert_eq!(beg.count_range(&mem, base.add_words(63), base.add_words(65)), 2, "bits 63 and 64");
+        assert_eq!(beg.count_range(&mem, base, base.add_words(1024)), 6);
+    }
+
+    #[test]
+    fn count_range_full_word_runs() {
+        // A fully saturated map word (all 64 bits set) at every position a
+        // query boundary can cut it.
+        let (mut mem, beg, _, base) = setup();
+        for bit in 64..128 {
+            beg.set(&mut mem, base.add_words(bit));
+        }
+        for (from, to, expect) in [
+            (64u64, 128u64, 64u64), // the whole word, aligned both ends
+            (0, 1024, 64),          // embedded in a larger range
+            (65, 128, 63),          // clipped at the front
+            (64, 127, 63),          // clipped at the back
+            (96, 100, 4),           // interior slice
+            (0, 64, 0),             // stops exactly at the run
+            (128, 1024, 0),         // starts exactly past the run
+        ] {
+            assert_eq!(beg.count_range(&mem, base.add_words(from), base.add_words(to)), expect, "[{from},{to})");
+            assert_eq!(beg.count_range_naive(&mem, base.add_words(from), base.add_words(to)), expect, "[{from},{to})");
+        }
+    }
+
+    #[test]
+    fn find_next_set_boundary_bits() {
+        let (mut mem, beg, _, base) = setup();
+        for bit in [0u64, 63, 64] {
+            beg.set(&mut mem, base.add_words(bit));
+        }
+        // Bit 0 is found from the very start.
+        assert_eq!(beg.find_next_set(&mem, base, base.add_words(1024)), Some(base));
+        // Bit 63 from just past bit 0.
+        assert_eq!(beg.find_next_set(&mem, base.add_words(1), base.add_words(1024)), Some(base.add_words(63)));
+        // A range ending exactly on the word boundary (end_bit % 64 == 0)
+        // must include bit 63 but not bit 64.
+        assert_eq!(beg.find_next_set(&mem, base.add_words(1), base.add_words(64)), Some(base.add_words(63)));
+        assert_eq!(beg.find_next_set(&mem, base.add_words(64), base.add_words(128)), Some(base.add_words(64)));
+        // Searching [1, 63) skips both boundary bits.
+        assert_eq!(beg.find_next_set(&mem, base.add_words(1), base.add_words(63)), None);
+        // from == to is empty even on a set bit.
+        assert_eq!(beg.find_next_set(&mem, base.add_words(64), base.add_words(64)), None);
+    }
+
+    #[test]
+    fn iter_set_matches_repeated_find_next_set() {
+        let (mut mem, beg, _, base) = setup();
+        for bit in [0u64, 1, 62, 63, 64, 100, 127, 128, 700, 1023] {
+            beg.set(&mut mem, base.add_words(bit));
+        }
+        for (from, to) in [(0u64, 1024u64), (0, 64), (1, 64), (63, 65), (64, 128), (100, 100), (500, 1024)] {
+            let via_iter: Vec<u64> = beg
+                .iter_set(&mem, base.add_words(from), base.add_words(to))
+                .map(|a| a.words_since(base))
+                .collect();
+            let mut via_find = Vec::new();
+            let mut at = base.add_words(from);
+            while let Some(hit) = beg.find_next_set(&mem, at, base.add_words(to)) {
+                via_find.push(hit.words_since(base));
+                at = hit.add_words(1);
+            }
+            assert_eq!(via_iter, via_find, "set-bit walk over [{from},{to})");
+            assert_eq!(via_iter.len() as u64, beg.count_range(&mem, base.add_words(from), base.add_words(to)));
+        }
     }
 
     #[test]

@@ -91,30 +91,20 @@ impl HeapMemory {
     }
 
     /// Copies `words` words from `src` to `dst` with memmove semantics
-    /// (forward copy; overlapping left-packing moves, as compaction does,
-    /// are safe when `dst <= src`).
+    /// (overlapping moves in either direction are safe; compaction's
+    /// left-packing moves are the common case).
     pub fn copy_words(&mut self, src: VAddr, dst: VAddr, words: u64) {
         let s = self.index(src);
         let d = self.index(dst);
         let n = words as usize;
         debug_assert!(s + n <= self.words.len() && d + n <= self.words.len());
-        if d <= s {
-            for i in 0..n {
-                self.words[d + i] = self.words[s + i];
-            }
-        } else {
-            for i in (0..n).rev() {
-                self.words[d + i] = self.words[s + i];
-            }
-        }
+        self.words.copy_within(s..s + n, d);
     }
 
     /// Fills `words` words starting at `addr` with `value`.
     pub fn fill_words(&mut self, addr: VAddr, words: u64, value: u64) {
         let i = self.index(addr);
-        for w in &mut self.words[i..i + words as usize] {
-            *w = value;
-        }
+        self.words[i..i + words as usize].fill(value);
     }
 }
 

@@ -140,6 +140,67 @@ proptest! {
     }
 
     #[test]
+    fn count_range_word_at_a_time_matches_bit_by_bit_oracle(
+        objs in objects(),
+        a in 0u64..=COVERED_WORDS,
+        b in 0u64..=COVERED_WORDS,
+        align_from in any::<bool>(),
+        align_to in any::<bool>(),
+    ) {
+        // The word-at-a-time `count_range` against the original repeated
+        // `find_next_set` loop (`count_range_naive`), with the query ends
+        // optionally snapped to 64-bit map-word boundaries — the boundary
+        // cases the masked-word arithmetic must get right.
+        let (mut from, mut to) = if a <= b { (a, b) } else { (b, a) };
+        if align_from { from &= !63; }
+        if align_to { to &= !63; }
+        let to = to.max(from);
+        let (mut mem, beg, end, base) = setup();
+        for &(s, n) in &objs {
+            mark_object(&mut mem, &beg, &end, base.add_words(s), n);
+        }
+        for map in [&beg, &end] {
+            let fast = map.count_range(&mem, base.add_words(from), base.add_words(to));
+            let naive = map.count_range_naive(&mem, base.add_words(from), base.add_words(to));
+            prop_assert_eq!(fast, naive, "count over [{}, {})", from, to);
+            // The set-bit iterator visits exactly the counted bits, in order.
+            let bits: Vec<u64> = map
+                .iter_set(&mem, base.add_words(from), base.add_words(to))
+                .map(|a| a.words_since(base))
+                .collect();
+            prop_assert_eq!(bits.len() as u64, fast);
+            prop_assert!(bits.windows(2).all(|w| w[0] < w[1]), "iter_set must ascend");
+            prop_assert!(bits.iter().all(|&bit| bit >= from && bit < to));
+        }
+    }
+
+    #[test]
+    fn count_range_saturated_words_match_oracle(
+        ones in proptest::collection::vec((0u64..COVERED_WORDS, 1u64..2), 0..400),
+        a in 0u64..=COVERED_WORDS,
+        b in 0u64..=COVERED_WORDS,
+    ) {
+        // Dense single-word objects cluster begin bits until map words run
+        // fully saturated — the full-word `count_ones` path.
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let (mut mem, beg, end, base) = setup();
+        let mut cursor = 0u64;
+        let mut sorted = ones;
+        sorted.sort_unstable();
+        for (start, _) in sorted {
+            let s = start.max(cursor);
+            if s >= COVERED_WORDS {
+                break;
+            }
+            mark_object(&mut mem, &beg, &end, base.add_words(s), 1);
+            cursor = s + 1;
+        }
+        let fast = beg.count_range(&mem, base.add_words(from), base.add_words(to));
+        let naive = beg.count_range_naive(&mem, base.add_words(from), base.add_words(to));
+        prop_assert_eq!(fast, naive, "saturated count over [{}, {})", from, to);
+    }
+
+    #[test]
     fn find_next_set_agrees_with_layout(objs in objects(), probe in 0u64..COVERED_WORDS) {
         let (mut mem, beg, end, base) = setup();
         for &(s, n) in &objs {

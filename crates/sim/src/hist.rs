@@ -96,40 +96,53 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`q` in `(0, 1]`): the upper bound of the first
-    /// bucket whose cumulative count reaches rank `ceil(q * count)`,
-    /// clamped to the observed maximum. Returns 0 when empty.
+    /// The `q`-quantile (`q` in `(0, 1]`) of a non-empty histogram: the
+    /// upper bound of the first bucket whose cumulative count reaches rank
+    /// `ceil(q * count)`, clamped to the observed maximum. `None` when no
+    /// sample has been recorded — a percentile of zero samples does not
+    /// exist.
     ///
     /// # Panics
     ///
     /// Panics if `q` is not in `(0, 1]`.
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper(i).min(self.max);
+                return Some(bucket_upper(i).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median estimate.
+    /// [`Histogram::try_quantile`] with the **pinned empty-histogram
+    /// sentinel**: an empty histogram reports 0 for every percentile.
+    /// Callers that must distinguish "no samples" from "all samples were
+    /// zero" (both report 0 here) check [`Histogram::is_empty`] or use
+    /// `try_quantile`; renderers ([`Histogram::to_json`], the gclog pause
+    /// summary, the run-profile tables) do exactly that so a zero-GC run
+    /// never prints a misleading 0 ps percentile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
+    }
+
+    /// Median estimate (0-sentinel when empty; see [`Histogram::quantile`]).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
-    /// 90th-percentile estimate.
+    /// 90th-percentile estimate (0-sentinel when empty).
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
-    /// 99th-percentile estimate.
+    /// 99th-percentile estimate (0-sentinel when empty).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -140,7 +153,9 @@ impl Histogram {
     }
 
     /// Machine-readable form: summary fields plus the non-empty buckets as
-    /// `{lo, hi, count}` rows (lossless up to bucket granularity).
+    /// `{lo, hi, count}` rows (lossless up to bucket granularity). On an
+    /// empty histogram the percentile fields are `null` — the 0 sentinel
+    /// would be indistinguishable from a real 0 ps percentile.
     pub fn to_json(&self) -> Json {
         let rows = self
             .counts
@@ -152,14 +167,15 @@ impl Histogram {
                 Json::obj(vec![("lo", Json::U64(lo)), ("hi", Json::U64(bucket_upper(i))), ("count", Json::U64(c))])
             })
             .collect();
+        let pct = |q: f64| self.try_quantile(q).map_or(Json::Null, Json::U64);
         Json::obj(vec![
             ("count", Json::U64(self.count)),
             ("sum", Json::U64(self.sum)),
             ("max", Json::U64(self.max)),
             ("mean", Json::F64(self.mean())),
-            ("p50", Json::U64(self.p50())),
-            ("p90", Json::U64(self.p90())),
-            ("p99", Json::U64(self.p99())),
+            ("p50", pct(0.50)),
+            ("p90", pct(0.90)),
+            ("p99", pct(0.99)),
             ("buckets", Json::Arr(rows)),
         ])
     }
@@ -186,6 +202,9 @@ impl AddAssign for Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "n=0 (no samples)");
+        }
         write!(f, "n={} p50={} p90={} p99={} max={}", self.count, self.p50(), self.p90(), self.p99(), self.max)
     }
 }
@@ -213,6 +232,31 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!((h.count(), h.sum(), h.max(), h.p50(), h.p99()), (0, 0, 0, 0, 0));
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_pinned() {
+        // The defined behavior of percentiles over zero samples: the
+        // Option form is None, the plain form is the 0 sentinel, and JSON
+        // reports null so consumers can't mistake it for a measured 0.
+        let empty = Histogram::new();
+        assert_eq!(empty.try_quantile(0.5), None);
+        assert_eq!(empty.try_quantile(1.0), None);
+        assert_eq!((empty.p50(), empty.p90(), empty.p99()), (0, 0, 0));
+        let j = empty.to_json();
+        assert!(matches!(j.get("p50"), Some(Json::Null)), "{j}");
+        assert!(matches!(j.get("p99"), Some(Json::Null)), "{j}");
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(0));
+        let back = Json::parse(&j.to_string()).expect("empty histogram json parses");
+        assert!(back.get("p50").unwrap().as_u64().is_none(), "null percentile survives round-trip");
+
+        // The ambiguous sibling: one genuine zero sample. Same p50 value
+        // through the sentinel API, but distinguishable via count/JSON.
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.try_quantile(0.5), Some(0));
+        assert_eq!(zeros.p50(), 0);
+        assert_eq!(zeros.to_json().get("p50").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -311,6 +311,12 @@ pub struct HostTiming {
     cfg: SystemConfig,
     cores: Vec<CoreSide>,
     l3: Cache,
+    /// Per-level lookup latencies, converted from cycles once at build
+    /// time — `mem_access` is the simulator's hottest function and the
+    /// cycle→ps float conversion showed up in its profile.
+    l1_lat: Ps,
+    l2_lat: Ps,
+    l3_lat: Ps,
     /// The DRAM side, public so an accelerator model can share it.
     pub fabric: MemFabric,
     /// Effective non-memory IPC for GC code. Table 2's core is 4-wide; GC's
@@ -338,12 +344,15 @@ impl HostTiming {
             })
             .collect();
         HostTiming {
-            cfg: cfg.clone(),
             cores,
             l3: Cache::new("L3", h.l3),
+            l1_lat: h.freq.cycles_to_ps(h.l1d.latency_cycles),
+            l2_lat: h.freq.cycles_to_ps(h.l2.latency_cycles),
+            l3_lat: h.freq.cycles_to_ps(h.l3.latency_cycles),
             fabric: MemFabric::new(cfg),
             exec_ipc: 2.0,
             prefetch_enabled: true,
+            cfg: cfg.clone(),
         }
     }
 
@@ -379,10 +388,7 @@ impl HostTiming {
     pub fn mem_access(&mut self, core: usize, now: Ps, vaddr: u64, bytes: u32, kind: AccessKind) -> Ps {
         let line = self.cfg.host.l1d.block_bytes as u64;
         assert!(u64::from(bytes) <= line, "split accesses into cache lines");
-        let freq = self.cfg.host.freq;
-        let l1_lat = freq.cycles_to_ps(self.cfg.host.l1d.latency_cycles);
-        let l2_lat = freq.cycles_to_ps(self.cfg.host.l2.latency_cycles);
-        let l3_lat = freq.cycles_to_ps(self.cfg.host.l3.latency_cycles);
+        let (l1_lat, l2_lat, l3_lat) = (self.l1_lat, self.l2_lat, self.l3_lat);
 
         let addr = vaddr & !(line - 1);
 

@@ -143,6 +143,38 @@ pub fn autotune(
     Ok(AutotuneReport { workload: spec.short, platform: baseline.platform, policy, baseline, adaptive })
 }
 
+/// [`autotune`] with the static and adaptive runs on separate OS threads
+/// when `jobs > 1`. The two runs never share state — each gets its own
+/// `make_sys()` system and its own heap — so the report is bit-identical
+/// to the serial one. Sinks cannot cross threads, so the parallel path
+/// takes the plain-data [`crate::parmatrix::MatrixOptions`]; callers that
+/// need telemetry or a profiler use the serial [`autotune`].
+///
+/// # Errors
+///
+/// Propagates [`OutOfMemory`] from either run.
+pub fn autotune_jobs(
+    spec: &WorkloadSpec,
+    make_sys: impl Fn() -> System + Sync,
+    policy: PolicyKind,
+    opts: &crate::parmatrix::MatrixOptions,
+    jobs: usize,
+) -> Result<AutotuneReport, OutOfMemory> {
+    if jobs <= 1 {
+        return autotune(spec, make_sys, policy, &opts.to_run_options());
+    }
+    let sides = [PolicyKind::Static, policy];
+    let mut runs = crate::parmatrix::parallel_map(&sides, 2, |&side| {
+        let mut run_opts = opts.to_run_options();
+        run_opts.census = true;
+        run_opts.policy = Some(side);
+        run_workload(spec, make_sys(), &run_opts)
+    });
+    let adaptive = runs.pop().expect("two sides")?;
+    let baseline = runs.pop().expect("two sides")?;
+    Ok(AutotuneReport { workload: spec.short, platform: baseline.platform, policy, baseline, adaptive })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +192,17 @@ mod tests {
         assert_eq!(back.get("policy").and_then(Json::as_str), Some("census"));
         assert!(back.get("journal").is_some(), "adaptive journal exported");
         assert!(back.get("delta_pct").is_some());
+    }
+
+    #[test]
+    fn parallel_autotune_matches_serial_report() {
+        let spec = phase_shift();
+        let opts = crate::parmatrix::MatrixOptions { supersteps: Some(2), ..Default::default() };
+        let serial = autotune_jobs(&spec, System::charon, PolicyKind::Census, &opts, 1).unwrap();
+        let par = autotune_jobs(&spec, System::charon, PolicyKind::Census, &opts, 2).unwrap();
+        assert_eq!(serial.baseline.fingerprint(), par.baseline.fingerprint());
+        assert_eq!(serial.adaptive.fingerprint(), par.adaptive.fingerprint());
+        assert_eq!(serial.to_json().to_string(), par.to_json().to_string());
     }
 
     #[test]

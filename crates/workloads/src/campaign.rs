@@ -372,22 +372,68 @@ pub fn run_fault_campaign(
     base_seed: u64,
     opts: &CampaignOptions,
 ) -> Result<CampaignReport, CampaignError> {
+    run_fault_campaign_jobs(spec, base_seed, opts, 1)
+}
+
+/// [`run_fault_campaign`] with the matrix rows fanned across up to `jobs`
+/// OS threads ([`crate::parmatrix::parallel_map`]). Every row is an
+/// independent seeded run against its own [`System`], so the verdicts are
+/// bit-identical to the serial campaign at any job count; they come back
+/// in matrix order either way.
+///
+/// The campaign telemetry sink is `Rc`-based and not `Send`, so when it
+/// is enabled the rows run serially regardless of `jobs` — the parallel
+/// path exists for the sink-free bulk sweeps (`charon-cli fault-campaign
+/// --jobs N`), not the traced ones.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] when the *fault-free* run cannot complete;
+/// failures of the faulty runs land in their [`SiteVerdict`] instead.
+pub fn run_fault_campaign_jobs(
+    spec: &WorkloadSpec,
+    base_seed: u64,
+    opts: &CampaignOptions,
+    jobs: usize,
+) -> Result<CampaignReport, CampaignError> {
+    // The baseline must exist before any row can be checked, so it always
+    // runs first on the calling thread (with the caller's telemetry).
     let baseline = execute(spec, opts, None)?;
-    let mut verdicts = Vec::new();
-    for entry in fault_matrix(base_seed) {
-        match execute(spec, opts, Some((entry.seed, entry.rates))) {
-            Ok(case) => verdicts.push(check(entry, &baseline, &case)),
-            Err(e) => verdicts.push(SiteVerdict {
-                entry,
-                injected: 0,
-                recovery: RecoverySummary::default(),
-                collections: 0,
-                gc_time: Ps::ZERO,
-                pass: false,
-                failures: vec![e.to_string()],
-            }),
-        }
-    }
+    let rows = fault_matrix(base_seed);
+    let failed_row = |entry: MatrixEntry, e: &CampaignError| SiteVerdict {
+        entry,
+        injected: 0,
+        recovery: RecoverySummary::default(),
+        collections: 0,
+        gc_time: Ps::ZERO,
+        pass: false,
+        failures: vec![e.to_string()],
+    };
+    let verdicts = if jobs > 1 && !opts.telemetry.is_enabled() {
+        // Plain-data copy of the options: each worker rebuilds its own
+        // CampaignOptions (the Telemetry handle cannot cross threads).
+        let (heap_factor, gc_threads, supersteps, recovery) =
+            (opts.heap_factor, opts.gc_threads, opts.supersteps, opts.recovery);
+        let cases = crate::parmatrix::parallel_map(&rows, jobs, |entry| {
+            let worker_opts =
+                CampaignOptions { heap_factor, gc_threads, supersteps, recovery, telemetry: Telemetry::disabled() };
+            execute(spec, &worker_opts, Some((entry.seed, entry.rates)))
+        });
+        rows.iter()
+            .zip(cases)
+            .map(|(&entry, case)| match case {
+                Ok(case) => check(entry, &baseline, &case),
+                Err(e) => failed_row(entry, &e),
+            })
+            .collect()
+    } else {
+        rows.iter()
+            .map(|&entry| match execute(spec, opts, Some((entry.seed, entry.rates))) {
+                Ok(case) => check(entry, &baseline, &case),
+                Err(e) => failed_row(entry, &e),
+            })
+            .collect()
+    };
     Ok(CampaignReport { workload: spec.short, baseline, verdicts })
 }
 
@@ -415,6 +461,21 @@ mod tests {
         let degrade = report.verdicts.iter().find(|v| v.entry.label == "unit-degrade").unwrap();
         assert!(degrade.recovery.total_fallbacks() > 0, "no fallbacks under {}", degrade.entry.label);
         assert!(degrade.recovery.degraded.iter().any(|&d| d), "watchdog never degraded a primitive");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_verdicts() {
+        let spec = by_short("BS").unwrap();
+        let opts = CampaignOptions { supersteps: Some(1), ..Default::default() };
+        let serial = run_fault_campaign(&spec, 42, &opts).unwrap();
+        let par = run_fault_campaign_jobs(&spec, 42, &opts, 3).unwrap();
+        assert_eq!(serial.baseline.gc_time, par.baseline.gc_time);
+        assert_eq!(serial.verdicts.len(), par.verdicts.len());
+        for (s, p) in serial.verdicts.iter().zip(&par.verdicts) {
+            assert_eq!(s.entry.label, p.entry.label, "row order must be matrix order");
+            assert_eq!((s.injected, s.collections, s.gc_time, s.pass), (p.injected, p.collections, p.gc_time, p.pass));
+        }
+        assert_eq!(serial.to_json().to_string(), par.to_json().to_string());
     }
 
     #[test]

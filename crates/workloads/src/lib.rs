@@ -26,6 +26,9 @@
 //! * [`run`] — one-call experiment driver producing a [`run::RunResult`],
 //! * [`profile`] — opt-in per-run profile: pause/latency histograms, heap
 //!   demographics, and accelerator utilization ([`profile::RunProfile`]),
+//! * [`parmatrix`] — deterministic parallel run matrix: workload ×
+//!   platform cells fanned across OS threads with bit-identical merged
+//!   output, plus the self-speed (sim-ps per wall-second) report,
 //! * [`campaign`] — seeded fault-injection campaigns proving the offload
 //!   path degrades gracefully without changing GC correctness,
 //! * [`autotune`] — static-vs-adaptive offload comparison driver for the
@@ -35,12 +38,14 @@ pub mod autotune;
 pub mod campaign;
 pub mod klasses;
 pub mod mutator;
+pub mod parmatrix;
 pub mod profile;
 pub mod run;
 pub mod spec;
 
-pub use autotune::{autotune, AutotuneReport};
-pub use campaign::{fault_matrix, run_fault_campaign, CampaignOptions, CampaignReport};
+pub use autotune::{autotune, autotune_jobs, AutotuneReport};
+pub use campaign::{fault_matrix, run_fault_campaign, run_fault_campaign_jobs, CampaignOptions, CampaignReport};
+pub use parmatrix::{full_matrix, run_matrix, selfspeed_json, MatrixJob, MatrixOptions, MatrixOutcome};
 pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};
 pub use spec::{table3, Framework, WorkloadSpec};

@@ -1,0 +1,342 @@
+//! Deterministic parallel run matrix — fan workload × platform cells
+//! across real OS threads.
+//!
+//! The simulator is single-threaded *inside* one run (a discrete-event
+//! loop over one heap), but a bench sweep is an embarrassingly parallel
+//! matrix of independent runs: every cell builds its own [`System`], its
+//! own heap, and its own mutator from a fixed seed, so running cells on
+//! separate threads is bit-for-bit identical to running them back to
+//! back. The merge step is trivial — results are collected into the same
+//! deterministic (workload-major, platform-minor) order the serial loop
+//! produces, so `BENCH_compare.json` is byte-identical at any `--jobs`
+//! value. `tests/parmatrix_identity.rs` pins exactly that, and the
+//! committed fingerprint baselines re-check every cell's simulated
+//! outcome regardless of which thread computed it.
+//!
+//! Two deliberate restrictions keep the determinism argument airtight:
+//!
+//! * Workers never share mutable state — [`parallel_map`] hands each
+//!   worker disjoint item indices through one atomic counter and each
+//!   result travels back tagged with its index.
+//! * The run sinks ([`charon_sim::telemetry::Telemetry`],
+//!   [`charon_sim::profile::Profiler`]) are `Rc`-based and not `Send`,
+//!   so [`MatrixOptions`] is the *plain-data* subset of [`RunOptions`]:
+//!   every worker rebuilds its own disabled sinks. Callers that need
+//!   telemetry run serially — that is the existing `run`/`profile` path.
+//!
+//! The module also measures what the tentpole gate consumes: each cell's
+//! wall-clock cost, combined with its simulated span into the
+//! **self-speed** metric (simulated picoseconds advanced per wall-clock
+//! second, `BENCH_selfspeed.json`; DESIGN.md §9).
+
+use crate::run::{run_workload, RunOptions, RunResult};
+use crate::spec::WorkloadSpec;
+use charon_gc::adapt::PolicyKind;
+use charon_gc::system::System;
+use charon_sim::json::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Platform labels in canonical matrix order. DDR4 first — it is the
+/// speedup baseline everywhere (Fig. 12), so reports index from it.
+pub const PLATFORM_LABELS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
+
+/// Builds the [`System`] for a platform label, `None` for an unknown one.
+pub fn system_by_label(label: &str) -> Option<System> {
+    Some(match label {
+        "DDR4" => System::ddr4(),
+        "HMC" => System::hmc(),
+        "Charon" => System::charon(),
+        "Charon-CPU-side" => System::cpu_side(),
+        "Ideal" => System::ideal(),
+        _ => return None,
+    })
+}
+
+/// The plain-data (`Send + Sync`) subset of [`RunOptions`]: everything
+/// except the telemetry/profiler sinks, which are thread-local by
+/// construction. Workers turn this back into per-thread [`RunOptions`]
+/// with disabled sinks via [`MatrixOptions::to_run_options`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixOptions {
+    /// Heap size factor over the workload minimum (`None` = spec default).
+    pub heap_factor: Option<f64>,
+    /// GC threads per run.
+    pub gc_threads: usize,
+    /// Superstep count override.
+    pub supersteps: Option<usize>,
+    /// Run the per-GC heap-demographics census.
+    pub census: bool,
+    /// Adaptive offload policy, if any.
+    pub policy: Option<PolicyKind>,
+    /// Seed for stochastic policies.
+    pub policy_seed: u64,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> MatrixOptions {
+        MatrixOptions::from_run_options(&RunOptions::default())
+    }
+}
+
+impl MatrixOptions {
+    /// Extracts the plain-data fields; the sinks are intentionally
+    /// dropped (each worker owns its own disabled pair).
+    pub fn from_run_options(o: &RunOptions) -> MatrixOptions {
+        MatrixOptions {
+            heap_factor: o.heap_factor,
+            gc_threads: o.gc_threads,
+            supersteps: o.supersteps,
+            census: o.census,
+            policy: o.policy,
+            policy_seed: o.policy_seed,
+        }
+    }
+
+    /// Per-worker [`RunOptions`] with freshly built disabled sinks.
+    pub fn to_run_options(&self) -> RunOptions {
+        RunOptions {
+            heap_factor: self.heap_factor,
+            gc_threads: self.gc_threads,
+            supersteps: self.supersteps,
+            census: self.census,
+            policy: self.policy,
+            policy_seed: self.policy_seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One cell of the run matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixJob {
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// Platform label (a [`PLATFORM_LABELS`] entry).
+    pub platform: &'static str,
+}
+
+/// What one cell produced: the run result (or the failing platform's
+/// error, in the serial loop's `"platform: error"` format) plus the
+/// wall-clock cost of computing it. `wall_ns` feeds the self-speed
+/// metric only — it never enters `BENCH_compare.json`, which is how the
+/// compare report stays byte-identical across `--jobs` values and hosts.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// Two-letter workload code of the cell.
+    pub workload: &'static str,
+    /// Platform label of the cell.
+    pub platform: &'static str,
+    /// The run, or the error string the serial path would print.
+    pub result: Result<RunResult, String>,
+    /// Wall-clock nanoseconds this cell took on its worker thread.
+    pub wall_ns: u64,
+}
+
+/// The full bench matrix for a set of workloads: every spec × every
+/// platform, workload-major — the exact order the serial bench loop
+/// visits cells, which makes merged output order-identical.
+pub fn full_matrix(specs: &[WorkloadSpec]) -> Vec<MatrixJob> {
+    specs
+        .iter()
+        .flat_map(|spec| {
+            PLATFORM_LABELS
+                .iter()
+                .map(move |&platform| MatrixJob { spec: spec.clone(), platform })
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `jobs` OS threads, returning results in
+/// item order regardless of which worker computed what or when.
+///
+/// Scheduling is dynamic (one shared atomic cursor — long cells do not
+/// convoy short ones behind a static partition) but the output is not:
+/// each result is tagged with its item index and the merged vector is
+/// sorted by it, so callers observe exactly the serial `map`. `jobs <= 1`
+/// short-circuits to a plain serial loop with zero thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers finish.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("matrix worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs every matrix cell on up to `jobs` threads. Each worker builds its
+/// own [`System`] and [`RunOptions`] inside the thread, times the run,
+/// and the outcomes come back in cell order.
+pub fn run_matrix(cells: &[MatrixJob], opts: &MatrixOptions, jobs: usize) -> Vec<MatrixOutcome> {
+    parallel_map(cells, jobs, |cell| {
+        let started = Instant::now();
+        let result = match system_by_label(cell.platform) {
+            Some(sys) => {
+                run_workload(&cell.spec, sys, &opts.to_run_options()).map_err(|e| format!("{}: {e}", cell.platform))
+            }
+            None => Err(format!("{}: unknown platform", cell.platform)),
+        };
+        MatrixOutcome {
+            workload: cell.spec.short,
+            platform: cell.platform,
+            result,
+            wall_ns: started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        }
+    })
+}
+
+/// Simulated picoseconds a run advanced (mutator + stop-the-world GC):
+/// the numerator of the self-speed metric.
+pub fn simulated_span_ps(r: &RunResult) -> u64 {
+    r.mutator_time.0.saturating_add(r.gc_time.0)
+}
+
+/// Self-speed of one cell: simulated picoseconds per wall-clock second.
+/// Higher is better — the regress gate treats `selfspeed` metrics with
+/// inverted polarity.
+pub fn selfspeed_ps_per_wall_s(sim_ps: u64, wall_ns: u64) -> u64 {
+    (sim_ps as f64 / (wall_ns.max(1) as f64 / 1e9)) as u64
+}
+
+/// The `BENCH_selfspeed.json` report: one entry per successful cell with
+/// its simulated span, wall-clock cost, and their ratio. Kept in a file
+/// of its own — wall-clock numbers are host-dependent by nature and must
+/// never contaminate the bit-identical compare report.
+pub fn selfspeed_json(outcomes: &[MatrixOutcome], jobs: usize) -> Json {
+    let entries = outcomes
+        .iter()
+        .filter_map(|o| {
+            let r = o.result.as_ref().ok()?;
+            let sim_ps = simulated_span_ps(r);
+            Some(Json::obj(vec![
+                ("workload", Json::str(o.workload)),
+                ("platform", Json::str(o.platform)),
+                ("sim_ps", Json::U64(sim_ps)),
+                ("wall_ns", Json::U64(o.wall_ns)),
+                ("sim_ps_per_wall_s", Json::U64(selfspeed_ps_per_wall_s(sim_ps, o.wall_ns))),
+            ]))
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("charon-selfspeed-v1")),
+        ("jobs", Json::U64(jobs as u64)),
+        ("entries", Json::Arr(entries)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_short;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..37).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = parallel_map(&items, jobs, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn matrix_order_is_workload_major() {
+        let specs = [by_short("BS").unwrap(), by_short("KM").unwrap()];
+        let cells = full_matrix(&specs);
+        assert_eq!(cells.len(), 2 * PLATFORM_LABELS.len());
+        assert_eq!((cells[0].spec.short, cells[0].platform), ("BS", "DDR4"));
+        assert_eq!(cells[PLATFORM_LABELS.len()].spec.short, "KM");
+        assert_eq!(cells.last().unwrap().platform, "Ideal");
+    }
+
+    #[test]
+    fn every_platform_label_builds_a_matching_system() {
+        for label in PLATFORM_LABELS {
+            let sys = system_by_label(label).expect("known label");
+            assert_eq!(sys.label(), label);
+        }
+        assert!(system_by_label("TPU").is_none());
+    }
+
+    #[test]
+    fn matrix_options_round_trip_the_plain_fields() {
+        let o = RunOptions {
+            heap_factor: Some(1.5),
+            gc_threads: 4,
+            supersteps: Some(3),
+            census: true,
+            policy: Some(PolicyKind::Census),
+            policy_seed: 7,
+            ..Default::default()
+        };
+        let m = MatrixOptions::from_run_options(&o);
+        let back = m.to_run_options();
+        assert_eq!(MatrixOptions::from_run_options(&back), m);
+        assert!(!back.telemetry.is_enabled() && !back.profiler.is_enabled(), "workers own disabled sinks");
+    }
+
+    #[test]
+    fn parallel_cells_match_serial_bit_for_bit() {
+        let specs = [by_short("BS").unwrap()];
+        let cells = full_matrix(&specs);
+        let opts = MatrixOptions { supersteps: Some(1), ..Default::default() };
+        let serial = run_matrix(&cells, &opts, 1);
+        let par = run_matrix(&cells, &opts, 4);
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            let (sr, pr) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(sr.fingerprint(), pr.fingerprint());
+            assert_eq!(sr.to_json().to_string(), pr.to_json().to_string(), "{}/{}", s.workload, s.platform);
+        }
+    }
+
+    #[test]
+    fn selfspeed_json_has_the_pinned_schema() {
+        let specs = [by_short("BS").unwrap()];
+        let cells = [MatrixJob { spec: specs[0].clone(), platform: "Charon" }];
+        let opts = MatrixOptions { supersteps: Some(1), ..Default::default() };
+        let outcomes = run_matrix(&cells, &opts, 2);
+        let j = selfspeed_json(&outcomes, 2);
+        let back = Json::parse(&j.to_string()).expect("selfspeed json parses");
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some("charon-selfspeed-v1"));
+        assert_eq!(back.get("jobs").and_then(Json::as_u64), Some(2));
+        let entries = back.get("entries").and_then(Json::as_arr).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("platform").and_then(Json::as_str), Some("Charon"));
+        let sim = e.get("sim_ps").and_then(Json::as_u64).unwrap();
+        let wall = e.get("wall_ns").and_then(Json::as_u64).unwrap();
+        assert!(sim > 0 && wall > 0);
+        assert_eq!(e.get("sim_ps_per_wall_s").and_then(Json::as_u64), Some(selfspeed_ps_per_wall_s(sim, wall)));
+    }
+}

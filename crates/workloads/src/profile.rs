@@ -149,6 +149,11 @@ impl fmt::Display for RunProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "profile: {} on {} — GC {}", self.workload, self.platform, self.gc_time)?;
         writeln!(f, "pauses:")?;
+        if self.pause_minor.is_empty() && self.pause_major.is_empty() {
+            // Zero-GC run: say so rather than print an empty table (or a
+            // 0 ps percentile that was never measured).
+            writeln!(f, "  (no collections)")?;
+        }
         hist_row(f, "MinorGC", &self.pause_minor)?;
         hist_row(f, "MajorGC", &self.pause_major)?;
         if self.latencies.total_samples() > 0 {
@@ -205,8 +210,12 @@ mod tests {
         };
         let s = format!("{p}");
         assert!(s.contains("profile: BS on DDR4"));
+        assert!(s.contains("(no collections)"), "zero-GC run must say so: {s}");
         assert!(!s.contains("latencies:"), "no samples, no section: {s}");
         let j = p.to_json();
+        let pauses = j.get("pauses").expect("pauses always serialized");
+        let p50 = pauses.get("minor").and_then(|h| h.get("p50"));
+        assert!(matches!(p50, Some(Json::Null)), "empty pause percentiles are null, not 0");
         assert!(j.get("units").is_none());
         assert!(j.get("census").is_none());
         let round = Json::parse(&j.to_string()).unwrap();

@@ -18,15 +18,17 @@
 
 use charon::gc::adapt::PolicyKind;
 use charon::gc::breakdown::Bucket;
-use charon::gc::system::{OffloadMask, System};
+use charon::gc::system::OffloadMask;
 use charon::sim::json::Json;
 use charon::sim::profile::Profiler;
 use charon::sim::telemetry::{chrome_trace, Telemetry};
+use charon::workloads::parmatrix::{system_by_label, PLATFORM_LABELS as PLATFORMS};
 use charon::workloads::spec::{by_short, table3};
-use charon::workloads::{autotune, run_fault_campaign, run_workload, CampaignOptions, RunOptions, RunResult};
+use charon::workloads::{
+    autotune_jobs, full_matrix, run_fault_campaign_jobs, run_matrix, run_workload, selfspeed_json, CampaignOptions,
+    MatrixOptions, RunOptions, RunResult,
+};
 use std::process::ExitCode;
-
-const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -34,35 +36,26 @@ fn usage() -> ExitCode {
          charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
          [--mask <M>] [--json] [--trace-out <FILE>]\n  \
          charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json]\n  \
-         charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>]\n  \
+         charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>] [--jobs <N>]\n    \
+         (also writes BENCH_selfspeed.json — simulated ps per wall-second, per cell)\n  \
          charon-cli check-json <FILE>\n  \
          charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] \
-         [--steps <N>] [--json]\n  \
+         [--steps <N>] [--json] [--jobs <N>]\n  \
          charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
          [--json] [--profile-out <FILE>]\n  \
          charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n  \
          charon-cli autotune <BS|KM|LR|CC|PR|ALS|PS> [--platform <P>] [--policy <static|census|bandit>] [--seed <S>] \
-         [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>]\n\
+         [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] [--jobs <N>]\n\
          platforms: {}",
         PLATFORMS.join(", ")
     );
     ExitCode::FAILURE
 }
 
-fn system_by_label(label: &str) -> Option<System> {
-    Some(match label {
-        "DDR4" => System::ddr4(),
-        "HMC" => System::hmc(),
-        "Charon" => System::charon(),
-        "Charon-CPU-side" => System::cpu_side(),
-        "Ideal" => System::ideal(),
-        _ => return None,
-    })
-}
-
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 12] = [
+const FLAG_TABLE: [(&str, bool); 13] = [
+    ("--jobs", true),
     ("--platform", true),
     ("--heap-factor", true),
     ("--threads", true),
@@ -80,6 +73,7 @@ const FLAG_TABLE: [(&str, bool); 12] = [
 /// Parsed flag values, superset over all subcommands.
 #[derive(Debug, Clone, Default)]
 struct Flags {
+    jobs: Option<usize>,
     platform: Option<String>,
     heap_factor: Option<f64>,
     threads: Option<usize>,
@@ -122,6 +116,13 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
             ""
         };
         match name {
+            "--jobs" => {
+                let n: usize = val.parse().map_err(|_| format!("bad job count {val}"))?;
+                if n == 0 || n > 64 {
+                    return Err(format!("--jobs {n} out of range (1..=64)"));
+                }
+                flags.jobs = Some(n);
+            }
             "--platform" => flags.platform = Some(val.to_string()),
             "--heap-factor" => {
                 let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
@@ -161,6 +162,15 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
 }
 
 impl Flags {
+    /// Worker threads for matrix subcommands (`--jobs`, default serial).
+    fn jobs(&self) -> usize {
+        self.jobs.unwrap_or(1)
+    }
+
+    fn matrix_options(&self) -> MatrixOptions {
+        MatrixOptions::from_run_options(&self.run_options(Telemetry::disabled()))
+    }
+
     fn run_options(&self, telemetry: Telemetry) -> RunOptions {
         RunOptions {
             heap_factor: self.heap_factor,
@@ -266,7 +276,17 @@ fn run_metrics(out: &mut Vec<(String, u64)>, run: &Json) {
 /// (a single run or profile object) — into comparable metrics.
 fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
     let mut out = Vec::new();
-    if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
+    if report.get("schema").and_then(Json::as_str) == Some("charon-selfspeed-v1") {
+        // BENCH_selfspeed.json: one higher-is-better metric per cell (the
+        // `selfspeed` name is what flips the gate's direction).
+        for e in report.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
+            let w = e.get("workload").and_then(Json::as_str).unwrap_or("?");
+            let p = e.get("platform").and_then(Json::as_str).unwrap_or("?");
+            if let Some(v) = e.get("sim_ps_per_wall_s").and_then(Json::as_u64) {
+                out.push((format!("{w}/{p}/selfspeed_sim_ps_per_wall_s"), v));
+            }
+        }
+    } else if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
         for bench in benches {
             for run in bench.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
                 run_metrics(&mut out, run);
@@ -296,9 +316,18 @@ impl Regression {
     }
 }
 
+/// Whether a metric improves by growing. Timing metrics (the default)
+/// regress upward; `selfspeed` metrics — simulated ps per wall-second —
+/// regress downward.
+fn higher_is_better(metric: &str) -> bool {
+    metric.contains("selfspeed")
+}
+
 /// Compares every metric present in BOTH reports; a regression is
 /// `new > old × (1 + tolerance/100)` (a zero baseline regresses on any
-/// nonzero new value). Returns (metrics compared, regressions).
+/// nonzero new value). Higher-is-better metrics ([`higher_is_better`])
+/// gate the other way: `new < old × (1 - tolerance/100)`. Returns
+/// (metrics compared, regressions).
 fn regressions(old: &Json, new: &Json, tolerance_pct: f64) -> (usize, Vec<Regression>) {
     let old_metrics = extract_metrics(old);
     let new_metrics = extract_metrics(new);
@@ -307,8 +336,13 @@ fn regressions(old: &Json, new: &Json, tolerance_pct: f64) -> (usize, Vec<Regres
     for (metric, old_v) in old_metrics {
         let Some((_, new_v)) = new_metrics.iter().find(|(m, _)| *m == metric) else { continue };
         compared += 1;
-        let limit = old_v as f64 * (1.0 + tolerance_pct / 100.0);
-        if *new_v as f64 > limit || (old_v == 0 && *new_v > 0) {
+        let regressed = if higher_is_better(&metric) {
+            (*new_v as f64) < old_v as f64 * (1.0 - tolerance_pct / 100.0)
+        } else {
+            let limit = old_v as f64 * (1.0 + tolerance_pct / 100.0);
+            *new_v as f64 > limit || (old_v == 0 && *new_v > 0)
+        };
+        if regressed {
             regs.push(Regression { metric, old: old_v, new: *new_v });
         }
     }
@@ -425,13 +459,14 @@ fn main() -> ExitCode {
         Some("bench") => {
             let shorts: Vec<&String> = args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
             let flag_start = 1 + shorts.len();
-            let flags = match parse_flags(&args[flag_start..], &["--heap-factor", "--threads", "--steps", "--out"]) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return usage();
-                }
-            };
+            let flags =
+                match parse_flags(&args[flag_start..], &["--heap-factor", "--threads", "--steps", "--out", "--jobs"]) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
             let specs = if shorts.is_empty() {
                 table3()
             } else {
@@ -445,19 +480,26 @@ fn main() -> ExitCode {
                 }
                 v
             };
-            let opts = flags.run_options(Telemetry::disabled());
+            // The whole workload × platform matrix runs through the
+            // parallel runner; at --jobs 1 (the default) parallel_map
+            // degenerates to the old serial loop. Cell order — and with
+            // it BENCH_compare.json — is identical at every job count.
+            let cells = full_matrix(&specs);
+            let outcomes = run_matrix(&cells, &flags.matrix_options(), flags.jobs());
             let mut benches = Vec::new();
-            for spec in &specs {
-                match compare_runs(spec, &opts) {
-                    Ok(runs) => {
-                        println!("{}: {} platforms benched", spec.short, runs.len());
-                        benches.push(compare_json(spec.short, &runs));
-                    }
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
+            for (spec, per_workload) in specs.iter().zip(outcomes.chunks(PLATFORMS.len())) {
+                let mut runs = Vec::new();
+                for o in per_workload {
+                    match &o.result {
+                        Ok(r) => runs.push(r.clone()),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
                 }
+                println!("{}: {} platforms benched", spec.short, runs.len());
+                benches.push(compare_json(spec.short, &runs));
             }
             let report = Json::obj(vec![("benches", Json::Arr(benches))]);
             let path = flags.out.as_deref().unwrap_or("BENCH_compare.json");
@@ -465,6 +507,14 @@ fn main() -> ExitCode {
                 return code;
             }
             println!("wrote {path}");
+            // Self-speed (simulated ps per wall-second) goes to its own
+            // file: wall-clock numbers are host-dependent and must never
+            // touch the bit-identical compare report.
+            let speed_path = "BENCH_selfspeed.json";
+            if let Err(code) = write_file(speed_path, &selfspeed_json(&outcomes, flags.jobs()).to_string()) {
+                return code;
+            }
+            println!("wrote {speed_path}");
             ExitCode::SUCCESS
         }
         Some("check-json") => {
@@ -493,15 +543,17 @@ fn main() -> ExitCode {
                 eprintln!("unknown workload {short}");
                 return usage();
             };
-            let flags = match parse_flags(&args[2..], &["--seed", "--heap-factor", "--threads", "--steps", "--json"]) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return usage();
-                }
-            };
+            let flags =
+                match parse_flags(&args[2..], &["--seed", "--heap-factor", "--threads", "--steps", "--json", "--jobs"])
+                {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
             let seed = flags.seed.unwrap_or(42);
-            match run_fault_campaign(&spec, seed, &flags.campaign_options()) {
+            match run_fault_campaign_jobs(&spec, seed, &flags.campaign_options(), flags.jobs()) {
                 Ok(report) => {
                     if flags.json {
                         println!("{}", report.to_json());
@@ -574,7 +626,17 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--policy", "--seed", "--heap-factor", "--threads", "--steps", "--json", "--out"],
+                &[
+                    "--platform",
+                    "--policy",
+                    "--seed",
+                    "--heap-factor",
+                    "--threads",
+                    "--steps",
+                    "--json",
+                    "--out",
+                    "--jobs",
+                ],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -588,11 +650,17 @@ fn main() -> ExitCode {
                 return usage();
             }
             let policy = flags.policy.unwrap_or(PolicyKind::Census);
-            let mut opts = flags.run_options(Telemetry::disabled());
+            let mut opts = flags.matrix_options();
             if let Some(seed) = flags.seed {
                 opts.policy_seed = seed;
             }
-            match autotune(&spec, || system_by_label(&platform).expect("validated above"), policy, &opts) {
+            match autotune_jobs(
+                &spec,
+                || system_by_label(&platform).expect("validated above"),
+                policy,
+                &opts,
+                flags.jobs(),
+            ) {
                 Ok(rep) => {
                     if let Some(path) = &flags.out {
                         if let Err(code) = write_file(path, &rep.to_json().to_string()) {
@@ -825,6 +893,63 @@ mod tests {
         let new = bench_report(&[("KM", 1_000, 100)]);
         let (compared, regs) = regressions(&old, &new, 10.0);
         assert_eq!((compared, regs.len()), (0, 0));
+    }
+
+    #[test]
+    fn jobs_flag_is_validated() {
+        let f = parse_flags(&argv(&["--jobs", "4"]), &["--jobs"]).unwrap();
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.jobs(), 4);
+        assert_eq!(Flags::default().jobs(), 1, "default is serial");
+        assert!(parse_flags(&argv(&["--jobs", "0"]), &["--jobs"]).is_err());
+        assert!(parse_flags(&argv(&["--jobs", "65"]), &["--jobs"]).is_err());
+        assert!(parse_flags(&argv(&["--jobs", "x"]), &["--jobs"]).is_err());
+    }
+
+    /// A minimal selfspeed-shaped report with one entry per (workload,
+    /// sim_ps_per_wall_s).
+    fn selfspeed_report(entries: &[(&str, u64)]) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("charon-selfspeed-v1")),
+            ("jobs", Json::U64(2)),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|&(w, v)| {
+                            Json::obj(vec![
+                                ("workload", Json::str(w)),
+                                ("platform", Json::str("Charon")),
+                                ("sim_ps", Json::U64(1)),
+                                ("wall_ns", Json::U64(1)),
+                                ("sim_ps_per_wall_s", Json::U64(v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn selfspeed_reports_extract_named_metrics() {
+        let m = extract_metrics(&selfspeed_report(&[("BS", 5_000)]));
+        assert_eq!(m, vec![("BS/Charon/selfspeed_sim_ps_per_wall_s".to_string(), 5_000)]);
+    }
+
+    #[test]
+    fn selfspeed_regresses_downward_not_upward() {
+        let old = selfspeed_report(&[("BS", 10_000)]);
+        let faster = selfspeed_report(&[("BS", 20_000)]);
+        let slower = selfspeed_report(&[("BS", 8_000)]);
+        let (compared, regs) = regressions(&old, &faster, 15.0);
+        assert_eq!((compared, regs.len()), (1, 0), "a speedup must never trip the gate");
+        let (_, regs) = regressions(&old, &slower, 15.0);
+        assert_eq!(regs.len(), 1, "a 20% slowdown trips the 15% gate");
+        assert_eq!(regs[0].metric, "BS/Charon/selfspeed_sim_ps_per_wall_s");
+        let (_, regs) = regressions(&old, &selfspeed_report(&[("BS", 9_000)]), 15.0);
+        assert!(regs.is_empty(), "a 10% slowdown stays within the 15% tolerance");
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Heap-pressure sweep: every Table 3 workload must finish without OOM at
+//! and just above its minimum heap (the Fig. 2 baseline's precondition).
+//!
+//! Split out of `full_system.rs` into its own binary, with one `#[test]`
+//! per workload: these are full-length runs (the spec's whole superstep
+//! count at two heap factors), and the harness parallelizes tests within
+//! a binary across threads, so twelve serial runs in one test were the
+//! single slowest item in the whole suite.
+
+use charon::gc::system::System;
+use charon::workloads::spec::by_short;
+use charon::workloads::{run_workload, RunOptions};
+
+fn assert_no_oom(short: &str) {
+    let spec = by_short(short).unwrap();
+    for factor in [1.0, 1.25] {
+        run_workload(
+            &spec,
+            System::ddr4(),
+            &RunOptions { heap_factor: Some(factor), supersteps: Some(spec.supersteps), ..Default::default() },
+        )
+        .unwrap_or_else(|e| panic!("{short} at {factor}x min heap: {e}"));
+    }
+}
+
+#[test]
+fn bs_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("BS");
+}
+
+#[test]
+fn km_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("KM");
+}
+
+#[test]
+fn lr_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("LR");
+}
+
+#[test]
+fn cc_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("CC");
+}
+
+#[test]
+fn pr_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("PR");
+}
+
+#[test]
+fn als_never_ooms_at_or_above_min_heap() {
+    assert_no_oom("ALS");
+}

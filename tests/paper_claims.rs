@@ -2,6 +2,11 @@
 //! assertions with tolerant bands so recalibration noise does not flake
 //! them, but structural regressions do fail them. EXPERIMENTS.md records
 //! the exact measured values.
+//!
+//! This binary holds the single-platform claims (breakdown shapes, the
+//! heap-pressure curve, the area table); the DDR4-vs-offload comparisons
+//! live in `paper_claims_offload.rs` so the two binaries' full-length
+//! runs overlap on the wall clock instead of queueing.
 
 use charon::gc::breakdown::Bucket;
 use charon::gc::system::System;
@@ -22,25 +27,6 @@ fn run(short_list: &[&str], platform: &str) -> Vec<RunResult> {
             run_workload(&w, sys, &RunOptions::default()).expect("no OOM")
         })
         .collect()
-}
-
-fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = xs.collect();
-    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-}
-
-#[test]
-fn fig12_shape_charon_beats_hmc_beats_ddr4() {
-    // Paper: geomeans 1.21x (HMC) and 3.29x (Charon) over DDR4.
-    let picks = ["BS", "LR", "ALS"];
-    let d = run(&picks, "DDR4");
-    let h = run(&picks, "HMC");
-    let c = run(&picks, "Charon");
-    let hmc_g = geomean(d.iter().zip(&h).map(|(a, b)| a.gc_time.0 as f64 / b.gc_time.0 as f64));
-    let charon_g = geomean(d.iter().zip(&c).map(|(a, b)| a.gc_time.0 as f64 / b.gc_time.0 as f64));
-    assert!((1.0..2.2).contains(&hmc_g), "HMC geomean {hmc_g:.2} out of band (paper 1.21x)");
-    assert!((2.0..6.0).contains(&charon_g), "Charon geomean {charon_g:.2} out of band (paper 3.29x)");
-    assert!(charon_g > hmc_g, "offloading must beat bandwidth alone");
 }
 
 #[test]
@@ -72,21 +58,6 @@ fn fig04_shape_demographics_differ_by_framework() {
 }
 
 #[test]
-fn fig14_shape_copy_gains_most() {
-    // Paper: Copy is the biggest per-primitive winner (10.17x average).
-    let d = &run(&["LR"], "DDR4")[0];
-    let c = &run(&["LR"], "Charon")[0];
-    let speedup = |b: Bucket| {
-        let host = d.minor_breakdown.get(b) + d.major_breakdown.get(b);
-        let dev = c.minor_breakdown.get(b) + c.major_breakdown.get(b);
-        host.0 as f64 / dev.0.max(1) as f64
-    };
-    let copy = speedup(Bucket::Copy);
-    assert!(copy > 2.5, "Copy speedup {copy:.2} too low (paper 10.17x avg)");
-    assert!(copy > speedup(Bucket::ScanPush), "Copy must out-gain Scan&Push (paper: 10.17x vs 1.20x)");
-}
-
-#[test]
 fn fig02_shape_overhead_explodes_toward_min_heap() {
     // Paper: GC overhead rises steeply as the heap approaches the minimum.
     let spec = table3().into_iter().find(|w| w.short == "CC").unwrap();
@@ -100,32 +71,6 @@ fn fig02_shape_overhead_explodes_toward_min_heap() {
         tight > 1.5 * roomy,
         "overhead must explode toward the minimum heap: 1.0x -> {tight:.2}, 2.0x -> {roomy:.2}"
     );
-}
-
-#[test]
-fn fig17_shape_charon_saves_energy() {
-    // Paper: 60.7% average savings vs DDR4, 51.6% vs HMC.
-    let picks = ["BS", "LR"];
-    let d = run(&picks, "DDR4");
-    let c = run(&picks, "Charon");
-    for (a, b) in d.iter().zip(&c) {
-        let saved = 1.0 - b.energy.total_j() / a.energy.total_j();
-        assert!(saved > 0.4, "{}: only {saved:.2} energy saved (paper ~0.61)", a.workload);
-    }
-}
-
-#[test]
-fn fig13_shape_charon_exceeds_host_bandwidth() {
-    // Paper: Charon's usable bandwidth exceeds what either host can pull.
-    let d = &run(&["ALS"], "DDR4")[0];
-    let c = &run(&["ALS"], "Charon")[0];
-    assert!(
-        c.gc_bandwidth_gbps() > 1.5 * d.gc_bandwidth_gbps(),
-        "Charon ({:.1} GB/s) must clearly out-stream the DDR4 host ({:.1} GB/s)",
-        c.gc_bandwidth_gbps(),
-        d.gc_bandwidth_gbps()
-    );
-    assert!(c.local_ratio() > 0.3, "a sizable share of near-memory accesses stays local");
 }
 
 #[test]
