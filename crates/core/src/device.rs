@@ -404,6 +404,34 @@ struct FaultLayer {
     retries: [u64; 4],
     /// Offloads abandoned to the host path, per primitive.
     abandoned: [u64; 4],
+    /// Probe-after-N-GCs re-enable of dead units (`None` = dead forever,
+    /// the pre-rearm behavior and the default).
+    rearm_after: Option<u32>,
+    /// GC prologues seen since each unit died (rearm input).
+    gcs_since_death: [u32; 4],
+    /// Re-armed units on probation: one more watchdog strike re-kills
+    /// them instead of a full `watchdog_threshold` run.
+    probing: [bool; 4],
+}
+
+impl FaultLayer {
+    /// A layer that injects nothing: used when only the watchdog state
+    /// machine is needed (quarantine kills, re-arm probes). Zero rates
+    /// never draw from any stream, so arming this is timing-identical to
+    /// having no layer at all.
+    fn idle() -> FaultLayer {
+        FaultLayer {
+            injector: FaultInjector::new(0, FaultRates::zero()),
+            recovery: RecoveryConfig::default(),
+            consecutive: [0; 4],
+            dead: [false; 4],
+            retries: [0; 4],
+            abandoned: [0; 4],
+            rearm_after: None,
+            gcs_since_death: [0; 4],
+            probing: [false; 4],
+        }
+    }
 }
 
 /// Snapshot of the recovery layer's counters, indexed by
@@ -520,14 +548,74 @@ impl CharonDevice {
     /// not this is ever called, and [`CharonDevice::offload`] with no
     /// layer (or all rates zero) dispatches straight through.
     pub fn enable_faults(&mut self, seed: u64, rates: FaultRates, recovery: RecoveryConfig) {
-        self.faults = Some(FaultLayer {
-            injector: FaultInjector::new(seed, rates),
-            recovery,
-            consecutive: [0; 4],
-            dead: [false; 4],
-            retries: [0; 4],
-            abandoned: [0; 4],
-        });
+        let rearm_after = self.faults.as_ref().and_then(|f| f.rearm_after);
+        self.faults =
+            Some(FaultLayer { injector: FaultInjector::new(seed, rates), recovery, rearm_after, ..FaultLayer::idle() });
+    }
+
+    /// Arms (or disarms, with `None`) probe-after-N-GCs re-enable of
+    /// watchdog-dead units. Creates an inject-nothing layer if none is
+    /// armed yet, which leaves timing bit-identical.
+    pub fn set_rearm(&mut self, after_gcs: Option<u32>) {
+        self.ensure_fault_layer().rearm_after = after_gcs.filter(|&n| n > 0);
+    }
+
+    /// The armed probe interval, if any.
+    pub fn rearm_after(&self) -> Option<u32> {
+        self.faults.as_ref().and_then(|f| f.rearm_after)
+    }
+
+    /// Declares `prim`'s unit class dead, exactly as if its watchdog had
+    /// fired — the integrity layer's rung-3 quarantine path. Creates an
+    /// inject-nothing layer if none is armed yet.
+    pub fn kill_unit(&mut self, prim: PrimType) {
+        let layer = self.ensure_fault_layer();
+        let pi = prim.encode() as usize;
+        layer.consecutive[pi] = layer.consecutive[pi].max(layer.recovery.watchdog_threshold);
+        layer.dead[pi] = true;
+        layer.probing[pi] = false;
+        layer.gcs_since_death[pi] = 0;
+    }
+
+    /// GC-prologue tick for the re-arm path: every dead unit ages one GC;
+    /// those reaching the probe interval come back alive on probation
+    /// (`consecutive` parked one strike below the watchdog threshold, so a
+    /// still-broken unit re-dies after a single abandoned offload).
+    /// Returns the re-armed unit classes.
+    pub fn gc_tick(&mut self) -> Vec<PrimType> {
+        let Some(layer) = &mut self.faults else { return Vec::new() };
+        let Some(n) = layer.rearm_after else { return Vec::new() };
+        let mut rearmed = Vec::new();
+        for prim in PrimType::ALL {
+            let pi = prim.encode() as usize;
+            if layer.dead[pi] {
+                layer.gcs_since_death[pi] += 1;
+                if layer.gcs_since_death[pi] >= n {
+                    layer.dead[pi] = false;
+                    layer.probing[pi] = true;
+                    layer.consecutive[pi] = layer.recovery.watchdog_threshold.saturating_sub(1);
+                    layer.gcs_since_death[pi] = 0;
+                    rearmed.push(prim);
+                }
+            }
+        }
+        rearmed
+    }
+
+    /// Units currently on re-arm probation, indexed by
+    /// [`PrimType::encode`].
+    pub fn probing_units(&self) -> [bool; 4] {
+        match &self.faults {
+            None => [false; 4],
+            Some(f) => f.probing,
+        }
+    }
+
+    fn ensure_fault_layer(&mut self) -> &mut FaultLayer {
+        if self.faults.is_none() {
+            self.faults = Some(FaultLayer::idle());
+        }
+        self.faults.as_mut().expect("layer just ensured")
     }
 
     /// Whether a fault layer is armed.
@@ -915,6 +1003,7 @@ impl CharonDevice {
                 let done = self.dispatch(host, t, &call);
                 let layer = self.faults.as_mut().expect("fault layer armed");
                 layer.consecutive[pi] = 0;
+                layer.probing[pi] = false; // the probe survived: fully re-armed
                 layer.retries[pi] += u64::from(attempt);
                 return Ok(OffloadGrant { done, retries: attempt });
             };
@@ -929,6 +1018,8 @@ impl CharonDevice {
                 let unit_dead = layer.consecutive[pi] >= recovery.watchdog_threshold;
                 if unit_dead {
                     layer.dead[pi] = true;
+                    layer.probing[pi] = false;
+                    layer.gcs_since_death[pi] = 0;
                 }
                 return Err(OffloadAbandoned { at: observed, retries: attempt, site, unit_dead });
             }
@@ -1369,6 +1460,63 @@ mod tests {
         let c = dev.fault_counters();
         assert_eq!(c.abandoned[PrimType::Copy.encode() as usize], 3);
         assert!(c.dead[PrimType::Copy.encode() as usize]);
+    }
+
+    #[test]
+    fn rearm_probe_revives_dead_unit_after_n_gcs() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        dev.kill_unit(PrimType::Copy);
+        assert!(dev.unit_dead(PrimType::Copy));
+        dev.set_rearm(Some(2));
+        assert_eq!(dev.rearm_after(), Some(2));
+        assert!(dev.gc_tick().is_empty(), "one GC is below the probe interval");
+        assert!(dev.unit_dead(PrimType::Copy));
+        assert_eq!(dev.gc_tick(), vec![PrimType::Copy], "second GC reaches the interval");
+        assert!(!dev.unit_dead(PrimType::Copy));
+        assert!(dev.probing_units()[PrimType::Copy.encode() as usize]);
+        // A surviving probe offload takes the unit off probation.
+        dev.offload(&mut host, Ps::ZERO, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+            .expect("no faults armed, the probe must survive");
+        assert!(!dev.probing_units()[PrimType::Copy.encode() as usize]);
+        assert!(dev.gc_tick().is_empty(), "nothing left to re-arm");
+    }
+
+    #[test]
+    fn rearmed_probe_redies_on_a_single_strike() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        // Unit permanently wedged: the probe after re-arm must fail too.
+        dev.enable_faults(
+            7,
+            FaultRates::only(FaultSite::Unit, 1.0),
+            RecoveryConfig { retry_budget: 0, watchdog_threshold: 3, ..RecoveryConfig::default() },
+        );
+        dev.kill_unit(PrimType::Copy);
+        dev.set_rearm(Some(1));
+        assert_eq!(dev.gc_tick(), vec![PrimType::Copy]);
+        // One more abandonment — not watchdog_threshold of them — re-kills.
+        let e = dev
+            .offload(&mut host, Ps::ZERO, OffloadCall::Copy { src: VAddr(0), dst: VAddr(0x8000), bytes: 256 })
+            .expect_err("wedged unit fails its probe");
+        assert!(e.unit_dead, "a probing unit dies on its first strike");
+        assert!(dev.unit_dead(PrimType::Copy));
+        assert!(!dev.probing_units()[PrimType::Copy.encode() as usize]);
+        // The probe cycle restarts: it comes back again next GC.
+        assert_eq!(dev.gc_tick(), vec![PrimType::Copy]);
+    }
+
+    #[test]
+    fn rearm_zero_disarms_and_unarmed_ticks_are_noops() {
+        let (_, mut dev) = setup(Placement::MemorySide);
+        assert!(dev.gc_tick().is_empty(), "no fault layer: tick is a no-op");
+        dev.kill_unit(PrimType::Search);
+        assert!(dev.gc_tick().is_empty(), "dead unit without --rearm stays dead");
+        dev.set_rearm(Some(0));
+        assert_eq!(dev.rearm_after(), None, "interval 0 means disarmed");
+        dev.set_rearm(Some(1));
+        dev.set_rearm(None);
+        assert_eq!(dev.rearm_after(), None);
+        assert!(dev.gc_tick().is_empty());
+        assert!(dev.unit_dead(PrimType::Search));
     }
 
     #[test]

@@ -817,6 +817,29 @@ mod tests {
     }
 
     #[test]
+    fn rearmed_probing_unit_passes_the_clamp() {
+        let mut sys = System::charon();
+        let dev = sys.device.as_mut().expect("Charon has a device");
+        dev.kill_unit(PrimType::Copy);
+        sys.offload.set(PrimType::Copy, false);
+        // While dead, the clamp strips Copy from whatever the policy asks.
+        let mut ctl = Controller::new(Box::new(Static { mask: OffloadMask::all() }));
+        ctl.decide(&mut sys, None, None, GcKind::Minor, Ps::ZERO);
+        assert!(!sys.offload.copy, "dead Copy unit must stay clamped off");
+        assert_eq!(ctl.journal.decisions[0].unit_dead, [true, false, false, false]);
+        // Re-arm: after the probe interval the unit reports healthy again,
+        // so the very next decide() lets the requested mask through whole.
+        sys.set_rearm(1);
+        sys.gc_rearm_tick(Ps::ZERO);
+        assert_eq!(sys.unit_health(), [false; 4], "a probing unit is not dead");
+        assert!(sys.device.as_ref().unwrap().probing_units()[0]);
+        ctl.decide(&mut sys, None, None, GcKind::Minor, Ps::ZERO);
+        assert_eq!(sys.offload, OffloadMask::all(), "probe passes the clamp");
+        assert_eq!(ctl.journal.decisions[1].unit_dead, [false; 4]);
+        assert_eq!(sys.recovery.rearmed, [1, 0, 0, 0]);
+    }
+
+    #[test]
     fn journal_json_round_trips_and_counts_switches() {
         let mut j = DecisionJournal::default();
         for (i, mask) in [OffloadMask::all(), OffloadMask::all(), OffloadMask::none()]

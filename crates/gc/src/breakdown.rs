@@ -60,10 +60,18 @@ impl fmt::Display for Bucket {
 /// Per-primitive display names in wire-encoding order (`PrimType::ALL`).
 const PRIM_NAMES: [&str; 4] = ["Copy", "Search", "Scan&Push", "Bitmap Count"];
 
+/// Corruption-site display names in [`charon_sim::faults::CorruptionSite`]
+/// index order (bitmap=0, forward=1, card=2, payload=3).
+const SITE_NAMES: [&str; 4] = ["bitmap", "forward", "card", "payload"];
+
 /// Offload-recovery accounting under fault injection, indexed by the
 /// primitive's wire encoding (Copy=0, Search=1, Scan&Push=2, Bitmap
 /// Count=3). All zero outside fault campaigns — the zero value is what
 /// keeps fault-free logs byte-identical to the pre-fault-layer output.
+///
+/// The corruption tier (PR 7) adds per-site integrity counters indexed by
+/// [`charon_sim::faults::CorruptionSite::index`]; they stay zero — and
+/// keep the JSON/Display shapes unchanged — unless corruption is injected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoverySummary {
     /// Offload re-issues beyond each request's first attempt.
@@ -74,14 +82,68 @@ pub struct RecoverySummary {
     /// Primitives the watchdog declared dead, clearing their offload-mask
     /// bit for the rest of the run (graceful degradation).
     pub degraded: [bool; 4],
+    /// Corruptions injected into primitive outputs, per site.
+    pub corrupt_injected: [u64; 4],
+    /// Injected corruptions the integrity layer caught, per site.
+    pub corrupt_detected: [u64; 4],
+    /// Detected corruptions the repair ladder fixed, per site.
+    pub corrupt_repaired: [u64; 4],
+    /// Injected corruptions the detection checks passed over because the
+    /// damaged bits are provably dead (e.g. age bits of a forwarded
+    /// header), per site.
+    pub corrupt_benign: [u64; 4],
+    /// Repairs by ladder rung: [re-execute+patch, bounded re-mark,
+    /// quarantine].
+    pub repair_rungs: [u64; 3],
+    /// Heap extents quarantined by rung 3.
+    pub quarantined_extents: u64,
+    /// Watchdog-dead unit classes re-armed by the probe path, per
+    /// primitive.
+    pub rearmed: [u64; 4],
 }
 
 impl RecoverySummary {
-    /// True when nothing was retried, abandoned, or degraded.
+    /// True when nothing was retried, abandoned, degraded, corrupted, or
+    /// re-armed.
     pub fn is_empty(&self) -> bool {
         self.retries.iter().all(|&r| r == 0)
             && self.fallbacks.iter().all(|&f| f == 0)
             && !self.degraded.iter().any(|&d| d)
+            && !self.has_corruption()
+            && self.rearmed.iter().all(|&r| r == 0)
+    }
+
+    /// True when any corruption-tier counter is nonzero.
+    pub fn has_corruption(&self) -> bool {
+        self.corrupt_injected.iter().any(|&v| v > 0)
+            || self.corrupt_detected.iter().any(|&v| v > 0)
+            || self.corrupt_repaired.iter().any(|&v| v > 0)
+            || self.corrupt_benign.iter().any(|&v| v > 0)
+            || self.repair_rungs.iter().any(|&v| v > 0)
+            || self.quarantined_extents > 0
+    }
+
+    /// Total corruptions injected across sites.
+    pub fn total_injected(&self) -> u64 {
+        self.corrupt_injected.iter().sum()
+    }
+
+    /// Total corruptions detected across sites.
+    pub fn total_detected(&self) -> u64 {
+        self.corrupt_detected.iter().sum()
+    }
+
+    /// Total corruptions repaired across sites.
+    pub fn total_repaired(&self) -> u64 {
+        self.corrupt_repaired.iter().sum()
+    }
+
+    /// Injected corruptions neither detected nor provably benign — the
+    /// silent-corruption count the chaos campaign reports (must be zero
+    /// with the shadow oracle on).
+    pub fn escaped(&self) -> u64 {
+        self.total_injected()
+            .saturating_sub(self.total_detected() + self.corrupt_benign.iter().sum::<u64>())
     }
 
     /// Total re-issues across primitives.
@@ -106,7 +168,7 @@ impl RecoverySummary {
                     .collect::<Vec<_>>(),
             )
         };
-        Json::obj(vec![
+        let mut fields = vec![
             ("retries", per_prim(&self.retries)),
             ("fallbacks", per_prim(&self.fallbacks)),
             (
@@ -121,7 +183,45 @@ impl RecoverySummary {
             ),
             ("total_retries", Json::U64(self.total_retries())),
             ("total_fallbacks", Json::U64(self.total_fallbacks())),
-        ])
+        ];
+        // The corruption-tier and re-arm keys appear only when nonzero so
+        // fault-free JSON stays byte-identical to the committed baselines.
+        if self.has_corruption() {
+            let per_site = |vals: &[u64; 4]| {
+                Json::obj(
+                    SITE_NAMES
+                        .iter()
+                        .zip(vals)
+                        .map(|(n, &v)| (n.to_string(), Json::U64(v)))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            fields.push((
+                "corruption",
+                Json::obj(vec![
+                    ("injected", per_site(&self.corrupt_injected)),
+                    ("detected", per_site(&self.corrupt_detected)),
+                    ("repaired", per_site(&self.corrupt_repaired)),
+                    ("benign", per_site(&self.corrupt_benign)),
+                    ("repair_rungs", Json::Arr(self.repair_rungs.iter().map(|&r| Json::U64(r)).collect())),
+                    ("quarantined_extents", Json::U64(self.quarantined_extents)),
+                    ("escaped", Json::U64(self.escaped())),
+                ]),
+            ));
+        }
+        if self.rearmed.iter().any(|&r| r > 0) {
+            fields.push((
+                "rearmed",
+                Json::obj(
+                    PRIM_NAMES
+                        .iter()
+                        .zip(&self.rearmed)
+                        .map(|(n, &v)| (n.to_string(), Json::U64(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// The change from `before` to `self`. Counters subtract; degradation
@@ -133,7 +233,16 @@ impl RecoverySummary {
             out.retries[i] = self.retries[i] - before.retries[i];
             out.fallbacks[i] = self.fallbacks[i] - before.fallbacks[i];
             out.degraded[i] = self.degraded[i] && !before.degraded[i];
+            out.corrupt_injected[i] = self.corrupt_injected[i] - before.corrupt_injected[i];
+            out.corrupt_detected[i] = self.corrupt_detected[i] - before.corrupt_detected[i];
+            out.corrupt_repaired[i] = self.corrupt_repaired[i] - before.corrupt_repaired[i];
+            out.corrupt_benign[i] = self.corrupt_benign[i] - before.corrupt_benign[i];
+            out.rearmed[i] = self.rearmed[i] - before.rearmed[i];
         }
+        for i in 0..3 {
+            out.repair_rungs[i] = self.repair_rungs[i] - before.repair_rungs[i];
+        }
+        out.quarantined_extents = self.quarantined_extents - before.quarantined_extents;
         out
     }
 }
@@ -146,7 +255,16 @@ impl Add for RecoverySummary {
             out.retries[i] += rhs.retries[i];
             out.fallbacks[i] += rhs.fallbacks[i];
             out.degraded[i] |= rhs.degraded[i];
+            out.corrupt_injected[i] += rhs.corrupt_injected[i];
+            out.corrupt_detected[i] += rhs.corrupt_detected[i];
+            out.corrupt_repaired[i] += rhs.corrupt_repaired[i];
+            out.corrupt_benign[i] += rhs.corrupt_benign[i];
+            out.rearmed[i] += rhs.rearmed[i];
         }
+        for i in 0..3 {
+            out.repair_rungs[i] += rhs.repair_rungs[i];
+        }
+        out.quarantined_extents += rhs.quarantined_extents;
         out
     }
 }
@@ -187,6 +305,38 @@ impl fmt::Display for RecoverySummary {
                 .collect::<Vec<_>>()
                 .join(",");
             parts.push(format!("degraded[{dead}]"));
+        }
+        if self.total_injected() > 0 {
+            let join = |vals: &[u64; 4]| {
+                vals.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > 0)
+                    .map(|(i, v)| format!("{}={v}", SITE_NAMES[i]))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            parts.push(format!(
+                "corruption[injected {}; detected {}/{}; repaired {}; escaped {}]",
+                join(&self.corrupt_injected),
+                self.total_detected(),
+                self.total_injected(),
+                self.total_repaired(),
+                self.escaped()
+            ));
+        }
+        if self.quarantined_extents > 0 {
+            parts.push(format!("quarantined[{}]", self.quarantined_extents));
+        }
+        if self.rearmed.iter().any(|&r| r > 0) {
+            let armed = self
+                .rearmed
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0)
+                .map(|(i, _)| PRIM_NAMES[i])
+                .collect::<Vec<_>>()
+                .join(",");
+            parts.push(format!("rearmed[{armed}]"));
         }
         f.write_str(&parts.join(" "))
     }
@@ -434,6 +584,60 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("recovery:"), "{s}");
         assert!(s.contains("Scan&Push=5"), "{s}");
+    }
+
+    #[test]
+    fn corruption_counters_fold_delta_and_display() {
+        let mut after = RecoverySummary::default();
+        after.corrupt_injected[0] = 4; // bitmap
+        after.corrupt_detected[0] = 4;
+        after.corrupt_repaired[0] = 4;
+        after.corrupt_injected[1] = 3; // forward
+        after.corrupt_detected[1] = 2;
+        after.corrupt_benign[1] = 1;
+        after.corrupt_repaired[1] = 2;
+        after.repair_rungs[0] = 2;
+        after.repair_rungs[1] = 4;
+        after.quarantined_extents = 1;
+        after.rearmed[2] = 1;
+        let mut before = RecoverySummary::default();
+        before.corrupt_injected[0] = 1;
+        before.corrupt_detected[0] = 1;
+        before.corrupt_repaired[0] = 1;
+        let d = after.since(before);
+        assert_eq!(d.corrupt_injected[0], 3);
+        assert_eq!(d.corrupt_detected[0], 3);
+        assert_eq!(d.corrupt_repaired[1], 2);
+        assert_eq!(d.escaped(), 0, "detected + benign covers every injection");
+        assert_eq!(d.quarantined_extents, 1);
+        assert_eq!(d.rearmed[2], 1);
+        let sum = d + before;
+        assert_eq!(sum.corrupt_injected[0], 4);
+        assert_eq!(sum.repair_rungs, after.repair_rungs);
+        let s = after.to_string();
+        assert!(s.contains("corruption[injected bitmap=4,forward=3"), "{s}");
+        assert!(s.contains("detected 6/7"), "{s}");
+        assert!(s.contains("escaped 0"), "{s}");
+        assert!(s.contains("quarantined[1]"), "{s}");
+        assert!(s.contains("rearmed[Scan&Push]"), "{s}");
+        assert!(!after.is_empty());
+    }
+
+    #[test]
+    fn corruption_json_keys_appear_only_when_nonzero() {
+        let clean = RecoverySummary::default();
+        let j = clean.to_json();
+        assert!(j.get("corruption").is_none(), "zero-state JSON must not grow new keys");
+        assert!(j.get("rearmed").is_none());
+        let mut hot = RecoverySummary::default();
+        hot.corrupt_injected[3] = 2;
+        hot.corrupt_detected[3] = 1;
+        hot.rearmed[0] = 1;
+        let j = hot.to_json();
+        let c = j.get("corruption").expect("corruption key present when nonzero");
+        assert_eq!(c.get("injected").and_then(|v| v.get("payload")).and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(c.get("escaped").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(j.get("rearmed").and_then(|v| v.get("Copy")).and_then(|v| v.as_u64()), Some(1));
     }
 
     #[test]

@@ -184,6 +184,10 @@ impl Collector {
             self.sys.traces.push(crate::trace::GcTrace::default());
         }
         self.sys.collection_seq = self.events.len() as u64;
+        // Re-arm prologue: watchdog-dead units that have sat out enough
+        // collections come back in probe mode — before the adaptive
+        // controller looks at unit health, so it sees the restored mask.
+        self.sys.gc_rearm_tick(self.now);
         // Adaptive-offload prologue: the controller (taken out of `self`
         // so it can borrow the rest) re-decides the mask before any
         // collection work is timed.

@@ -44,6 +44,7 @@ pub mod collector;
 pub mod costs;
 pub mod g1lite;
 pub mod gclog;
+pub mod integrity;
 pub mod major;
 pub mod marksweep;
 pub mod minor;

@@ -185,6 +185,18 @@ pub fn major_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         threads.advance(0, end, false);
         threads.barrier();
     }
+    // End-of-mark integrity sweep: the summary phase trusts bitmap
+    // population counts, so any bitmap damage must be found (and the
+    // extents rebuilt from the still-honest headers) before it runs.
+    {
+        let now = threads.clock(0);
+        let end = crate::integrity::verify_marks(sys, heap, 0, now);
+        if end > now {
+            bd.record(Bucket::Other, end - now);
+            threads.advance(0, end, false);
+        }
+        threads.barrier();
+    }
 
     let p3 = threads.max_clock();
     let plan = summary_phase(sys, heap, threads, &mut bd, &mut st, cores);
@@ -254,13 +266,19 @@ pub(crate) fn mark_phase(
         bd.record(Bucket::Other, end - now);
         threads.advance(t, end, true);
         if !r.is_null() && object::mark_state(&heap.mem, r) != MarkState::Marked {
-            mark_one(heap, r);
+            let size = mark_one(heap, r);
             st.marked_objects += 1;
             let now = threads.clock(t);
             let s = stack.push(r);
             let end = sys.host_op(t % cores, now, sys.costs.push, &[(r, AccessKind::Write), (s, AccessKind::Write)]);
             bd.record(Bucket::Push, end - now);
             threads.advance(t, end, true);
+            let now = threads.clock(t);
+            let iend = crate::integrity::after_mark(sys, heap, t % cores, now, r, size);
+            if iend > now {
+                bd.record(Bucket::Other, iend - now);
+                threads.advance(t, iend, true);
+            }
         }
     }
 
@@ -280,6 +298,7 @@ pub(crate) fn mark_phase(
         // Weak referent of an InstanceRef holder: discovered, not marked.
         let weak_slot = (kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
         let mut refs = Vec::new();
+        let mut marked: Vec<(VAddr, u64)> = Vec::new();
         for s in &slots {
             if weak_slot == Some(*s) {
                 discovered.push(*s);
@@ -292,10 +311,10 @@ pub(crate) fn mark_phase(
             if object::mark_state(&heap.mem, v) == MarkState::Marked {
                 refs.push(ScanRef { referent: v, action: ScanAction::None });
             } else {
-                mark_one(heap, v);
+                let size = mark_one(heap, v);
                 st.marked_objects += 1;
                 let pushed = stack.push(v);
-                let size = heap.obj_size_words(v);
+                marked.push((v, size));
                 refs.push(ScanRef {
                     referent: v,
                     action: ScanAction::MarkAndPush {
@@ -313,16 +332,29 @@ pub(crate) fn mark_phase(
         let end = sys.prim_scan_push(t % cores, now, fields_start, field_bytes, &refs, hw);
         bd.record(Bucket::ScanPush, end - now);
         threads.advance(t, end, !offloaded(sys, hw));
+        if !marked.is_empty() {
+            let now = threads.clock(t);
+            let mut iend = now;
+            for (obj, size) in marked {
+                iend = crate::integrity::after_mark(sys, heap, t % cores, iend, obj, size);
+            }
+            if iend > now {
+                bd.record(Bucket::ScanPush, iend - now);
+                threads.advance(t, iend, true);
+            }
+        }
     }
     discovered
 }
 
-/// Marks one object: header state + begin/end bitmap bits.
-fn mark_one(heap: &mut JavaHeap, obj: VAddr) {
+/// Marks one object: header state + begin/end bitmap bits. Returns the
+/// object's size in words (already decoded for the end-bit placement).
+fn mark_one(heap: &mut JavaHeap, obj: VAddr) -> u64 {
     object::set_marked(&mut heap.mem, obj);
     let size = heap.obj_size_words(obj);
     let (beg, end) = (*heap.beg_map(), *heap.end_map());
     mark_object(&mut heap.mem, &beg, &end, obj, size);
+    size
 }
 
 fn summary_phase(
@@ -537,6 +569,18 @@ fn compact_phase(
                 let end = sys.prim_copy(t % cores, now, src, dst, words * 8);
                 bd.record(Bucket::Copy, end - now);
                 threads.advance(t, end, !offloaded(sys, true));
+                // Integrity check of the copied payload — only when the run
+                // did not overlap its source (a memmove-down overlap
+                // destroys the source words the check and any rung-1
+                // re-copy would need).
+                if dst.add_words(words) <= src {
+                    let now = threads.clock(t);
+                    let iend = crate::integrity::after_copy(sys, heap, t % cores, now, src, dst, words);
+                    if iend > now {
+                        bd.record(Bucket::Copy, iend - now);
+                        threads.advance(t, iend, true);
+                    }
+                }
             }
         }
     };
@@ -626,6 +670,8 @@ fn epilogue(
         bd.record(Bucket::Other, end - start);
         threads.advance(t, end, true);
     }
+    // The bitmaps are empty again: reset the per-extent checksum folds.
+    crate::integrity::note_bitmap_clear(sys);
 }
 
 #[cfg(test)]

@@ -148,6 +148,7 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         let v = heap.read_ref(slot);
         let t = threads.least_loaded();
         let now = threads.clock(t);
+        let mut dirtied = false;
         if !v.is_null() && heap.in_young(v) {
             if object::mark_state(&heap.mem, v) == MarkState::Forwarded {
                 let fwd = object::forwarding(&heap.mem, v);
@@ -155,6 +156,7 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
                 if heap.in_old(slot) && heap.in_young(fwd) {
                     let ct = *heap.cards();
                     ct.dirty(&mut heap.mem, slot);
+                    dirtied = true;
                 }
             } else {
                 heap.write_ref(slot, VAddr::NULL);
@@ -164,6 +166,15 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         let end = sys.host_op(t % cores, now, 10, &[(slot, AccessKind::Write)]);
         bd.record(Bucket::Other, end - now);
         threads.advance(t, end, true);
+        if dirtied {
+            let now = threads.clock(t);
+            let card = heap.cards().card_addr(slot);
+            let end = crate::integrity::after_card_dirty(sys, heap, t % cores, now, card);
+            if end > now {
+                bd.record(Bucket::Other, end - now);
+                threads.advance(t, end, true);
+            }
+        }
     }
 
     let p4 = threads.max_clock();
@@ -293,11 +304,21 @@ fn process_slot(
             dirty_card.push((heap.cards().card_addr(slot), AccessKind::Write));
         }
         let now = threads.clock(t);
+        let dirtied = !dirty_card.is_empty();
         let mut acc = vec![(slot, AccessKind::Write)];
         acc.extend(dirty_card);
         let end = sys.host_op(t % cores, now, 6, &acc);
         bd.record(Bucket::Other, end - now);
         threads.advance(t, end, true);
+        if dirtied {
+            let now = threads.clock(t);
+            let card = heap.cards().card_addr(slot);
+            let end = crate::integrity::after_card_dirty(sys, heap, t % cores, now, card);
+            if end > now {
+                bd.record(Bucket::Other, end - now);
+                threads.advance(t, end, true);
+            }
+        }
         return;
     }
 
@@ -350,6 +371,21 @@ fn process_slot(
             sys.host_op(t % cores, now, sys.costs.copy_fixup, &[(r, AccessKind::Write), (slot, AccessKind::Write)]);
         bd.record(Bucket::Copy, end - now);
         threads.advance(t, end, true);
+        // Integrity: the Copy unit's outputs — the evacuated payload, the
+        // forwarding word, and the re-dirtied card — are checked (and, on
+        // damage, repaired) right after the primitive completes, before
+        // Scan&Push reads the new copy's klass word.
+        let now = threads.clock(t);
+        let mut iend = crate::integrity::after_copy(sys, heap, t % cores, now, r, dest, size);
+        iend = crate::integrity::after_forward(sys, heap, t % cores, iend, r, dest, age);
+        if heap.in_old(slot) && !promoted {
+            let card = heap.cards().card_addr(slot);
+            iend = crate::integrity::after_card_dirty(sys, heap, t % cores, iend, card);
+        }
+        if iend > now {
+            bd.record(Bucket::Copy, iend - now);
+            threads.advance(t, iend, true);
+        }
     }
 
     // Scan&Push the new copy's fields.
@@ -362,6 +398,7 @@ fn process_slot(
     // reference field) is weak — discover it instead of scavenging it.
     let weak_slot = (klass_kind == charon_heap::klass::KlassKind::InstanceRef).then(|| slots[0]);
     let mut refs = Vec::new();
+    let mut scan_cards = Vec::new();
     for s in &slots {
         if weak_slot == Some(*s) {
             discovered.push(*s);
@@ -379,6 +416,7 @@ fn process_slot(
                     let ct = *heap.cards();
                     ct.dirty(&mut heap.mem, *s);
                 }
+                scan_cards.push(heap.cards().card_addr(*s));
                 refs.push(ScanRef {
                     referent: v,
                     action: ScanAction::UpdateFieldAndCard { field_slot: *s, card_addr: heap.cards().card_addr(*s) },
@@ -398,4 +436,16 @@ fn process_slot(
     let end = sys.prim_scan_push(t % cores, now, fields_start, field_bytes, &refs, hw);
     bd.record(Bucket::ScanPush, end - now);
     threads.advance(t, end, !offloaded(sys, hw));
+    // Integrity: cards the scan actions dirtied are checked post-primitive.
+    if !scan_cards.is_empty() {
+        let now = threads.clock(t);
+        let mut iend = now;
+        for card in scan_cards {
+            iend = crate::integrity::after_card_dirty(sys, heap, t % cores, iend, card);
+        }
+        if iend > now {
+            bd.record(Bucket::ScanPush, iend - now);
+            threads.advance(t, iend, true);
+        }
+    }
 }

@@ -15,7 +15,7 @@ use charon_heap::addr::VAddr;
 use charon_sim::cache::AccessKind;
 use charon_sim::config::{MemPlatform, SystemConfig};
 use charon_sim::energy::{EnergyModel, EnergyParams};
-use charon_sim::faults::{FaultRates, RecoveryConfig};
+use charon_sim::faults::{CorruptionRates, FaultRates, RecoveryConfig};
 use charon_sim::host::HostTiming;
 use charon_sim::profile::{Channel, Profiler};
 use charon_sim::telemetry::{Event, Telemetry};
@@ -195,6 +195,10 @@ pub struct System {
     /// Ordinal of the collection currently in flight (set by the
     /// collector); used only to tag telemetry phase events.
     pub collection_seq: u64,
+    /// The silent-corruption injection + detection + repair layer
+    /// ([`crate::integrity`]); `None` (one branch per hook) outside chaos
+    /// campaigns.
+    pub integrity: Option<Box<crate::integrity::IntegrityState>>,
 }
 
 impl System {
@@ -248,6 +252,7 @@ impl System {
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
             collection_seq: 0,
+            integrity: None,
             cfg,
         }
     }
@@ -437,6 +442,60 @@ impl System {
             .as_mut()
             .expect("fault injection requires an offloading backend")
             .enable_faults(seed, rates, recovery);
+    }
+
+    /// Arms the silent-corruption layer: seeded bit flips at the four
+    /// offload-output sites, the checksum/read-back detectors, and the
+    /// repair ladder (see [`crate::integrity`]). Works on any backend —
+    /// sites only inject while their primitive actually offloads. Zero
+    /// rates with the layer armed stay bit-identical to an unarmed run.
+    pub fn enable_integrity(&mut self, seed: u64, rates: CorruptionRates, config: crate::integrity::IntegrityConfig) {
+        self.integrity = Some(Box::new(crate::integrity::IntegrityState::new(seed, rates, config)));
+    }
+
+    /// Whether `prim` currently ships to a device unit (offloading backend,
+    /// mask bit set). The corruption model only distrusts unit-written
+    /// outputs, so injection sites gate on this.
+    pub fn prim_offloads(&self, prim: PrimType) -> bool {
+        matches!(self.backend, Backend::Charon | Backend::CpuSideCharon) && self.offload.get(prim)
+    }
+
+    /// Host-software re-execution of a corrupted *Copy* — the repair
+    /// ladder's rung 1. Charges exactly the host fallback path's time.
+    pub fn repair_copy(&mut self, core: usize, now: Ps, src: VAddr, dst: VAddr, bytes: u64) -> Ps {
+        self.host_copy(core, now, src, dst, bytes)
+    }
+
+    /// Arms probe-after-N-GCs re-enable of watchdog-dead units. No-op on
+    /// backends without a device.
+    pub fn set_rearm(&mut self, after_gcs: u32) {
+        if let Some(dev) = &mut self.device {
+            dev.set_rearm(Some(after_gcs));
+        }
+    }
+
+    /// GC-prologue tick for the re-arm path: units dead long enough come
+    /// back as probes — their offload-mask bits are restored, the
+    /// degradation flag clears, and the integrity layer's strike counters
+    /// for the unit's sites reset so a still-bad unit earns a fresh
+    /// quarantine (one more strike re-kills it at the watchdog).
+    pub fn gc_rearm_tick(&mut self, now: Ps) {
+        let Some(dev) = &mut self.device else { return };
+        let rearmed = dev.gc_tick();
+        if rearmed.is_empty() {
+            return;
+        }
+        let gcs = dev.rearm_after().unwrap_or(0);
+        for prim in rearmed {
+            self.offload.set(prim, true);
+            let pi = prim.encode() as usize;
+            self.recovery.rearmed[pi] += 1;
+            self.recovery.degraded[pi] = false;
+            if let Some(st) = &mut self.integrity {
+                st.rearm_prim(prim);
+            }
+            self.telemetry.record(|| Event::Rearm { prim: prim.name(), at: now, gcs });
+        }
     }
 
     /// Ships one offload through the device's fault-aware entry point.

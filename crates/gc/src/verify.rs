@@ -32,19 +32,38 @@ pub struct ReachableStats {
     pub edges: u64,
 }
 
-/// A reachable reference escaped the heap: the walk found `addr` on the
-/// reachable graph but neither generation contains it. Returned by
-/// [`try_graph_signature`] so fault campaigns can report the offending
-/// address instead of unwinding mid-verdict.
+/// Why [`try_graph_signature`] rejected the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The reachable reference points outside both generations.
+    OutsideHeap,
+    /// The object's header names a klass that was never registered.
+    InvalidKlass,
+    /// The object's decoded size runs past the end of the heap.
+    SizeOutOfBounds,
+}
+
+/// A reachable object is damaged: the walk found `addr` on the reachable
+/// graph but cannot traverse it. Returned by [`try_graph_signature`] so
+/// fault campaigns can report the offending address instead of unwinding
+/// mid-verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorruptGraph {
-    /// The reachable reference that points outside the heap.
+    /// The reachable address the walk choked on.
     pub addr: VAddr,
+    /// What was wrong with it.
+    pub kind: CorruptKind,
 }
 
 impl fmt::Display for CorruptGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "reachable reference {} points outside the heap", self.addr)
+        match self.kind {
+            CorruptKind::OutsideHeap => write!(f, "reachable reference {} points outside the heap", self.addr),
+            CorruptKind::InvalidKlass => write!(f, "reachable object {} has an unregistered klass", self.addr),
+            CorruptKind::SizeOutOfBounds => {
+                write!(f, "reachable object {} decodes a size escaping the heap", self.addr)
+            }
+        }
     }
 }
 
@@ -55,7 +74,8 @@ impl std::error::Error for CorruptGraph {}
 /// # Panics
 ///
 /// Panics if a reachable reference points outside the heap or at an
-/// object with an invalid klass — i.e. the heap is corrupt.
+/// object with an invalid klass or impossible size — i.e. the heap is
+/// corrupt.
 pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
     match try_graph_signature(heap) {
         Ok(sig) => sig,
@@ -63,10 +83,11 @@ pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
     }
 }
 
-/// Like [`graph_signature`], but reports a reachable reference that
-/// escaped the heap as an error instead of panicking. (An invalid klass
-/// on a reachable object still panics — that is heap-internal state the
-/// walk cannot step over.)
+/// Like [`graph_signature`], but reports a damaged reachable object — a
+/// reference escaping the heap, an unregistered klass id, a size running
+/// off the end of the heap — as a [`CorruptGraph`] error instead of
+/// panicking, so corruption campaigns get a verdict rather than an
+/// unwind.
 pub fn try_graph_signature(heap: &JavaHeap) -> Result<(u64, ReachableStats), CorruptGraph> {
     let mut ids: HashMap<u64, u64> = HashMap::new();
     let mut order = Vec::new();
@@ -88,7 +109,20 @@ pub fn try_graph_signature(heap: &JavaHeap) -> Result<(u64, ReachableStats), Cor
     // BFS.
     while let Some(obj) = queue.pop_front() {
         if !(heap.in_young(obj) || heap.in_old(obj)) {
-            return Err(CorruptGraph { addr: obj });
+            return Err(CorruptGraph { addr: obj, kind: CorruptKind::OutsideHeap });
+        }
+        if heap.klasses().try_get(object::klass_id(&heap.mem, obj)).is_none() {
+            return Err(CorruptGraph { addr: obj, kind: CorruptKind::InvalidKlass });
+        }
+        let size = heap.obj_size_words(obj);
+        let last_in_heap = size
+            .checked_sub(1)
+            .and_then(|w| w.checked_mul(8))
+            .and_then(|b| obj.0.checked_add(b))
+            .map(VAddr)
+            .is_some_and(|last| heap.in_young(last) || heap.in_old(last));
+        if !last_in_heap {
+            return Err(CorruptGraph { addr: obj, kind: CorruptKind::SizeOutOfBounds });
         }
         for slot in heap.ref_slots(obj) {
             let v = heap.read_ref(slot);
@@ -183,6 +217,138 @@ pub fn reachable_bytes(heap: &JavaHeap) -> u64 {
         }
     }
     bytes
+}
+
+/// One failed cross-check between an offload primitive's output
+/// structures and the ground-truth object headers. The per-primitive
+/// incremental checks live in [`crate::integrity`]; these whole-heap
+/// oracles are the slow, independent second opinion the chaos tests and
+/// proptests call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossCheckFailure {
+    /// The begin-bitmap population of a space disagrees with the count of
+    /// header-Marked objects in it.
+    BitmapPopulation {
+        /// Start of the checked range.
+        range_start: VAddr,
+        /// Set begin bits found in the range.
+        bits: u64,
+        /// Header-Marked objects found in the range.
+        marked: u64,
+    },
+    /// An object header carries the impossible mark state `0b11`.
+    BadMarkState {
+        /// The object.
+        obj: VAddr,
+    },
+    /// A forwarded header's target lies outside both generations.
+    ForwardingOutOfBounds {
+        /// The forwarded object.
+        obj: VAddr,
+        /// The decoded (bogus) target.
+        target: VAddr,
+    },
+    /// An old→young reference sits on a clean card: the remembered set
+    /// and the card table disagree.
+    CardDisagreement {
+        /// The old holder.
+        holder: VAddr,
+        /// The slot with the young reference.
+        slot: VAddr,
+    },
+}
+
+impl fmt::Display for CrossCheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossCheckFailure::BitmapPopulation { range_start, bits, marked } => {
+                write!(f, "range at {range_start}: {bits} begin bits vs {marked} marked headers")
+            }
+            CrossCheckFailure::BadMarkState { obj } => write!(f, "object {obj} has impossible mark state 0b11"),
+            CrossCheckFailure::ForwardingOutOfBounds { obj, target } => {
+                write!(f, "object {obj} forwards outside the heap: {target}")
+            }
+            CrossCheckFailure::CardDisagreement { holder, slot } => {
+                write!(f, "old→young reference at {slot} (holder {holder}) with a clean card")
+            }
+        }
+    }
+}
+
+/// The used ranges of every space, in address order.
+fn spaces(heap: &JavaHeap) -> [charon_heap::addr::VRange; 3] {
+    [heap.old().used_region(), heap.eden().used_region(), heap.from_space().used_region()]
+}
+
+/// Decodes a possibly-corrupt mark word without tripping the
+/// `mark_state` panic on state `0b11`.
+fn raw_state(heap: &JavaHeap, obj: VAddr) -> u64 {
+    heap.mem.read_word(obj) & object::STATE_MASK
+}
+
+/// Cross-checks the begin-bitmap population count of every used range
+/// against the number of header-Marked objects in it — the
+/// "did Scan&Push's bitmap writes survive" oracle, meaningful at the end
+/// of a mark phase (on a quiescent heap both counts are zero).
+pub fn cross_check_bitmap(heap: &JavaHeap) -> Vec<CrossCheckFailure> {
+    let mut out = Vec::new();
+    for range in spaces(heap) {
+        if range.is_empty() {
+            continue;
+        }
+        let bits = heap.beg_map().count_range(&heap.mem, range.start, range.end);
+        let mut marked = 0u64;
+        for (obj, _) in heap.walk_objects_sized(range.start, range.end) {
+            match raw_state(heap, obj) {
+                object::STATE_MARKED => marked += 1,
+                0b11 => out.push(CrossCheckFailure::BadMarkState { obj }),
+                _ => {}
+            }
+        }
+        if bits != marked {
+            out.push(CrossCheckFailure::BitmapPopulation { range_start: range.start, bits, marked });
+        }
+    }
+    out
+}
+
+/// Cross-checks every forwarded header's target against the heap bounds —
+/// the "did Copy's forwarding install survive" oracle, meaningful while a
+/// scavenge is in flight (on a quiescent heap no header is forwarded).
+pub fn cross_check_forwarding(heap: &JavaHeap) -> Vec<CrossCheckFailure> {
+    let mut out = Vec::new();
+    for range in spaces(heap) {
+        for (obj, _) in heap.walk_objects_sized(range.start, range.end) {
+            match raw_state(heap, obj) {
+                object::STATE_FORWARDED => {
+                    let target = VAddr((heap.mem.read_word(obj) >> object::FWD_SHIFT) * 8);
+                    if !(heap.in_young(target) || heap.in_old(target)) {
+                        out.push(CrossCheckFailure::ForwardingOutOfBounds { obj, target });
+                    }
+                }
+                0b11 => out.push(CrossCheckFailure::BadMarkState { obj }),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks card/remembered-set agreement: every old→young reference
+/// must sit on a dirty card, or the next scavenge silently loses the
+/// referent — the "did Search's card maintenance survive" oracle.
+pub fn cross_check_cards(heap: &JavaHeap) -> Vec<CrossCheckFailure> {
+    let mut out = Vec::new();
+    let range = heap.old().used_region();
+    for (obj, _) in heap.walk_objects_sized(range.start, range.end) {
+        for slot in heap.ref_slots(obj) {
+            let v = heap.read_ref(slot);
+            if !v.is_null() && heap.in_young(v) && !heap.cards().is_dirty(&heap.mem, slot) {
+                out.push(CrossCheckFailure::CardDisagreement { holder: obj, slot });
+            }
+        }
+    }
+    out
 }
 
 /// Asserts that every reachable object's header is in the neutral state

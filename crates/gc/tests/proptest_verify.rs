@@ -1,0 +1,163 @@
+//! Property tests for the `verify::try_graph_signature` error paths:
+//! single-bit (or single-field) corruption of a *reachable* object is
+//! reported as the right `CorruptKind` — never a panic — while flips in
+//! dead regions are provably benign (the signature does not move).
+
+use charon_gc::collector::Collector;
+use charon_gc::system::System;
+use charon_gc::verify::{cross_check_bitmap, try_graph_signature, CorruptKind};
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::object;
+use charon_heap::{VAddr, WORD_BYTES};
+use proptest::prelude::*;
+
+/// A compact recipe for one allocation (mirrors `proptest_gc.rs`).
+#[derive(Debug, Clone)]
+struct Alloc {
+    kind: u8,
+    len: u16,
+    root: bool,
+    wire_to: u16,
+}
+
+fn allocs() -> impl Strategy<Value = Vec<Alloc>> {
+    proptest::collection::vec(
+        (0u8..3, 1u16..64, proptest::bool::weighted(0.5), any::<u16>()).prop_map(|(kind, len, root, wire_to)| Alloc {
+            kind,
+            len,
+            root,
+            wire_to,
+        }),
+        10..120,
+    )
+}
+
+/// Builds a graph, majors it to quiescence, and returns the root objects.
+fn build(plan: &[Alloc]) -> (JavaHeap, Vec<VAddr>) {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(8 << 20));
+    let node = heap.klasses_mut().register("Node", KlassKind::Instance, 5, vec![0, 1, 2]);
+    let arr = heap.klasses_mut().register_array("Object[]", KlassKind::ObjArray);
+    let bytes = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    let mut gc = Collector::new(System::ddr4(), &heap, 2);
+    let mut roots = Vec::new();
+    for a in plan {
+        let (k, len) = match a.kind {
+            0 => (node, 0),
+            1 => (arr, u32::from(a.len % 16) + 1),
+            _ => (bytes, u32::from(a.len)),
+        };
+        let obj = gc.alloc(&mut heap, k, len).expect("8 MB fits this plan");
+        let slots = heap.ref_slots(obj);
+        if !slots.is_empty() && !roots.is_empty() {
+            let target = heap.read_root(roots[a.wire_to as usize % roots.len()]);
+            if !target.is_null() {
+                heap.store_ref_with_barrier(slots[0], target);
+            }
+        }
+        if a.root {
+            roots.push(heap.add_root(obj));
+        }
+    }
+    gc.major_gc(&mut heap);
+    let objs = (0..heap.root_count())
+        .map(|i| heap.read_root(i))
+        .filter(|r| !r.is_null())
+        .collect();
+    (heap, objs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Klass-id flips above the low bits on a reachable object: three
+    /// registered klasses mean any id with a bit in 2..32 set was never
+    /// issued — the walk must answer InvalidKlass, not unwind.
+    #[test]
+    fn reachable_klass_flip_is_invalid_klass(plan in allocs(), pick in any::<u16>(), bit in 2u64..32) {
+        let (mut heap, objs) = build(&plan);
+        prop_assume!(!objs.is_empty());
+        prop_assert!(try_graph_signature(&heap).is_ok(), "quiescent graph must verify");
+        let obj = objs[pick as usize % objs.len()];
+        let kw = obj.add_words(1);
+        heap.mem.write_word(kw, heap.mem.read_word(kw) ^ (1 << bit));
+        let e = try_graph_signature(&heap).expect_err("unregistered klass must be rejected");
+        prop_assert_eq!(e.kind, CorruptKind::InvalidKlass);
+        prop_assert_eq!(e.addr, obj);
+    }
+
+    /// Array-length flips in the top 4 bits on a reachable array: the
+    /// decoded size grows by at least 2^28 words (2 GB), past every
+    /// space this heap could ever map — SizeOutOfBounds, every time.
+    /// (Lower-bit flips can land the object's end inside a *later* space,
+    /// where the walk instead trips over the garbage it parses — still an
+    /// error, but not deterministically this one.)
+    #[test]
+    fn reachable_size_flip_is_size_out_of_bounds(plan in allocs(), pick in any::<u16>(), bit in 60u64..64) {
+        let (mut heap, objs) = build(&plan);
+        let arrays: Vec<VAddr> = objs
+            .iter()
+            .copied()
+            .filter(|&o| heap.klasses().get(object::klass_id(&heap.mem, o)).kind().is_array())
+            .collect();
+        prop_assume!(!arrays.is_empty());
+        let obj = arrays[pick as usize % arrays.len()];
+        let kw = obj.add_words(1);
+        heap.mem.write_word(kw, heap.mem.read_word(kw) | (1 << bit)); // grow, never shrink
+        let e = try_graph_signature(&heap).expect_err("impossible size must be rejected");
+        prop_assert_eq!(e.kind, CorruptKind::SizeOutOfBounds);
+        prop_assert_eq!(e.addr, obj);
+    }
+
+    /// Reference flips at or above bit 32 in a reachable holder: the 8 MB
+    /// heap sits far below 4 GiB, so the flipped referent escapes both
+    /// generations — OutsideHeap names the bogus address.
+    #[test]
+    fn reachable_ref_flip_is_outside_heap(plan in allocs(), pick in any::<u16>(), bit in 32u64..63) {
+        let (mut heap, objs) = build(&plan);
+        let holders: Vec<VAddr> = objs
+            .iter()
+            .copied()
+            .filter(|&o| heap.ref_slots(o).first().is_some_and(|&s| !heap.read_ref(s).is_null()))
+            .collect();
+        prop_assume!(!holders.is_empty());
+        let holder = holders[pick as usize % holders.len()];
+        let slot = heap.ref_slots(holder)[0];
+        let wild = VAddr(heap.read_ref(slot).0 ^ (1 << bit));
+        heap.mem.write_word(slot, wild.0);
+        let e = try_graph_signature(&heap).expect_err("escaping reference must be rejected");
+        prop_assert_eq!(e.kind, CorruptKind::OutsideHeap);
+        prop_assert_eq!(e.addr, wild);
+    }
+
+    /// Dead-region flips are provably benign: after a major GC the young
+    /// generation is empty, so flips there touch no reachable object —
+    /// the signature must not move.
+    #[test]
+    fn dead_region_flips_leave_the_signature_alone(plan in allocs(), off in any::<u32>(), bit in 0u64..64) {
+        let (mut heap, _) = build(&plan);
+        let before = try_graph_signature(&heap).expect("quiescent graph verifies");
+        let (top, end) = (heap.eden().top(), heap.eden().end());
+        let free_words = (end - top) / WORD_BYTES;
+        prop_assume!(free_words > 0);
+        let addr = top.add_words(u64::from(off) % free_words);
+        heap.mem.write_word(addr, heap.mem.read_word(addr) ^ (1 << bit));
+        let after = try_graph_signature(&heap).expect("dead-region flip must stay benign");
+        prop_assert_eq!(before, after, "dead-region flip at {} bit {} moved the signature", addr, bit);
+    }
+
+    /// A spuriously set begin-bitmap bit over a live region disagrees
+    /// with the (zero) header-Marked population on a quiescent heap —
+    /// the bitmap cross-check must report it.
+    #[test]
+    fn spurious_bitmap_bit_fails_the_population_cross_check(plan in allocs(), pick in any::<u16>()) {
+        let (mut heap, objs) = build(&plan);
+        prop_assume!(!objs.is_empty());
+        prop_assert!(cross_check_bitmap(&heap).is_empty(), "quiescent bitmaps are empty");
+        let obj = objs[pick as usize % objs.len()];
+        let beg = *heap.beg_map();
+        beg.set(&mut heap.mem, obj);
+        let fails = cross_check_bitmap(&heap);
+        prop_assert!(!fails.is_empty(), "set bit over {obj} escaped the population count");
+    }
+}

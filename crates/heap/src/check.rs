@@ -45,6 +45,14 @@ pub enum Violation {
         /// Its state.
         state: MarkState,
     },
+    /// The mark word's state field holds the invalid pattern `0b11` —
+    /// neither neutral, marked, nor forwarded.
+    CorruptMarkWord {
+        /// The object.
+        obj: VAddr,
+        /// The raw state bits.
+        raw: u64,
+    },
     /// An old object holds a young reference but its card is clean — the
     /// next scavenge would lose the referent.
     MissingCard {
@@ -66,6 +74,9 @@ impl fmt::Display for Violation {
                 write!(f, "slot {slot} of {holder} points outside the heap: {value}")
             }
             Violation::StaleHeader { obj, state } => write!(f, "object {obj} has stale header state {state:?}"),
+            Violation::CorruptMarkWord { obj, raw } => {
+                write!(f, "object {obj} has invalid mark-state bits {raw:#b}")
+            }
             Violation::MissingCard { holder, slot } => {
                 write!(f, "old→young reference at {slot} (holder {holder}) with a clean card")
             }
@@ -74,6 +85,10 @@ impl fmt::Display for Violation {
 }
 
 /// Verifies a quiescent heap; returns every violation found.
+///
+/// Corruption-tolerant by design: this walk is what gets pointed at a
+/// heap *suspected* of damage, so a corrupt size or klass must produce a
+/// [`Violation`], never an out-of-bounds read or a header-decode panic.
 pub fn verify_heap(heap: &JavaHeap) -> Vec<Violation> {
     let mut out = Vec::new();
     let klass_count = heap.klasses().len() as u32;
@@ -86,15 +101,32 @@ pub fn verify_heap(heap: &JavaHeap) -> Vec<Violation> {
         let mut at = start;
         let mut ok = true;
         while at < top {
+            if at.add_words(object::HEADER_WORDS) > top {
+                out.push(Violation::UnparsableSpace { space: name, ended_at: at, top });
+                ok = false;
+                break;
+            }
             let raw = (heap.mem.read_word(at.add_words(1)) & 0xffff_ffff) as u32;
             if raw >= klass_count {
                 out.push(Violation::BadKlass { obj: at, raw });
                 ok = false;
                 break;
             }
-            match object::mark_state(&heap.mem, at) {
-                MarkState::Neutral => {}
-                state => out.push(Violation::StaleHeader { obj: at, state }),
+            // Decode the state bits raw: a corrupt mark word may hold the
+            // pattern `mark_state` treats as unreachable.
+            match heap.mem.read_word(at) & object::STATE_MASK {
+                object::STATE_NEUTRAL => {}
+                object::STATE_MARKED => out.push(Violation::StaleHeader { obj: at, state: MarkState::Marked }),
+                object::STATE_FORWARDED => out.push(Violation::StaleHeader { obj: at, state: MarkState::Forwarded }),
+                raw_state => out.push(Violation::CorruptMarkWord { obj: at, raw: raw_state }),
+            }
+            let next = at.add_words(heap.obj_size_words(at));
+            if next > top {
+                // A corrupt size (e.g. an inflated array length) runs off
+                // the space; stop before touching unmapped memory.
+                out.push(Violation::UnparsableSpace { space: name, ended_at: next, top });
+                ok = false;
+                break;
             }
             for slot in heap.ref_slots(at) {
                 let v = heap.read_ref(slot);
@@ -107,7 +139,7 @@ pub fn verify_heap(heap: &JavaHeap) -> Vec<Violation> {
                     out.push(Violation::MissingCard { holder: at, slot });
                 }
             }
-            at = at.add_words(heap.obj_size_words(at));
+            at = next;
         }
         if ok && at != top {
             out.push(Violation::UnparsableSpace { space: name, ended_at: at, top });
@@ -169,6 +201,17 @@ mod tests {
         // With the barrier, the violation disappears.
         h.store_ref_with_barrier(h.ref_slots(old)[0], young);
         assert!(verify_heap(&h).is_empty());
+    }
+
+    #[test]
+    fn detects_invalid_mark_state_without_panicking() {
+        let (mut h, k) = heap();
+        let a = h.alloc_eden(k, 0).unwrap();
+        let w = h.mem.read_word(a);
+        h.mem.write_word(a, w | 0b11);
+        let v = verify_heap(&h);
+        assert!(matches!(v.as_slice(), [Violation::CorruptMarkWord { raw: 0b11, .. }]), "{v:?}");
+        assert!(v[0].to_string().contains("invalid mark-state"));
     }
 
     #[test]

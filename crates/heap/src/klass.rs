@@ -230,6 +230,13 @@ impl KlassTable {
         &self.klasses[id.0 as usize]
     }
 
+    /// Looks up a klass, returning `None` for an id this table never
+    /// issued — the integrity oracles decode possibly-corrupt headers and
+    /// must not unwind on a damaged klass word.
+    pub fn try_get(&self, id: KlassId) -> Option<&Klass> {
+        self.klasses.get(id.0 as usize)
+    }
+
     /// Number of registered classes.
     pub fn len(&self) -> usize {
         self.klasses.len()

@@ -24,13 +24,23 @@ pub const HEADER_WORDS: u64 = 2;
 /// Maximum representable object age (4 bits, as in HotSpot's mark word).
 pub const MAX_AGE: u8 = 15;
 
-const STATE_MASK: u64 = 0b11;
-const STATE_NEUTRAL: u64 = 0;
-const STATE_MARKED: u64 = 1;
-const STATE_FORWARDED: u64 = 2;
-const AGE_SHIFT: u64 = 2;
-const AGE_MASK: u64 = 0b1111 << AGE_SHIFT;
-const FWD_SHIFT: u64 = 6;
+/// Mask of the mark word's state field. The layout constants are public
+/// for the integrity layer's raw read-back checks, which must decode a
+/// possibly-corrupt mark word without tripping [`mark_state`]'s
+/// `unreachable!` on an invalid state.
+pub const STATE_MASK: u64 = 0b11;
+/// State value: untouched by the current collection.
+pub const STATE_NEUTRAL: u64 = 0;
+/// State value: marked live by the MajorGC marking phase.
+pub const STATE_MARKED: u64 = 1;
+/// State value: forwarded (MinorGC copy installed).
+pub const STATE_FORWARDED: u64 = 2;
+/// Bit position of the 4-bit age field.
+pub const AGE_SHIFT: u64 = 2;
+/// Mask of the age field.
+pub const AGE_MASK: u64 = 0b1111 << AGE_SHIFT;
+/// Bit position of the forwarding word-index field.
+pub const FWD_SHIFT: u64 = 6;
 
 /// GC-visible state of an object's mark word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

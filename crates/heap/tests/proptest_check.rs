@@ -1,0 +1,181 @@
+//! Property tests for the `check::verify_heap` error paths: every class
+//! of single-bit corruption we can inject into a quiescent heap is either
+//! *detected* (a `Violation` names it) or *provably benign* (flips in
+//! dead regions, or flips the conservative card encoding absorbs).
+
+use charon_heap::addr::{VAddr, WORD_BYTES};
+use charon_heap::check::{verify_heap, Violation};
+use charon_heap::heap::{HeapConfig, JavaHeap};
+use charon_heap::klass::KlassKind;
+use charon_heap::object;
+use proptest::prelude::*;
+
+/// A compact allocation recipe (mirrors `proptest_gc.rs`).
+#[derive(Debug, Clone)]
+struct Alloc {
+    kind: u8,
+    len: u16,
+    wire_to: u16,
+}
+
+fn allocs() -> impl Strategy<Value = Vec<Alloc>> {
+    proptest::collection::vec(
+        (0u8..3, 1u16..64, any::<u16>()).prop_map(|(kind, len, wire_to)| Alloc { kind, len, wire_to }),
+        10..120,
+    )
+}
+
+/// Builds a clean eden-only heap from the plan and returns the objects.
+fn build(plan: &[Alloc]) -> (JavaHeap, Vec<VAddr>) {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+    let node = heap.klasses_mut().register("Node", KlassKind::Instance, 5, vec![0, 1, 2]);
+    let arr = heap.klasses_mut().register_array("Object[]", KlassKind::ObjArray);
+    let bytes = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    let mut objs = Vec::new();
+    for a in plan {
+        let (k, len) = match a.kind {
+            0 => (node, 0),
+            1 => (arr, u32::from(a.len % 16) + 1),
+            _ => (bytes, u32::from(a.len)),
+        };
+        let obj = heap.alloc_eden(k, len).expect("4 MB fits this plan");
+        let slots = heap.ref_slots(obj);
+        if !slots.is_empty() && !objs.is_empty() {
+            let target = objs[a.wire_to as usize % objs.len()];
+            heap.store_ref_with_barrier(slots[0], target);
+        }
+        objs.push(obj);
+    }
+    (heap, objs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// State-bit flips: a quiescent heap has every mark word Neutral
+    /// (state 0b00), so flipping either state bit yields Marked or
+    /// Forwarded — `verify_heap` must report exactly that StaleHeader.
+    #[test]
+    fn state_bit_flip_is_detected_as_stale_header(plan in allocs(), pick in any::<u16>(), bit in 0u64..2) {
+        let (mut heap, objs) = build(&plan);
+        prop_assume!(!objs.is_empty());
+        prop_assert!(verify_heap(&heap).is_empty(), "clean heap must verify");
+        let obj = objs[pick as usize % objs.len()];
+        let w = heap.mem.read_word(obj);
+        heap.mem.write_word(obj, w ^ (1 << bit));
+        let v = verify_heap(&heap);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, Violation::StaleHeader { obj: o, .. } if *o == obj)),
+            "flipped state bit {bit} of {obj} escaped: {v:?}"
+        );
+    }
+
+    /// Klass-id flips above the low bits: with three registered klasses
+    /// (ids 0..=2), setting any klass-word bit in 2..32 produces an id
+    /// the table never issued — BadKlass, every time.
+    #[test]
+    fn high_klass_bit_flip_is_detected_as_bad_klass(plan in allocs(), pick in any::<u16>(), bit in 2u64..32) {
+        let (mut heap, objs) = build(&plan);
+        prop_assume!(!objs.is_empty());
+        let obj = objs[pick as usize % objs.len()];
+        let kw = obj.add_words(1);
+        let w = heap.mem.read_word(kw);
+        heap.mem.write_word(kw, w ^ (1 << bit));
+        let v = verify_heap(&heap);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, Violation::BadKlass { obj: o, .. } if *o == obj)),
+            "flipped klass bit {bit} of {obj} escaped: {v:?}"
+        );
+    }
+
+    /// Array-length flips in the high half of the klass word: the walk's
+    /// stride jumps by at least 2^12 words (32 KB), far past eden's top —
+    /// the space stops parsing (UnparsableSpace), or a downstream header
+    /// misreads (BadKlass/StaleHeader). Something must fire.
+    #[test]
+    fn array_length_flip_is_detected(plan in allocs(), pick in any::<u16>(), bit in 44u64..56) {
+        let (mut heap, objs) = build(&plan);
+        let arrays: Vec<VAddr> = objs
+            .iter()
+            .copied()
+            .filter(|&o| heap.klasses().get(object::klass_id(&heap.mem, o)).kind().is_array())
+            .collect();
+        prop_assume!(!arrays.is_empty());
+        let obj = arrays[pick as usize % arrays.len()];
+        let kw = obj.add_words(1);
+        let w = heap.mem.read_word(kw);
+        heap.mem.write_word(kw, w | (1 << bit)); // grow, never shrink
+        let v = verify_heap(&heap);
+        prop_assert!(!v.is_empty(), "inflating array {obj} length bit {bit} escaped");
+    }
+
+    /// Reference-slot flips at or above bit 32: the 4 MB heap sits far
+    /// below 4 GiB, so the flipped value leaves every space —
+    /// WildReference, every time.
+    #[test]
+    fn high_ref_bit_flip_is_detected_as_wild_reference(plan in allocs(), pick in any::<u16>(), bit in 32u64..63) {
+        let (mut heap, objs) = build(&plan);
+        let holders: Vec<VAddr> = objs
+            .iter()
+            .copied()
+            .filter(|&o| heap.ref_slots(o).first().is_some_and(|&s| !heap.read_ref(s).is_null()))
+            .collect();
+        prop_assume!(!holders.is_empty());
+        let holder = holders[pick as usize % holders.len()];
+        let slot = heap.ref_slots(holder)[0];
+        let w = heap.mem.read_word(slot);
+        heap.mem.write_word(slot, w ^ (1 << bit));
+        let v = verify_heap(&heap);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, Violation::WildReference { slot: s, .. } if *s == slot)),
+            "flipped ref bit {bit} at {slot} escaped: {v:?}"
+        );
+    }
+
+    /// Dead-region flips are provably benign: bits flipped past eden's
+    /// allocation top are outside every walked object, so `verify_heap`
+    /// stays clean.
+    #[test]
+    fn dead_region_flips_are_benign(plan in allocs(), off in any::<u32>(), bit in 0u64..64) {
+        let (mut heap, _) = build(&plan);
+        let top = heap.eden().top();
+        let end = heap.eden().end();
+        let free_words = (end - top) / WORD_BYTES;
+        prop_assume!(free_words > 0);
+        let addr = top.add_words(u64::from(off) % free_words);
+        let w = heap.mem.read_word(addr);
+        heap.mem.write_word(addr, w ^ (1 << bit));
+        prop_assert!(verify_heap(&heap).is_empty(), "dead-region flip at {addr} bit {bit} must be benign");
+    }
+
+    /// Card-byte flips are conservative by construction: CLEAN is all-ones,
+    /// so no single-bit flip can turn a dirty card clean — an old→young
+    /// reference can never lose its card to one flip. (A clean→"dirty"
+    /// flip only costs a spurious rescan.)
+    #[test]
+    fn single_bit_card_flips_never_lose_a_dirty_card(plan in allocs(), bit in 0u64..8) {
+        let (mut heap, objs) = build(&plan);
+        prop_assume!(!objs.is_empty());
+        // Promote a holder into old space and wire it to a young object
+        // through the barrier, dirtying its card.
+        let node = heap.klasses().iter().find(|k| !k.kind().is_array()).unwrap().id();
+        let words = heap.klasses().get(node).size_words(0);
+        let old = heap.alloc_old(words).expect("old space fits one node");
+        object::init_header(&mut heap.mem, old, node, 0);
+        let slot = heap.ref_slots(old)[0];
+        heap.store_ref_with_barrier(slot, objs[0]);
+        prop_assert!(verify_heap(&heap).is_empty());
+        let card = heap.cards().card_addr(slot);
+        let b = heap.mem.read_u8(card);
+        heap.mem.write_u8(card, b ^ (1 << bit) as u8);
+        prop_assert!(
+            heap.cards().is_dirty(&heap.mem, slot),
+            "bit {bit} flipped a dirty card clean — the encoding is not conservative"
+        );
+        let v = verify_heap(&heap);
+        prop_assert!(
+            !v.iter().any(|x| matches!(x, Violation::MissingCard { .. })),
+            "card flip manufactured a MissingCard: {v:?}"
+        );
+    }
+}

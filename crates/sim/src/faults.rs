@@ -8,20 +8,32 @@
 //! parameters (timeout, bounded exponential backoff, retry budget,
 //! watchdog threshold) that `charon-core`'s device consumes.
 //!
-//! Faults here are **timing-only**: the simulated collector always
-//! performs its functional heap work, so an injected fault can delay a
-//! collection or push a primitive onto the host software path, but can
-//! never corrupt the object graph. The end-to-end campaign in
-//! `charon-workloads` checks exactly that — `graph_signature` under any
-//! fault schedule must equal the fault-free run's.
+//! The module carries two fault tiers:
+//!
+//! * **Timing faults** ([`FaultSite`]/[`FaultInjector`]): drops, NACKs,
+//!   wedges. The simulated collector always performs its functional heap
+//!   work, so a timing fault can delay a collection or push a primitive
+//!   onto the host software path, but never corrupts the object graph.
+//!   The end-to-end campaign in `charon-workloads` checks exactly that —
+//!   `graph_signature` under any fault schedule must equal the
+//!   fault-free run's.
+//! * **Data corruption** ([`CorruptionSite`]/[`CorruptionInjector`]):
+//!   single-bit flips in the *outputs* an offloaded primitive writes
+//!   back into the heap — mark-bitmap words, forwarding pointers,
+//!   card-table bytes, copied object payloads. This models the
+//!   silent-corruption hazard of in-memory logic bypassing host-side
+//!   ECC; `charon-gc::integrity` owns detection and repair, and the
+//!   chaos campaign in `charon-workloads::chaos` drives the sweep.
 //!
 //! Determinism: each site draws from its own SplitMix64 stream derived
 //! from the campaign seed, so enabling or re-rating one site never
-//! perturbs the samples another site sees.
+//! perturbs the samples another site sees. A zero rate never touches the
+//! site's stream at all, which is what keeps zero-rate runs bit-identical
+//! to runs with injection compiled out.
 
 use crate::time::Ps;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;
 
 /// One injectable stage of the offload pipeline, in pipeline order.
@@ -270,6 +282,205 @@ impl FaultInjector {
     }
 }
 
+/// One class of primitive *output* a mis-executing unit can silently
+/// corrupt, in the order the integrity layer checks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionSite {
+    /// A mark-bitmap word written by Scan&Push / marking.
+    BitmapWord,
+    /// A forwarding pointer installed after an object copy.
+    ForwardPointer,
+    /// A card-table byte written by the post-write barrier path.
+    CardByte,
+    /// A word of a copied object's payload.
+    CopyPayload,
+}
+
+impl CorruptionSite {
+    /// All sites, in check order.
+    pub const ALL: [CorruptionSite; 4] = [
+        CorruptionSite::BitmapWord,
+        CorruptionSite::ForwardPointer,
+        CorruptionSite::CardByte,
+        CorruptionSite::CopyPayload,
+    ];
+
+    /// Stable short name (CLI `--sites`, chaos report rows, CI job).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionSite::BitmapWord => "bitmap",
+            CorruptionSite::ForwardPointer => "forward",
+            CorruptionSite::CardByte => "card",
+            CorruptionSite::CopyPayload => "payload",
+        }
+    }
+
+    /// Parses [`CorruptionSite::name`] back; `None` for unknown spellings.
+    pub fn by_name(name: &str) -> Option<CorruptionSite> {
+        CorruptionSite::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Stable array index (ledger/summary slots use site order).
+    pub fn index(self) -> usize {
+        match self {
+            CorruptionSite::BitmapWord => 0,
+            CorruptionSite::ForwardPointer => 1,
+            CorruptionSite::CardByte => 2,
+            CorruptionSite::CopyPayload => 3,
+        }
+    }
+}
+
+impl fmt::Display for CorruptionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-site corruption probabilities, each applied once per primitive
+/// output write of that class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionRates {
+    /// P(bitmap word bit flip) per marked object.
+    pub bitmap: f64,
+    /// P(forwarding word bit flip) per installed forwarding pointer.
+    pub forward: f64,
+    /// P(card block bit flip) per card dirtied.
+    pub card: f64,
+    /// P(payload word bit flip) per copied object.
+    pub payload: f64,
+}
+
+impl CorruptionRates {
+    /// No corruption anywhere — the injector becomes a deterministic no-op.
+    pub fn zero() -> CorruptionRates {
+        CorruptionRates { bitmap: 0.0, forward: 0.0, card: 0.0, payload: 0.0 }
+    }
+
+    /// The same rate at every site.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn uniform(p: f64) -> CorruptionRates {
+        assert!((0.0..=1.0).contains(&p), "corruption rate out of range: {p}");
+        CorruptionRates { bitmap: p, forward: p, card: p, payload: p }
+    }
+
+    /// Rate `p` at `site`, zero everywhere else (the chaos matrix shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn only(site: CorruptionSite, p: f64) -> CorruptionRates {
+        assert!((0.0..=1.0).contains(&p), "corruption rate out of range: {p}");
+        let mut r = CorruptionRates::zero();
+        *r.get_mut(site) = p;
+        r
+    }
+
+    /// The rate at one site.
+    pub fn get(&self, site: CorruptionSite) -> f64 {
+        match site {
+            CorruptionSite::BitmapWord => self.bitmap,
+            CorruptionSite::ForwardPointer => self.forward,
+            CorruptionSite::CardByte => self.card,
+            CorruptionSite::CopyPayload => self.payload,
+        }
+    }
+
+    fn get_mut(&mut self, site: CorruptionSite) -> &mut f64 {
+        match site {
+            CorruptionSite::BitmapWord => &mut self.bitmap,
+            CorruptionSite::ForwardPointer => &mut self.forward,
+            CorruptionSite::CardByte => &mut self.card,
+            CorruptionSite::CopyPayload => &mut self.payload,
+        }
+    }
+
+    /// `true` when every site's rate is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        CorruptionSite::ALL.iter().all(|&s| self.get(s) == 0.0)
+    }
+}
+
+impl fmt::Display for CorruptionRates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for site in CorruptionSite::ALL {
+            if self.get(site) > 0.0 {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{site}={:.0e}", self.get(site))?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("none")?;
+        }
+        Ok(())
+    }
+}
+
+/// Seeded per-site corruption source. Replays bit-for-bit for a given
+/// `(seed, rates)` pair; a zero-rate site never draws from its stream.
+///
+/// Stream indices 6–9 keep the four corruption streams disjoint from the
+/// five [`FaultInjector`] streams (indices 1–5) under the same seed, so a
+/// chaos campaign can layer both tiers without either perturbing the
+/// other's schedule.
+#[derive(Debug, Clone)]
+pub struct CorruptionInjector {
+    rates: CorruptionRates,
+    streams: [StdRng; 4],
+    injected: [u64; 4],
+    writes: u64,
+}
+
+impl CorruptionInjector {
+    /// Builds the injector with one independent stream per site.
+    pub fn new(seed: u64, rates: CorruptionRates) -> CorruptionInjector {
+        let stream = |i: u64| StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i));
+        CorruptionInjector { rates, streams: [stream(6), stream(7), stream(8), stream(9)], injected: [0; 4], writes: 0 }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &CorruptionRates {
+        &self.rates
+    }
+
+    /// Rolls one primitive output write at `site`. Returns `Some(draw)`
+    /// when the write is corrupted; `draw` is a uniform 64-bit sample the
+    /// caller uses to pick the damaged word/bit, taken from the same
+    /// per-site stream so the *location* of damage replays too.
+    pub fn roll(&mut self, site: CorruptionSite) -> Option<u64> {
+        self.writes += 1;
+        let p = self.rates.get(site);
+        if p > 0.0 && self.streams[site.index()].gen_bool(p) {
+            self.injected[site.index()] += 1;
+            Some(self.streams[site.index()].next_u64())
+        } else {
+            None
+        }
+    }
+
+    /// Corruptions injected so far at `site`.
+    pub fn injected(&self, site: CorruptionSite) -> u64 {
+        self.injected[site.index()]
+    }
+
+    /// Corruptions injected so far across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Output writes rolled so far (all sites).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +573,97 @@ mod tests {
         assert!(!FaultRates::only(FaultSite::Unit, 0.01).is_zero());
         assert_eq!(FaultRates::zero().to_string(), "none");
         assert_eq!(FaultRates::only(FaultSite::Link, 0.25).to_string(), "link=0.250");
+    }
+
+    #[test]
+    fn zero_corruption_rates_never_inject() {
+        let mut inj = CorruptionInjector::new(99, CorruptionRates::zero());
+        for _ in 0..10_000 {
+            for site in CorruptionSite::ALL {
+                assert_eq!(inj.roll(site), None);
+            }
+        }
+        assert_eq!(inj.total_injected(), 0);
+        assert_eq!(inj.writes(), 40_000);
+    }
+
+    #[test]
+    fn corruption_replays_bit_for_bit() {
+        let rates = CorruptionRates::uniform(0.1);
+        let mut a = CorruptionInjector::new(7, rates);
+        let mut b = CorruptionInjector::new(7, rates);
+        for _ in 0..5_000 {
+            for site in CorruptionSite::ALL {
+                assert_eq!(a.roll(site), b.roll(site));
+            }
+        }
+        assert!(a.total_injected() > 0);
+    }
+
+    #[test]
+    fn corruption_only_hits_the_selected_site() {
+        for site in CorruptionSite::ALL {
+            let mut inj = CorruptionInjector::new(3, CorruptionRates::only(site, 0.5));
+            let mut hit = false;
+            for _ in 0..1_000 {
+                for s in CorruptionSite::ALL {
+                    if inj.roll(s).is_some() {
+                        assert_eq!(s, site);
+                        hit = true;
+                    }
+                }
+            }
+            assert!(hit, "site {site} never fired at p=0.5");
+            for other in CorruptionSite::ALL {
+                if other != site {
+                    assert_eq!(inj.injected(other), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_sites_draw_independent_streams() {
+        // Raising the payload rate must not change which bitmap writes
+        // get corrupted, nor where.
+        let bitmap_draws = |payload: f64| {
+            let rates = CorruptionRates { payload, bitmap: 0.2, ..CorruptionRates::zero() };
+            let mut inj = CorruptionInjector::new(11, rates);
+            let mut draws = Vec::new();
+            for _ in 0..2_000 {
+                inj.roll(CorruptionSite::CopyPayload);
+                if let Some(d) = inj.roll(CorruptionSite::BitmapWord) {
+                    draws.push(d);
+                }
+            }
+            draws
+        };
+        let d0 = bitmap_draws(0.0);
+        let d1 = bitmap_draws(0.9);
+        assert!(!d0.is_empty());
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn corruption_streams_disjoint_from_fault_streams() {
+        // Same seed: the two injectors must not share samples.
+        let mut f = FaultInjector::new(5, FaultRates::uniform(0.3));
+        let mut c = CorruptionInjector::new(5, CorruptionRates::uniform(0.3));
+        let fault_hits: Vec<bool> = (0..500).map(|_| f.roll_attempt().is_some()).collect();
+        let corrupt_hits: Vec<bool> = (0..500).map(|_| c.roll(CorruptionSite::BitmapWord).is_some()).collect();
+        assert_ne!(fault_hits, corrupt_hits);
+    }
+
+    #[test]
+    fn corruption_rates_parse_and_display() {
+        assert_eq!(CorruptionSite::by_name("card"), Some(CorruptionSite::CardByte));
+        assert_eq!(CorruptionSite::by_name("bogus"), None);
+        assert!(CorruptionRates::zero().is_zero());
+        assert!(!CorruptionRates::only(CorruptionSite::CopyPayload, 0.01).is_zero());
+        assert_eq!(CorruptionRates::zero().to_string(), "none");
+        assert_eq!(CorruptionRates::only(CorruptionSite::BitmapWord, 0.001).to_string(), "bitmap=1e-3");
+        for (i, site) in CorruptionSite::ALL.into_iter().enumerate() {
+            assert_eq!(site.index(), i);
+        }
     }
 }

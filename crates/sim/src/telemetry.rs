@@ -66,6 +66,19 @@ pub enum Event {
     /// collection `seq`: which policy spoke and what mask it chose
     /// (rendered as the `+`-joined alias list, e.g. `"copy+search"`).
     Decision { seq: u64, policy: &'static str, mask: String, at: Ps },
+    /// An injected data corruption observed by the integrity layer:
+    /// `site` names the corruption class (`"bitmap"`, `"forward"`,
+    /// `"card"`, `"payload"`), `addr` the damaged heap/metadata address,
+    /// and `detected` whether the detection layer caught it at the check
+    /// point (`false` means it escaped to the end-of-run audit).
+    Corruption { site: &'static str, addr: u64, at: Ps, detected: bool },
+    /// A repair-ladder outcome for a detected corruption: `rung` is 1
+    /// (host re-execute + patch), 2 (bounded re-mark of the damaged
+    /// extent), or 3 (unit + extent quarantine).
+    Repair { site: &'static str, rung: u8, addr: u64, at: Ps },
+    /// A watchdog-dead unit re-armed for a probe after `gcs` collections
+    /// (`--rearm N`).
+    Rearm { prim: &'static str, at: Ps, gcs: u32 },
 }
 
 /// The event log. One journal is shared (via [`Telemetry`] clones) by
@@ -220,6 +233,23 @@ pub fn chrome_trace(events: &[Event]) -> Json {
                 *at,
                 Json::obj([("seq", Json::U64(*seq)), ("mask", Json::str(mask))]),
             ),
+            Event::Corruption { site, addr, at, detected } => instant(
+                &format!("corruption:{site}"),
+                PID_UNITS,
+                0,
+                *at,
+                Json::obj([("addr", Json::U64(*addr)), ("detected", Json::Bool(*detected))]),
+            ),
+            Event::Repair { site, rung, addr, at } => instant(
+                &format!("repair:rung{rung}"),
+                PID_UNITS,
+                0,
+                *at,
+                Json::obj([("site", Json::str(*site)), ("addr", Json::U64(*addr))]),
+            ),
+            Event::Rearm { prim, at, gcs } => {
+                instant(&format!("rearm:{prim}"), PID_UNITS, 0, *at, Json::obj([("gcs", Json::U64(u64::from(*gcs)))]))
+            }
             Event::BwSample { link, epoch_start, used } => Json::obj([
                 ("name", Json::str(link)),
                 ("ph", Json::str("C")),
@@ -272,6 +302,9 @@ mod tests {
             Event::Flush { kind: "host-caches", start: Ps(0), end: Ps(9), lines: 4 },
             Event::Fault { site: "link", prim: "Search", at: Ps(7), attempt: 1 },
             Event::Recovery { prim: "Search", outcome: "fallback", at: Ps(9), retries: 3 },
+            Event::Corruption { site: "bitmap", addr: 0x4000, at: Ps(11), detected: true },
+            Event::Repair { site: "bitmap", rung: 2, addr: 0x4000, at: Ps(12) },
+            Event::Rearm { prim: "Copy", at: Ps(13), gcs: 4 },
             Event::BwSample { link: "dram".into(), epoch_start: Ps(0), used: 4096 },
         ];
         let trace = chrome_trace(&events);

@@ -1,0 +1,129 @@
+//! Fuzz-flavored property tests for the strict JSON parser.
+//!
+//! `Json::parse` is the in-repo validator CI points at every emitted
+//! artifact, so it must hold two properties under hostile input:
+//!
+//! 1. **Round-trip** — any document the writer can emit parses back to
+//!    the identical value (modulo `U64`-vs-`F64` which the writer never
+//!    conflates).
+//! 2. **Total** — random byte-level mutations of a valid document (and
+//!    outright garbage) either parse to a value that re-serializes
+//!    idempotently or return a clean in-bounds `JsonError`. Never a
+//!    panic, never an out-of-bounds position.
+
+use charon_sim::json::Json;
+use proptest::prelude::*;
+
+/// SplitMix64 step — the same generator the fault injector uses, so the
+/// document shapes are seeded and replayable from one `u64`.
+fn mix(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characters that exercise every branch of the string escaper: quotes,
+/// backslashes, control characters, multi-byte UTF-8 up to 4 bytes.
+const PALETTE: [char; 14] = ['a', 'Z', '0', '_', ' ', '/', '"', '\\', '\n', '\r', '\t', '\u{1}', 'é', '𝄞'];
+
+fn gen_string(seed: &mut u64) -> String {
+    let len = (mix(seed) % 12) as usize;
+    (0..len).map(|_| PALETTE[(mix(seed) as usize) % PALETTE.len()]).collect()
+}
+
+/// Builds a random document of bounded depth. Floats are eighths in
+/// [-4, +4): exact in `f64`, so `{v:?}` round-trips them bit-for-bit.
+fn gen_doc(seed: &mut u64, depth: u32) -> Json {
+    let variants = if depth == 0 { 6 } else { 8 };
+    match mix(seed) % variants {
+        0 => Json::Null,
+        1 => Json::Bool(mix(seed) & 1 == 0),
+        2 => Json::U64(mix(seed)),
+        3 => Json::I64(-((mix(seed) >> 1) as i64)),
+        4 => Json::F64((mix(seed) % 64) as f64 / 8.0 - 4.0),
+        5 => Json::Str(gen_string(seed)),
+        6 => {
+            let n = (mix(seed) % 5) as usize;
+            Json::Arr((0..n).map(|_| gen_doc(seed, depth - 1)).collect())
+        }
+        _ => {
+            let n = (mix(seed) % 5) as usize;
+            Json::obj((0..n).map(|i| (format!("k{i}_{}", gen_string(seed)), gen_doc(seed, depth - 1))))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Everything the writer can emit, the parser accepts and decodes to
+    /// the same value — across nesting, escapes, and number variants.
+    #[test]
+    fn writer_output_round_trips(seed in any::<u64>()) {
+        let mut s = seed;
+        let doc = gen_doc(&mut s, 3);
+        let text = doc.to_string();
+        let back = Json::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&doc), "failed on {}", text);
+        // Idempotent: re-serializing the parse is byte-identical.
+        prop_assert_eq!(back.unwrap().to_string(), text);
+    }
+
+    /// A single byte-level mutation of a valid document must never panic
+    /// the parser: it either still parses (and then re-serializes
+    /// idempotently) or errors with an in-bounds position.
+    #[test]
+    fn mutated_documents_parse_or_error_cleanly(
+        seed in any::<u64>(), op in 0u8..4, pos in any::<u16>(), byte in any::<u8>()
+    ) {
+        let mut s = seed;
+        let mut bytes = gen_doc(&mut s, 3).to_string().into_bytes();
+        prop_assume!(!bytes.is_empty());
+        let at = pos as usize % bytes.len();
+        match op {
+            0 => bytes[at] ^= 1 << (byte % 8),      // flip one bit
+            1 => bytes[at] = byte,                  // overwrite one byte
+            2 => bytes.insert(at, byte),            // insert one byte
+            _ => bytes.truncate(at),                // truncate
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match Json::parse(&text) {
+            Ok(v) => {
+                let rendered = v.to_string();
+                let again = Json::parse(&rendered);
+                prop_assert_eq!(again.as_ref(), Ok(&v),
+                    "mutation {op} at {at} parsed to a value that does not round-trip: {rendered}");
+            }
+            Err(e) => {
+                prop_assert!(e.pos <= text.len(),
+                    "error position {} past the {}-byte input", e.pos, text.len());
+                prop_assert!(!e.msg.is_empty());
+            }
+        }
+    }
+
+    /// Outright garbage: arbitrary byte soup (lossily decoded) never
+    /// panics, and whatever error comes back points inside the input.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(e) = Json::parse(&text) {
+            prop_assert!(e.pos <= text.len());
+            prop_assert!(e.to_string().contains("invalid JSON"));
+        }
+    }
+
+    /// Structural garbage built from JSON's own alphabet — the harder
+    /// adversary, since every byte is individually legal somewhere.
+    #[test]
+    fn json_alphabet_soup_never_panics(picks in proptest::collection::vec(any::<u8>(), 1..48)) {
+        const ALPHABET: &[u8] = b"{}[]\",:-.0123456789eE+ \\utrunalsf";
+        let text: String =
+            picks.iter().map(|&p| ALPHABET[p as usize % ALPHABET.len()] as char).collect();
+        if let Err(e) = Json::parse(&text) {
+            prop_assert!(e.pos <= text.len());
+        }
+    }
+}

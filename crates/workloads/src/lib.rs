@@ -31,11 +31,15 @@
 //!   output, plus the self-speed (sim-ps per wall-second) report,
 //! * [`campaign`] — seeded fault-injection campaigns proving the offload
 //!   path degrades gracefully without changing GC correctness,
+//! * [`chaos`] — silent-corruption campaigns over the integrity
+//!   subsystem: sites × rates × workloads, detection/repair/escape
+//!   accounting ([`chaos::ChaosReport`]),
 //! * [`autotune`] — static-vs-adaptive offload comparison driver for the
 //!   [`charon_gc::adapt`] controller ([`autotune::AutotuneReport`]).
 
 pub mod autotune;
 pub mod campaign;
+pub mod chaos;
 pub mod klasses;
 pub mod mutator;
 pub mod parmatrix;
@@ -45,6 +49,7 @@ pub mod spec;
 
 pub use autotune::{autotune, autotune_jobs, AutotuneReport};
 pub use campaign::{fault_matrix, run_fault_campaign, run_fault_campaign_jobs, CampaignOptions, CampaignReport};
+pub use chaos::{chaos_matrix, run_chaos_campaign, ChaosOptions, ChaosReport};
 pub use parmatrix::{full_matrix, run_matrix, selfspeed_json, MatrixJob, MatrixOptions, MatrixOutcome};
 pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};

@@ -34,6 +34,7 @@ use crate::spec::WorkloadSpec;
 use charon_gc::adapt::PolicyKind;
 use charon_gc::system::System;
 use charon_sim::json::Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -71,6 +72,8 @@ pub struct MatrixOptions {
     pub policy: Option<PolicyKind>,
     /// Seed for stochastic policies.
     pub policy_seed: u64,
+    /// Probe-after-N-GCs re-enable of watchdog-dead units.
+    pub rearm: Option<u32>,
 }
 
 impl Default for MatrixOptions {
@@ -90,6 +93,7 @@ impl MatrixOptions {
             census: o.census,
             policy: o.policy,
             policy_seed: o.policy_seed,
+            rearm: o.rearm,
         }
     }
 
@@ -102,6 +106,7 @@ impl MatrixOptions {
             census: self.census,
             policy: self.policy,
             policy_seed: self.policy_seed,
+            rearm: self.rearm,
             ..Default::default()
         }
     }
@@ -147,30 +152,41 @@ pub fn full_matrix(specs: &[WorkloadSpec]) -> Vec<MatrixJob> {
         .collect()
 }
 
-/// Maps `f` over `items` on up to `jobs` OS threads, returning results in
-/// item order regardless of which worker computed what or when.
+/// Renders a caught panic payload as the `String` a `panic!` produced.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` OS threads, returning per-item
+/// results in item order regardless of which worker computed what or
+/// when. A panic in `f` is caught *per cell* and surfaced as that cell's
+/// `Err` (the panic message) — it never poisons the matrix join, and
+/// every other cell still runs to completion.
 ///
 /// Scheduling is dynamic (one shared atomic cursor — long cells do not
 /// convoy short ones behind a static partition) but the output is not:
 /// each result is tagged with its item index and the merged vector is
 /// sorted by it, so callers observe exactly the serial `map`. `jobs <= 1`
 /// short-circuits to a plain serial loop with zero thread overhead.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` after all workers finish.
-pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+pub fn parallel_map_result<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let call = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(call).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut tagged: Vec<(usize, Result<R, String>)> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
@@ -178,7 +194,7 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
+                        out.push((i, call(item)));
                     }
                     out
                 })
@@ -186,18 +202,41 @@ where
             .collect();
         workers
             .into_iter()
-            .flat_map(|w| w.join().expect("matrix worker panicked"))
+            .flat_map(|w| w.join().expect("cell panics are caught; the worker loop itself cannot panic"))
             .collect()
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// The infallible wrapper over [`parallel_map_result`] for closures that
+/// do not panic.
+///
+/// # Panics
+///
+/// Re-raises the first (lowest-index) cell panic after all workers
+/// finish.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_result(items, jobs, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|msg| panic!("matrix cell {i} panicked: {msg}")))
+        .collect()
+}
+
 /// Runs every matrix cell on up to `jobs` threads. Each worker builds its
 /// own [`System`] and [`RunOptions`] inside the thread, times the run,
-/// and the outcomes come back in cell order.
+/// and the outcomes come back in cell order. A cell that panics (a
+/// simulator invariant tripping under an extreme configuration) is
+/// reported as that cell's error outcome; the rest of the matrix
+/// completes normally.
 pub fn run_matrix(cells: &[MatrixJob], opts: &MatrixOptions, jobs: usize) -> Vec<MatrixOutcome> {
-    parallel_map(cells, jobs, |cell| {
+    parallel_map_result(cells, jobs, |cell| {
         let started = Instant::now();
         let result = match system_by_label(cell.platform) {
             Some(sys) => {
@@ -212,6 +251,17 @@ pub fn run_matrix(cells: &[MatrixJob], opts: &MatrixOptions, jobs: usize) -> Vec
             wall_ns: started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         }
     })
+    .into_iter()
+    .zip(cells)
+    .map(|(r, cell)| {
+        r.unwrap_or_else(|msg| MatrixOutcome {
+            workload: cell.spec.short,
+            platform: cell.platform,
+            result: Err(format!("{}: panic: {msg}", cell.platform)),
+            wall_ns: 0,
+        })
+    })
+    .collect()
 }
 
 /// Simulated picoseconds a run advanced (mutator + stop-the-world GC):
@@ -267,6 +317,26 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_surfaces_as_its_own_error() {
+        let items: Vec<u64> = (0..16).collect();
+        for jobs in [1, 4] {
+            let out = parallel_map_result(&items, jobs, |&x| {
+                assert!(x != 5, "cell five exploded");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len(), "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("cell five exploded"), "jobs={jobs}: {msg}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2), "jobs={jobs}");
+                }
+            }
+        }
     }
 
     #[test]

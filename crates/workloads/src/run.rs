@@ -51,6 +51,10 @@ pub struct RunOptions {
     /// Seed for stochastic policies ([`PolicyKind::Bandit`]); ignored by
     /// the deterministic ones.
     pub policy_seed: u64,
+    /// Probe-after-N-GCs re-enable of watchdog-dead device units (the
+    /// `--rearm N` flag). `None` (the default) leaves dead units dead for
+    /// the rest of the run, exactly the PR 2 behavior.
+    pub rearm: Option<u32>,
 }
 
 impl Default for RunOptions {
@@ -64,6 +68,7 @@ impl Default for RunOptions {
             census: false,
             policy: None,
             policy_seed: 0xC4A0,
+            rearm: None,
         }
     }
 }
@@ -210,13 +215,31 @@ impl fmt::Display for RunResult {
 ///
 /// Returns [`OutOfMemory`] when the chosen heap factor cannot hold the
 /// workload (by construction this never happens at factor ≥ 1.0).
-pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
+pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Result<RunResult, OutOfMemory> {
+    run_workload_heap(spec, sys, opts).map(|(r, _)| r)
+}
+
+/// Like [`run_workload`], but also hands back the final [`JavaHeap`] so
+/// the caller can inspect the end-of-run heap — the chaos campaign's
+/// escaped-corruption check re-walks the object graph this way.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] exactly as [`run_workload`] does.
+pub fn run_workload_heap(
+    spec: &WorkloadSpec,
+    mut sys: System,
+    opts: &RunOptions,
+) -> Result<(RunResult, JavaHeap), OutOfMemory> {
     let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
     let mut heap =
         JavaHeap::new(HeapConfig { layout: LayoutParams { heap_bytes, ..Default::default() }, ..Default::default() });
     let mut mutator = Mutator::new(spec.clone(), &mut heap);
     sys.set_telemetry(opts.telemetry.clone());
     sys.set_profiler(opts.profiler.clone());
+    if let Some(n) = opts.rearm {
+        sys.set_rearm(n);
+    }
     let platform = sys.label();
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);
     if opts.census {
@@ -252,25 +275,28 @@ pub fn run_workload(spec: &WorkloadSpec, mut sys: System, opts: &RunOptions) -> 
     let major_t = gc.gc_time_by_kind(GcKind::Major);
     let profile = (opts.profiler.is_enabled() || opts.census)
         .then(|| RunProfile::collect(spec.short, platform, &gc, opts.profiler.snapshot()));
-    Ok(RunResult {
-        workload: spec.short,
-        platform,
-        mutator_time: mutator.mutator_time,
-        gc_time: gc.gc_total_time(),
-        minor: (minor_t, gc.count(GcKind::Minor)),
-        major: (major_t, gc.count(GcKind::Major)),
-        minor_breakdown: gc.breakdown_by_kind(GcKind::Minor),
-        major_breakdown: gc.breakdown_by_kind(GcKind::Major),
-        gc_dram_bytes: gc.events.iter().map(|e| e.dram_bytes).sum(),
-        energy: gc.sys.energy.account().clone(),
-        traffic: gc.sys.host.fabric.stats(),
-        per_cube_bytes: gc.sys.host.fabric.per_cube_bytes().to_vec(),
-        device: gc.sys.device.as_ref().map(|d| d.stats().clone()),
-        bitmap_cache: gc.sys.device.as_ref().map(|d| d.bitmap_cache_stats()),
-        allocated_bytes: mutator.allocated_bytes,
-        profile,
-        decisions: gc.adapt.as_ref().map(|c| c.journal.clone()),
-    })
+    Ok((
+        RunResult {
+            workload: spec.short,
+            platform,
+            mutator_time: mutator.mutator_time,
+            gc_time: gc.gc_total_time(),
+            minor: (minor_t, gc.count(GcKind::Minor)),
+            major: (major_t, gc.count(GcKind::Major)),
+            minor_breakdown: gc.breakdown_by_kind(GcKind::Minor),
+            major_breakdown: gc.breakdown_by_kind(GcKind::Major),
+            gc_dram_bytes: gc.events.iter().map(|e| e.dram_bytes).sum(),
+            energy: gc.sys.energy.account().clone(),
+            traffic: gc.sys.host.fabric.stats(),
+            per_cube_bytes: gc.sys.host.fabric.per_cube_bytes().to_vec(),
+            device: gc.sys.device.as_ref().map(|d| d.stats().clone()),
+            bitmap_cache: gc.sys.device.as_ref().map(|d| d.bitmap_cache_stats()),
+            allocated_bytes: mutator.allocated_bytes,
+            profile,
+            decisions: gc.adapt.as_ref().map(|c| c.journal.clone()),
+        },
+        heap,
+    ))
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ use charon_workloads::spec::{by_short, table3};
 use charon_workloads::{run_workload, RunOptions};
 use proptest::prelude::*;
 
-const PLATFORMS: [(&str, fn() -> System); 5] = [
+type MakeSystem = fn() -> System;
+
+const PLATFORMS: [(&str, MakeSystem); 5] = [
     ("DDR4", System::ddr4),
     ("HMC", System::hmc),
     ("Charon", System::charon),

@@ -11,6 +11,7 @@
 //! charon-cli config                       # Table 2
 //! charon-cli area                         # Table 4
 //! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
+//! charon-cli chaos BS KM --rates 0.02,0.1 # silent-corruption campaign
 //! charon-cli profile KM --platform Charon # pause/latency histograms + census
 //! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate
 //! charon-cli autotune PS --policy census  # adaptive vs static offload mask
@@ -19,14 +20,15 @@
 use charon::gc::adapt::PolicyKind;
 use charon::gc::breakdown::Bucket;
 use charon::gc::system::OffloadMask;
+use charon::sim::faults::CorruptionSite;
 use charon::sim::json::Json;
 use charon::sim::profile::Profiler;
 use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::parmatrix::{system_by_label, PLATFORM_LABELS as PLATFORMS};
 use charon::workloads::spec::{by_short, table3};
 use charon::workloads::{
-    autotune_jobs, full_matrix, run_fault_campaign_jobs, run_matrix, run_workload, selfspeed_json, CampaignOptions,
-    MatrixOptions, RunOptions, RunResult,
+    autotune_jobs, full_matrix, run_chaos_campaign, run_fault_campaign_jobs, run_matrix, run_workload, selfspeed_json,
+    CampaignOptions, ChaosOptions, MatrixOptions, RunOptions, RunResult,
 };
 use std::process::ExitCode;
 
@@ -34,13 +36,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
          charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
-         [--mask <M>] [--json] [--trace-out <FILE>]\n  \
+         [--mask <M>] [--rearm <N>] [--json] [--trace-out <FILE>]\n  \
          charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json]\n  \
          charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>] [--jobs <N>]\n    \
          (also writes BENCH_selfspeed.json — simulated ps per wall-second, per cell)\n  \
          charon-cli check-json <FILE>\n  \
          charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] \
          [--steps <N>] [--json] [--jobs <N>]\n  \
+         charon-cli chaos [<W>...] [--rates <R,R,...>] [--sites <bitmap,forward,card,payload>] [--oracle] \
+         [--rearm <N>] [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] \
+         [--jobs <N>]\n  \
          charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
          [--json] [--profile-out <FILE>]\n  \
          charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n  \
@@ -54,7 +59,7 @@ fn usage() -> ExitCode {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 13] = [
+const FLAG_TABLE: [(&str, bool); 17] = [
     ("--jobs", true),
     ("--platform", true),
     ("--heap-factor", true),
@@ -68,6 +73,10 @@ const FLAG_TABLE: [(&str, bool); 13] = [
     ("--tolerance", true),
     ("--mask", true),
     ("--policy", true),
+    ("--rearm", true),
+    ("--rates", true),
+    ("--sites", true),
+    ("--oracle", false),
 ];
 
 /// Parsed flag values, superset over all subcommands.
@@ -86,6 +95,10 @@ struct Flags {
     tolerance: Option<f64>,
     mask: Option<OffloadMask>,
     policy: Option<PolicyKind>,
+    rearm: Option<u32>,
+    rates: Option<Vec<f64>>,
+    sites: Option<Vec<CorruptionSite>>,
+    oracle: bool,
 }
 
 /// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
@@ -155,6 +168,44 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 }
                 flags.tolerance = Some(t);
             }
+            "--rearm" => {
+                let n: u32 = val.parse().map_err(|_| format!("bad re-arm count {val}"))?;
+                if n == 0 {
+                    return Err("--rearm 0 would re-enable a dead unit immediately; use 1 or more".into());
+                }
+                flags.rearm = Some(n);
+            }
+            "--rates" => {
+                let mut rates = Vec::new();
+                for part in val.split(',') {
+                    let r: f64 = part.parse().map_err(|_| format!("bad corruption rate {part}"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("--rates entry {r} out of range (0..=1, per invocation)"));
+                    }
+                    rates.push(r);
+                }
+                if rates.is_empty() {
+                    return Err("--rates needs at least one rate".into());
+                }
+                flags.rates = Some(rates);
+            }
+            "--sites" => {
+                let mut sites = Vec::new();
+                for part in val.split(',') {
+                    let Some(site) = CorruptionSite::by_name(part) else {
+                        return Err(format!(
+                            "unknown corruption site {part} (one of: {})",
+                            CorruptionSite::ALL.map(|s| s.name()).join(", ")
+                        ));
+                    };
+                    if sites.contains(&site) {
+                        return Err(format!("duplicate corruption site {part}"));
+                    }
+                    sites.push(site);
+                }
+                flags.sites = Some(sites);
+            }
+            "--oracle" => flags.oracle = true,
             _ => unreachable!("flag in table"),
         }
     }
@@ -177,7 +228,22 @@ impl Flags {
             gc_threads: self.threads.unwrap_or(8),
             supersteps: self.steps,
             telemetry,
+            rearm: self.rearm,
             ..Default::default()
+        }
+    }
+
+    fn chaos_options(&self) -> ChaosOptions {
+        let defaults = ChaosOptions::default();
+        ChaosOptions {
+            seed: self.seed.unwrap_or(defaults.seed),
+            rates: self.rates.clone().unwrap_or(defaults.rates),
+            sites: self.sites.clone().unwrap_or(defaults.sites),
+            oracle: self.oracle,
+            rearm: self.rearm,
+            supersteps: self.steps,
+            gc_threads: self.threads.unwrap_or(8),
+            heap_factor: self.heap_factor,
         }
     }
 
@@ -276,7 +342,26 @@ fn run_metrics(out: &mut Vec<(String, u64)>, run: &Json) {
 /// (a single run or profile object) — into comparable metrics.
 fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
     let mut out = Vec::new();
-    if report.get("schema").and_then(Json::as_str) == Some("charon-selfspeed-v1") {
+    if report.get("schema").and_then(Json::as_str) == Some("charon-chaos-v1") {
+        // Chaos campaign report: rates are gated upward (higher is
+        // better), escapes downward. Rates are re-derived from the integer
+        // counts in basis points so the gate compares integers like every
+        // other metric.
+        let count = |k: &str| report.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (injected, detected, repaired) = (count("injected"), count("detected"), count("repaired"));
+        let harmful = injected.saturating_sub(count("benign"));
+        out.push(("chaos/detection_rate_bp".into(), (detected * 10_000).checked_div(harmful).unwrap_or(10_000)));
+        out.push(("chaos/repair_rate_bp".into(), (repaired * 10_000).checked_div(detected).unwrap_or(10_000)));
+        out.push(("chaos/escaped".into(), count("escaped")));
+        for c in report.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+            let w = c.get("workload").and_then(Json::as_str).unwrap_or("?");
+            let s = c.get("site").and_then(Json::as_str).unwrap_or("?");
+            let r = c.get("rate").and_then(Json::as_f64).unwrap_or(0.0);
+            if let Some(e) = c.get("escaped").and_then(Json::as_u64) {
+                out.push((format!("chaos/{w}/{s}/{r}/escaped"), e));
+            }
+        }
+    } else if report.get("schema").and_then(Json::as_str) == Some("charon-selfspeed-v1") {
         // BENCH_selfspeed.json: one higher-is-better metric per cell (the
         // `selfspeed` name is what flips the gate's direction).
         for e in report.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
@@ -318,9 +403,11 @@ impl Regression {
 
 /// Whether a metric improves by growing. Timing metrics (the default)
 /// regress upward; `selfspeed` metrics — simulated ps per wall-second —
-/// regress downward.
+/// and the chaos campaign's detection/repair rates regress downward.
+/// (Chaos `escaped` counts keep the default direction: any growth over a
+/// zero baseline is a regression.)
 fn higher_is_better(metric: &str) -> bool {
-    metric.contains("selfspeed")
+    metric.contains("selfspeed") || metric.contains("detection") || metric.contains("repair")
 }
 
 /// Compares every metric present in BOTH reports; a regression is
@@ -376,7 +463,7 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--heap-factor", "--threads", "--steps", "--mask", "--json", "--trace-out"],
+                &["--platform", "--heap-factor", "--threads", "--steps", "--mask", "--rearm", "--json", "--trace-out"],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -571,6 +658,63 @@ fn main() -> ExitCode {
                     eprintln!("{short}: fault-free baseline failed: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        Some("chaos") => {
+            let shorts: Vec<&String> = args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
+            let flag_start = 1 + shorts.len();
+            let flags = match parse_flags(
+                &args[flag_start..],
+                &[
+                    "--rates",
+                    "--sites",
+                    "--oracle",
+                    "--rearm",
+                    "--seed",
+                    "--heap-factor",
+                    "--threads",
+                    "--steps",
+                    "--json",
+                    "--out",
+                    "--jobs",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let specs = if shorts.is_empty() {
+                table3()
+            } else {
+                let mut v = Vec::new();
+                for s in shorts {
+                    let Some(spec) = by_short(s) else {
+                        eprintln!("unknown workload {s}");
+                        return usage();
+                    };
+                    v.push(spec);
+                }
+                v
+            };
+            let report = run_chaos_campaign(&specs, &flags.chaos_options(), flags.jobs());
+            if let Some(path) = &flags.out {
+                if let Err(code) = write_file(path, &report.to_json().to_string()) {
+                    return code;
+                }
+                println!("wrote {path}");
+            }
+            if flags.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{report}");
+            }
+            if report.pass() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("chaos campaign FAILED ({} escaped, {} cells)", report.escaped(), report.cells.len());
+                ExitCode::FAILURE
             }
         }
         Some("profile") => {
@@ -963,5 +1107,85 @@ mod tests {
         ]);
         let m = extract_metrics(&p);
         assert_eq!(m, vec![("KM/DDR4/gc_time_ps".to_string(), 5_000), ("KM/DDR4/pause_major_p99_ps".to_string(), 900)]);
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let f = parse_flags(
+            &argv(&["--rates", "0.02,0.1", "--sites", "bitmap,card", "--oracle", "--rearm", "3"]),
+            &["--rates", "--sites", "--oracle", "--rearm"],
+        )
+        .unwrap();
+        assert_eq!(f.rates, Some(vec![0.02, 0.1]));
+        assert_eq!(f.sites, Some(vec![CorruptionSite::BitmapWord, CorruptionSite::CardByte]));
+        assert!(f.oracle);
+        assert_eq!(f.rearm, Some(3));
+    }
+
+    #[test]
+    fn rejects_bad_chaos_flag_values() {
+        let all = ["--rates", "--sites", "--rearm"];
+        let e = parse_flags(&argv(&["--rates", "1.5"]), &all).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = parse_flags(&argv(&["--sites", "bitmap,nonsense"]), &all).unwrap_err();
+        assert!(e.contains("unknown corruption site nonsense"), "{e}");
+        let e = parse_flags(&argv(&["--sites", "card,card"]), &all).unwrap_err();
+        assert!(e.contains("duplicate corruption site"), "{e}");
+        let e = parse_flags(&argv(&["--rearm", "0"]), &all).unwrap_err();
+        assert!(e.contains("--rearm 0"), "{e}");
+    }
+
+    /// A minimal chaos-campaign report with the given counts and one cell.
+    fn chaos_report(injected: u64, detected: u64, repaired: u64, escaped: u64) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("charon-chaos-v1")),
+            ("injected", Json::U64(injected)),
+            ("detected", Json::U64(detected)),
+            ("repaired", Json::U64(repaired)),
+            ("benign", Json::U64(0)),
+            ("escaped", Json::U64(escaped)),
+            (
+                "cells",
+                Json::Arr(vec![Json::obj(vec![
+                    ("workload", Json::str("BS")),
+                    ("site", Json::str("bitmap")),
+                    ("rate", Json::F64(0.05)),
+                    ("escaped", Json::U64(escaped)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn chaos_reports_extract_direction_aware_metrics() {
+        let m = extract_metrics(&chaos_report(200, 190, 190, 10));
+        assert_eq!(
+            m,
+            vec![
+                ("chaos/detection_rate_bp".to_string(), 9_500),
+                ("chaos/repair_rate_bp".to_string(), 10_000),
+                ("chaos/escaped".to_string(), 10),
+                ("chaos/BS/bitmap/0.05/escaped".to_string(), 10),
+            ]
+        );
+        assert!(higher_is_better("chaos/detection_rate_bp"));
+        assert!(higher_is_better("chaos/repair_rate_bp"));
+        assert!(!higher_is_better("chaos/escaped"));
+    }
+
+    #[test]
+    fn chaos_detection_regresses_downward_and_escapes_upward() {
+        let old = chaos_report(200, 200, 200, 0);
+        // Detection dropped 100% -> 80%: trips the higher-is-better gate.
+        let worse_detection = chaos_report(200, 160, 160, 40);
+        let (compared, regs) = regressions(&old, &worse_detection, 10.0);
+        assert_eq!(compared, 4);
+        let names: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
+        assert!(names.contains(&"chaos/detection_rate_bp"), "{names:?}");
+        // Escapes over a zero baseline regress on any nonzero count.
+        assert!(names.contains(&"chaos/escaped"), "{names:?}");
+        // Identical reports pass clean.
+        let (_, regs) = regressions(&old, &chaos_report(200, 200, 200, 0), 10.0);
+        assert!(regs.is_empty(), "{regs:?}");
     }
 }
