@@ -27,7 +27,7 @@ use crate::mai::Mai;
 use crate::packet::{InitializeParams, PrimType, REQUEST_BYTES, RESPONSE_NACK_BYTES};
 use crate::sched::Scheduler;
 use crate::tlb::{AccelTlb, TlbMode};
-use crate::units::UnitPool;
+use crate::units::{NoUnits, UnitPool};
 use charon_heap::addr::VAddr;
 use charon_sim::bwres::{BatchCompletion, BwOccupancy};
 use charon_sim::cache::AccessKind;
@@ -208,6 +208,9 @@ pub struct CharonStats {
     pub prims: [PrimStats; 4],
     /// Per-unit-class pool counters, in [`UNIT_CLASS_NAMES`] order.
     pub units: [UnitClassStats; 3],
+    /// Offloads bounced by the route check — sent to a cube with no
+    /// units of the class — indexed by [`PrimType`] discriminant.
+    pub misroutes: [u64; 4],
     /// Component-level dynamic energy.
     pub energy: ComponentEnergy,
 }
@@ -245,6 +248,7 @@ impl CharonStats {
                             ("bytes", Json::U64(s.bytes)),
                             ("transport_ps", Json::U64(s.transport.0)),
                             ("queue_ps", Json::U64(s.queue.0)),
+                            ("misroutes", Json::U64(self.misroutes[p.encode() as usize])),
                         ]),
                     )
                 })
@@ -875,7 +879,13 @@ impl CharonDevice {
     // --- fault-aware entry point ---------------------------------------
 
     /// Dispatches `call` to the matching raw primitive.
-    fn dispatch(&mut self, host: &mut HostTiming, now: Ps, call: &OffloadCall<'_>) -> Ps {
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when the call was routed to a cube with no units of
+    /// the primitive's class (a scheduler/placement bug, or a deliberate
+    /// [`CharonDevice::set_unit_layout`] experiment).
+    fn dispatch(&mut self, host: &mut HostTiming, now: Ps, call: &OffloadCall<'_>) -> Result<Ps, NoUnits> {
         match *call {
             OffloadCall::Copy { src, dst, bytes } => self.offload_copy(host, now, src, dst, bytes),
             OffloadCall::Search { start, scanned_bytes } => self.offload_search(host, now, start, scanned_bytes),
@@ -893,6 +903,52 @@ impl CharonDevice {
             PrimType::BitmapCount => &mut self.bc_units,
             PrimType::ScanPush => &mut self.sp_units,
         }
+    }
+
+    /// The unit pool serving `prim` (read-only view).
+    fn pool(&self, prim: PrimType) -> &UnitPool {
+        match prim {
+            PrimType::Copy | PrimType::Search => &self.copy_units,
+            PrimType::BitmapCount => &self.bc_units,
+            PrimType::ScanPush => &self.sp_units,
+        }
+    }
+
+    /// Verifies the routed cube can serve `prim` *before* any request
+    /// traffic is charged: a misroute must leave the device and fabric
+    /// untouched so the caller can rerun the work on the host software
+    /// path from the same instant.
+    fn route_check(&mut self, prim: PrimType, cube: usize) -> Result<(), NoUnits> {
+        let pool = self.pool(prim);
+        if pool.units_on(cube) == 0 {
+            let err = NoUnits { cube, cubes: pool.cube_count() };
+            self.stats.misroutes[prim.encode() as usize] += 1;
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Replaces `prim`'s unit layout with `per_cube[c]` instances on cube
+    /// `c` — an experiment/test hook for exotic placements (e.g. moving
+    /// every Scan&Push unit off the central cube to force misroutes).
+    /// Resets the pool's accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every cube has zero instances (via [`UnitPool::new`]).
+    pub fn set_unit_layout(&mut self, prim: PrimType, per_cube: &[usize]) {
+        *self.pool_mut(prim) = UnitPool::new(per_cube);
+        self.refresh_unit_stats();
+    }
+
+    /// Converts a [`NoUnits`] route failure into the abandonment the
+    /// caller degrades on. No time passes and no watchdog state moves:
+    /// the request never reached a unit, and reissuing it would misroute
+    /// identically.
+    fn abandon_misroute(&mut self, prim: PrimType, at: Ps, retries: u32) -> OffloadAbandoned {
+        self.telemetry
+            .record(|| Event::Fault { site: "route", prim: prim.name(), at, attempt: retries });
+        OffloadAbandoned { at, retries, site: FaultSite::Unit, unit_dead: false }
     }
 
     /// Charges one failed attempt: the request transport that still
@@ -977,7 +1033,11 @@ impl CharonDevice {
     /// [`OffloadAbandoned`] when the retry budget is exhausted (or the
     /// unit class is already dead): the caller completes the primitive on
     /// the host software path starting at `OffloadAbandoned::at`, and
-    /// clears the primitive's offload bit when `unit_dead` is set.
+    /// clears the primitive's offload bit when `unit_dead` is set. A
+    /// misrouted call — scheduled onto a cube with no units of the class
+    /// ([`NoUnits`]) — is deterministic, so it abandons immediately at the
+    /// issue time without burning retries and without feeding the
+    /// watchdog; the unit class stays alive for correctly-routed work.
     pub fn offload(
         &mut self,
         host: &mut HostTiming,
@@ -987,7 +1047,10 @@ impl CharonDevice {
         let prim = call.prim();
         let pi = prim.encode() as usize;
         let Some(layer) = &self.faults else {
-            return Ok(OffloadGrant { done: self.dispatch(host, now, &call), retries: 0 });
+            return match self.dispatch(host, now, &call) {
+                Ok(done) => Ok(OffloadGrant { done, retries: 0 }),
+                Err(_) => Err(self.abandon_misroute(prim, now, 0)),
+            };
         };
         let recovery = layer.recovery;
         if layer.dead[pi] {
@@ -1000,7 +1063,10 @@ impl CharonDevice {
         loop {
             let rolled = self.faults.as_mut().expect("fault layer armed").injector.roll_attempt();
             let Some(site) = rolled else {
-                let done = self.dispatch(host, t, &call);
+                let done = match self.dispatch(host, t, &call) {
+                    Ok(done) => done,
+                    Err(_) => return Err(self.abandon_misroute(prim, t, attempt)),
+                };
                 let layer = self.faults.as_mut().expect("fault layer armed");
                 layer.consecutive[pi] = 0;
                 layer.probing[pi] = false; // the probe survived: fully re-armed
@@ -1032,12 +1098,26 @@ impl CharonDevice {
 
     /// Offloads a *Copy* of `bytes` from `src` to `dst` (§4.2). Returns the
     /// time the host thread unblocks.
-    pub fn offload_copy(&mut self, host: &mut HostTiming, now: Ps, src: VAddr, dst: VAddr, bytes: u64) -> Ps {
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when the scheduled cube has no Copy/Search units; the
+    /// device and fabric are left untouched so the caller can degrade to
+    /// the host software path from `now`.
+    pub fn offload_copy(
+        &mut self,
+        host: &mut HostTiming,
+        now: Ps,
+        src: VAddr,
+        dst: VAddr,
+        bytes: u64,
+    ) -> Result<Ps, NoUnits> {
         debug_assert!(bytes > 0);
         let cube = match self.placement {
             Placement::MemorySide => self.sched.cube_for(PrimType::Copy, src),
             Placement::CpuSide => 0,
         };
+        self.route_check(PrimType::Copy, cube)?;
         let arrive = self.send_request(host, cube, now);
         let start = arrive;
 
@@ -1057,17 +1137,28 @@ impl CharonDevice {
         let end = end.max(served);
         self.record(PrimType::Copy, cube, start, end, 2 * bytes);
         self.record_wait(PrimType::Copy, now, arrive, queue_delay);
-        self.send_response(host, cube, PrimType::Copy, end)
+        Ok(self.send_response(host, cube, PrimType::Copy, end))
     }
 
     /// Offloads a *Search* over `scanned_bytes` of the card table starting
     /// at `start_addr` (§4.2); the functional result (found or not) was
     /// computed by the caller and determines how much was scanned.
-    pub fn offload_search(&mut self, host: &mut HostTiming, now: Ps, start_addr: VAddr, scanned_bytes: u64) -> Ps {
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when the scheduled cube has no Copy/Search units.
+    pub fn offload_search(
+        &mut self,
+        host: &mut HostTiming,
+        now: Ps,
+        start_addr: VAddr,
+        scanned_bytes: u64,
+    ) -> Result<Ps, NoUnits> {
         let cube = match self.placement {
             Placement::MemorySide => self.sched.cube_for(PrimType::Search, start_addr),
             Placement::CpuSide => 0,
         };
+        self.route_check(PrimType::Search, cube)?;
         let arrive = self.send_request(host, cube, now);
         let start = arrive;
         let flushed = self.clflush_range(host, start_addr, scanned_bytes, start);
@@ -1082,13 +1173,22 @@ impl CharonDevice {
         let end = end.max(served);
         self.record(PrimType::Search, cube, start, end, scanned_bytes);
         self.record_wait(PrimType::Search, now, arrive, queue_delay);
-        self.send_response(host, cube, PrimType::Search, end)
+        Ok(self.send_response(host, cube, PrimType::Search, end))
     }
 
     /// Offloads a *Bitmap Count* reading the given `(start, bytes)` spans
     /// of the begin and end maps through the bitmap cache (§4.3). The host
     /// never writes the bitmaps, so no clflush probing is needed.
-    pub fn offload_bitmap_count(&mut self, host: &mut HostTiming, now: Ps, spans: &[(VAddr, u64)]) -> Ps {
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when the scheduled cube has no Bitmap Count units.
+    pub fn offload_bitmap_count(
+        &mut self,
+        host: &mut HostTiming,
+        now: Ps,
+        spans: &[(VAddr, u64)],
+    ) -> Result<Ps, NoUnits> {
         let first = spans.first().map(|&(a, _)| a).unwrap_or(VAddr::NULL);
         // "This primitive is scheduled to the cube on which the bitmap
         // address falls" (§4.3). Under the unified design the cache sits on
@@ -1099,6 +1199,7 @@ impl CharonDevice {
             Placement::MemorySide => self.sched.cube_for(PrimType::BitmapCount, first),
         };
         let _ = first;
+        self.route_check(PrimType::BitmapCount, cube)?;
         let arrive = self.send_request(host, cube, now);
         let start = arrive;
         let mut stream = self.mai[self.mai_idx(cube)].stream();
@@ -1136,7 +1237,7 @@ impl CharonDevice {
         let end = end.max(served);
         self.record(PrimType::BitmapCount, cube, start, end, total);
         self.record_wait(PrimType::BitmapCount, now, arrive, queue_delay);
-        self.send_response(host, cube, PrimType::BitmapCount, end)
+        Ok(self.send_response(host, cube, PrimType::BitmapCount, end))
     }
 
     /// Offloads a *Scan&Push* over an object whose reference fields occupy
@@ -1147,6 +1248,10 @@ impl CharonDevice {
     /// per-request path: its referent-header loads are irregular and its
     /// actions depend on each header's return time, so batching the runs
     /// would erase exactly the dependent-load behaviour §4.4 models.
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when the scheduled cube has no Scan&Push units.
     pub fn offload_scan_push(
         &mut self,
         host: &mut HostTiming,
@@ -1154,11 +1259,12 @@ impl CharonDevice {
         fields_start: VAddr,
         field_bytes: u64,
         refs: &[ScanRef],
-    ) -> Ps {
+    ) -> Result<Ps, NoUnits> {
         let cube = match self.placement {
             Placement::MemorySide => Scheduler::CENTER,
             Placement::CpuSide => 0,
         };
+        self.route_check(PrimType::ScanPush, cube)?;
         let arrive = self.send_request(host, cube, now);
         let start = arrive;
         let mut stream = self.mai[self.mai_idx(cube)].stream();
@@ -1223,7 +1329,7 @@ impl CharonDevice {
         let end = end.max(served);
         self.record(PrimType::ScanPush, cube, start, end, field_bytes + refs.len() as u64 * 16);
         self.record_wait(PrimType::ScanPush, now, arrive, queue_delay);
-        self.send_response(host, cube, PrimType::ScanPush, end)
+        Ok(self.send_response(host, cube, PrimType::ScanPush, end))
     }
 
     /// Flushes the bitmap cache (after each MajorGC phase, §4.5).
@@ -1251,7 +1357,9 @@ mod tests {
     #[test]
     fn copy_moves_bytes_and_returns_later() {
         let (mut host, mut dev) = setup(Placement::MemorySide);
-        let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        let t = dev
+            .offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096)
+            .expect("routed cube has units");
         assert!(t > Ps::from_ns(10.0));
         let s = dev.stats().prim(PrimType::Copy);
         assert_eq!(s.offloads, 1);
@@ -1267,7 +1375,8 @@ mod tests {
         assert_eq!(s.units[0].total_units, 8, "Table 2: 8 Copy/Search units");
         assert_eq!(s.units[2].total_units, 8, "Table 2: 8 Scan&Push units");
         assert_eq!(s.units[0].executions, 0);
-        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096)
+            .expect("routed cube has units");
         let s = dev.stats();
         assert!(s.units[0].executions > 0, "copy offload runs on the Copy/Search pool");
         assert!(s.units[0].busy > Ps::ZERO);
@@ -1283,7 +1392,9 @@ mod tests {
         // could ever stream it — the internal-bandwidth advantage.
         let (mut host, mut dev) = setup(Placement::MemorySide);
         let bytes = 512 * 1024u64;
-        let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        let t = dev
+            .offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes)
+            .expect("routed cube has units");
         let gbps = (2 * bytes) as f64 / t.as_secs() / 1e9;
         assert!(gbps > 80.0, "near-memory copy only reached {gbps:.1} GB/s");
     }
@@ -1292,16 +1403,22 @@ mod tests {
     fn cpu_side_copy_is_slower_than_memory_side() {
         let bytes = 256 * 1024u64;
         let (mut h1, mut d1) = setup(Placement::MemorySide);
-        let t_mem = d1.offload_copy(&mut h1, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        let t_mem = d1
+            .offload_copy(&mut h1, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes)
+            .expect("routed cube has units");
         let (mut h2, mut d2) = setup(Placement::CpuSide);
-        let t_cpu = d2.offload_copy(&mut h2, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes);
+        let t_cpu = d2
+            .offload_copy(&mut h2, Ps::ZERO, VAddr(0), VAddr(0x4_0000), bytes)
+            .expect("routed cube has units");
         assert!(t_cpu.0 as f64 > 1.2 * t_mem.0 as f64, "CPU-side ({t_cpu}) should trail memory-side ({t_mem})");
     }
 
     #[test]
     fn search_scans_and_responds_with_value_packet() {
         let (mut host, mut dev) = setup(Placement::MemorySide);
-        let t = dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 2048);
+        let t = dev
+            .offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 2048)
+            .expect("routed cube has units");
         assert!(t > Ps::ZERO);
         assert_eq!(dev.stats().prim(PrimType::Search).offloads, 1);
     }
@@ -1312,14 +1429,17 @@ mod tests {
         // Small spans — the repeated region-tail queries — go through the
         // bitmap cache and hit on reuse.
         let spans = [(VAddr(0x1000), 64u64), (VAddr(0x9000), 64u64)];
-        let t1 = dev.offload_bitmap_count(&mut host, Ps::ZERO, &spans);
-        let t2 = dev.offload_bitmap_count(&mut host, t1, &spans) - t1;
+        let t1 = dev
+            .offload_bitmap_count(&mut host, Ps::ZERO, &spans)
+            .expect("routed cube has units");
+        let t2 = dev.offload_bitmap_count(&mut host, t1, &spans).expect("routed cube has units") - t1;
         assert!(t2 < t1, "warm call ({t2}) should beat cold call ({t1})");
         assert!(dev.bitmap_cache_stats().hit_rate() > 0.4);
         // Large spans — whole-region summary scans — stream via the MAI
         // and leave the cache untouched.
         let before = dev.bitmap_cache_stats().accesses();
-        dev.offload_bitmap_count(&mut host, t1, &[(VAddr(0x2000), 4096u64)]);
+        dev.offload_bitmap_count(&mut host, t1, &[(VAddr(0x2000), 4096u64)])
+            .expect("routed cube has units");
         assert_eq!(dev.bitmap_cache_stats().accesses(), before);
     }
 
@@ -1344,7 +1464,9 @@ mod tests {
             },
             ScanRef { referent: VAddr(0x6000), action: ScanAction::None },
         ];
-        let t = dev.offload_scan_push(&mut host, Ps::ZERO, VAddr(0x1000), 5 * 8, &refs);
+        let t = dev
+            .offload_scan_push(&mut host, Ps::ZERO, VAddr(0x1000), 5 * 8, &refs)
+            .expect("routed cube has units");
         assert!(t > Ps::ZERO);
         assert_eq!(dev.stats().prim(PrimType::ScanPush).offloads, 1);
     }
@@ -1356,7 +1478,10 @@ mod tests {
         // queue behind earlier ones.
         let mut ends = Vec::new();
         for i in 0..4u64 {
-            ends.push(dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 4096), VAddr(0x8_0000 + i * 4096), 4096));
+            ends.push(
+                dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 4096), VAddr(0x8_0000 + i * 4096), 4096)
+                    .expect("routed cube has units"),
+            );
         }
         assert!(ends[3] > ends[0], "queueing must delay the last offload");
     }
@@ -1378,7 +1503,9 @@ mod tests {
     fn offload_without_fault_layer_matches_raw_call() {
         let (mut h1, mut d1) = setup(Placement::MemorySide);
         let (mut h2, mut d2) = setup(Placement::MemorySide);
-        let raw = d1.offload_copy(&mut h1, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096);
+        let raw = d1
+            .offload_copy(&mut h1, Ps::ZERO, VAddr(0x10000), VAddr(0x50000), 4096)
+            .expect("routed cube has units");
         let call = OffloadCall::Copy { src: VAddr(0x10000), dst: VAddr(0x50000), bytes: 4096 };
         let grant = d2.offload(&mut h2, Ps::ZERO, call).expect("no layer, cannot fail");
         assert_eq!(grant.done, raw);
@@ -1391,7 +1518,9 @@ mod tests {
         let (mut h1, mut d1) = setup(Placement::MemorySide);
         let (mut h2, mut d2) = setup(Placement::MemorySide);
         d2.enable_faults(42, FaultRates::zero(), RecoveryConfig::default());
-        let raw = d1.offload_search(&mut h1, Ps::ZERO, VAddr(0x8000), 2048);
+        let raw = d1
+            .offload_search(&mut h1, Ps::ZERO, VAddr(0x8000), 2048)
+            .expect("routed cube has units");
         let grant = d2
             .offload(&mut h2, Ps::ZERO, OffloadCall::Search { start: VAddr(0x8000), scanned_bytes: 2048 })
             .expect("zero rates never fail");
@@ -1562,13 +1691,63 @@ mod tests {
         assert!(wedge.at >= recovery.timeout);
     }
 
+    /// A Scan&Push layout with every unit one cube off the central cube
+    /// the scheduler routes that primitive to.
+    fn off_center_scan_push(dev: &mut CharonDevice) -> usize {
+        let cubes = dev.sp_units.cube_count();
+        let mut per = vec![0usize; cubes];
+        per[(Scheduler::CENTER + 1) % cubes] = 8;
+        dev.set_unit_layout(PrimType::ScanPush, &per);
+        cubes
+    }
+
+    #[test]
+    fn misrouted_raw_offload_reports_typed_error() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        let cubes = off_center_scan_push(&mut dev);
+        let e = dev
+            .offload_scan_push(&mut host, Ps::ZERO, VAddr(0x1000), 8, &[])
+            .expect_err("no Scan&Push units on the central cube");
+        assert_eq!(e, NoUnits { cube: Scheduler::CENTER, cubes });
+        let s = dev.stats();
+        assert_eq!(s.prim(PrimType::ScanPush).offloads, 0, "a bounced route charges no traffic");
+        assert_eq!(s.misroutes[PrimType::ScanPush.encode() as usize], 1);
+        assert_eq!(host.fabric.stats().dram.total_bytes(), 0, "nothing reached the fabric");
+    }
+
+    #[test]
+    fn misrouted_offload_abandons_instead_of_panicking() {
+        let (mut host, mut dev) = setup(Placement::MemorySide);
+        off_center_scan_push(&mut dev);
+        let call = OffloadCall::ScanPush { fields_start: VAddr(0x1000), field_bytes: 8, refs: &[] };
+        // Without a fault layer armed: immediate abandonment at issue time.
+        let e = dev
+            .offload(&mut host, Ps::from_us(3.0), call)
+            .expect_err("misroute must abandon");
+        assert_eq!(e, OffloadAbandoned { at: Ps::from_us(3.0), retries: 0, site: FaultSite::Unit, unit_dead: false });
+        // With one armed: still immediate, and the watchdog stays quiet —
+        // a deterministic misroute is not a transient unit fault.
+        dev.enable_faults(9, FaultRates::zero(), RecoveryConfig::default());
+        let e = dev
+            .offload(&mut host, Ps::from_us(5.0), call)
+            .expect_err("misroute must abandon");
+        assert_eq!((e.at, e.retries, e.unit_dead), (Ps::from_us(5.0), 0, false));
+        assert!(!dev.unit_dead(PrimType::ScanPush));
+        assert_eq!(dev.fault_counters().abandoned, [0; 4]);
+        assert_eq!(dev.stats().misroutes[PrimType::ScanPush.encode() as usize], 2);
+        // Correctly-routed primitives are unaffected.
+        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x8000), 256)
+            .expect("copy routes fine");
+    }
+
     #[test]
     fn clflush_writes_back_dirty_host_lines() {
         let (mut host, mut dev) = setup(Placement::MemorySide);
         // Host dirties a line inside the copy source.
         host.mem_access(0, Ps::ZERO, 0x10040, 8, charon_sim::cache::AccessKind::Write);
         let before = host.fabric.stats().dram.write_bytes;
-        dev.offload_copy(&mut host, Ps::from_us(1.0), VAddr(0x10000), VAddr(0x5_0000), 256);
+        dev.offload_copy(&mut host, Ps::from_us(1.0), VAddr(0x10000), VAddr(0x5_0000), 256)
+            .expect("routed cube has units");
         let after = host.fabric.stats().dram.write_bytes;
         assert!(after > before, "dirty host line must be written back before the unit reads");
     }

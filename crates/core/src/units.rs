@@ -10,9 +10,31 @@
 
 use charon_sim::bwres::EpochBw;
 use charon_sim::time::Ps;
+use std::fmt;
 
 /// Metering epoch for unit-time accounting.
 const UNIT_EPOCH: Ps = Ps(1_000_000); // 1 us
+
+/// A charge was routed to a cube that has no units of this class — a
+/// scheduler/placement bug, or a deliberately exotic unit layout. Carried
+/// through the offload path so the caller can degrade to the host
+/// software fallback instead of crashing the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoUnits {
+    /// The cube the charge was routed to.
+    pub cube: usize,
+    /// Cubes the pool spans (valid indices are `0..cubes`, and only those
+    /// with a nonzero unit count accept charges).
+    pub cubes: usize,
+}
+
+impl fmt::Display for NoUnits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no units on cube {} (pool spans {} cubes)", self.cube, self.cubes)
+    }
+}
+
+impl std::error::Error for NoUnits {}
 
 /// A pool of unit instances, organized per cube.
 #[derive(Debug, Clone)]
@@ -74,9 +96,28 @@ impl UnitPool {
     ///
     /// # Panics
     ///
-    /// Panics if the cube has no units of this kind.
+    /// Panics if the cube has no units of this kind (including an
+    /// out-of-range cube index). Fallible callers — the device offload
+    /// path, which must degrade a misrouted offload to the host software
+    /// fallback rather than abort the simulation — use
+    /// [`UnitPool::try_charge`].
     pub fn charge(&mut self, cube: usize, start: Ps, dur: Ps) -> Ps {
-        let lane = self.lanes[cube].as_mut().unwrap_or_else(|| panic!("no units on cube {cube}"));
+        self.try_charge(cube, start, dur).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`UnitPool::charge`], but reports a cube with no units of
+    /// this class — an out-of-range index included — as a typed
+    /// [`NoUnits`] error instead of panicking, leaving the pool's
+    /// accounting untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`NoUnits`] when `cube` is out of range or has a zero unit count.
+    pub fn try_charge(&mut self, cube: usize, start: Ps, dur: Ps) -> Result<Ps, NoUnits> {
+        let lane = match self.lanes.get_mut(cube) {
+            Some(Some(lane)) => lane,
+            _ => return Err(NoUnits { cube, cubes: self.units.len() }),
+        };
         self.busy += dur;
         self.executions += 1;
         let served = lane.reserve(start, dur.0.max(1));
@@ -85,7 +126,12 @@ impl UnitPool {
         let delay = served.saturating_sub(start + dur);
         let depth = delay.0.div_ceil(dur.0.max(1));
         self.queue_high_water = self.queue_high_water.max(depth);
-        served
+        Ok(served)
+    }
+
+    /// Cubes the pool spans (including cubes with zero units).
+    pub fn cube_count(&self) -> usize {
+        self.units.len()
     }
 
     /// Total unit-busy time accumulated.
@@ -195,5 +241,21 @@ mod tests {
     fn charge_on_empty_cube_panics() {
         let mut p = UnitPool::concentrated(4, 2, 0);
         p.charge(1, Ps::ZERO, Ps::from_ns(1.0));
+    }
+
+    #[test]
+    fn try_charge_reports_typed_no_units() {
+        let mut p = UnitPool::concentrated(4, 2, 0);
+        // A populated cube still works through the fallible path.
+        assert!(p.try_charge(0, Ps::ZERO, Ps::from_ns(1.0)).is_ok());
+        // An empty cube and an out-of-range cube are both typed errors.
+        let e = p.try_charge(1, Ps::ZERO, Ps::from_ns(1.0)).unwrap_err();
+        assert_eq!(e, NoUnits { cube: 1, cubes: 2 });
+        let e = p.try_charge(7, Ps::ZERO, Ps::from_ns(1.0)).unwrap_err();
+        assert_eq!(e, NoUnits { cube: 7, cubes: 2 });
+        assert_eq!(e.to_string(), "no units on cube 7 (pool spans 2 cubes)");
+        // Failed charges never touch the accounting.
+        assert_eq!(p.executions(), 1);
+        assert_eq!(p.busy_time(), Ps::from_ns(1.0));
     }
 }

@@ -16,13 +16,21 @@ fn setup(structure: StructureMode) -> (HostTiming, CharonDevice) {
 #[test]
 fn minimum_size_offloads_complete() {
     let (mut host, mut dev) = setup(StructureMode::Table4);
-    let t1 = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x2000), 8);
+    let t1 = dev
+        .offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x2000), 8)
+        .expect("routed cube has units");
     assert!(t1 > Ps::ZERO);
-    let t2 = dev.offload_search(&mut host, t1, VAddr(0x3000), 8);
+    let t2 = dev
+        .offload_search(&mut host, t1, VAddr(0x3000), 8)
+        .expect("routed cube has units");
     assert!(t2 > t1);
-    let t3 = dev.offload_bitmap_count(&mut host, t2, &[(VAddr(0x4000), 8)]);
+    let t3 = dev
+        .offload_bitmap_count(&mut host, t2, &[(VAddr(0x4000), 8)])
+        .expect("routed cube has units");
     assert!(t3 > t2);
-    let t4 = dev.offload_scan_push(&mut host, t3, VAddr(0x5000), 8, &[]);
+    let t4 = dev
+        .offload_scan_push(&mut host, t3, VAddr(0x5000), 8, &[])
+        .expect("routed cube has units");
     assert!(t4 > t3, "an empty reference list still loads the fields");
     assert_eq!(dev.stats().total_offloads(), 4);
 }
@@ -33,7 +41,9 @@ fn copy_spanning_every_cube_still_completes() {
     let page = 1u64 << SystemConfig::table2_hmc().hmc.cube_interleave_bits;
     // A copy whose source range crosses all four cubes.
     let bytes = 4 * page;
-    let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(8 * page), bytes);
+    let t = dev
+        .offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(8 * page), bytes)
+        .expect("routed cube has units");
     let gbps = 2.0 * bytes as f64 / t.as_secs() / 1e9;
     assert!(gbps > 30.0, "cross-cube copy unreasonably slow: {gbps:.1} GB/s");
     assert!(host.fabric.stats().intercube.total_bytes() > 0, "remote chunks must cross spokes");
@@ -43,16 +53,20 @@ fn copy_spanning_every_cube_still_completes() {
 fn every_structure_mode_serves_all_primitives() {
     for structure in [StructureMode::Table4, StructureMode::Unified, StructureMode::Distributed] {
         let (mut host, mut dev) = setup(structure);
-        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x9000), 4096);
-        dev.offload_search(&mut host, Ps::ZERO, VAddr(0x2000), 2048);
-        dev.offload_bitmap_count(&mut host, Ps::ZERO, &[(VAddr(0x3000), 64), (VAddr(0x7000), 64)]);
+        dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x9000), 4096)
+            .expect("routed cube has units");
+        dev.offload_search(&mut host, Ps::ZERO, VAddr(0x2000), 2048)
+            .expect("routed cube has units");
+        dev.offload_bitmap_count(&mut host, Ps::ZERO, &[(VAddr(0x3000), 64), (VAddr(0x7000), 64)])
+            .expect("routed cube has units");
         dev.offload_scan_push(
             &mut host,
             Ps::ZERO,
             VAddr(0x4000),
             64,
             &[ScanRef { referent: VAddr(0x5000), action: ScanAction::None }],
-        );
+        )
+        .expect("routed cube has units");
         for p in PrimType::ALL {
             assert_eq!(dev.stats().prim(p).offloads, 1, "{structure:?} {p}");
         }
@@ -64,7 +78,8 @@ fn every_structure_mode_serves_all_primitives() {
 fn distributed_tlb_has_no_remote_lookups_for_local_streams() {
     let (mut host, mut dev) = setup(StructureMode::Distributed);
     // A copy entirely within cube 0's first page.
-    dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x10000), 32 * 1024);
+    dev.offload_copy(&mut host, Ps::ZERO, VAddr(0), VAddr(0x10000), 32 * 1024)
+        .expect("routed cube has units");
     let (lookups, remote) = dev.tlb_stats();
     assert!(lookups > 0);
     assert_eq!(remote, 0, "VA-routed distributed slices never cross links");
@@ -75,7 +90,8 @@ fn unified_tlb_pays_for_offcenter_units() {
     let (mut host, mut dev) = setup(StructureMode::Unified);
     let page = 1u64 << SystemConfig::table2_hmc().hmc.cube_interleave_bits;
     // Unit scheduled on cube 1 (source there), translating via cube 0.
-    dev.offload_copy(&mut host, Ps::ZERO, VAddr(page), VAddr(page + 0x10000), 32 * 1024);
+    dev.offload_copy(&mut host, Ps::ZERO, VAddr(page), VAddr(page + 0x10000), 32 * 1024)
+        .expect("routed cube has units");
     let (lookups, remote) = dev.tlb_stats();
     assert!(lookups > 0);
     assert!(remote > 0, "off-center units must reach the unified TLB over links");
@@ -84,9 +100,11 @@ fn unified_tlb_pays_for_offcenter_units() {
 #[test]
 fn stats_bytes_account_for_payloads() {
     let (mut host, mut dev) = setup(StructureMode::Table4);
-    dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x2_0000), 10_000);
+    dev.offload_copy(&mut host, Ps::ZERO, VAddr(0x1000), VAddr(0x2_0000), 10_000)
+        .expect("routed cube has units");
     assert_eq!(dev.stats().prim(PrimType::Copy).bytes, 20_000, "copy counts read+write");
-    dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 4096);
+    dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 4096)
+        .expect("routed cube has units");
     assert_eq!(dev.stats().prim(PrimType::Search).bytes, 4096);
 }
 
@@ -97,7 +115,9 @@ fn responses_unblock_in_submission_order_per_unit_saturation() {
     let (mut host, mut dev) = setup(StructureMode::Table4);
     let mut last = Ps::ZERO;
     for i in 0..16u64 {
-        let t = dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 8192), VAddr(0x40_0000 + i * 8192), 8192);
+        let t = dev
+            .offload_copy(&mut host, Ps::ZERO, VAddr(i * 8192), VAddr(0x40_0000 + i * 8192), 8192)
+            .expect("routed cube has units");
         assert!(t >= last, "offload {i} finished before its predecessor");
         last = t;
     }
@@ -111,13 +131,15 @@ fn bitmap_count_never_probes_host_caches() {
     // Dirty a host line inside the bitmap span.
     host.mem_access(0, Ps::ZERO, 0x4000, 8, charon_sim::cache::AccessKind::Write);
     let flushed_before = host.cache_stats().0.flushed + host.cache_stats().1.flushed + host.cache_stats().2.flushed;
-    dev.offload_bitmap_count(&mut host, Ps::from_us(1.0), &[(VAddr(0x4000), 64)]);
+    dev.offload_bitmap_count(&mut host, Ps::from_us(1.0), &[(VAddr(0x4000), 64)])
+        .expect("routed cube has units");
     let s = host.cache_stats();
     let flushed_after = s.0.flushed + s.1.flushed + s.2.flushed;
     assert_eq!(flushed_before, flushed_after, "Bitmap Count must not clflush");
 
     // Copy, in contrast, probes its ranges.
-    dev.offload_copy(&mut host, Ps::from_us(2.0), VAddr(0x4000), VAddr(0x9000), 64);
+    dev.offload_copy(&mut host, Ps::from_us(2.0), VAddr(0x4000), VAddr(0x9000), 64)
+        .expect("routed cube has units");
     let s = host.cache_stats();
     assert!(s.0.flushed + s.1.flushed + s.2.flushed > flushed_after, "Copy must clflush");
 }
@@ -150,11 +172,14 @@ fn general_component_energy_is_negligible() {
     let (mut host, mut dev) = setup(StructureMode::Table4);
     // A realistic mix: big copies, searches, bitmap scans, object scans.
     for i in 0..24u64 {
-        dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 65536), VAddr(0x100_0000 + i * 65536), 48 * 1024);
+        dev.offload_copy(&mut host, Ps::ZERO, VAddr(i * 65536), VAddr(0x100_0000 + i * 65536), 48 * 1024)
+            .expect("routed cube has units");
     }
-    dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 32 * 1024);
+    dev.offload_search(&mut host, Ps::ZERO, VAddr(0x8000), 32 * 1024)
+        .expect("routed cube has units");
     for i in 0..64u64 {
-        dev.offload_bitmap_count(&mut host, Ps::ZERO, &[(VAddr(0x20_0000 + i * 64), 64)]);
+        dev.offload_bitmap_count(&mut host, Ps::ZERO, &[(VAddr(0x20_0000 + i * 64), 64)])
+            .expect("routed cube has units");
     }
     let e = dev.component_energy();
     assert!(e.total_pj() > 0.0);

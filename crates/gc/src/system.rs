@@ -916,17 +916,39 @@ mod tests {
         let bytes = 64 * 1024;
         let mut plain = System::charon();
         let dispatch = Ps::from_us(1.0) + plain.compute(plain.costs.prim_dispatch);
-        let t_raw = plain.device.as_mut().expect("device").offload_copy(
-            &mut plain.host,
-            dispatch,
-            VAddr(0),
-            VAddr(0x10_0000),
-            bytes,
-        );
+        let t_raw = plain
+            .device
+            .as_mut()
+            .expect("device")
+            .offload_copy(&mut plain.host, dispatch, VAddr(0), VAddr(0x10_0000), bytes)
+            .expect("routed cube has units");
         let mut wired = System::charon();
         let t_new = wired.prim_copy(0, Ps::from_us(1.0), VAddr(0), VAddr(0x10_0000), bytes);
         assert_eq!(t_new, t_raw);
         assert!(wired.recovery.is_empty());
+    }
+
+    #[test]
+    fn misrouted_offload_degrades_to_host_fallback() {
+        use charon_core::sched::Scheduler;
+        // A placement bug: every Scan&Push unit stranded one cube off the
+        // central cube the scheduler routes that primitive to. The run
+        // must degrade to the host software path, not crash.
+        let mut s = System::charon();
+        let cubes = s.cfg.hmc.cubes;
+        let mut per = vec![0usize; cubes];
+        per[(Scheduler::CENTER + 1) % cubes] = 8;
+        s.device.as_mut().expect("device").set_unit_layout(PrimType::ScanPush, &per);
+        let pi = PrimType::ScanPush.encode() as usize;
+        let t = s.prim_scan_push(0, Ps::from_us(1.0), VAddr(0x1000), 64, &[], true);
+        assert!(t > Ps::from_us(1.0), "host fallback still charges time");
+        assert_eq!(s.recovery.fallbacks[pi], 1, "the misroute fell back to the host");
+        assert!(!s.recovery.degraded[pi], "a misroute is not a watchdog verdict");
+        assert!(s.offload.get(PrimType::ScanPush), "the offload bit stays set");
+        // Every further call degrades the same way instead of panicking.
+        let t2 = s.prim_scan_push(0, t, VAddr(0x2000), 64, &[], true);
+        assert!(t2 > t);
+        assert_eq!(s.recovery.fallbacks[pi], 2);
     }
 
     #[test]

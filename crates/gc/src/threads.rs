@@ -7,13 +7,20 @@
 //! the threads share DRAM channels, links, units, and the LLC. Phase
 //! boundaries are barriers (all clocks jump to the maximum). Everything is
 //! repeatable bit-for-bit — no OS threads (DESIGN.md decision 6).
+//!
+//! The clock mechanics live in [`charon_sim::clocks::ClockSet`] — the same
+//! pattern the multi-tenant fleet uses for whole-tenant clocks — and this
+//! type adds the GC-specific layer: host-active accounting (time a thread
+//! executed instructions vs. blocked on an offload response), which feeds
+//! the energy model.
 
+use charon_sim::clocks::ClockSet;
 use charon_sim::time::Ps;
 
 /// The simulated GC thread team.
 #[derive(Debug, Clone)]
 pub struct GcThreads {
-    clocks: Vec<Ps>,
+    clocks: ClockSet,
     /// Time spent actively executing on the host core (vs blocked on an
     /// offload response) — feeds the energy model.
     host_active: Vec<Ps>,
@@ -26,8 +33,7 @@ impl GcThreads {
     ///
     /// Panics if `n` is zero.
     pub fn new(n: usize, start: Ps) -> GcThreads {
-        assert!(n > 0, "need at least one GC thread");
-        GcThreads { clocks: vec![start; n], host_active: vec![Ps::ZERO; n] }
+        GcThreads { clocks: ClockSet::new(n, start), host_active: vec![Ps::ZERO; n] }
     }
 
     /// Number of threads.
@@ -42,17 +48,12 @@ impl GcThreads {
 
     /// The thread with the earliest clock (work-stealing approximation).
     pub fn least_loaded(&self) -> usize {
-        self.clocks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .expect("non-empty team")
+        self.clocks.earliest()
     }
 
     /// Thread `t`'s current time.
     pub fn clock(&self, t: usize) -> Ps {
-        self.clocks[t]
+        self.clocks.clock(t)
     }
 
     /// Advances thread `t` to `to`, recording the elapsed span as
@@ -63,37 +64,29 @@ impl GcThreads {
     ///
     /// Panics in debug builds if `to` is before the thread's clock.
     pub fn advance(&mut self, t: usize, to: Ps, active: bool) {
-        let from = self.clocks[t];
-        debug_assert!(to >= from, "thread {t} moving backwards: {from} -> {to}");
+        let span = self.clocks.advance(t, to);
         if active {
-            self.host_active[t] += to - from;
+            self.host_active[t] += span;
         }
-        self.clocks[t] = to;
     }
 
     /// Advances every thread to at least `to` (used to absorb a phase's
     /// outstanding stream-memory drain at its barrier). Time spent waiting
     /// for the drain is not host-active.
     pub fn advance_all_to(&mut self, to: Ps) {
-        for c in &mut self.clocks {
-            *c = (*c).max(to);
-        }
+        self.clocks.raise_all_to(to);
     }
 
     /// Synchronizes all threads to the latest clock (a phase barrier);
     /// returns that time.
     pub fn barrier(&mut self) -> Ps {
-        let max = self.clocks.iter().copied().max().expect("non-empty team");
-        for c in &mut self.clocks {
-            *c = max;
-        }
-        max
+        self.clocks.barrier()
     }
 
     /// The latest clock in the team *without* synchronizing anything — a
     /// read-only probe for telemetry span boundaries.
     pub fn max_clock(&self) -> Ps {
-        self.clocks.iter().copied().max().expect("non-empty team")
+        self.clocks.max_clock()
     }
 
     /// Sum of host-active time over all threads.

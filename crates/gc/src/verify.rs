@@ -32,7 +32,7 @@ pub struct ReachableStats {
     pub edges: u64,
 }
 
-/// Why [`try_graph_signature`] rejected the heap.
+/// Why [`graph_signature`] rejected the heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorruptKind {
     /// The reachable reference points outside both generations.
@@ -44,9 +44,10 @@ pub enum CorruptKind {
 }
 
 /// A reachable object is damaged: the walk found `addr` on the reachable
-/// graph but cannot traverse it. Returned by [`try_graph_signature`] so
-/// fault campaigns can report the offending address instead of unwinding
-/// mid-verdict.
+/// graph but cannot traverse it. Returned by [`graph_signature`] so fault
+/// campaigns — and multi-tenant fleet runs, where one tenant's corruption
+/// must not abort the other tenants' verdicts — can report the offending
+/// address instead of unwinding mid-verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorruptGraph {
     /// The reachable address the walk choked on.
@@ -71,24 +72,14 @@ impl std::error::Error for CorruptGraph {}
 
 /// Computes the canonical signature and reachability counters.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a reachable reference points outside the heap or at an
-/// object with an invalid klass or impossible size — i.e. the heap is
-/// corrupt.
-pub fn graph_signature(heap: &JavaHeap) -> (u64, ReachableStats) {
-    match try_graph_signature(heap) {
-        Ok(sig) => sig,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Like [`graph_signature`], but reports a damaged reachable object — a
-/// reference escaping the heap, an unregistered klass id, a size running
-/// off the end of the heap — as a [`CorruptGraph`] error instead of
-/// panicking, so corruption campaigns get a verdict rather than an
-/// unwind.
-pub fn try_graph_signature(heap: &JavaHeap) -> Result<(u64, ReachableStats), CorruptGraph> {
+/// [`CorruptGraph`] when a reachable object is damaged — a reference
+/// escaping the heap, an unregistered klass id, a size running off the
+/// end of the heap. The error names the offending address, so callers
+/// holding many heaps (fault campaigns, fleet tenants) can report *which*
+/// graph failed instead of unwinding the whole process.
+pub fn graph_signature(heap: &JavaHeap) -> Result<(u64, ReachableStats), CorruptGraph> {
     let mut ids: HashMap<u64, u64> = HashMap::new();
     let mut order = Vec::new();
     let mut queue = std::collections::VecDeque::new();

@@ -41,13 +41,13 @@ fn build(sys: System) -> (JavaHeap, Collector, KlassId) {
 #[test]
 fn g1_preserves_graph_and_reclaims_garbage() {
     let (mut heap, mut gc, filler) = build(System::ddr4());
-    let (sig, before) = graph_signature(&heap);
+    let (sig, before) = graph_signature(&heap).expect("heap graph verifies");
     let used_before = heap.old().used_bytes();
 
     let mut threads = GcThreads::new(8, gc.now);
     let (bd, stats, free) = g1_mixed_collect(&mut gc.sys, &mut heap, &mut threads, filler);
 
-    let (sig2, after) = graph_signature(&heap);
+    let (sig2, after) = graph_signature(&heap).expect("heap graph verifies");
     assert_eq!(sig, sig2, "G1 evacuation corrupted the graph");
     assert_eq!(before.objects, after.objects);
     assert!(stats.collection_set > 0, "mostly-dead regions must be selected");
@@ -84,10 +84,10 @@ fn g1_after_collection_heap_still_collectable() {
     let (mut heap, mut gc, filler) = build(System::ddr4());
     let mut threads = GcThreads::new(4, gc.now);
     let _ = g1_mixed_collect(&mut gc.sys, &mut heap, &mut threads, filler);
-    let (sig, _) = graph_signature(&heap);
+    let (sig, _) = graph_signature(&heap).expect("heap graph verifies");
     // A following full compaction must cope with filler regions.
     gc.major_gc(&mut heap);
-    let (sig2, _) = graph_signature(&heap);
+    let (sig2, _) = graph_signature(&heap).expect("heap graph verifies");
     assert_eq!(sig, sig2, "MajorGC after G1 corrupted the graph");
     let violations = charon_heap::check::verify_heap(&heap);
     assert!(violations.is_empty(), "heap invariants violated after G1+Major: {violations:?}");

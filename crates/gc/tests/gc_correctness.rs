@@ -85,15 +85,15 @@ fn run_backend(sys: System, seed: u64) -> (u64, u64, usize, usize) {
     let mut fx = fixture(8 << 20);
     let mut gc = Collector::new(sys, &fx.heap, 8);
     populate(&mut fx, &mut gc, seed, 4000);
-    let (sig_before, stats_before) = graph_signature(&fx.heap);
+    let (sig_before, stats_before) = graph_signature(&fx.heap).expect("heap graph verifies");
 
     gc.minor_gc(&mut fx.heap);
-    let (sig_after_minor, _) = graph_signature(&fx.heap);
+    let (sig_after_minor, _) = graph_signature(&fx.heap).expect("heap graph verifies");
     assert_eq!(sig_before, sig_after_minor, "MinorGC changed the reachable graph");
     assert_eq!(fx.heap.eden().used_bytes(), 0, "eden must be empty after MinorGC");
 
     gc.major_gc(&mut fx.heap);
-    let (sig_after_major, stats_after) = graph_signature(&fx.heap);
+    let (sig_after_major, stats_after) = graph_signature(&fx.heap).expect("heap graph verifies");
     assert_eq!(sig_before, sig_after_major, "MajorGC changed the reachable graph");
     assert_eq!(stats_before.objects, stats_after.objects);
     assert_eq!(stats_before.bytes, stats_after.bytes);
@@ -149,14 +149,14 @@ fn repeated_collections_are_stable() {
     let mut fx = fixture(8 << 20);
     let mut gc = Collector::new(System::ddr4(), &fx.heap, 4);
     populate(&mut fx, &mut gc, 7, 3000);
-    let (sig, _) = graph_signature(&fx.heap);
+    let (sig, _) = graph_signature(&fx.heap).expect("heap graph verifies");
     for i in 0..4 {
         if i % 2 == 0 {
             gc.minor_gc(&mut fx.heap);
         } else {
             gc.major_gc(&mut fx.heap);
         }
-        let (s, _) = graph_signature(&fx.heap);
+        let (s, _) = graph_signature(&fx.heap).expect("heap graph verifies");
         assert_eq!(s, sig, "iteration {i} corrupted the graph");
     }
 }
@@ -207,11 +207,11 @@ fn old_to_young_references_survive_via_card_table() {
     }
     let slot = fx.heap.ref_slots(holder)[0];
     fx.heap.store_ref_with_barrier(slot, young);
-    let (sig, _) = graph_signature(&fx.heap);
+    let (sig, _) = graph_signature(&fx.heap).expect("heap graph verifies");
 
     let ev = gc.minor_gc(&mut fx.heap);
     assert!(ev.minor.unwrap().dirty_cards > 0, "the write barrier must have dirtied a card");
-    let (sig2, _) = graph_signature(&fx.heap);
+    let (sig2, _) = graph_signature(&fx.heap).expect("heap graph verifies");
     assert_eq!(sig, sig2, "old-to-young referent lost or corrupted");
     let kept = fx.heap.read_ref(fx.heap.ref_slots(fx.heap.read_root(0))[0]);
     assert!(!kept.is_null());
@@ -307,10 +307,10 @@ fn mark_sweep_preserves_graph_and_frees_old_garbage() {
             fx.heap.set_root(i, VAddr::NULL);
         }
     }
-    let (sig, _) = graph_signature(&fx.heap);
+    let (sig, _) = graph_signature(&fx.heap).expect("heap graph verifies");
     let mut threads = GcThreads::new(4, gc.now);
     let (_bd, st, free) = mark_sweep_old(&mut gc.sys, &mut fx.heap, &mut threads, fx.bytes);
-    let (sig2, _) = graph_signature(&fx.heap);
+    let (sig2, _) = graph_signature(&fx.heap).expect("heap graph verifies");
     assert_eq!(sig, sig2, "mark-sweep corrupted the graph");
     assert!(st.freed_bytes > 0, "dropping roots must free old garbage");
     assert_eq!(free.iter().map(|&(_, w)| w * 8).sum::<u64>(), st.freed_bytes);

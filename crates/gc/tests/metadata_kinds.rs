@@ -30,11 +30,11 @@ fn metadata_kinds_survive_collections_via_host_scanning() {
         heap.store_ref_with_barrier(heap.ref_slots(m)[0], p);
         heap.add_root(m);
 
-        let (sig, stats) = graph_signature(&heap);
+        let (sig, stats) = graph_signature(&heap).expect("heap graph verifies");
         assert_eq!(stats.objects, 3);
         gc.minor_gc(&mut heap);
         gc.major_gc(&mut heap);
-        let (sig2, _) = graph_signature(&heap);
+        let (sig2, _) = graph_signature(&heap).expect("heap graph verifies");
         assert_eq!(sig, sig2, "host-scanned kinds must be traced losslessly");
         // The payload survived the moves.
         let m = heap.read_root(0);

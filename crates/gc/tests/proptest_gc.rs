@@ -71,14 +71,14 @@ fn run_plan(sys: System, plan: &[Alloc], gcs: &[bool]) -> (u64, u64, u64) {
         }
     }
 
-    let (sig_before, before) = graph_signature(&heap);
+    let (sig_before, before) = graph_signature(&heap).expect("heap graph verifies");
     for &minor in gcs {
         if minor {
             gc.minor_gc(&mut heap);
         } else {
             gc.major_gc(&mut heap);
         }
-        let (sig, stats) = graph_signature(&heap);
+        let (sig, stats) = graph_signature(&heap).expect("heap graph verifies");
         assert_eq!(sig, sig_before, "collection changed the reachable graph");
         assert_eq!(stats.objects, before.objects);
         assert_eq!(stats.bytes, before.bytes);
@@ -111,9 +111,9 @@ proptest! {
             }
         }
         gc.major_gc(&mut heap);
-        let (sig1, _) = graph_signature(&heap);
+        let (sig1, _) = graph_signature(&heap).expect("heap graph verifies");
         let ev = gc.minor_gc(&mut heap);
-        let (sig2, _) = graph_signature(&heap);
+        let (sig2, _) = graph_signature(&heap).expect("heap graph verifies");
         prop_assert_eq!(sig1, sig2);
         prop_assert_eq!(ev.minor.unwrap().objects_copied, 0, "young is empty after a major GC");
     }

@@ -1,11 +1,11 @@
-//! Property tests for the `verify::try_graph_signature` error paths:
+//! Property tests for the `verify::graph_signature` error paths:
 //! single-bit (or single-field) corruption of a *reachable* object is
 //! reported as the right `CorruptKind` — never a panic — while flips in
 //! dead regions are provably benign (the signature does not move).
 
 use charon_gc::collector::Collector;
 use charon_gc::system::System;
-use charon_gc::verify::{cross_check_bitmap, try_graph_signature, CorruptKind};
+use charon_gc::verify::{cross_check_bitmap, graph_signature, CorruptKind};
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::klass::KlassKind;
 use charon_heap::object;
@@ -77,11 +77,11 @@ proptest! {
     fn reachable_klass_flip_is_invalid_klass(plan in allocs(), pick in any::<u16>(), bit in 2u64..32) {
         let (mut heap, objs) = build(&plan);
         prop_assume!(!objs.is_empty());
-        prop_assert!(try_graph_signature(&heap).is_ok(), "quiescent graph must verify");
+        prop_assert!(graph_signature(&heap).is_ok(), "quiescent graph must verify");
         let obj = objs[pick as usize % objs.len()];
         let kw = obj.add_words(1);
         heap.mem.write_word(kw, heap.mem.read_word(kw) ^ (1 << bit));
-        let e = try_graph_signature(&heap).expect_err("unregistered klass must be rejected");
+        let e = graph_signature(&heap).expect_err("unregistered klass must be rejected");
         prop_assert_eq!(e.kind, CorruptKind::InvalidKlass);
         prop_assert_eq!(e.addr, obj);
     }
@@ -104,7 +104,7 @@ proptest! {
         let obj = arrays[pick as usize % arrays.len()];
         let kw = obj.add_words(1);
         heap.mem.write_word(kw, heap.mem.read_word(kw) | (1 << bit)); // grow, never shrink
-        let e = try_graph_signature(&heap).expect_err("impossible size must be rejected");
+        let e = graph_signature(&heap).expect_err("impossible size must be rejected");
         prop_assert_eq!(e.kind, CorruptKind::SizeOutOfBounds);
         prop_assert_eq!(e.addr, obj);
     }
@@ -125,7 +125,7 @@ proptest! {
         let slot = heap.ref_slots(holder)[0];
         let wild = VAddr(heap.read_ref(slot).0 ^ (1 << bit));
         heap.mem.write_word(slot, wild.0);
-        let e = try_graph_signature(&heap).expect_err("escaping reference must be rejected");
+        let e = graph_signature(&heap).expect_err("escaping reference must be rejected");
         prop_assert_eq!(e.kind, CorruptKind::OutsideHeap);
         prop_assert_eq!(e.addr, wild);
     }
@@ -136,13 +136,13 @@ proptest! {
     #[test]
     fn dead_region_flips_leave_the_signature_alone(plan in allocs(), off in any::<u32>(), bit in 0u64..64) {
         let (mut heap, _) = build(&plan);
-        let before = try_graph_signature(&heap).expect("quiescent graph verifies");
+        let before = graph_signature(&heap).expect("quiescent graph verifies");
         let (top, end) = (heap.eden().top(), heap.eden().end());
         let free_words = (end - top) / WORD_BYTES;
         prop_assume!(free_words > 0);
         let addr = top.add_words(u64::from(off) % free_words);
         heap.mem.write_word(addr, heap.mem.read_word(addr) ^ (1 << bit));
-        let after = try_graph_signature(&heap).expect("dead-region flip must stay benign");
+        let after = graph_signature(&heap).expect("dead-region flip must stay benign");
         prop_assert_eq!(before, after, "dead-region flip at {} bit {} moved the signature", addr, bit);
     }
 

@@ -1,0 +1,139 @@
+//! Deterministic simulated clock sets.
+//!
+//! One [`Ps`] clock per independent agent, advanced explicitly by the
+//! caller — no OS threads, no wall time, so every schedule computed over
+//! a `ClockSet` is bit-for-bit replayable. Two layers of the simulator
+//! share this pattern:
+//!
+//! * GC threads inside one collection (`charon-gc`'s thread team wraps a
+//!   `ClockSet` and adds host-active accounting), and
+//! * tenant heaps in a multi-tenant fleet run, where each tenant is
+//!   deterministic and independent between GC events and the cross-tenant
+//!   scheduler only reconciles the clocks at offload-arbitration points.
+//!
+//! The invariant both rely on: clocks never move backwards, and a barrier
+//! is the only cross-agent synchronization — it jumps every clock to the
+//! set's maximum and returns it.
+
+use crate::time::Ps;
+
+/// A set of per-agent simulated clocks.
+#[derive(Debug, Clone)]
+pub struct ClockSet {
+    clocks: Vec<Ps>,
+}
+
+impl ClockSet {
+    /// Creates `n` clocks, all at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, start: Ps) -> ClockSet {
+        assert!(n > 0, "need at least one clock");
+        ClockSet { clocks: vec![start; n] }
+    }
+
+    /// Number of clocks.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the set is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The agent with the earliest clock; ties break to the lowest index,
+    /// which is what makes dispatch order deterministic.
+    pub fn earliest(&self) -> usize {
+        self.clocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty clock set")
+    }
+
+    /// Agent `i`'s current time.
+    pub fn clock(&self, i: usize) -> Ps {
+        self.clocks[i]
+    }
+
+    /// Moves agent `i` forward to `to`, returning the span covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `to` is before the agent's clock.
+    pub fn advance(&mut self, i: usize, to: Ps) -> Ps {
+        let from = self.clocks[i];
+        debug_assert!(to >= from, "clock {i} moving backwards: {from} -> {to}");
+        self.clocks[i] = to;
+        to.saturating_sub(from)
+    }
+
+    /// Raises every clock to at least `to` (absorbing a shared drain —
+    /// later clocks keep their lead).
+    pub fn raise_all_to(&mut self, to: Ps) {
+        for c in &mut self.clocks {
+            *c = (*c).max(to);
+        }
+    }
+
+    /// Synchronizes every clock to the set's maximum (a barrier); returns
+    /// that time.
+    pub fn barrier(&mut self) -> Ps {
+        let max = self.max_clock();
+        for c in &mut self.clocks {
+            *c = max;
+        }
+        max
+    }
+
+    /// The latest clock in the set *without* synchronizing anything — a
+    /// read-only probe for span boundaries.
+    pub fn max_clock(&self) -> Ps {
+        self.clocks.iter().copied().max().expect("non-empty clock set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_breaks_ties_to_lowest_index() {
+        let mut cs = ClockSet::new(3, Ps(7));
+        assert_eq!(cs.earliest(), 0, "all equal: lowest index wins");
+        cs.advance(0, Ps(100));
+        assert_eq!(cs.earliest(), 1);
+        cs.advance(1, Ps(100));
+        cs.advance(2, Ps(100));
+        assert_eq!(cs.earliest(), 0, "equal again: back to the lowest index");
+    }
+
+    #[test]
+    fn advance_returns_the_covered_span() {
+        let mut cs = ClockSet::new(1, Ps(10));
+        assert_eq!(cs.advance(0, Ps(110)), Ps(100));
+        assert_eq!(cs.advance(0, Ps(110)), Ps::ZERO, "no-op advance covers nothing");
+        assert_eq!(cs.clock(0), Ps(110));
+    }
+
+    #[test]
+    fn barrier_and_raise_interact_correctly() {
+        let mut cs = ClockSet::new(3, Ps::ZERO);
+        cs.advance(1, Ps(500));
+        cs.raise_all_to(Ps(200));
+        assert_eq!((cs.clock(0), cs.clock(1), cs.clock(2)), (Ps(200), Ps(500), Ps(200)));
+        assert_eq!(cs.max_clock(), Ps(500));
+        assert_eq!(cs.barrier(), Ps(500));
+        assert_eq!(cs.clock(0), Ps(500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clocks_panics() {
+        let _ = ClockSet::new(0, Ps::ZERO);
+    }
+}

@@ -17,6 +17,8 @@
 //!   wedge) plus the retry/backoff/watchdog recovery parameters,
 //! * [`bwres`] — epoch-metered shared-resource bandwidth accounting (no
 //!   phantom serialization between loosely-ordered agents),
+//! * [`clocks`] — deterministic per-agent simulated clock sets, the
+//!   pattern shared by GC thread teams and fleet tenant clocks,
 //! * [`issue`] — the bounded-window memory-level-parallelism model shared by
 //!   host cores (small instruction window) and Charon units (large MAI
 //!   request buffer),
@@ -55,6 +57,7 @@
 
 pub mod bwres;
 pub mod cache;
+pub mod clocks;
 pub mod config;
 pub mod dram;
 pub mod energy;

@@ -164,12 +164,17 @@ pub fn autotune_jobs(
         return autotune(spec, make_sys, policy, &opts.to_run_options());
     }
     let sides = [PolicyKind::Static, policy];
-    let mut runs = crate::parmatrix::parallel_map(&sides, 2, |&side| {
-        let mut run_opts = opts.to_run_options();
-        run_opts.census = true;
-        run_opts.policy = Some(side);
-        run_workload(spec, make_sys(), &run_opts)
-    });
+    let mut runs = crate::parmatrix::parallel_map_labeled(
+        &sides,
+        2,
+        |_, side| format!("{}/{}", spec.short, side.name()),
+        |&side| {
+            let mut run_opts = opts.to_run_options();
+            run_opts.census = true;
+            run_opts.policy = Some(side);
+            run_workload(spec, make_sys(), &run_opts)
+        },
+    );
     let adaptive = runs.pop().expect("two sides")?;
     let baseline = runs.pop().expect("two sides")?;
     Ok(AutotuneReport { workload: spec.short, platform: baseline.platform, policy, baseline, adaptive })

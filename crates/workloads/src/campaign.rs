@@ -14,7 +14,7 @@ use crate::spec::WorkloadSpec;
 use charon_gc::breakdown::RecoverySummary;
 use charon_gc::collector::{Collector, GcKind, OutOfMemory};
 use charon_gc::system::System;
-use charon_gc::verify::{try_graph_signature, ReachableStats};
+use charon_gc::verify::{graph_signature, ReachableStats};
 use charon_heap::addr::VAddr;
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_sim::faults::{FaultRates, FaultSite, RecoveryConfig};
@@ -59,7 +59,7 @@ pub enum CampaignError {
     OutOfMemory(OutOfMemory),
     /// A reachable reference escaped the heap — the one thing injected
     /// faults must never cause, caught by
-    /// [`charon_gc::verify::try_graph_signature`].
+    /// [`charon_gc::verify::graph_signature`].
     Corrupt {
         /// Which checkpoint tripped ("resident", "step 3", …).
         stage: String,
@@ -103,7 +103,7 @@ pub struct CaseReport {
 }
 
 fn checkpoint(heap: &JavaHeap, stage: &str) -> Result<(u64, ReachableStats), CampaignError> {
-    try_graph_signature(heap).map_err(|e| CampaignError::Corrupt { stage: stage.to_string(), addr: e.addr })
+    graph_signature(heap).map_err(|e| CampaignError::Corrupt { stage: stage.to_string(), addr: e.addr })
 }
 
 fn execute(
@@ -414,11 +414,16 @@ pub fn run_fault_campaign_jobs(
         // CampaignOptions (the Telemetry handle cannot cross threads).
         let (heap_factor, gc_threads, supersteps, recovery) =
             (opts.heap_factor, opts.gc_threads, opts.supersteps, opts.recovery);
-        let cases = crate::parmatrix::parallel_map(&rows, jobs, |entry| {
-            let worker_opts =
-                CampaignOptions { heap_factor, gc_threads, supersteps, recovery, telemetry: Telemetry::disabled() };
-            execute(spec, &worker_opts, Some((entry.seed, entry.rates)))
-        });
+        let cases = crate::parmatrix::parallel_map_labeled(
+            &rows,
+            jobs,
+            |_, entry| format!("{}/{}", spec.short, entry.label),
+            |entry| {
+                let worker_opts =
+                    CampaignOptions { heap_factor, gc_threads, supersteps, recovery, telemetry: Telemetry::disabled() };
+                execute(spec, &worker_opts, Some((entry.seed, entry.rates)))
+            },
+        );
         rows.iter()
             .zip(cases)
             .map(|(&entry, case)| match case {

@@ -11,7 +11,7 @@
 //! repair rates and checks the contract:
 //!
 //! * every run completes and its final reachable graph is traversable
-//!   ([`charon_gc::verify::try_graph_signature`] returns `Ok`),
+//!   ([`charon_gc::verify::graph_signature`] returns `Ok`),
 //! * every *detected* corruption is repaired,
 //! * with the shadow oracle on, **nothing** escapes,
 //! * the zero-rate control cell is bit-identical to an unarmed run
@@ -24,7 +24,7 @@ use crate::spec::WorkloadSpec;
 use charon_gc::breakdown::RecoverySummary;
 use charon_gc::integrity::IntegrityConfig;
 use charon_gc::system::System;
-use charon_gc::verify::try_graph_signature;
+use charon_gc::verify::graph_signature;
 use charon_sim::faults::{CorruptionRates, CorruptionSite};
 use charon_sim::json::Json;
 use std::fmt;
@@ -355,7 +355,7 @@ fn run_cell(
         collections: (r.minor.1, r.major.1),
         gc_time_ps: r.gc_time.0,
         allocated_bytes: r.allocated_bytes,
-        graph: try_graph_signature(&heap).map(|(sig, _)| sig).map_err(|e| e.to_string()),
+        graph: graph_signature(&heap).map(|(sig, _)| sig).map_err(|e| e.to_string()),
     })
 }
 

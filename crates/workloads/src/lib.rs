@@ -40,6 +40,7 @@
 pub mod autotune;
 pub mod campaign;
 pub mod chaos;
+pub mod fleet;
 pub mod klasses;
 pub mod mutator;
 pub mod parmatrix;
@@ -50,6 +51,7 @@ pub mod spec;
 pub use autotune::{autotune, autotune_jobs, AutotuneReport};
 pub use campaign::{fault_matrix, run_fault_campaign, run_fault_campaign_jobs, CampaignOptions, CampaignReport};
 pub use chaos::{chaos_matrix, run_chaos_campaign, ChaosOptions, ChaosReport};
+pub use fleet::{plan_tenants, run_fleet, FleetOptions, FleetReport, SchedKind};
 pub use parmatrix::{full_matrix, run_matrix, selfspeed_json, MatrixJob, MatrixOptions, MatrixOutcome};
 pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};

@@ -317,7 +317,7 @@ mod tests {
         let (mut heap, mut gc, mut m) = setup("CC", 1.5);
         m.build_resident(&mut heap, &mut gc).unwrap();
         assert!(m.resident_count() >= m.spec().demographics.resident_objects);
-        let (_, stats) = graph_signature(&heap);
+        let (_, stats) = graph_signature(&heap).expect("heap graph verifies");
         assert!(stats.objects as usize >= m.spec().demographics.resident_objects);
         assert!(stats.edges > 0);
     }
@@ -338,7 +338,7 @@ mod tests {
         m.build_resident(&mut heap, &mut gc).unwrap();
         for _ in 0..4 {
             m.superstep(&mut heap, &mut gc).unwrap();
-            let (_, stats) = graph_signature(&heap);
+            let (_, stats) = graph_signature(&heap).expect("heap graph verifies");
             assert!(stats.objects > 0);
         }
         // At least one collection should have happened at this heap size.

@@ -215,17 +215,39 @@ where
 /// # Panics
 ///
 /// Re-raises the first (lowest-index) cell panic after all workers
-/// finish.
+/// finish, identifying the cell by its index. Callers that know what a
+/// cell *is* — a workload×platform pair, a fleet tenant — use
+/// [`parallel_map_labeled`] so the failing cell is identifiable from CI
+/// logs without counting items.
 pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_labeled(items, jobs, |i, _| i.to_string(), f)
+}
+
+/// Like [`parallel_map`], but a panicking cell is reported under the
+/// caller-supplied label (e.g. `"BS/Charon"` for a bench cell,
+/// `"t3:PR"` for a fleet tenant) instead of a bare item index.
+///
+/// # Panics
+///
+/// Re-raises the first (lowest-index) cell panic after all workers
+/// finish, as `matrix cell <label> panicked: <message>`.
+pub fn parallel_map_labeled<T, R, F, L>(items: &[T], jobs: usize, label: L, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String,
+{
     parallel_map_result(items, jobs, f)
         .into_iter()
+        .zip(items)
         .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|msg| panic!("matrix cell {i} panicked: {msg}")))
+        .map(|(i, (r, item))| r.unwrap_or_else(|msg| panic!("matrix cell {} panicked: {msg}", label(i, item))))
         .collect()
 }
 
@@ -337,6 +359,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn labeled_panic_names_the_cell() {
+        let items = ["BS/Charon", "KM/HMC"];
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_labeled(
+                &items,
+                1,
+                |_, &cell| cell.to_string(),
+                |&cell| {
+                    assert!(cell != "KM/HMC", "simulator invariant tripped");
+                    cell.len()
+                },
+            )
+        })
+        .expect_err("the KM/HMC cell must panic");
+        let msg = panic_message(caught);
+        assert!(msg.contains("matrix cell KM/HMC panicked"), "label missing from: {msg}");
+        assert!(msg.contains("simulator invariant tripped"), "original message missing from: {msg}");
     }
 
     #[test]

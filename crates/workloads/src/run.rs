@@ -228,9 +228,34 @@ pub fn run_workload(spec: &WorkloadSpec, sys: System, opts: &RunOptions) -> Resu
 /// Returns [`OutOfMemory`] exactly as [`run_workload`] does.
 pub fn run_workload_heap(
     spec: &WorkloadSpec,
-    mut sys: System,
+    sys: System,
     opts: &RunOptions,
 ) -> Result<(RunResult, JavaHeap), OutOfMemory> {
+    run_workload_full(spec, sys, opts).map(|(r, heap, _)| (r, heap))
+}
+
+/// Like [`run_workload`], but also hands back the collector's per-GC
+/// event log (start time and pause duration of every collection, in
+/// order). The fleet scheduler extracts each tenant's solo pause stream
+/// from this and replays it against the shared device.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] exactly as [`run_workload`] does.
+pub fn run_workload_events(
+    spec: &WorkloadSpec,
+    sys: System,
+    opts: &RunOptions,
+) -> Result<(RunResult, Vec<charon_gc::collector::GcEvent>), OutOfMemory> {
+    run_workload_full(spec, sys, opts).map(|(r, _, events)| (r, events))
+}
+
+/// The shared driver behind every `run_workload*` entry point.
+fn run_workload_full(
+    spec: &WorkloadSpec,
+    mut sys: System,
+    opts: &RunOptions,
+) -> Result<(RunResult, JavaHeap, Vec<charon_gc::collector::GcEvent>), OutOfMemory> {
     let heap_bytes = spec.heap_bytes(opts.heap_factor.unwrap_or(spec.default_heap_factor));
     let mut heap =
         JavaHeap::new(HeapConfig { layout: LayoutParams { heap_bytes, ..Default::default() }, ..Default::default() });
@@ -275,6 +300,7 @@ pub fn run_workload_heap(
     let major_t = gc.gc_time_by_kind(GcKind::Major);
     let profile = (opts.profiler.is_enabled() || opts.census)
         .then(|| RunProfile::collect(spec.short, platform, &gc, opts.profiler.snapshot()));
+    let events = gc.events.clone();
     Ok((
         RunResult {
             workload: spec.short,
@@ -296,6 +322,7 @@ pub fn run_workload_heap(
             decisions: gc.adapt.as_ref().map(|c| c.journal.clone()),
         },
         heap,
+        events,
     ))
 }
 

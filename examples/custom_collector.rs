@@ -41,7 +41,7 @@ fn main() {
         }
     }
 
-    let (sig, before) = graph_signature(&heap);
+    let (sig, before) = graph_signature(&heap).expect("heap graph verifies");
     let offloads_before = gc.sys.device.as_ref().expect("Charon backend").stats().clone();
 
     // The custom collection: stop-the-world mark (offloaded Scan&Push) +
@@ -50,7 +50,7 @@ fn main() {
     let (bd, stats, free_list) = mark_sweep_old(&mut gc.sys, &mut heap, &mut threads, m.klasses().data_array);
     let wall = threads.barrier() - gc.now;
 
-    let (sig2, after) = graph_signature(&heap);
+    let (sig2, after) = graph_signature(&heap).expect("heap graph verifies");
     assert_eq!(sig, sig2, "mark-sweep must preserve the reachable graph");
     assert_eq!(before.objects, after.objects);
 

@@ -49,7 +49,7 @@ fn main() {
             }
         }
 
-        let (sig_before, stats) = graph_signature(&heap);
+        let (sig_before, stats) = graph_signature(&heap).expect("heap graph verifies");
         println!("[{label}] reachable: {} objects, {} KB", stats.objects, stats.bytes / 1024);
 
         let minor = gc.minor_gc(&mut heap);
@@ -58,7 +58,7 @@ fn main() {
         println!("[{label}] MajorGC pause: {} ({})", major.wall, major.breakdown);
 
         // The moving collections preserved the graph bit-for-bit.
-        let (sig_after, _) = graph_signature(&heap);
+        let (sig_after, _) = graph_signature(&heap).expect("heap graph verifies");
         assert_eq!(sig_before, sig_after, "GC must preserve the reachable graph");
 
         let copy_share = gc

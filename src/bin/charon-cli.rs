@@ -12,6 +12,7 @@
 //! charon-cli area                         # Table 4
 //! charon-cli fault-campaign BS --seed 42  # seeded offload fault matrix
 //! charon-cli chaos BS KM --rates 0.02,0.1 # silent-corruption campaign
+//! charon-cli fleet --tenants 4 --mix BS:2,PR:2 --sched fair   # multi-tenant interference
 //! charon-cli profile KM --platform Charon # pause/latency histograms + census
 //! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate
 //! charon-cli autotune PS --policy census  # adaptive vs static offload mask
@@ -27,8 +28,9 @@ use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::parmatrix::{system_by_label, PLATFORM_LABELS as PLATFORMS};
 use charon::workloads::spec::{by_short, table3};
 use charon::workloads::{
-    autotune_jobs, full_matrix, run_chaos_campaign, run_fault_campaign_jobs, run_matrix, run_workload, selfspeed_json,
-    CampaignOptions, ChaosOptions, MatrixOptions, RunOptions, RunResult,
+    autotune_jobs, full_matrix, plan_tenants, run_chaos_campaign, run_fault_campaign_jobs, run_fleet, run_matrix,
+    run_workload, selfspeed_json, CampaignOptions, ChaosOptions, FleetOptions, MatrixOptions, RunOptions, RunResult,
+    SchedKind,
 };
 use std::process::ExitCode;
 
@@ -48,6 +50,8 @@ fn usage() -> ExitCode {
          [--jobs <N>]\n  \
          charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
          [--json] [--profile-out <FILE>]\n  \
+         charon-cli fleet [--tenants <N>] [--mix <W:N,W:N,...>] [--sched <fifo|fair|deadline>] [--platform <P>] \
+         [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] [--jobs <N>]\n  \
          charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n  \
          charon-cli autotune <BS|KM|LR|CC|PR|ALS|PS> [--platform <P>] [--policy <static|census|bandit>] [--seed <S>] \
          [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] [--jobs <N>]\n\
@@ -59,7 +63,7 @@ fn usage() -> ExitCode {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 17] = [
+const FLAG_TABLE: [(&str, bool); 20] = [
     ("--jobs", true),
     ("--platform", true),
     ("--heap-factor", true),
@@ -77,6 +81,9 @@ const FLAG_TABLE: [(&str, bool); 17] = [
     ("--rates", true),
     ("--sites", true),
     ("--oracle", false),
+    ("--tenants", true),
+    ("--mix", true),
+    ("--sched", true),
 ];
 
 /// Parsed flag values, superset over all subcommands.
@@ -99,6 +106,9 @@ struct Flags {
     rates: Option<Vec<f64>>,
     sites: Option<Vec<CorruptionSite>>,
     oracle: bool,
+    tenants: Option<usize>,
+    mix: Option<String>,
+    sched: Option<SchedKind>,
 }
 
 /// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
@@ -206,6 +216,15 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 flags.sites = Some(sites);
             }
             "--oracle" => flags.oracle = true,
+            "--tenants" => {
+                let n: usize = val.parse().map_err(|_| format!("bad tenant count {val}"))?;
+                if n == 0 || n > 256 {
+                    return Err(format!("--tenants {n} out of range (1..=256)"));
+                }
+                flags.tenants = Some(n);
+            }
+            "--mix" => flags.mix = Some(val.to_string()),
+            "--sched" => flags.sched = Some(val.parse::<SchedKind>()?),
             _ => unreachable!("flag in table"),
         }
     }
@@ -244,6 +263,19 @@ impl Flags {
             supersteps: self.steps,
             gc_threads: self.threads.unwrap_or(8),
             heap_factor: self.heap_factor,
+        }
+    }
+
+    fn fleet_options(&self) -> FleetOptions {
+        let defaults = FleetOptions::default();
+        FleetOptions {
+            platform: self.platform.clone().unwrap_or_else(|| "Charon".into()),
+            tenants: self.tenants.unwrap_or(0),
+            mix: self.mix.clone(),
+            sched: self.sched.unwrap_or(SchedKind::Fifo),
+            seed: self.seed.unwrap_or(defaults.seed),
+            jobs: self.jobs(),
+            run: self.matrix_options(),
         }
     }
 
@@ -369,6 +401,23 @@ fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
             let p = e.get("platform").and_then(Json::as_str).unwrap_or("?");
             if let Some(v) = e.get("sim_ps_per_wall_s").and_then(Json::as_u64) {
                 out.push((format!("{w}/{p}/selfspeed_sim_ps_per_wall_s"), v));
+            }
+        }
+    } else if report.get("schema").and_then(Json::as_str) == Some("charon-fleet-v1") {
+        // Fleet report: scheduled-pause p99, makespan, and per-tenant
+        // pause inflation all regress upward (lower is better).
+        let sched = report.get("sched").and_then(Json::as_str).unwrap_or("?");
+        if let Some(fleet) = report.get("fleet") {
+            for m in ["p99_ps", "max_inflation_bp", "makespan_ps"] {
+                if let Some(v) = fleet.get(m).and_then(Json::as_u64) {
+                    out.push((format!("fleet/{sched}/{m}"), v));
+                }
+            }
+        }
+        for t in report.get("tenant_detail").and_then(Json::as_arr).unwrap_or(&[]) {
+            let label = t.get("label").and_then(Json::as_str).unwrap_or("?");
+            if let Some(v) = t.get("inflation_bp").and_then(Json::as_u64) {
+                out.push((format!("fleet/{sched}/{label}/inflation_bp"), v));
             }
         }
     } else if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
@@ -715,6 +764,92 @@ fn main() -> ExitCode {
             } else {
                 eprintln!("chaos campaign FAILED ({} escaped, {} cells)", report.escaped(), report.cells.len());
                 ExitCode::FAILURE
+            }
+        }
+        Some("fleet") => {
+            let flags = match parse_flags(
+                &args[1..],
+                &[
+                    "--tenants",
+                    "--mix",
+                    "--sched",
+                    "--platform",
+                    "--seed",
+                    "--heap-factor",
+                    "--threads",
+                    "--steps",
+                    "--json",
+                    "--out",
+                    "--jobs",
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let opts = flags.fleet_options();
+            // A one-tenant fleet has nothing to schedule: it IS a plain
+            // run, and prints byte-identically to `charon-cli run` so
+            // CI can diff the two with `cmp`.
+            if opts.tenants == 1 {
+                let spec = match plan_tenants(1, opts.mix.as_deref()) {
+                    Ok(mut specs) => specs.remove(0),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return usage();
+                    }
+                };
+                let Some(sys) = system_by_label(&opts.platform) else {
+                    eprintln!("unknown platform {}", opts.platform);
+                    return usage();
+                };
+                return match run_workload(&spec, sys, &flags.run_options(Telemetry::disabled())) {
+                    Ok(r) => {
+                        if let Some(path) = &flags.out {
+                            if let Err(code) = write_file(path, &r.to_json().to_string()) {
+                                return code;
+                            }
+                        }
+                        if flags.json {
+                            println!("{}", r.to_json());
+                        } else {
+                            print_result(&r);
+                            println!(
+                                "  traffic: dram {}, off-chip {}, locality {:.0}%",
+                                r.traffic.dram,
+                                r.traffic.offchip,
+                                r.local_ratio() * 100.0
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            match run_fleet(&opts) {
+                Ok(rep) => {
+                    if let Some(path) = &flags.out {
+                        if let Err(code) = write_file(path, &rep.to_json().to_string()) {
+                            return code;
+                        }
+                        println!("wrote {path}");
+                    }
+                    if flags.json {
+                        println!("{}", rep.to_json());
+                    } else {
+                        print!("{rep}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("profile") => {
@@ -1133,6 +1268,63 @@ mod tests {
         assert!(e.contains("duplicate corruption site"), "{e}");
         let e = parse_flags(&argv(&["--rearm", "0"]), &all).unwrap_err();
         assert!(e.contains("--rearm 0"), "{e}");
+    }
+
+    #[test]
+    fn parses_fleet_flags() {
+        let all = ["--tenants", "--mix", "--sched"];
+        let f = parse_flags(&argv(&["--tenants", "4", "--mix", "BS:2,PR:2", "--sched", "fair"]), &all).unwrap();
+        assert_eq!(f.tenants, Some(4));
+        assert_eq!(f.mix.as_deref(), Some("BS:2,PR:2"));
+        assert_eq!(f.sched, Some(SchedKind::FairShare));
+        assert!(parse_flags(&argv(&["--tenants", "0"]), &all).is_err());
+        assert!(parse_flags(&argv(&["--tenants", "257"]), &all).is_err());
+        let e = parse_flags(&argv(&["--sched", "rr"]), &all).unwrap_err();
+        assert!(e.contains("unknown scheduler"), "{e}");
+    }
+
+    /// A minimal fleet-shaped report with one tenant.
+    fn fleet_report(p99: u64, makespan: u64, inflation: u64) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("charon-fleet-v1")),
+            ("sched", Json::str("fifo")),
+            (
+                "fleet",
+                Json::obj(vec![
+                    ("p99_ps", Json::U64(p99)),
+                    ("max_inflation_bp", Json::U64(inflation)),
+                    ("makespan_ps", Json::U64(makespan)),
+                ]),
+            ),
+            (
+                "tenant_detail",
+                Json::Arr(vec![Json::obj(vec![("label", Json::str("t0:BS")), ("inflation_bp", Json::U64(inflation))])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn fleet_reports_extract_lower_is_better_metrics() {
+        let m = extract_metrics(&fleet_report(500, 9_000, 12_000));
+        assert_eq!(
+            m,
+            vec![
+                ("fleet/fifo/p99_ps".to_string(), 500),
+                ("fleet/fifo/max_inflation_bp".to_string(), 12_000),
+                ("fleet/fifo/makespan_ps".to_string(), 9_000),
+                ("fleet/fifo/t0:BS/inflation_bp".to_string(), 12_000),
+            ]
+        );
+        for (name, _) in &m {
+            assert!(!higher_is_better(name), "{name} must regress upward");
+        }
+        // Worse interference trips the gate; identical reports pass.
+        let old = fleet_report(500, 9_000, 12_000);
+        let (compared, regs) = regressions(&old, &fleet_report(500, 9_000, 15_000), 10.0);
+        assert_eq!(compared, 4);
+        assert_eq!(regs.len(), 2, "fleet-wide and per-tenant inflation both flagged");
+        let (_, regs) = regressions(&old, &old, 10.0);
+        assert!(regs.is_empty(), "{regs:?}");
     }
 
     /// A minimal chaos-campaign report with the given counts and one cell.

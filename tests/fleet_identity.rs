@@ -1,0 +1,56 @@
+//! Degenerate-fleet identity: `charon-cli fleet --tenants 1` must print
+//! byte-for-byte what `charon-cli run` prints, for every committed
+//! fingerprint pair (workload × platform at the standard short
+//! configuration) — the same contract CI re-checks with `cmp`.
+
+use std::process::Command;
+
+const WORKLOADS: [&str; 3] = ["BS", "KM", "CC"];
+const PLATFORMS: [&str; 5] = ["DDR4", "HMC", "Charon", "Charon-CPU-side", "Ideal"];
+
+fn cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_charon-cli"))
+        .args(args)
+        .output()
+        .expect("charon-cli spawns");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+fn assert_identical(workload: &str, platform: &str, json: bool) {
+    let mut run_args = vec!["run", workload, "--platform", platform, "--steps", "2"];
+    let mut fleet_args = vec!["fleet", "--tenants", "1", "--mix", workload, "--platform", platform, "--steps", "2"];
+    if json {
+        run_args.push("--json");
+        fleet_args.push("--json");
+    }
+    let (run_out, run_err, run_ok) = cli(&run_args);
+    assert!(run_ok, "run {workload}/{platform} failed: {run_err}");
+    let (fleet_out, fleet_err, fleet_ok) = cli(&fleet_args);
+    assert!(fleet_ok, "fleet {workload}/{platform} failed: {fleet_err}");
+    assert!(!run_out.is_empty(), "run {workload}/{platform} printed nothing");
+    assert_eq!(fleet_out, run_out, "fleet --tenants 1 diverged from run for {workload}/{platform} (json={json})");
+}
+
+/// All 15 fingerprint pairs, JSON mode, pairs checked concurrently —
+/// each pair is two full workload runs in subprocesses.
+#[test]
+fn single_tenant_fleet_matches_run_json_on_all_fingerprint_pairs() {
+    std::thread::scope(|s| {
+        for workload in WORKLOADS {
+            for platform in PLATFORMS {
+                s.spawn(move || assert_identical(workload, platform, true));
+            }
+        }
+    });
+}
+
+/// Human-readable mode goes through a different print path
+/// (`print_result` + the traffic line); pin one pair there too.
+#[test]
+fn single_tenant_fleet_matches_run_human_output() {
+    assert_identical("BS", "Charon", false);
+}

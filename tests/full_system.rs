@@ -77,7 +77,7 @@ fn functional_results_identical_on_all_platforms() {
         for _ in 0..5 {
             m.superstep(&mut heap, &mut gc).unwrap();
         }
-        let (sig, stats) = graph_signature(&heap);
+        let (sig, stats) = graph_signature(&heap).expect("heap graph verifies");
         fingerprints.push((sig, stats.objects, stats.bytes, gc.events.len(), m.allocated_bytes));
     }
     for fp in &fingerprints[1..] {
@@ -100,7 +100,7 @@ fn gc_reclaims_everything_the_mutator_drops() {
     }
     // After a full collection the heap holds exactly the reachable bytes.
     gc.major_gc(&mut heap);
-    let (_, stats) = graph_signature(&heap);
+    let (_, stats) = graph_signature(&heap).expect("heap graph verifies");
     assert_eq!(heap.used_bytes(), stats.bytes, "compaction must leave only live bytes");
 }
 
