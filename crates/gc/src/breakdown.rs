@@ -395,6 +395,20 @@ impl Breakdown {
         Bucket::ALL.iter().filter(|b| b.offloadable()).map(|&b| self.fraction(b)).sum()
     }
 
+    /// The bucket holding the largest share, with its fraction — the
+    /// one-line "where did this pause's time go" answer the postmortem
+    /// renders. `None` on an all-zero breakdown; ties break to display
+    /// order ([`Bucket::ALL`]).
+    pub fn dominant(&self) -> Option<(Bucket, f64)> {
+        if self.total() == Ps::ZERO {
+            return None;
+        }
+        let best = Bucket::ALL
+            .into_iter()
+            .fold(Bucket::ALL[0], |best, b| if self.get(b) > self.get(best) { b } else { best });
+        Some((best, self.fraction(best)))
+    }
+
     /// Folds a fabric bandwidth-occupancy delta into this breakdown
     /// (recorded once per collection by the collector).
     pub fn record_bw(&mut self, bw: BwOccupancy) {
@@ -645,5 +659,22 @@ mod tests {
         let b = Breakdown::new();
         assert_eq!(b.fraction(Bucket::Copy), 0.0);
         assert_eq!(b.offloadable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dominant_names_the_largest_bucket() {
+        assert!(Breakdown::new().dominant().is_none());
+        let mut b = Breakdown::new();
+        b.record(Bucket::Copy, Ps(600));
+        b.record(Bucket::ScanPush, Ps(300));
+        b.record(Bucket::Other, Ps(100));
+        let (bucket, frac) = b.dominant().unwrap();
+        assert_eq!(bucket, Bucket::Copy);
+        assert!((frac - 0.6).abs() < 1e-12);
+        // Ties break to display order: Search precedes Copy in ALL.
+        let mut tie = Breakdown::new();
+        tie.record(Bucket::Search, Ps(500));
+        tie.record(Bucket::Copy, Ps(500));
+        assert_eq!(tie.dominant().unwrap().0, Bucket::Search);
     }
 }

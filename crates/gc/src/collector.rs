@@ -125,6 +125,12 @@ pub struct Collector {
     /// GC prologue and observes the realized pause at the epilogue —
     /// without ever advancing the simulated clock itself.
     pub adapt: Option<crate::adapt::Controller>,
+    /// Tail-pause attribution capture ([`crate::postmortem`]); `None`
+    /// (the default) costs one branch per collection. When present, the
+    /// epilogue snapshots the energy account and unit-pool counters it
+    /// already has and records their per-pause deltas — read-only, so
+    /// simulated timing is bit-identical either way.
+    pub postmortem: Option<crate::postmortem::Postmortem>,
 }
 
 impl Collector {
@@ -140,7 +146,7 @@ impl Collector {
                 card_table_base: heap.layout().cards.start,
             });
         }
-        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None, adapt: None }
+        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None, adapt: None, postmortem: None }
     }
 
     /// Advances the wall clock by mutator (useful-work) time.
@@ -196,6 +202,13 @@ impl Collector {
             self.adapt = Some(ctl);
         }
         let pre_census = self.census.is_some().then(|| crate::census::pre(heap, kind));
+        // Postmortem prologue: snapshot the meters the epilogue deltas
+        // against. Read-only (never advances a clock), skipped entirely
+        // when capture is off.
+        let pm_before = self
+            .postmortem
+            .is_some()
+            .then(|| (self.sys.energy.account().clone(), self.sys.unit_stats()));
         let start = self.now;
         let dram_before = self.sys.dram_bytes();
         let bw_before = self.sys.host.fabric.occupancy();
@@ -221,6 +234,15 @@ impl Collector {
         breakdown.record_recovery(self.sys.recovery.since(recovery_before));
         self.sys.charge_gc_energy(wall, self.gc_threads, host_active, dram_bytes);
         let seq = self.sys.collection_seq;
+        // Postmortem epilogue: runs after the energy charge so the delta
+        // covers exactly this collection's draw.
+        if let (Some(pm), Some((energy_before, units_before))) = (self.postmortem.as_mut(), pm_before) {
+            let energy = self.sys.energy.account().since(&energy_before);
+            let units = self.sys.unit_stats().zip(units_before).map(|(after, before)| {
+                std::array::from_fn(|i| crate::postmortem::UnitDelta::capture(after[i], before[i]))
+            });
+            pm.observe(crate::postmortem::PauseRecord { seq, kind, start, wall, breakdown, energy, units });
+        }
         self.sys.telemetry.record(|| charon_sim::telemetry::Event::Collection {
             seq,
             kind: match kind {

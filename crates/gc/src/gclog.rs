@@ -10,6 +10,7 @@
 //! ```
 
 use crate::collector::{GcEvent, GcKind};
+use charon_core::device::{UnitClassStats, UNIT_CLASS_NAMES};
 use charon_heap::heap::JavaHeap;
 use charon_sim::hist::Histogram;
 use charon_sim::time::Ps;
@@ -98,10 +99,55 @@ pub fn pause_summary(events: &[GcEvent]) -> String {
     groups.join(" ")
 }
 
+/// End-of-run unit-pool summary, one `[units …]` group per class that
+/// executed anything, in the `[pauses …]` suffix style — this is where
+/// the queue-depth high-water mark and pool utilization (over the GC
+/// region of interest, `gc_time`) surface in the human-readable log:
+///
+/// ```text
+/// [units copy_search util=12.3% qhw=7 busy=1.2us execs=42 x16]
+/// ```
+///
+/// `[units idle]` when a device is present but no pool ran.
+pub fn unit_summary(units: &[UnitClassStats; 3], gc_time: Ps) -> String {
+    let groups: Vec<String> = UNIT_CLASS_NAMES
+        .iter()
+        .zip(units.iter())
+        .filter(|(_, u)| u.executions > 0 || u.busy > Ps::ZERO)
+        .map(|(&name, u)| {
+            format!(
+                "[units {name} util={:.1}% qhw={} busy={} execs={} x{}]",
+                u.utilization(gc_time) * 100.0,
+                u.queue_high_water,
+                u.busy,
+                u.executions,
+                u.total_units
+            )
+        })
+        .collect();
+    if groups.is_empty() {
+        return "[units idle]".to_string();
+    }
+    groups.join(" ")
+}
+
 /// Renders a whole run, one line per event, given the per-event
 /// snapshots, followed by the [`pause_summary`] line (which reports
 /// `[pauses none]` on a zero-GC run).
 pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
+    render_run_with_units(events, snaps, None, Ps::ZERO)
+}
+
+/// [`render_run`] plus, when the run had a device, the [`unit_summary`]
+/// line after the pause summary (`units` is
+/// [`crate::system::System::unit_stats`]; `gc_time` the utilization
+/// denominator).
+pub fn render_run_with_units(
+    events: &[GcEvent],
+    snaps: &[HeapSnapshot],
+    units: Option<&[UnitClassStats; 3]>,
+    gc_time: Ps,
+) -> String {
     assert_eq!(events.len(), snaps.len(), "one snapshot per event");
     let mut lines: Vec<String> = events
         .iter()
@@ -109,6 +155,9 @@ pub fn render_run(events: &[GcEvent], snaps: &[HeapSnapshot]) -> String {
         .map(|(e, &s)| format!("{:>12}: {}", format!("{}", e.start), render(e, s)))
         .collect();
     lines.push(pause_summary(events));
+    if let Some(units) = units {
+        lines.push(unit_summary(units, gc_time));
+    }
     lines.join("\n")
 }
 
@@ -195,6 +244,26 @@ mod tests {
     #[should_panic]
     fn mismatched_snapshots_panic() {
         render_run(&[event(GcKind::Minor, 1.0)], &[]);
+    }
+
+    #[test]
+    fn unit_summary_surfaces_queue_high_water_and_utilization() {
+        let mut units = [UnitClassStats::default(); 3];
+        units[0] =
+            UnitClassStats { busy: Ps::from_us(4.0), executions: 42, wedges: 0, queue_high_water: 7, total_units: 16 };
+        let gc_time = Ps::from_us(10.0);
+        let s = unit_summary(&units, gc_time);
+        // 4us busy over 16 units × 10us = 2.5% utilization.
+        assert_eq!(s, "[units copy_search util=2.5% qhw=7 busy=4.000 us execs=42 x16]");
+        assert_eq!(unit_summary(&[UnitClassStats::default(); 3], gc_time), "[units idle]");
+        // Folded into the run rendering after the pause summary.
+        let snaps = [HeapSnapshot { used_before: 100 << 10, used_after: 10 << 10, capacity: 1 << 20 }];
+        let r = render_run_with_units(&[event(GcKind::Minor, 5.0)], &snaps, Some(&units), gc_time);
+        let last = r.lines().last().unwrap();
+        assert!(last.contains("qhw=7"), "{r}");
+        assert!(r.contains("[pauses MinorGC"), "{r}");
+        // The units-free path is unchanged.
+        assert!(!render_run(&[event(GcKind::Minor, 5.0)], &snaps).contains("[units"), "no device, no line");
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!   GCs with HotSpot's sizing/triggering policy,
 //! * [`census`] — opt-in per-GC heap demographics (per-klass live/dead,
 //!   survivor ages, dead-bytes fraction — the paper's Figs. 2/5 input),
+//! * [`postmortem`] — opt-in tail-pause attribution: top-K worst pauses
+//!   per kind with full breakdown/unit/energy context, plus per-bucket
+//!   energy attribution (zero-cost when off),
 //! * [`gclog`] — `-verbose:gc`-style log rendering of the event stream,
 //! * [`trace`] — trace-driven re-timing: record a collection's operation
 //!   stream once, replay it on any machine configuration,
@@ -48,6 +51,7 @@ pub mod integrity;
 pub mod major;
 pub mod marksweep;
 pub mod minor;
+pub mod postmortem;
 pub mod system;
 pub mod threads;
 pub mod trace;

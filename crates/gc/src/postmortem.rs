@@ -1,0 +1,488 @@
+//! Tail-pause attribution: who made the worst pauses slow, and what the
+//! tail costs in energy.
+//!
+//! The paper's headline claim is about the *tail* — Charon shortens the
+//! pauses that dominate p99, not the average — but a pause histogram only
+//! says *that* p99 moved. [`Postmortem`] keeps, for the top-K worst
+//! pauses per GC kind, everything needed to say *why*: the full
+//! [`Breakdown`], the per-unit-class busy/queue deltas across that pause,
+//! and the fault/recovery counters the pause absorbed. It also attributes
+//! the per-collection [`EnergyAccount`] delta to pause-histogram buckets
+//! (the exact [`charon_sim::hist`] partition, via
+//! [`charon_sim::hist::bucket_index`]), so a report can answer "what does
+//! a p99 pause cost in nJ and where did its time go".
+//!
+//! Zero-cost-when-off, like [`charon_sim::telemetry::Telemetry`] and
+//! [`charon_sim::profile::Profiler`]: the collector holds an
+//! `Option<Postmortem>`; `None` costs one branch per collection. Enabled,
+//! capture is read-only over state the collector already computes —
+//! snapshots before, deltas after — and never advances a simulated clock,
+//! so every committed fingerprint is bit-identical with it on
+//! (`fingerprint_baseline.rs` pins exactly that).
+
+use crate::breakdown::Breakdown;
+use crate::collector::GcKind;
+use charon_core::device::{UnitClassStats, UNIT_CLASS_NAMES};
+use charon_sim::energy::EnergyAccount;
+use charon_sim::hist::{bucket_bounds, bucket_index, BUCKETS};
+use charon_sim::json::Json;
+use charon_sim::time::Ps;
+use std::fmt;
+
+/// What one unit-class pool did *during one pause*: busy/execution/wedge
+/// deltas across the pause, plus the pool's queue high-water mark and
+/// size at capture time (the high-water is a run-global monotone maximum,
+/// not a per-pause delta — it answers "how deep had queues ever been by
+/// this pause").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitDelta {
+    /// Unit-busy time accumulated during the pause.
+    pub busy: Ps,
+    /// Executions served during the pause.
+    pub executions: u64,
+    /// Stall/wedge events absorbed during the pause.
+    pub wedges: u64,
+    /// Queue-depth high-water mark as of this pause (monotone over the run).
+    pub queue_high_water: u64,
+    /// Unit instances in the pool.
+    pub total_units: u64,
+}
+
+impl UnitDelta {
+    /// The delta from `before` to `after`, carrying the after-side
+    /// high-water and pool size.
+    pub fn capture(after: UnitClassStats, before: UnitClassStats) -> UnitDelta {
+        UnitDelta {
+            busy: after.busy - before.busy,
+            executions: after.executions - before.executions,
+            wedges: after.wedges - before.wedges,
+            queue_high_water: after.queue_high_water,
+            total_units: after.total_units,
+        }
+    }
+
+    /// Pool utilization within a pause of length `wall`.
+    pub fn utilization(&self, wall: Ps) -> f64 {
+        let capacity = self.total_units * wall.0;
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy.0 as f64 / capacity as f64
+        }
+    }
+
+    fn to_json(self, wall: Ps) -> Json {
+        Json::obj(vec![
+            ("busy_ps", Json::U64(self.busy.0)),
+            ("executions", Json::U64(self.executions)),
+            ("wedges", Json::U64(self.wedges)),
+            ("queue_high_water", Json::U64(self.queue_high_water)),
+            ("total_units", Json::U64(self.total_units)),
+            ("utilization", Json::F64(self.utilization(wall))),
+        ])
+    }
+}
+
+/// Everything retained about one of the worst pauses.
+#[derive(Debug, Clone)]
+pub struct PauseRecord {
+    /// Collection sequence number (index into the event log).
+    pub seq: u64,
+    /// Minor or major.
+    pub kind: GcKind,
+    /// Wall-clock start of the pause.
+    pub start: Ps,
+    /// Pause duration.
+    pub wall: Ps,
+    /// The full per-bucket time breakdown (recovery delta included).
+    pub breakdown: Breakdown,
+    /// Energy this collection drew (delta of the run account).
+    pub energy: EnergyAccount,
+    /// Per-unit-class activity during the pause (offloading backends).
+    pub units: Option<[UnitDelta; 3]>,
+}
+
+impl PauseRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq", Json::U64(self.seq)),
+            ("start_ps", Json::U64(self.start.0)),
+            ("wall_ps", Json::U64(self.wall.0)),
+            ("breakdown", self.breakdown.to_json()),
+            ("energy", self.energy.to_json()),
+        ];
+        if let Some(units) = &self.units {
+            fields.push((
+                "units",
+                Json::Obj(
+                    UNIT_CLASS_NAMES
+                        .iter()
+                        .zip(units.iter())
+                        .map(|(&name, u)| (name.to_string(), u.to_json(self.wall)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Per-kind accumulation: the top-K list plus the bucketed energy table.
+#[derive(Debug, Clone)]
+struct KindLane {
+    /// Worst pauses, longest first, at most `top_k`.
+    worst: Vec<PauseRecord>,
+    /// Pause count per histogram bucket (this IS the pause histogram).
+    bucket_count: [u64; BUCKETS],
+    /// Summed pause time per bucket, picoseconds.
+    bucket_ps: [u64; BUCKETS],
+    /// Summed energy draw per bucket.
+    bucket_energy: Vec<EnergyAccount>,
+}
+
+impl KindLane {
+    fn new() -> KindLane {
+        KindLane {
+            worst: Vec::new(),
+            bucket_count: [0; BUCKETS],
+            bucket_ps: [0; BUCKETS],
+            bucket_energy: vec![EnergyAccount::default(); BUCKETS],
+        }
+    }
+
+    fn pauses(&self) -> u64 {
+        self.bucket_count.iter().sum()
+    }
+
+    fn energy_total(&self) -> EnergyAccount {
+        let mut total = EnergyAccount::default();
+        for e in &self.bucket_energy {
+            total.accumulate(e);
+        }
+        total
+    }
+
+    /// Bucket index holding the p99 pause — same rank rule as
+    /// [`charon_sim::hist::Histogram::try_quantile`]. `None` when no
+    /// pause of this kind ran.
+    fn p99_bucket(&self) -> Option<usize> {
+        let count = self.pauses();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((0.99 * count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.bucket_count.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Top-K worst-pause capture plus per-bucket energy attribution, per GC
+/// kind. See the module docs for the design contract.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    top_k: usize,
+    /// Indexed by kind: 0 = minor, 1 = major.
+    lanes: [KindLane; 2],
+}
+
+fn lane_idx(kind: GcKind) -> usize {
+    match kind {
+        GcKind::Minor => 0,
+        GcKind::Major => 1,
+    }
+}
+
+impl Postmortem {
+    /// A capture keeping the `top_k` worst pauses per kind (clamped to
+    /// at least 1).
+    pub fn new(top_k: usize) -> Postmortem {
+        Postmortem { top_k: top_k.max(1), lanes: [KindLane::new(), KindLane::new()] }
+    }
+
+    /// The configured per-kind retention.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Folds one finished collection in. Called by the collector at the
+    /// GC epilogue, after energy has been charged.
+    pub fn observe(&mut self, rec: PauseRecord) {
+        let lane = &mut self.lanes[lane_idx(rec.kind)];
+        let b = bucket_index(rec.wall.0);
+        lane.bucket_count[b] += 1;
+        lane.bucket_ps[b] += rec.wall.0;
+        lane.bucket_energy[b].accumulate(&rec.energy);
+        // Keep `worst` sorted longest-first; ties keep the earlier pause
+        // (first occurrence wins, like a stable sort by descending wall).
+        let pos = lane.worst.iter().position(|w| w.wall < rec.wall).unwrap_or(lane.worst.len());
+        if pos < self.top_k {
+            lane.worst.insert(pos, rec);
+            lane.worst.truncate(self.top_k);
+        }
+    }
+
+    /// Pauses observed for `kind`.
+    pub fn pauses(&self, kind: GcKind) -> u64 {
+        self.lanes[lane_idx(kind)].pauses()
+    }
+
+    /// The retained worst pauses for `kind`, longest first.
+    pub fn worst(&self, kind: GcKind) -> &[PauseRecord] {
+        &self.lanes[lane_idx(kind)].worst
+    }
+
+    /// Summed energy attributed to `kind`'s pauses.
+    pub fn energy_by_kind(&self, kind: GcKind) -> EnergyAccount {
+        self.lanes[lane_idx(kind)].energy_total()
+    }
+
+    /// Summed energy over both kinds and all buckets. Because energy is
+    /// charged exactly once per collection
+    /// ([`crate::system::System::charge_gc_energy`]), this telescopes to
+    /// the run's final [`EnergyAccount`] up to f64 rounding — the
+    /// conservation property the postmortem proptest pins.
+    pub fn energy_total(&self) -> EnergyAccount {
+        let mut total = self.energy_by_kind(GcKind::Minor);
+        total.accumulate(&self.energy_by_kind(GcKind::Major));
+        total
+    }
+
+    /// `(bucket index, count, summed ps, summed energy)` rows for the
+    /// non-empty buckets of `kind`, ascending.
+    pub fn energy_buckets(&self, kind: GcKind) -> Vec<(usize, u64, u64, &EnergyAccount)> {
+        let lane = &self.lanes[lane_idx(kind)];
+        (0..BUCKETS)
+            .filter(|&i| lane.bucket_count[i] > 0)
+            .map(|i| (i, lane.bucket_count[i], lane.bucket_ps[i], &lane.bucket_energy[i]))
+            .collect()
+    }
+
+    /// The bucket holding `kind`'s p99 pause with its count and summed
+    /// energy: the "what does a p99 pause cost" answer. `None` when no
+    /// pause of this kind ran.
+    pub fn p99_cost(&self, kind: GcKind) -> Option<(usize, u64, EnergyAccount)> {
+        let lane = &self.lanes[lane_idx(kind)];
+        let b = lane.p99_bucket()?;
+        Some((b, lane.bucket_count[b], lane.bucket_energy[b].clone()))
+    }
+
+    /// Machine-readable view; round-trips through [`Json::parse`].
+    pub fn to_json(&self) -> Json {
+        let lane_json = |kind: GcKind| {
+            let lane = &self.lanes[lane_idx(kind)];
+            let buckets = self
+                .energy_buckets(kind)
+                .into_iter()
+                .map(|(i, count, ps, energy)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    Json::obj(vec![
+                        ("lo", Json::U64(lo)),
+                        ("hi", Json::U64(hi)),
+                        ("count", Json::U64(count)),
+                        ("pause_ps", Json::U64(ps)),
+                        ("energy", energy.to_json()),
+                    ])
+                })
+                .collect();
+            let p99 = match self.p99_cost(kind) {
+                None => Json::Null,
+                Some((b, count, energy)) => {
+                    let (lo, hi) = bucket_bounds(b);
+                    Json::obj(vec![
+                        ("lo", Json::U64(lo)),
+                        ("hi", Json::U64(hi)),
+                        ("count", Json::U64(count)),
+                        ("energy", energy.to_json()),
+                    ])
+                }
+            };
+            Json::obj(vec![
+                ("pauses", Json::U64(lane.pauses())),
+                ("energy", lane.energy_total().to_json()),
+                ("p99_bucket", p99),
+                ("buckets", Json::Arr(buckets)),
+                ("worst", Json::Arr(lane.worst.iter().map(PauseRecord::to_json).collect())),
+            ])
+        };
+        Json::obj(vec![
+            ("top_k", Json::U64(self.top_k as u64)),
+            ("minor", lane_json(GcKind::Minor)),
+            ("major", lane_json(GcKind::Major)),
+        ])
+    }
+}
+
+impl fmt::Display for Postmortem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "postmortem (top {} per kind):", self.top_k)?;
+        for kind in [GcKind::Minor, GcKind::Major] {
+            let lane = &self.lanes[lane_idx(kind)];
+            if lane.pauses() == 0 {
+                writeln!(f, "{kind}: no pauses")?;
+                continue;
+            }
+            let total = lane.energy_total();
+            writeln!(f, "{kind}: {} pauses, energy {:.4e} J", lane.pauses(), total.total_j())?;
+            if let Some((b, count, energy)) = self.p99_cost(kind) {
+                let (lo, hi) = bucket_bounds(b);
+                let share = if total.total_j() > 0.0 { energy.total_j() / total.total_j() * 100.0 } else { 0.0 };
+                writeln!(
+                    f,
+                    "  p99 bucket [{}, {}]: {count} pauses, {:.1} nJ each on average ({share:.1}% of {kind} energy)",
+                    Ps(lo),
+                    Ps(hi),
+                    energy.total_j() / count as f64 * 1e9
+                )?;
+            }
+            for (rank, rec) in lane.worst.iter().enumerate() {
+                write!(f, "  worst #{}: seq={} start={} wall={}", rank + 1, rec.seq, rec.start, rec.wall)?;
+                if let Some((b, frac)) = rec.breakdown.dominant() {
+                    write!(f, " dominant={b} ({:.1}%)", frac * 100.0)?;
+                }
+                writeln!(f)?;
+                writeln!(f, "    breakdown: {}", rec.breakdown)?;
+                writeln!(f, "    energy: {:.1} nJ ({})", rec.energy.total_j() * 1e9, rec.energy)?;
+                if let Some(units) = &rec.units {
+                    for (&name, u) in UNIT_CLASS_NAMES.iter().zip(units.iter()) {
+                        if u.executions == 0 && u.busy == Ps::ZERO {
+                            continue;
+                        }
+                        writeln!(
+                            f,
+                            "    unit {name}: util={:.1}% busy={} execs={} wedges={} qhw={} x{}",
+                            u.utilization(rec.wall) * 100.0,
+                            u.busy,
+                            u.executions,
+                            u.wedges,
+                            u.queue_high_water,
+                            u.total_units
+                        )?;
+                    }
+                }
+                let recovery = rec.breakdown.recovery();
+                if !recovery.is_empty() {
+                    writeln!(f, "    recovery: {recovery}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::Bucket;
+
+    fn rec(kind: GcKind, seq: u64, wall: u64, joules: f64) -> PauseRecord {
+        let mut breakdown = Breakdown::new();
+        breakdown.record(Bucket::Copy, Ps(wall * 3 / 4));
+        breakdown.record(Bucket::Other, Ps(wall / 4));
+        PauseRecord {
+            seq,
+            kind,
+            start: Ps(seq * 1000),
+            wall: Ps(wall),
+            breakdown,
+            energy: EnergyAccount { dram_j: joules, ..EnergyAccount::default() },
+            units: None,
+        }
+    }
+
+    #[test]
+    fn keeps_top_k_longest_first() {
+        let mut pm = Postmortem::new(2);
+        for (seq, wall) in [(0, 100), (1, 900), (2, 500), (3, 950)] {
+            pm.observe(rec(GcKind::Minor, seq, wall, 0.0));
+        }
+        let worst = pm.worst(GcKind::Minor);
+        assert_eq!(worst.len(), 2);
+        assert_eq!((worst[0].seq, worst[0].wall.0), (3, 950));
+        assert_eq!((worst[1].seq, worst[1].wall.0), (1, 900));
+        assert!(pm.worst(GcKind::Major).is_empty());
+        assert_eq!(pm.pauses(GcKind::Minor), 4, "bucket table still counts every pause");
+    }
+
+    #[test]
+    fn ties_keep_the_earlier_pause() {
+        let mut pm = Postmortem::new(1);
+        pm.observe(rec(GcKind::Major, 5, 700, 0.0));
+        pm.observe(rec(GcKind::Major, 9, 700, 0.0));
+        assert_eq!(pm.worst(GcKind::Major)[0].seq, 5);
+    }
+
+    #[test]
+    fn bucket_energy_conserves_and_follows_hist_partition() {
+        let mut pm = Postmortem::new(3);
+        // 100 and 120 share bucket [64, 127]; 5000 lands in [4096, 8191].
+        pm.observe(rec(GcKind::Minor, 0, 100, 1.0));
+        pm.observe(rec(GcKind::Minor, 1, 120, 2.0));
+        pm.observe(rec(GcKind::Minor, 2, 5000, 4.0));
+        pm.observe(rec(GcKind::Major, 3, 5000, 8.0));
+        assert!((pm.energy_total().total_j() - 15.0).abs() < 1e-12);
+        assert!((pm.energy_by_kind(GcKind::Major).total_j() - 8.0).abs() < 1e-12);
+        let rows = pm.energy_buckets(GcKind::Minor);
+        assert_eq!(rows.len(), 2);
+        let (i, count, ps, energy) = rows[0];
+        assert_eq!((bucket_bounds(i), count, ps), ((64, 127), 2, 220));
+        assert!((energy.total_j() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_cost_names_the_tail_bucket() {
+        let mut pm = Postmortem::new(1);
+        for seq in 0..99 {
+            pm.observe(rec(GcKind::Minor, seq, 100, 0.001));
+        }
+        // Two slow pauses: with 101 samples the Histogram rank rule
+        // (ceil(0.99·n), shared via bucket_index/bucket_bounds) puts
+        // rank 100 in the slow bucket. A single outlier among 100 is
+        // NOT the p99 under that rule — rank 99 is still fast.
+        pm.observe(rec(GcKind::Minor, 99, 100_000, 5.0));
+        pm.observe(rec(GcKind::Minor, 100, 100_000, 5.0));
+        let (b, count, energy) = pm.p99_cost(GcKind::Minor).expect("pauses ran");
+        assert_eq!(b, bucket_index(100_000), "p99 of 99×fast + 2×slow is the slow bucket");
+        assert_eq!(count, 2);
+        assert!((energy.total_j() - 10.0).abs() < 1e-12);
+        assert!(pm.p99_cost(GcKind::Major).is_none());
+    }
+
+    #[test]
+    fn json_round_trips_and_display_renders() {
+        let mut pm = Postmortem::new(2);
+        let mut r = rec(GcKind::Minor, 0, 2048, 0.5);
+        r.units = Some([
+            UnitDelta { busy: Ps(512), executions: 4, wedges: 0, queue_high_water: 7, total_units: 2 },
+            UnitDelta::default(),
+            UnitDelta::default(),
+        ]);
+        pm.observe(r);
+        let j = pm.to_json();
+        let back = Json::parse(&j.to_string()).expect("postmortem json parses");
+        assert_eq!(back.get("top_k").and_then(Json::as_u64), Some(2));
+        let minor = back.get("minor").unwrap();
+        assert_eq!(minor.get("pauses").and_then(Json::as_u64), Some(1));
+        let worst = minor.get("worst").and_then(Json::as_arr).unwrap();
+        assert_eq!(worst.len(), 1);
+        let units = worst[0].get("units").expect("unit deltas serialized");
+        assert_eq!(
+            units
+                .get("copy_search")
+                .and_then(|u| u.get("queue_high_water"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert!(matches!(back.get("major").and_then(|m| m.get("p99_bucket")), Some(Json::Null)));
+        let s = pm.to_string();
+        assert!(s.contains("worst #1"), "{s}");
+        assert!(s.contains("dominant=Copy"), "{s}");
+        assert!(s.contains("unit copy_search"), "{s}");
+        assert!(s.contains("MajorGC: no pauses"), "{s}");
+    }
+}

@@ -801,6 +801,13 @@ impl System {
         self.host.fabric.stats().dram.total_bytes()
     }
 
+    /// Per-unit-class pool counters (`None` on host-only platforms) — a
+    /// read-only snapshot hook for observability layers (the postmortem
+    /// capture, the run profile) so they never reach into the device.
+    pub fn unit_stats(&self) -> Option<[charon_core::device::UnitClassStats; 3]> {
+        self.device.as_ref().map(|d| d.stats().units)
+    }
+
     /// Watchdog verdict per unit class, indexed by [`PrimType::encode`].
     /// All-false on host-only platforms and on devices without a fault
     /// layer; a `true` entry means the recovery ladder killed that unit

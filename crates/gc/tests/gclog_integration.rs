@@ -2,7 +2,7 @@
 //! practitioner would read.
 
 use charon_gc::collector::Collector;
-use charon_gc::gclog::{render_run, HeapSnapshot};
+use charon_gc::gclog::{render_run, render_run_with_units, HeapSnapshot};
 use charon_gc::system::System;
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::klass::KlassKind;
@@ -48,4 +48,41 @@ fn log_renders_a_real_collection_sequence() {
             assert!(s.used_after <= s.used_before, "a scavenge must not grow the heap");
         }
     }
+}
+
+#[test]
+fn charon_log_closes_with_the_unit_pool_summary() {
+    let mut heap = JavaHeap::new(HeapConfig::with_heap_bytes(8 << 20));
+    let k = heap.klasses_mut().register_array("byte[]", KlassKind::TypeArray);
+    let mut gc = Collector::new(System::charon(), &heap, 4);
+
+    let mut snaps = Vec::new();
+    let mut events_seen = 0;
+    for i in 0..3000u32 {
+        let before = heap.used_bytes();
+        let a = gc.alloc(&mut heap, k, 120).unwrap();
+        if i % 4 == 0 {
+            heap.add_root(a);
+        }
+        if heap.root_count() > 300 {
+            heap.set_root(heap.root_count() - 300, VAddr::NULL);
+        }
+        while events_seen < gc.events.len() {
+            snaps.push(HeapSnapshot::after(&heap, before));
+            events_seen += 1;
+        }
+    }
+    assert!(!gc.events.is_empty(), "the loop must trigger collections");
+    let units = gc.sys.unit_stats().expect("Charon systems expose pool stats");
+    let log = render_run_with_units(&gc.events, &snaps, Some(&units), gc.gc_total_time());
+    // Event lines, then the pause summary, then the unit summary: the
+    // queue-depth high-water mark a provisioning decision needs is on
+    // the last line of the log, not buried in a JSON artifact.
+    assert_eq!(log.lines().count(), gc.events.len() + 2);
+    let last = log.lines().next_back().unwrap();
+    assert!(last.starts_with("[units "), "{last}");
+    assert!(last.contains("qhw="), "{last}");
+    assert!(last.contains("util="), "{last}");
+    // Offloading ran, so at least one class must be non-idle.
+    assert_ne!(last, "[units idle]");
 }

@@ -69,6 +69,31 @@ impl EnergyAccount {
         self.dram_j + self.core_active_j + self.core_idle_j + self.uncore_j + self.charon_j
     }
 
+    /// Component-wise delta since an earlier snapshot of the same meter.
+    /// The account is monotone (every `add_*` is non-negative), so on the
+    /// intended use — `after.since(&before)` around one collection — all
+    /// components are non-negative and the deltas telescope: summing the
+    /// per-collection deltas recovers the final account up to f64
+    /// rounding, which is what the postmortem conservation proptest pins.
+    pub fn since(&self, before: &EnergyAccount) -> EnergyAccount {
+        EnergyAccount {
+            dram_j: self.dram_j - before.dram_j,
+            core_active_j: self.core_active_j - before.core_active_j,
+            core_idle_j: self.core_idle_j - before.core_idle_j,
+            uncore_j: self.uncore_j - before.uncore_j,
+            charon_j: self.charon_j - before.charon_j,
+        }
+    }
+
+    /// Component-wise accumulation (for bucketed side tables).
+    pub fn accumulate(&mut self, other: &EnergyAccount) {
+        self.dram_j += other.dram_j;
+        self.core_active_j += other.core_active_j;
+        self.core_idle_j += other.core_idle_j;
+        self.uncore_j += other.uncore_j;
+        self.charon_j += other.charon_j;
+    }
+
     /// Machine-readable form for reports ([`crate::json`]).
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
@@ -181,6 +206,27 @@ mod tests {
         let mut m = EnergyModel::new(EnergyParams::default());
         m.add_charon_active(Ps::from_ms(10.0));
         assert!((m.account().charon_j - 0.0298).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_and_accumulate_telescope() {
+        let mut m = EnergyModel::new(EnergyParams::default());
+        let start = m.account().clone();
+        m.add_dram_bytes(MemPlatform::Ddr4, 1_000_000);
+        m.add_core_active(4, Ps::from_ms(1.0));
+        let mid = m.account().clone();
+        m.add_uncore(Ps::from_ms(2.0));
+        m.add_charon_active(Ps::from_ms(1.0));
+        let end = m.account().clone();
+
+        let mut rebuilt = EnergyAccount::default();
+        rebuilt.accumulate(&mid.since(&start));
+        rebuilt.accumulate(&end.since(&mid));
+        assert!((rebuilt.total_j() - end.total_j()).abs() < 1e-15);
+        assert!((rebuilt.dram_j - end.dram_j).abs() < 1e-15);
+        assert!((rebuilt.charon_j - end.charon_j).abs() < 1e-15);
+        assert!(mid.since(&start).core_active_j > 0.0);
+        assert_eq!(end.since(&end), EnergyAccount::default());
     }
 
     #[test]

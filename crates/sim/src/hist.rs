@@ -53,6 +53,25 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Public bucket index of `v` — the slot [`Histogram::record`] would
+/// increment. Exposed so side tables keyed by pause bucket (the
+/// postmortem energy attribution in `charon-gc`) are guaranteed to use
+/// the exact same partition as the pause histograms they annotate.
+pub fn bucket_index(v: u64) -> usize {
+    bucket_of(v)
+}
+
+/// Inclusive `(lo, hi)` value bounds of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket {i} outside [0, {BUCKETS})");
+    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+    (lo, bucket_upper(i))
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
@@ -224,6 +243,21 @@ mod tests {
         for i in 0..BUCKETS {
             assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound of bucket {i} must stay in it");
         }
+    }
+
+    #[test]
+    fn public_bucket_helpers_agree_with_record() {
+        for v in [0u64, 1, 2, 3, 7, 8, 4095, 4096, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} outside bucket {i} [{lo}, {hi}]");
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.buckets()[i], 1, "record({v}) must hit bucket {i}");
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! Aggregated simulation reporting: one struct collecting everything a run
 //! reveals about the machine — cache behaviour, traffic split, energy —
 //! with a human-readable rendering for the CLI and examples.
+//!
+//! Also home of the shared **metric flattener**: every machine-readable
+//! report the repo writes (bench, compare, bare run/profile, selfspeed,
+//! fleet, chaos) flattens through [`extract_metrics`] into the same
+//! `name → u64` rows, so `charon-cli regress`, the history ledger
+//! (`charon-workloads::history`), and CI gates all agree on metric names
+//! and on which direction each one regresses ([`higher_is_better`]).
 
 use crate::energy::EnergyAccount;
 use crate::host::HostTiming;
+use crate::json::Json;
 use crate::stats::{CacheStats, MemTrafficStats};
 use crate::time::Ps;
 use std::fmt;
@@ -103,6 +111,153 @@ impl fmt::Display for MachineReport {
     }
 }
 
+/// Pulls the gated metrics out of one run-shaped object (`RunResult` JSON,
+/// or a bare `RunProfile` JSON): wall GC time plus, when a profile is
+/// present, the per-kind p99 pause. Keys are `workload/platform/metric`.
+pub fn run_metrics(out: &mut Vec<(String, u64)>, run: &Json) {
+    let w = run.get("workload").and_then(Json::as_str).unwrap_or("?");
+    let p = run.get("platform").and_then(Json::as_str).unwrap_or("?");
+    if let Some(t) = run.get("gc_time_ps").and_then(Json::as_u64) {
+        out.push((format!("{w}/{p}/gc_time_ps"), t));
+    }
+    // Either a RunResult carrying a "profile" field, or a RunProfile itself.
+    let profile = run.get("profile").unwrap_or(run);
+    if let Some(pauses) = profile.get("pauses") {
+        for kind in ["minor", "major"] {
+            if let Some(p99) = pauses.get(kind).and_then(|h| h.get("p99")).and_then(Json::as_u64) {
+                out.push((format!("{w}/{p}/pause_{kind}_p99_ps"), p99));
+            }
+        }
+    }
+}
+
+/// Flattens any report this repo writes — `bench` ({"benches": […]}),
+/// `compare --json` ({"runs": […]}), `run --json` / `profile
+/// --profile-out` (a single run or profile object), plus the
+/// schema-tagged selfspeed/fleet/chaos shapes — into comparable metrics.
+pub fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    if report.get("schema").and_then(Json::as_str) == Some("charon-chaos-v1") {
+        // Chaos campaign report: rates are gated upward (higher is
+        // better), escapes downward. Rates are re-derived from the integer
+        // counts in basis points so the gate compares integers like every
+        // other metric.
+        let count = |k: &str| report.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (injected, detected, repaired) = (count("injected"), count("detected"), count("repaired"));
+        let harmful = injected.saturating_sub(count("benign"));
+        out.push(("chaos/detection_rate_bp".into(), (detected * 10_000).checked_div(harmful).unwrap_or(10_000)));
+        out.push(("chaos/repair_rate_bp".into(), (repaired * 10_000).checked_div(detected).unwrap_or(10_000)));
+        out.push(("chaos/escaped".into(), count("escaped")));
+        for c in report.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+            let w = c.get("workload").and_then(Json::as_str).unwrap_or("?");
+            let s = c.get("site").and_then(Json::as_str).unwrap_or("?");
+            let r = c.get("rate").and_then(Json::as_f64).unwrap_or(0.0);
+            if let Some(e) = c.get("escaped").and_then(Json::as_u64) {
+                out.push((format!("chaos/{w}/{s}/{r}/escaped"), e));
+            }
+        }
+    } else if report.get("schema").and_then(Json::as_str) == Some("charon-selfspeed-v1") {
+        // BENCH_selfspeed.json: one higher-is-better metric per cell (the
+        // `selfspeed` name is what flips the gate's direction).
+        for e in report.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
+            let w = e.get("workload").and_then(Json::as_str).unwrap_or("?");
+            let p = e.get("platform").and_then(Json::as_str).unwrap_or("?");
+            if let Some(v) = e.get("sim_ps_per_wall_s").and_then(Json::as_u64) {
+                out.push((format!("{w}/{p}/selfspeed_sim_ps_per_wall_s"), v));
+            }
+        }
+    } else if report.get("schema").and_then(Json::as_str) == Some("charon-fleet-v1") {
+        // Fleet report: scheduled-pause p99, makespan, and per-tenant
+        // pause inflation all regress upward (lower is better).
+        let sched = report.get("sched").and_then(Json::as_str).unwrap_or("?");
+        if let Some(fleet) = report.get("fleet") {
+            for m in ["p99_ps", "max_inflation_bp", "makespan_ps"] {
+                if let Some(v) = fleet.get(m).and_then(Json::as_u64) {
+                    out.push((format!("fleet/{sched}/{m}"), v));
+                }
+            }
+        }
+        for t in report.get("tenant_detail").and_then(Json::as_arr).unwrap_or(&[]) {
+            let label = t.get("label").and_then(Json::as_str).unwrap_or("?");
+            if let Some(v) = t.get("inflation_bp").and_then(Json::as_u64) {
+                out.push((format!("fleet/{sched}/{label}/inflation_bp"), v));
+            }
+        }
+    } else if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
+        for bench in benches {
+            for run in bench.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+                run_metrics(&mut out, run);
+            }
+        }
+    } else if let Some(runs) = report.get("runs").and_then(Json::as_arr) {
+        for run in runs {
+            run_metrics(&mut out, run);
+        }
+    } else {
+        run_metrics(&mut out, report);
+    }
+    out
+}
+
+/// One metric that got slower beyond the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Flattened metric name (`workload/platform/metric`).
+    pub metric: String,
+    /// Baseline value.
+    pub old: u64,
+    /// Candidate value.
+    pub new: u64,
+}
+
+impl Regression {
+    /// `new / old` (old clamped to ≥ 1 so a zero baseline stays finite).
+    pub fn ratio(&self) -> f64 {
+        self.new as f64 / self.old.max(1) as f64
+    }
+}
+
+/// Whether a metric improves by growing. Timing metrics (the default)
+/// regress upward; `selfspeed` metrics — simulated ps per wall-second —
+/// and the chaos campaign's detection/repair rates regress downward.
+/// (Chaos `escaped` counts keep the default direction: any growth over a
+/// zero baseline is a regression.)
+pub fn higher_is_better(metric: &str) -> bool {
+    metric.contains("selfspeed") || metric.contains("detection") || metric.contains("repair")
+}
+
+/// Direction-aware single-value comparison: does `new_v` regress against
+/// `old_v` beyond `tolerance_pct`? Lower-is-better metrics regress on
+/// `new > old × (1 + tol/100)` (a zero baseline regresses on any nonzero
+/// new value); higher-is-better metrics on `new < old × (1 - tol/100)`.
+/// This is the one predicate `regress`, `trend report`, and `trend
+/// bisect` all share.
+pub fn value_regressed(metric: &str, old_v: u64, new_v: u64, tolerance_pct: f64) -> bool {
+    if higher_is_better(metric) {
+        (new_v as f64) < old_v as f64 * (1.0 - tolerance_pct / 100.0)
+    } else {
+        let limit = old_v as f64 * (1.0 + tolerance_pct / 100.0);
+        new_v as f64 > limit || (old_v == 0 && new_v > 0)
+    }
+}
+
+/// Compares every metric present in BOTH reports with
+/// [`value_regressed`]. Returns (metrics compared, regressions).
+pub fn regressions(old: &Json, new: &Json, tolerance_pct: f64) -> (usize, Vec<Regression>) {
+    let old_metrics = extract_metrics(old);
+    let new_metrics = extract_metrics(new);
+    let mut compared = 0;
+    let mut regs = Vec::new();
+    for (metric, old_v) in old_metrics {
+        let Some((_, new_v)) = new_metrics.iter().find(|(m, _)| *m == metric) else { continue };
+        compared += 1;
+        if value_regressed(&metric, old_v, *new_v, tolerance_pct) {
+            regs.push(Regression { metric, old: old_v, new: *new_v });
+        }
+    }
+    (compared, regs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +292,19 @@ mod tests {
         assert_eq!(r.onchip_traffic_ratio(), 0.0);
         assert!(r.per_cube_bytes.is_empty());
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn value_regressed_is_direction_aware() {
+        // Lower is better (timing): 10% tolerance.
+        assert!(!value_regressed("BS/DDR4/gc_time_ps", 100, 110, 10.0));
+        assert!(value_regressed("BS/DDR4/gc_time_ps", 100, 111, 10.0));
+        assert!(value_regressed("BS/DDR4/gc_time_ps", 0, 1, 10.0), "zero baseline regresses on any growth");
+        assert!(!value_regressed("BS/DDR4/gc_time_ps", 0, 0, 10.0));
+        // Higher is better (selfspeed): direction flips.
+        assert!(value_regressed("BS/DDR4/selfspeed_sim_ps_per_wall_s", 100, 89, 10.0));
+        assert!(!value_regressed("BS/DDR4/selfspeed_sim_ps_per_wall_s", 100, 90, 10.0));
+        assert!(!value_regressed("BS/DDR4/selfspeed_sim_ps_per_wall_s", 100, 200, 10.0));
     }
 
     #[test]

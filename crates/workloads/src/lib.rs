@@ -35,12 +35,16 @@
 //!   subsystem: sites × rates × workloads, detection/repair/escape
 //!   accounting ([`chaos::ChaosReport`]),
 //! * [`autotune`] — static-vs-adaptive offload comparison driver for the
-//!   [`charon_gc::adapt`] controller ([`autotune::AutotuneReport`]).
+//!   [`charon_gc::adapt`] controller ([`autotune::AutotuneReport`]),
+//! * [`history`] — append-only `charon-history-v1` multi-run metric
+//!   ledger with trend sparklines and first-regressing-run bisection
+//!   ([`history::Ledger`]).
 
 pub mod autotune;
 pub mod campaign;
 pub mod chaos;
 pub mod fleet;
+pub mod history;
 pub mod klasses;
 pub mod mutator;
 pub mod parmatrix;
@@ -52,6 +56,7 @@ pub use autotune::{autotune, autotune_jobs, AutotuneReport};
 pub use campaign::{fault_matrix, run_fault_campaign, run_fault_campaign_jobs, CampaignOptions, CampaignReport};
 pub use chaos::{chaos_matrix, run_chaos_campaign, ChaosOptions, ChaosReport};
 pub use fleet::{plan_tenants, run_fleet, FleetOptions, FleetReport, SchedKind};
+pub use history::{HistoryRun, Ledger};
 pub use parmatrix::{full_matrix, run_matrix, selfspeed_json, MatrixJob, MatrixOptions, MatrixOutcome};
 pub use profile::RunProfile;
 pub use run::{run_workload, RunOptions, RunResult};

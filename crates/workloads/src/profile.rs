@@ -12,6 +12,7 @@
 use charon_core::device::{UnitClassStats, UNIT_CLASS_NAMES};
 use charon_gc::census::Census;
 use charon_gc::collector::{Collector, GcKind};
+use charon_gc::postmortem::Postmortem;
 use charon_sim::hist::Histogram;
 use charon_sim::json::Json;
 use charon_sim::profile::{Channel, LatencyProfile};
@@ -38,6 +39,10 @@ pub struct RunProfile {
     /// Per-unit-class pool counters (offloading backends only), in
     /// [`UNIT_CLASS_NAMES`] order.
     pub units: Option<[UnitClassStats; 3]>,
+    /// Tail-pause attribution, when [`crate::RunOptions::postmortem`]
+    /// asked for it: the top-K worst pauses per kind with breakdown,
+    /// unit-delta, and energy context, plus per-bucket energy.
+    pub postmortem: Option<Postmortem>,
 }
 
 impl RunProfile {
@@ -66,6 +71,7 @@ impl RunProfile {
             latencies,
             census: gc.census.clone(),
             units: gc.sys.device.as_ref().map(|d| d.stats().units),
+            postmortem: gc.postmortem.clone(),
         }
     }
 
@@ -125,6 +131,9 @@ impl RunProfile {
         }
         if let Some(census) = &self.census {
             fields.push(("census", census.to_json()));
+        }
+        if let Some(pm) = &self.postmortem {
+            fields.push(("postmortem", pm.to_json()));
         }
         Json::obj(fields)
     }
@@ -188,6 +197,9 @@ impl fmt::Display for RunProfile {
                 writeln!(f, "  {r}")?;
             }
         }
+        if let Some(pm) = &self.postmortem {
+            write!(f, "{pm}")?;
+        }
         Ok(())
     }
 }
@@ -207,6 +219,7 @@ mod tests {
             latencies: LatencyProfile::new(),
             census: None,
             units: None,
+            postmortem: None,
         };
         let s = format!("{p}");
         assert!(s.contains("profile: BS on DDR4"));

@@ -55,6 +55,12 @@ pub struct RunOptions {
     /// `--rearm N` flag). `None` (the default) leaves dead units dead for
     /// the rest of the run, exactly the PR 2 behavior.
     pub rearm: Option<u32>,
+    /// Tail-pause attribution ([`charon_gc::postmortem`]): keep the top-K
+    /// worst pauses per GC kind with full breakdown/unit/energy context
+    /// and attribute energy to pause buckets. `None` (the default) costs
+    /// one branch per collection; either way simulated timing is
+    /// bit-identical.
+    pub postmortem: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -69,6 +75,7 @@ impl Default for RunOptions {
             policy: None,
             policy_seed: 0xC4A0,
             rearm: None,
+            postmortem: None,
         }
     }
 }
@@ -270,6 +277,9 @@ fn run_workload_full(
     if opts.census {
         gc.census = Some(charon_gc::census::Census::new());
     }
+    if let Some(top_k) = opts.postmortem {
+        gc.postmortem = Some(charon_gc::postmortem::Postmortem::new(top_k));
+    }
     if let Some(kind) = opts.policy {
         // The controller reads census signals, so attaching one implies
         // the (timing-invisible) census walk.
@@ -298,7 +308,7 @@ fn run_workload_full(
 
     let minor_t = gc.gc_time_by_kind(GcKind::Minor);
     let major_t = gc.gc_time_by_kind(GcKind::Major);
-    let profile = (opts.profiler.is_enabled() || opts.census)
+    let profile = (opts.profiler.is_enabled() || opts.census || opts.postmortem.is_some())
         .then(|| RunProfile::collect(spec.short, platform, &gc, opts.profiler.snapshot()));
     let events = gc.events.clone();
     Ok((

@@ -87,6 +87,41 @@ fn profiler_and_census_on_fingerprints_match_committed_baselines() {
     }
 }
 
+/// Tail-pause postmortem capture (with energy-bucket attribution) is a
+/// pure observer: snapshots before each collection, deltas after, never
+/// a clock advanced. Every committed baseline must hold with it on —
+/// stacked on top of the profiler and census for maximum interference
+/// surface — and the captured per-bucket energy must conserve against
+/// the run's own account.
+#[test]
+fn postmortem_on_fingerprints_match_committed_baselines() {
+    use charon_gc::collector::GcKind;
+    use charon_sim::profile::Profiler;
+    for &(wl, platform, gc_ps, minors, majors, alloc) in &BASELINES {
+        let spec = by_short(wl).unwrap();
+        let o = RunOptions { profiler: Profiler::enabled(), census: true, postmortem: Some(4), ..opts() };
+        let r = run_workload(&spec, system_by_label(platform), &o).unwrap();
+        assert_eq!(
+            r.fingerprint(),
+            (wl, platform, gc_ps, minors, majors, alloc),
+            "{wl} on {platform}: postmortem capture must be timing-invisible"
+        );
+        let pm = r
+            .profile
+            .as_ref()
+            .and_then(|p| p.postmortem.as_ref())
+            .expect("postmortem was enabled");
+        assert_eq!(pm.pauses(GcKind::Minor) as usize, minors, "{wl} on {platform}");
+        assert_eq!(pm.pauses(GcKind::Major) as usize, majors, "{wl} on {platform}");
+        let total = pm.energy_total().total_j();
+        let run_total = r.energy.total_j();
+        assert!(
+            (total - run_total).abs() <= run_total.abs() * 1e-9,
+            "{wl} on {platform}: bucketed energy {total} J != run account {run_total} J"
+        );
+    }
+}
+
 /// Heap-factor and step overrides land in the fingerprint too.
 #[test]
 fn fingerprints_pin_heap_factor_and_steps() {

@@ -14,7 +14,11 @@
 //! charon-cli chaos BS KM --rates 0.02,0.1 # silent-corruption campaign
 //! charon-cli fleet --tenants 4 --mix BS:2,PR:2 --sched fair   # multi-tenant interference
 //! charon-cli profile KM --platform Charon # pause/latency histograms + census
-//! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate
+//! charon-cli explain KM --top 5            # worst pauses: breakdown, units, energy
+//! charon-cli regress OLD.json NEW.json --tolerance 10   # cross-run gate (exit 2 = regression)
+//! charon-cli trend record HISTORY.json BENCH_compare.json --label abc123
+//! charon-cli trend report HISTORY.json --metric gc_time # sparkline series
+//! charon-cli trend bisect HISTORY.json     # first regressing run per metric
 //! charon-cli autotune PS --policy census  # adaptive vs static offload mask
 //! ```
 
@@ -24,13 +28,14 @@ use charon::gc::system::OffloadMask;
 use charon::sim::faults::CorruptionSite;
 use charon::sim::json::Json;
 use charon::sim::profile::Profiler;
+use charon::sim::report::{extract_metrics, regressions};
 use charon::sim::telemetry::{chrome_trace, Telemetry};
 use charon::workloads::parmatrix::{system_by_label, PLATFORM_LABELS as PLATFORMS};
 use charon::workloads::spec::{by_short, table3};
 use charon::workloads::{
     autotune_jobs, full_matrix, plan_tenants, run_chaos_campaign, run_fault_campaign_jobs, run_fleet, run_matrix,
-    run_workload, selfspeed_json, CampaignOptions, ChaosOptions, FleetOptions, MatrixOptions, RunOptions, RunResult,
-    SchedKind,
+    run_workload, selfspeed_json, CampaignOptions, ChaosOptions, FleetOptions, Ledger, MatrixOptions, RunOptions,
+    RunResult, SchedKind,
 };
 use std::process::ExitCode;
 
@@ -49,10 +54,18 @@ fn usage() -> ExitCode {
          [--rearm <N>] [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] \
          [--jobs <N>]\n  \
          charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
-         [--json] [--profile-out <FILE>]\n  \
+         [--top <K>] [--json] [--profile-out <FILE>]\n  \
+         charon-cli explain <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--top <K>] [--heap-factor <F>] [--threads <N>] \
+         [--steps <N>] [--json]\n    \
+         (tail-pause attribution: top-K worst pauses with breakdown, unit, and energy context)\n  \
          charon-cli fleet [--tenants <N>] [--mix <W:N,W:N,...>] [--sched <fifo|fair|deadline>] [--platform <P>] \
          [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] [--jobs <N>]\n  \
-         charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>]\n  \
+         charon-cli regress <OLD.json> <NEW.json> [--tolerance <PCT>] [--metric <SUBSTR>]\n    \
+         (exit 2 = regression beyond tolerance, 1 = usage/IO error)\n  \
+         charon-cli trend record <LEDGER.json> <REPORT.json> [--label <L>]\n  \
+         charon-cli trend report <LEDGER.json> [--metric <SUBSTR>] [--tolerance <PCT>] [--json] [--out <FILE>]\n  \
+         charon-cli trend bisect <LEDGER.json> [--metric <SUBSTR>] [--tolerance <PCT>] [--json]\n    \
+         (exit 2 = regression found; prints the first regressing run per metric)\n  \
          charon-cli autotune <BS|KM|LR|CC|PR|ALS|PS> [--platform <P>] [--policy <static|census|bandit>] [--seed <S>] \
          [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] [--jobs <N>]\n\
          platforms: {}",
@@ -63,7 +76,7 @@ fn usage() -> ExitCode {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 20] = [
+const FLAG_TABLE: [(&str, bool); 23] = [
     ("--jobs", true),
     ("--platform", true),
     ("--heap-factor", true),
@@ -84,6 +97,9 @@ const FLAG_TABLE: [(&str, bool); 20] = [
     ("--tenants", true),
     ("--mix", true),
     ("--sched", true),
+    ("--top", true),
+    ("--metric", true),
+    ("--label", true),
 ];
 
 /// Parsed flag values, superset over all subcommands.
@@ -109,6 +125,9 @@ struct Flags {
     tenants: Option<usize>,
     mix: Option<String>,
     sched: Option<SchedKind>,
+    top: Option<usize>,
+    metric: Option<String>,
+    label: Option<String>,
 }
 
 /// Table-driven flag parser. Rejects flags outside `allowed`, duplicate
@@ -225,6 +244,15 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
             }
             "--mix" => flags.mix = Some(val.to_string()),
             "--sched" => flags.sched = Some(val.parse::<SchedKind>()?),
+            "--top" => {
+                let n: usize = val.parse().map_err(|_| format!("bad top count {val}"))?;
+                if n == 0 || n > 64 {
+                    return Err(format!("--top {n} out of range (1..=64)"));
+                }
+                flags.top = Some(n);
+            }
+            "--metric" => flags.metric = Some(val.to_string()),
+            "--label" => flags.label = Some(val.to_string()),
             _ => unreachable!("flag in table"),
         }
     }
@@ -349,141 +377,10 @@ fn compare_json(short: &str, runs: &[RunResult]) -> Json {
     ])
 }
 
-/// Pulls the gated metrics out of one run-shaped object (`RunResult` JSON,
-/// or a bare `RunProfile` JSON): wall GC time plus, when a profile is
-/// present, the per-kind p99 pause. Keys are `workload/platform/metric`.
-fn run_metrics(out: &mut Vec<(String, u64)>, run: &Json) {
-    let w = run.get("workload").and_then(Json::as_str).unwrap_or("?");
-    let p = run.get("platform").and_then(Json::as_str).unwrap_or("?");
-    if let Some(t) = run.get("gc_time_ps").and_then(Json::as_u64) {
-        out.push((format!("{w}/{p}/gc_time_ps"), t));
-    }
-    // Either a RunResult carrying a "profile" field, or a RunProfile itself.
-    let profile = run.get("profile").unwrap_or(run);
-    if let Some(pauses) = profile.get("pauses") {
-        for kind in ["minor", "major"] {
-            if let Some(p99) = pauses.get(kind).and_then(|h| h.get("p99")).and_then(Json::as_u64) {
-                out.push((format!("{w}/{p}/pause_{kind}_p99_ps"), p99));
-            }
-        }
-    }
-}
-
-/// Flattens any report this CLI writes — `bench` ({"benches": […]}),
-/// `compare --json` ({"runs": […]}), `run --json` / `profile --profile-out`
-/// (a single run or profile object) — into comparable metrics.
-fn extract_metrics(report: &Json) -> Vec<(String, u64)> {
-    let mut out = Vec::new();
-    if report.get("schema").and_then(Json::as_str) == Some("charon-chaos-v1") {
-        // Chaos campaign report: rates are gated upward (higher is
-        // better), escapes downward. Rates are re-derived from the integer
-        // counts in basis points so the gate compares integers like every
-        // other metric.
-        let count = |k: &str| report.get(k).and_then(Json::as_u64).unwrap_or(0);
-        let (injected, detected, repaired) = (count("injected"), count("detected"), count("repaired"));
-        let harmful = injected.saturating_sub(count("benign"));
-        out.push(("chaos/detection_rate_bp".into(), (detected * 10_000).checked_div(harmful).unwrap_or(10_000)));
-        out.push(("chaos/repair_rate_bp".into(), (repaired * 10_000).checked_div(detected).unwrap_or(10_000)));
-        out.push(("chaos/escaped".into(), count("escaped")));
-        for c in report.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
-            let w = c.get("workload").and_then(Json::as_str).unwrap_or("?");
-            let s = c.get("site").and_then(Json::as_str).unwrap_or("?");
-            let r = c.get("rate").and_then(Json::as_f64).unwrap_or(0.0);
-            if let Some(e) = c.get("escaped").and_then(Json::as_u64) {
-                out.push((format!("chaos/{w}/{s}/{r}/escaped"), e));
-            }
-        }
-    } else if report.get("schema").and_then(Json::as_str) == Some("charon-selfspeed-v1") {
-        // BENCH_selfspeed.json: one higher-is-better metric per cell (the
-        // `selfspeed` name is what flips the gate's direction).
-        for e in report.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
-            let w = e.get("workload").and_then(Json::as_str).unwrap_or("?");
-            let p = e.get("platform").and_then(Json::as_str).unwrap_or("?");
-            if let Some(v) = e.get("sim_ps_per_wall_s").and_then(Json::as_u64) {
-                out.push((format!("{w}/{p}/selfspeed_sim_ps_per_wall_s"), v));
-            }
-        }
-    } else if report.get("schema").and_then(Json::as_str) == Some("charon-fleet-v1") {
-        // Fleet report: scheduled-pause p99, makespan, and per-tenant
-        // pause inflation all regress upward (lower is better).
-        let sched = report.get("sched").and_then(Json::as_str).unwrap_or("?");
-        if let Some(fleet) = report.get("fleet") {
-            for m in ["p99_ps", "max_inflation_bp", "makespan_ps"] {
-                if let Some(v) = fleet.get(m).and_then(Json::as_u64) {
-                    out.push((format!("fleet/{sched}/{m}"), v));
-                }
-            }
-        }
-        for t in report.get("tenant_detail").and_then(Json::as_arr).unwrap_or(&[]) {
-            let label = t.get("label").and_then(Json::as_str).unwrap_or("?");
-            if let Some(v) = t.get("inflation_bp").and_then(Json::as_u64) {
-                out.push((format!("fleet/{sched}/{label}/inflation_bp"), v));
-            }
-        }
-    } else if let Some(benches) = report.get("benches").and_then(Json::as_arr) {
-        for bench in benches {
-            for run in bench.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
-                run_metrics(&mut out, run);
-            }
-        }
-    } else if let Some(runs) = report.get("runs").and_then(Json::as_arr) {
-        for run in runs {
-            run_metrics(&mut out, run);
-        }
-    } else {
-        run_metrics(&mut out, report);
-    }
-    out
-}
-
-/// One metric that got slower beyond the tolerance.
-#[derive(Debug, Clone, PartialEq)]
-struct Regression {
-    metric: String,
-    old: u64,
-    new: u64,
-}
-
-impl Regression {
-    fn ratio(&self) -> f64 {
-        self.new as f64 / self.old.max(1) as f64
-    }
-}
-
-/// Whether a metric improves by growing. Timing metrics (the default)
-/// regress upward; `selfspeed` metrics — simulated ps per wall-second —
-/// and the chaos campaign's detection/repair rates regress downward.
-/// (Chaos `escaped` counts keep the default direction: any growth over a
-/// zero baseline is a regression.)
-fn higher_is_better(metric: &str) -> bool {
-    metric.contains("selfspeed") || metric.contains("detection") || metric.contains("repair")
-}
-
-/// Compares every metric present in BOTH reports; a regression is
-/// `new > old × (1 + tolerance/100)` (a zero baseline regresses on any
-/// nonzero new value). Higher-is-better metrics ([`higher_is_better`])
-/// gate the other way: `new < old × (1 - tolerance/100)`. Returns
-/// (metrics compared, regressions).
-fn regressions(old: &Json, new: &Json, tolerance_pct: f64) -> (usize, Vec<Regression>) {
-    let old_metrics = extract_metrics(old);
-    let new_metrics = extract_metrics(new);
-    let mut compared = 0;
-    let mut regs = Vec::new();
-    for (metric, old_v) in old_metrics {
-        let Some((_, new_v)) = new_metrics.iter().find(|(m, _)| *m == metric) else { continue };
-        compared += 1;
-        let regressed = if higher_is_better(&metric) {
-            (*new_v as f64) < old_v as f64 * (1.0 - tolerance_pct / 100.0)
-        } else {
-            let limit = old_v as f64 * (1.0 + tolerance_pct / 100.0);
-            *new_v as f64 > limit || (old_v == 0 && *new_v > 0)
-        };
-        if regressed {
-            regs.push(Regression { metric, old: old_v, new: *new_v });
-        }
-    }
-    (compared, regs)
-}
+// The metric flattener (`extract_metrics`), the direction convention
+// (`higher_is_better`), and the pairwise gate (`regressions`) moved to
+// `charon::sim::report` so the history ledger shares them; the CLI only
+// renders their output.
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -860,7 +757,7 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--heap-factor", "--threads", "--steps", "--json", "--profile-out"],
+                &["--platform", "--heap-factor", "--threads", "--steps", "--top", "--json", "--profile-out"],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -873,8 +770,12 @@ fn main() -> ExitCode {
                 eprintln!("unknown platform {platform}");
                 return usage();
             };
-            let opts =
-                RunOptions { profiler: Profiler::enabled(), census: true, ..flags.run_options(Telemetry::disabled()) };
+            let opts = RunOptions {
+                profiler: Profiler::enabled(),
+                census: true,
+                postmortem: Some(flags.top.unwrap_or(3)),
+                ..flags.run_options(Telemetry::disabled())
+            };
             match run_workload(&spec, sys, &opts) {
                 Ok(r) => {
                     let profile = r.profile.as_ref().expect("profiler was enabled");
@@ -888,6 +789,47 @@ fn main() -> ExitCode {
                         println!("{}", profile.to_json());
                     } else {
                         print!("{profile}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("explain") => {
+            let Some(short) = args.get(1) else { return usage() };
+            let Some(spec) = by_short(short) else {
+                eprintln!("unknown workload {short}");
+                return usage();
+            };
+            let flags = match parse_flags(
+                &args[2..],
+                &["--platform", "--top", "--heap-factor", "--threads", "--steps", "--json"],
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let platform = flags.platform.clone().unwrap_or_else(|| "Charon".into());
+            let Some(sys) = system_by_label(&platform) else {
+                eprintln!("unknown platform {platform}");
+                return usage();
+            };
+            let opts =
+                RunOptions { postmortem: Some(flags.top.unwrap_or(3)), ..flags.run_options(Telemetry::disabled()) };
+            match run_workload(&spec, sys, &opts) {
+                Ok(r) => {
+                    let profile = r.profile.as_ref().expect("postmortem forces profile collection");
+                    if flags.json {
+                        println!("{}", profile.to_json());
+                    } else {
+                        println!("explain: {short} on {platform} — GC {}", r.gc_time);
+                        let pm = profile.postmortem.as_ref().expect("postmortem was enabled");
+                        print!("{pm}");
                     }
                     ExitCode::SUCCESS
                 }
@@ -962,7 +904,7 @@ fn main() -> ExitCode {
         }
         Some("regress") => {
             let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else { return usage() };
-            let flags = match parse_flags(&args[3..], &["--tolerance"]) {
+            let flags = match parse_flags(&args[3..], &["--tolerance", "--metric"]) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("{e}");
@@ -988,6 +930,20 @@ fn main() -> ExitCode {
                 }
             }
             let (compared, regs) = regressions(&reports[0], &reports[1], tolerance);
+            // --metric narrows both the comparison count and the verdict,
+            // so "0 comparable metrics" still errors when the filter
+            // matches nothing.
+            let (compared, regs) = match &flags.metric {
+                None => (compared, regs),
+                Some(f) => {
+                    let news = extract_metrics(&reports[1]);
+                    let compared = extract_metrics(&reports[0])
+                        .iter()
+                        .filter(|(m, _)| m.contains(f.as_str()) && news.iter().any(|(n, _)| n == m))
+                        .count();
+                    (compared, regs.into_iter().filter(|r| r.metric.contains(f.as_str())).collect())
+                }
+            };
             if compared == 0 {
                 eprintln!("no comparable metrics between {old_path} and {new_path}");
                 return ExitCode::FAILURE;
@@ -999,8 +955,152 @@ fn main() -> ExitCode {
                 println!("{compared} metrics within {tolerance}% of {old_path}");
                 ExitCode::SUCCESS
             } else {
+                // Exit 2 distinguishes "the gate tripped" from exit 1's
+                // usage/IO/parse errors, so CI can tell them apart.
                 eprintln!("{} of {compared} metrics regressed beyond {tolerance}%", regs.len());
-                ExitCode::FAILURE
+                ExitCode::from(2)
+            }
+        }
+        Some("trend") => {
+            let read_ledger = |path: &str| -> Result<Ledger, ExitCode> {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                })?;
+                Ledger::parse(&text).map_err(|e| {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                })
+            };
+            match args.get(1).map(String::as_str) {
+                Some("record") => {
+                    let (Some(ledger_path), Some(report_path)) = (args.get(2), args.get(3)) else { return usage() };
+                    let flags = match parse_flags(&args[4..], &["--label"]) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return usage();
+                        }
+                    };
+                    // A missing ledger starts fresh; an unreadable or
+                    // malformed one is an error, never silently replaced.
+                    let mut ledger = if std::path::Path::new(ledger_path).exists() {
+                        match read_ledger(ledger_path) {
+                            Ok(l) => l,
+                            Err(code) => return code,
+                        }
+                    } else {
+                        Ledger::new()
+                    };
+                    let report = match std::fs::read_to_string(report_path) {
+                        Ok(t) => match Json::parse(&t) {
+                            Ok(j) => j,
+                            Err(e) => {
+                                eprintln!("{report_path}: invalid JSON: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("cannot read {report_path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let label = flags.label.clone().unwrap_or_else(|| format!("run-{}", ledger.runs.len()));
+                    let n = ledger.record(label.clone(), &report);
+                    if n == 0 {
+                        eprintln!("{report_path}: no comparable metrics in this report shape");
+                        return ExitCode::FAILURE;
+                    }
+                    if let Err(code) = write_file(ledger_path, &ledger.to_json().to_string()) {
+                        return code;
+                    }
+                    println!("recorded {label}: {n} metrics as run {} in {ledger_path}", ledger.runs.len() - 1);
+                    ExitCode::SUCCESS
+                }
+                Some("report") => {
+                    let Some(ledger_path) = args.get(2) else { return usage() };
+                    let flags = match parse_flags(&args[3..], &["--metric", "--tolerance", "--json", "--out"]) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return usage();
+                        }
+                    };
+                    let ledger = match read_ledger(ledger_path) {
+                        Ok(l) => l,
+                        Err(code) => return code,
+                    };
+                    let tolerance = flags.tolerance.unwrap_or(10.0);
+                    let filter = flags.metric.as_deref();
+                    if let Some(path) = &flags.out {
+                        if let Err(code) = write_file(path, &ledger.trend_json(filter, tolerance).to_string()) {
+                            return code;
+                        }
+                        println!("wrote {path}");
+                    }
+                    if flags.json {
+                        println!("{}", ledger.trend_json(filter, tolerance));
+                    } else {
+                        print!("{}", ledger.trend_report(filter, tolerance));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Some("bisect") => {
+                    let Some(ledger_path) = args.get(2) else { return usage() };
+                    let flags = match parse_flags(&args[3..], &["--metric", "--tolerance", "--json"]) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return usage();
+                        }
+                    };
+                    let ledger = match read_ledger(ledger_path) {
+                        Ok(l) => l,
+                        Err(code) => return code,
+                    };
+                    let tolerance = flags.tolerance.unwrap_or(10.0);
+                    let hits = ledger.bisect_all(flags.metric.as_deref(), tolerance);
+                    if flags.json {
+                        let j = Json::obj(vec![
+                            ("schema", Json::str("charon-bisect-v1")),
+                            ("tolerance_pct", Json::F64(tolerance)),
+                            (
+                                "hits",
+                                Json::Arr(
+                                    hits.iter()
+                                        .map(|h| {
+                                            Json::obj(vec![
+                                                ("metric", Json::str(&h.metric)),
+                                                ("first_bad", Json::U64(h.first_bad as u64)),
+                                                ("label", Json::str(&h.label)),
+                                                ("old", Json::U64(h.old)),
+                                                ("new", Json::U64(h.new)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]);
+                        println!("{j}");
+                    } else {
+                        for h in &hits {
+                            println!(
+                                "FIRST-BAD {}: run {} ({}) {} -> {} (tolerance {tolerance}%)",
+                                h.metric, h.first_bad, h.label, h.old, h.new
+                            );
+                        }
+                    }
+                    if hits.is_empty() {
+                        if !flags.json {
+                            println!("no metric regressed across {} runs in {ledger_path}", ledger.runs.len());
+                        }
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("{} metrics regressed since run 0 of {ledger_path}", hits.len());
+                        ExitCode::from(2)
+                    }
+                }
+                _ => usage(),
             }
         }
         _ => usage(),
@@ -1010,6 +1110,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use charon::sim::report::higher_is_better;
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|a| a.to_string()).collect()
@@ -1172,6 +1273,18 @@ mod tests {
         let new = bench_report(&[("KM", 1_000, 100)]);
         let (compared, regs) = regressions(&old, &new, 10.0);
         assert_eq!((compared, regs.len()), (0, 0));
+    }
+
+    #[test]
+    fn parses_trend_and_explain_flags() {
+        let all = ["--top", "--metric", "--label"];
+        let f = parse_flags(&argv(&["--top", "5", "--metric", "gc_time", "--label", "abc123"]), &all).unwrap();
+        assert_eq!(f.top, Some(5));
+        assert_eq!(f.metric.as_deref(), Some("gc_time"));
+        assert_eq!(f.label.as_deref(), Some("abc123"));
+        assert!(parse_flags(&argv(&["--top", "0"]), &all).is_err());
+        assert!(parse_flags(&argv(&["--top", "65"]), &all).is_err());
+        assert!(parse_flags(&argv(&["--top", "x"]), &all).is_err());
     }
 
     #[test]
