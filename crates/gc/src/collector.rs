@@ -2,14 +2,18 @@
 //! collections, plus the event log every figure is computed from.
 
 use crate::breakdown::Breakdown;
+use crate::concmark::ConcMark;
+use crate::freelist::FreeStore;
+use crate::g1lite::{g1_mixed_collect, G1Stats};
 use crate::major::{major_gc, MajorStats};
+use crate::marksweep::{mark_sweep_old, SweepStats};
 use crate::minor::{minor_gc, MinorStats};
-use crate::system::System;
+use crate::system::{OffloadMask, System};
 use crate::threads::GcThreads;
 use charon_core::packet::InitializeParams;
 use charon_heap::addr::VAddr;
 use charon_heap::heap::JavaHeap;
-use charon_heap::klass::KlassId;
+use charon_heap::klass::{KlassId, KlassKind};
 use charon_heap::object;
 use charon_sim::time::Ps;
 use std::fmt;
@@ -31,6 +35,110 @@ impl fmt::Display for GcKind {
         }
     }
 }
+
+/// Which old-generation collector the Major arm dispatches to. Every
+/// kind keeps the same ParallelScavenge young collection; they differ in
+/// how the old generation is reclaimed — and therefore in which Charon
+/// primitives dominate (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollectorKind {
+    /// ParallelScavenge mark–summarize–adjust–compact ([`crate::major`])
+    /// — the default, and the only kind the committed PS fingerprints
+    /// cover.
+    #[default]
+    Ps,
+    /// Stop-the-world mark-sweep onto the free store
+    /// ([`crate::marksweep`]). Bitmap Count is not applicable (Table 1).
+    Ms,
+    /// Free-list old generation + incremental concurrent marker
+    /// ([`crate::concmark`]): bounded mark steps interleave with
+    /// allocation; the remark's Bitmap Count region sweep dominates the
+    /// offload mix.
+    Cms,
+    /// Garbage-First-style mixed collection ([`crate::g1lite`]), victim
+    /// regions recycled through the free store.
+    G1,
+}
+
+impl CollectorKind {
+    /// Every kind, in flag order.
+    pub const ALL: [CollectorKind; 4] = [CollectorKind::Ps, CollectorKind::Ms, CollectorKind::Cms, CollectorKind::G1];
+
+    /// The CLI spelling (`--collector <flag_name>`).
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            CollectorKind::Ps => "ps",
+            CollectorKind::Ms => "ms",
+            CollectorKind::Cms => "cms",
+            CollectorKind::G1 => "g1",
+        }
+    }
+
+    /// Whether this collector ever issues the *Bitmap Count* primitive.
+    /// Table 1 marks it N/A for the plain mark-sweep: with neither
+    /// compaction nor region liveness there is nothing to count.
+    pub fn bitmap_count_applicable(self) -> bool {
+        !matches!(self, CollectorKind::Ms)
+    }
+
+    /// Validates an explicit offload mask against this collector: a mask
+    /// asserting a primitive the collector never issues would silently
+    /// miscount (the assertion buys nothing and misreports the offload
+    /// mix), so it is rejected with a typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// [`MaskCollectorConflict`] when the mask asserts Bitmap Count for
+    /// a collector whose Table 1 row marks it N/A.
+    pub fn validate_mask(self, mask: OffloadMask) -> Result<(), MaskCollectorConflict> {
+        if mask.bitmap_count && !self.bitmap_count_applicable() {
+            return Err(MaskCollectorConflict { collector: self, primitive: "bitmap-count" });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CollectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.flag_name())
+    }
+}
+
+impl std::str::FromStr for CollectorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CollectorKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "ps" => Ok(CollectorKind::Ps),
+            "ms" | "marksweep" => Ok(CollectorKind::Ms),
+            "cms" => Ok(CollectorKind::Cms),
+            "g1" => Ok(CollectorKind::G1),
+            other => Err(format!("unknown collector '{other}' (expected ps, ms, cms, or g1)")),
+        }
+    }
+}
+
+/// An explicit offload mask asserts a primitive the chosen collector
+/// never issues (its Table 1 row marks the primitive N/A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskCollectorConflict {
+    /// The chosen collector.
+    pub collector: CollectorKind,
+    /// The primitive the mask asserts.
+    pub primitive: &'static str,
+}
+
+impl fmt::Display for MaskCollectorConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offload mask asserts {}, but the {} collector never issues it (Table 1 marks it N/A)",
+            self.primitive, self.collector
+        )
+    }
+}
+
+impl std::error::Error for MaskCollectorConflict {}
 
 /// One completed collection.
 #[derive(Debug, Clone)]
@@ -131,6 +239,17 @@ pub struct Collector {
     /// already has and records their per-pause deltas — read-only, so
     /// simulated timing is bit-identical either way.
     pub postmortem: Option<crate::postmortem::Postmortem>,
+    /// Which old-generation collector the Major arm runs. Under the
+    /// default [`CollectorKind::Ps`] the free store stays empty and the
+    /// concurrent marker never starts — the committed PS fingerprints
+    /// are byte-identical with these fields present.
+    pub kind: CollectorKind,
+    /// Free-list old-generation allocator: sweeps recycle dead ranges
+    /// here, and promotion/large allocation consults it before the bump
+    /// frontier. Empty (every consult a constant-time `None`) under PS.
+    pub free: FreeStore,
+    /// Incremental concurrent marker state ([`CollectorKind::Cms`]).
+    pub concmark: ConcMark,
 }
 
 impl Collector {
@@ -146,7 +265,31 @@ impl Collector {
                 card_table_base: heap.layout().cards.start,
             });
         }
-        Collector { sys, gc_threads, now: Ps::ZERO, events: Vec::new(), census: None, adapt: None, postmortem: None }
+        Collector {
+            sys,
+            gc_threads,
+            now: Ps::ZERO,
+            events: Vec::new(),
+            census: None,
+            adapt: None,
+            postmortem: None,
+            kind: CollectorKind::Ps,
+            free: FreeStore::new(),
+            concmark: ConcMark::new(),
+        }
+    }
+
+    /// The filler klass the non-moving collectors re-header dead ranges
+    /// with — an existing primitive-array klass when the workload
+    /// registered one, else a dedicated `gc-filler` type array.
+    fn ensure_filler(&mut self, heap: &mut JavaHeap) -> KlassId {
+        if let Some(f) = self.free.filler() {
+            return f;
+        }
+        let existing = heap.klasses().iter().find(|k| k.kind() == KlassKind::TypeArray).map(|k| k.id());
+        let id = existing.unwrap_or_else(|| heap.klasses_mut().register_array("gc-filler", KlassKind::TypeArray));
+        self.free.set_filler(id);
+        id
     }
 
     /// Advances the wall clock by mutator (useful-work) time.
@@ -218,14 +361,56 @@ impl Collector {
 
         let (mut breakdown, minor, major) = match kind {
             GcKind::Minor => {
-                let (bd, st) = minor_gc(&mut self.sys, heap, &mut threads);
+                let (bd, st) = minor_gc(&mut self.sys, heap, &mut threads, &mut self.free);
                 (bd, Some(st), None)
             }
-            GcKind::Major => {
-                let (bd, st) = major_gc(&mut self.sys, heap, &mut threads);
-                (bd, None, Some(st))
-            }
+            GcKind::Major => match self.kind {
+                CollectorKind::Ps => {
+                    let (bd, st) = major_gc(&mut self.sys, heap, &mut threads);
+                    (bd, None, Some(st))
+                }
+                CollectorKind::Ms => {
+                    let filler = self.ensure_filler(heap);
+                    let (bd, st, chunks) = mark_sweep_old(&mut self.sys, heap, &mut threads, filler);
+                    self.free.clear();
+                    for (a, w) in chunks {
+                        self.free.recycle(a, w);
+                    }
+                    crate::concmark::rebuild_old_bot(heap);
+                    (bd, None, Some(sweep_to_major(&st)))
+                }
+                CollectorKind::Cms => {
+                    let filler = self.ensure_filler(heap);
+                    let (bd, st) = crate::concmark::cms_old_gc(
+                        &mut self.sys,
+                        heap,
+                        &mut threads,
+                        &mut self.concmark,
+                        &mut self.free,
+                        filler,
+                    );
+                    (bd, None, Some(sweep_to_major(&st)))
+                }
+                CollectorKind::G1 => {
+                    let filler = self.ensure_filler(heap);
+                    let (bd, st, regions) =
+                        g1_mixed_collect(&mut self.sys, heap, &mut threads, filler, &mut self.free);
+                    // Fresh victims join the store; chunks from earlier
+                    // cycles stay (they were excluded from the cset, so
+                    // the collection never re-reported them).
+                    for r in regions {
+                        self.free.recycle(r.start, r.words());
+                    }
+                    crate::concmark::rebuild_old_bot(heap);
+                    (bd, None, Some(g1_to_major(&st)))
+                }
+            },
         };
+        // A completed scavenge re-arms the concurrent marker: at most
+        // one cycle starts per mutator window.
+        if self.kind == CollectorKind::Cms && kind == GcKind::Minor {
+            self.concmark.arm();
+        }
         let end = threads.barrier();
         let wall = end - start;
         let host_active = threads.total_host_active();
@@ -275,10 +460,13 @@ impl Collector {
     /// Returns [`OutOfMemory`] when the allocation cannot be satisfied
     /// after a full collection.
     pub fn alloc(&mut self, heap: &mut JavaHeap, klass: KlassId, array_len: u32) -> Result<VAddr, OutOfMemory> {
+        if self.kind == CollectorKind::Cms {
+            self.cms_tick(heap)?;
+        }
         if let Some(a) = heap.alloc_eden(klass, array_len) {
             return Ok(a);
         }
-        if heap.old().free_bytes() < heap.young_used_bytes() {
+        if heap.old().free_bytes() + self.free.free_bytes() < heap.young_used_bytes() {
             self.try_major_gc(heap)?;
         } else {
             self.minor_gc(heap);
@@ -302,10 +490,51 @@ impl Collector {
     }
 
     fn alloc_in_old(&mut self, heap: &mut JavaHeap, klass: KlassId, array_len: u32, words: u64) -> Option<VAddr> {
-        let a = heap.alloc_old(words)?;
+        // Dead-range allocation first: the free store (empty under PS,
+        // where this consult is a constant-time `None`), then the bump
+        // frontier.
+        let a = match self.free.allocate_old(heap, words) {
+            Some(a) => a,
+            None => heap.alloc_old(words)?,
+        };
         object::init_header(&mut heap.mem, a, klass, array_len);
         heap.mem.fill_words(a.add_words(2), words - 2, 0);
         Some(a)
+    }
+
+    /// The `cms` mutator hook, called on every allocation: fires the
+    /// pending remark, runs one bounded concurrent mark step (charging
+    /// its host time to the wall clock — interleaved with the mutator,
+    /// not a pause), or starts a cycle at the occupancy trigger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OutOfMemory`] from a remark-triggered full GC.
+    fn cms_tick(&mut self, heap: &mut JavaHeap) -> Result<(), OutOfMemory> {
+        if self.concmark.remark_pending {
+            self.try_major_gc(heap)?;
+            return Ok(());
+        }
+        if self.concmark.active {
+            let w = self.concmark.step(heap, crate::concmark::STEP_BUDGET, self.now);
+            if w.scanned > 0 || w.refs > 0 {
+                let instrs = w.scanned * (self.sys.costs.pop + self.sys.costs.walk_per_obj) + w.refs * 8;
+                let end = self.sys.host_op(0, self.now, instrs, &[]);
+                self.concmark.conc_time += end - self.now;
+                self.now = end;
+            }
+            return Ok(());
+        }
+        if self.concmark.armed {
+            let live_est = heap.old().used_bytes().saturating_sub(self.free.free_bytes());
+            if live_est * 100 >= heap.old().capacity_bytes() * crate::concmark::CMS_TRIGGER_PCT {
+                self.ensure_filler(heap);
+                heap.set_concmark_barrier(true);
+                self.free.set_log_births(true);
+                self.concmark.start_cycle(heap, self.now);
+            }
+        }
+        Ok(())
     }
 
     /// Total stop-the-world time so far.
@@ -330,5 +559,33 @@ impl Collector {
             .filter(|e| e.kind == kind)
             .map(|e| e.breakdown)
             .fold(Breakdown::new(), |a, b| a + b)
+    }
+}
+
+/// Maps a sweep outcome into the event stream's [`MajorStats`] shape, so
+/// every downstream consumer (profile, census, postmortem, fingerprints)
+/// reads the non-moving collectors through the schema it already knows:
+/// nothing moves, and the free-chunk count stands in for regions.
+fn sweep_to_major(st: &SweepStats) -> MajorStats {
+    MajorStats {
+        live_bytes: st.old_live_bytes,
+        moved_bytes: 0,
+        marked_objects: st.marked_objects,
+        regions: st.free_chunks,
+        stack_max: 0,
+        cleared_weak_refs: 0,
+    }
+}
+
+/// Maps a G1-lite outcome into [`MajorStats`]: evacuation is movement,
+/// and the heap-region count stands in for compaction regions.
+fn g1_to_major(st: &G1Stats) -> MajorStats {
+    MajorStats {
+        live_bytes: 0,
+        moved_bytes: st.evacuated_bytes,
+        marked_objects: st.marked_objects,
+        regions: st.regions as u64,
+        stack_max: 0,
+        cleared_weak_refs: 0,
     }
 }

@@ -1,0 +1,700 @@
+//! Incremental concurrent marking for the free-list old generation — the
+//! `cms` collector's marking half.
+//!
+//! The Scan&Push drain that [`crate::marksweep`] runs in one
+//! stop-the-world pause is split here into bounded **mark steps**
+//! interleaved with mutator allocation on the simulated clock. The old
+//! generation is divided into fixed-size zones, each owning its own
+//! pending-object stack (VGC-style), so steps are independent of each
+//! other: a step drains a bounded number of objects from one zone and
+//! routes newly-marked targets to their owners' stacks.
+//!
+//! Correctness is incremental-update style:
+//!
+//! * while a cycle is active the heap's write barrier dirties the card of
+//!   **every** old-generation reference store
+//!   ([`charon_heap::heap::JavaHeap::set_concmark_barrier`]), and MinorGC
+//!   leaves dirty cards in place instead of cleaning them;
+//! * objects allocated in Old mid-cycle are allocate-black: bump
+//!   allocations sit above the cycle's watermark, free-list allocations
+//!   are recorded in the [`crate::freelist::FreeStore`] birth log;
+//! * a final stop-the-world **remark** ([`cms_old_gc`]) drains the zone
+//!   backlog, rescans roots, marks the watermark/birth survivors, rescans
+//!   dirty old cards, and completes the closure — then counts region
+//!   liveness with *Bitmap Count* (the phase Table 3's PS runs never let
+//!   dominate) and sweeps dead ranges into the free store.
+//!
+//! Weak references are treated as strong, matching [`crate::marksweep`].
+
+use crate::breakdown::{Breakdown, Bucket};
+use crate::freelist::FreeStore;
+use crate::marksweep::SweepStats;
+use crate::system::{Backend, System};
+use crate::threads::GcThreads;
+use charon_core::device::{ScanAction, ScanRef};
+use charon_heap::addr::VAddr;
+use charon_heap::heap::JavaHeap;
+use charon_heap::klass::KlassId;
+use charon_heap::markbitmap::{live_words_fast, mark_object};
+use charon_heap::object::{self, MarkState};
+use charon_heap::objstack::ObjStack;
+use charon_sim::cache::AccessKind;
+use charon_sim::time::Ps;
+
+/// Old-generation words per concurrent-mark zone (64 KB zones at the
+/// scaled heap sizes — the granularity of step independence).
+pub const CONC_ZONE_WORDS: u64 = 8192;
+
+/// Objects drained per concurrent mark step.
+pub const STEP_BUDGET: usize = 64;
+
+/// Start a cycle when estimated old-generation live bytes reach this
+/// percentage of capacity (CMS's `InitiatingOccupancyFraction`).
+pub const CMS_TRIGGER_PCT: u64 = 50;
+
+/// One entry in the concurrent-cycle log, rendered by
+/// [`crate::gclog::concmark_line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcEvent {
+    /// A cycle started: the barrier armed and roots seeded.
+    Start {
+        /// Simulated time of the trigger.
+        at: Ps,
+        /// Old objects seeded from the roots.
+        seeded: u64,
+        /// Zones the old generation was divided into.
+        zones: usize,
+    },
+    /// One bounded mark step ran between allocations.
+    Step {
+        /// Simulated time of the step.
+        at: Ps,
+        /// The zone drained.
+        zone: usize,
+        /// Objects scanned (≤ [`STEP_BUDGET`]).
+        scanned: u64,
+    },
+    /// The stop-the-world remark closed the cycle.
+    Remark {
+        /// Simulated start of the remark pause.
+        at: Ps,
+        /// Total objects marked by the whole cycle.
+        marked: u64,
+    },
+}
+
+/// Work one [`ConcMark::step`] performed, for the caller's time charge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepWork {
+    /// The zone drained.
+    pub zone: usize,
+    /// Objects popped and scanned.
+    pub scanned: u64,
+    /// Reference slots examined.
+    pub refs: u64,
+}
+
+/// State of the incremental marker across a cycle.
+#[derive(Debug, Clone)]
+pub struct ConcMark {
+    /// A cycle is in flight: the barrier is armed, zones hold work.
+    pub active: bool,
+    /// Every zone stack drained; the next allocation triggers the
+    /// stop-the-world remark.
+    pub remark_pending: bool,
+    /// A new cycle may start at the next occupancy trigger (re-armed
+    /// after each MinorGC).
+    pub armed: bool,
+    /// Per-zone pending-object stacks. Plain vectors (not simulated-heap
+    /// [`ObjStack`]s) are sound because the old generation never moves
+    /// under this collector.
+    zones: Vec<Vec<VAddr>>,
+    old_start: VAddr,
+    /// Old-generation top at cycle start: bump allocations at or above
+    /// it were born during the cycle and are marked live at remark.
+    pub watermark: VAddr,
+    cursor: usize,
+    /// Cycles started so far.
+    pub cycles_started: u64,
+    /// Concurrent steps taken so far.
+    pub steps: u64,
+    /// Objects marked by concurrent steps of the current cycle.
+    pub marked_concurrent: u64,
+    /// Simulated time spent in concurrent steps (mutator-interleaved,
+    /// not pause time).
+    pub conc_time: Ps,
+    /// The cycle log.
+    pub events: Vec<ConcEvent>,
+}
+
+impl Default for ConcMark {
+    fn default() -> ConcMark {
+        ConcMark::new()
+    }
+}
+
+fn offloaded(sys: &System, hw: bool) -> bool {
+    match sys.backend {
+        Backend::Host => false,
+        Backend::Charon | Backend::CpuSideCharon => hw,
+        Backend::Ideal => true,
+    }
+}
+
+/// Marks one object: header state, plus begin/end bitmap bits when it
+/// lives in Old (the remark's Bitmap Count pass only reads the old
+/// generation's span, and young headers are wiped wholesale afterwards).
+fn mark_one(heap: &mut JavaHeap, obj: VAddr) {
+    object::set_marked(&mut heap.mem, obj);
+    if heap.in_old(obj) {
+        let size = heap.obj_size_words(obj);
+        let (beg, end) = (*heap.beg_map(), *heap.end_map());
+        mark_object(&mut heap.mem, &beg, &end, obj, size);
+    }
+}
+
+impl ConcMark {
+    /// A marker with no cycle in flight.
+    pub fn new() -> ConcMark {
+        ConcMark {
+            active: false,
+            remark_pending: false,
+            armed: true,
+            zones: Vec::new(),
+            old_start: VAddr::NULL,
+            watermark: VAddr::NULL,
+            cursor: 0,
+            cycles_started: 0,
+            steps: 0,
+            marked_concurrent: 0,
+            conc_time: Ps::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// Permits the next occupancy check to start a cycle (called after
+    /// each MinorGC, so at most one cycle starts per mutator window).
+    pub fn arm(&mut self) {
+        if !self.active && !self.remark_pending {
+            self.armed = true;
+        }
+    }
+
+    /// The zone owning old address `a`.
+    fn zone_of(&self, a: VAddr) -> usize {
+        (((a - self.old_start) / 8 / CONC_ZONE_WORDS) as usize).min(self.zones.len() - 1)
+    }
+
+    /// Begins a cycle at simulated time `now`: divides Old into zones,
+    /// records the allocation watermark, and seeds the zone stacks with
+    /// unmarked old objects the roots reference. The caller arms the
+    /// heap's write barrier and the free store's birth log first. An
+    /// empty seed closes the cycle immediately (`remark_pending`).
+    pub fn start_cycle(&mut self, heap: &mut JavaHeap, now: Ps) {
+        debug_assert!(!self.active, "cycle already in flight");
+        let old_words = (heap.old().end() - heap.old().start()) / 8;
+        let zone_count = (old_words.div_ceil(CONC_ZONE_WORDS)).max(1) as usize;
+        self.zones = vec![Vec::new(); zone_count];
+        self.old_start = heap.old().start();
+        self.watermark = heap.old().top();
+        self.cursor = 0;
+        self.marked_concurrent = 0;
+        self.active = true;
+        self.armed = false;
+        self.cycles_started += 1;
+
+        let mut seeded = 0u64;
+        for idx in 0..heap.root_count() {
+            let r = heap.read_root(idx);
+            if !r.is_null() && heap.in_old(r) && object::mark_state(&heap.mem, r) != MarkState::Marked {
+                mark_one(heap, r);
+                let z = self.zone_of(r);
+                self.zones[z].push(r);
+                seeded += 1;
+            }
+        }
+        self.marked_concurrent = seeded;
+        if seeded == 0 {
+            self.remark_pending = true;
+        }
+        self.events.push(ConcEvent::Start { at: now, seeded, zones: zone_count });
+    }
+
+    /// One bounded mark step: drains up to `budget` objects from the
+    /// next non-empty zone (round-robin), marking and routing unmarked
+    /// old targets to their owners' zones. Young targets are skipped —
+    /// the remark re-traverses the young generation. Sets
+    /// `remark_pending` when every zone is dry.
+    pub fn step(&mut self, heap: &mut JavaHeap, budget: usize, now: Ps) -> StepWork {
+        debug_assert!(self.active, "no cycle in flight");
+        let n = self.zones.len();
+        let Some(z) = (0..n).map(|i| (self.cursor + i) % n).find(|&i| !self.zones[i].is_empty()) else {
+            self.remark_pending = true;
+            return StepWork::default();
+        };
+        let mut work = StepWork { zone: z, ..StepWork::default() };
+        for _ in 0..budget {
+            let Some(obj) = self.zones[z].pop() else { break };
+            work.scanned += 1;
+            for slot in heap.ref_slots(obj) {
+                work.refs += 1;
+                let v = heap.read_ref(slot);
+                if !v.is_null() && heap.in_old(v) && object::mark_state(&heap.mem, v) != MarkState::Marked {
+                    mark_one(heap, v);
+                    self.marked_concurrent += 1;
+                    let zv = self.zone_of(v);
+                    self.zones[zv].push(v);
+                }
+            }
+        }
+        self.cursor = (z + 1) % n;
+        self.steps += 1;
+        if self.zones.iter().all(Vec::is_empty) {
+            self.remark_pending = true;
+        }
+        self.events.push(ConcEvent::Step { at: now, zone: z, scanned: work.scanned });
+        work
+    }
+
+    /// Drains every zone stack for the remark (the objects are already
+    /// marked; their fields still need scanning).
+    fn take_backlog(&mut self) -> Vec<VAddr> {
+        let mut out = Vec::new();
+        for z in &mut self.zones {
+            out.append(z);
+        }
+        out
+    }
+
+    /// Closes the cycle's book-keeping (the remark's last act).
+    fn finish(&mut self) {
+        self.active = false;
+        self.remark_pending = false;
+        self.zones.clear();
+        self.cursor = 0;
+        self.marked_concurrent = 0;
+    }
+}
+
+/// Rebuilds the block-offset table from a linear walk of the old
+/// generation — required after any sweep that installs filler headers,
+/// or stale BOT entries would point card walks into dead interiors.
+/// Returns the number of objects walked.
+pub(crate) fn rebuild_old_bot(heap: &mut JavaHeap) -> u64 {
+    let objs: Vec<(VAddr, u64)> = heap.walk_objects_sized(heap.old().start(), heap.old().top()).collect();
+    heap.bot_clear();
+    let n = objs.len() as u64;
+    for (obj, words) in objs {
+        heap.bot_update(obj, words);
+    }
+    n
+}
+
+/// The `cms` old-generation collection: stop-the-world remark (or, when
+/// no cycle is in flight, a full STW mark), *Bitmap Count* region
+/// liveness over Old, and a sweep that recycles dead ranges into the
+/// free store. Disarms the write barrier and birth log on the way out.
+///
+/// # Panics
+///
+/// Panics if `filler_klass` is not a type-array klass.
+#[allow(clippy::too_many_lines)]
+pub fn cms_old_gc(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    cm: &mut ConcMark,
+    free: &mut FreeStore,
+    filler_klass: KlassId,
+) -> (Breakdown, SweepStats) {
+    assert!(
+        heap.klasses().get(filler_klass).kind() == charon_heap::klass::KlassKind::TypeArray,
+        "filler must be a primitive array klass"
+    );
+    let mut bd = Breakdown::new();
+    let mut st = SweepStats::default();
+    let cores = sys.host.cores();
+    let mut stack = ObjStack::new(heap.layout().major_stack);
+    let cycle_was_active = cm.active;
+    let remark_at = threads.clock(0);
+    st.marked_objects = cm.marked_concurrent;
+
+    // Prologue.
+    {
+        let now = threads.clock(0);
+        let end = sys.gc_prologue(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+
+    // Remark seed 1: the concurrent backlog — already marked, fields
+    // still unscanned.
+    for obj in cm.take_backlog() {
+        push_obj(sys, threads, &mut bd, &mut stack, obj, cores);
+    }
+
+    // Remark seed 2: roots (young and old — the remark traverses the
+    // young generation in full, which is why young-slot stores need no
+    // barrier).
+    for idx in 0..heap.root_count() {
+        let slot = heap.root_slot_addr(idx);
+        let r = heap.read_ref(slot);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.root_per_slot, &[(slot, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+        if !r.is_null() && object::mark_state(&heap.mem, r) != MarkState::Marked {
+            mark_one(heap, r);
+            st.marked_objects += 1;
+            push_obj(sys, threads, &mut bd, &mut stack, r, cores);
+        }
+    }
+
+    if cycle_was_active {
+        // Remark seed 3: allocate-black survivors — free-list births and
+        // everything bump-allocated above the watermark since the cycle
+        // started. Marked AND pushed, so their successors get traced.
+        for b in free.take_births() {
+            if object::mark_state(&heap.mem, b) != MarkState::Marked {
+                mark_one(heap, b);
+                st.marked_objects += 1;
+                push_obj(sys, threads, &mut bd, &mut stack, b, cores);
+            }
+        }
+        let born: Vec<VAddr> = heap.walk_objects(cm.watermark, heap.old().top()).collect();
+        for obj in born {
+            let t = threads.least_loaded();
+            let now = threads.clock(t);
+            let end = sys.host_op(t % cores, now, sys.costs.walk_per_obj, &[(obj, AccessKind::Read)]);
+            bd.record(Bucket::Other, end - now);
+            threads.advance(t, end, true);
+            if object::mark_state(&heap.mem, obj) != MarkState::Marked {
+                mark_one(heap, obj);
+                st.marked_objects += 1;
+                push_obj(sys, threads, &mut bd, &mut stack, obj, cores);
+            }
+        }
+
+        // Remark seed 4: dirty-card rescan — every old slot the mutator
+        // stored during the cycle sits on a dirty card (the widened
+        // barrier); unmarked targets, young or old, are marked and
+        // pushed. Cards are NOT cleaned: the old-to-young ones among
+        // them still belong to the next scavenge.
+        let table = heap.cards().table_range();
+        let old_top_card = if heap.old().used_bytes() == 0 {
+            table.start
+        } else {
+            heap.cards().card_addr(VAddr(heap.old().top().0 - 1)).add_bytes(1)
+        };
+        let mut pos = table.start;
+        while pos < old_top_card {
+            let (hit, scanned) = heap.cards().search_dirty_block(&heap.mem, pos, old_top_card);
+            let t = threads.least_loaded();
+            let now = threads.clock(t);
+            let end = sys.prim_search(t % cores, now, pos, scanned * 8);
+            bd.record(Bucket::Search, end - now);
+            threads.advance(t, end, !offloaded(sys, true));
+
+            let Some(block) = hit else { break };
+            for card in heap.cards().dirty_cards_in_block(&heap.mem, block) {
+                rescan_card(sys, heap, threads, &mut bd, &mut st, &mut stack, card, cores);
+            }
+            pos = block.add_bytes(8);
+        }
+    }
+
+    // Drain: complete the transitive closure. Descent skips already-
+    // marked objects — the concurrent phase traced their old successors,
+    // and the card rescan covered mid-cycle mutations.
+    while let Some((obj, slot_addr)) = stack.pop() {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.pop, &[(slot_addr, AccessKind::Read), (obj, AccessKind::Read)]);
+        bd.record(Bucket::Pop, end - now);
+        threads.advance(t, end, true);
+
+        let kind = heap.obj_klass(obj).kind();
+        let slots = heap.ref_slots(obj);
+        if slots.is_empty() {
+            continue;
+        }
+        let mut refs = Vec::new();
+        for s in &slots {
+            let v = heap.read_ref(*s);
+            if v.is_null() {
+                continue;
+            }
+            if object::mark_state(&heap.mem, v) == MarkState::Marked {
+                refs.push(ScanRef { referent: v, action: ScanAction::None });
+            } else {
+                mark_one(heap, v);
+                st.marked_objects += 1;
+                let pushed = stack.push(v);
+                refs.push(ScanRef { referent: v, action: ScanAction::Push { stack_slot: pushed } });
+            }
+        }
+        let hw = kind.charon_supported();
+        let now = threads.clock(t);
+        let end = sys.prim_scan_push(t % cores, now, slots[0], slots.len() as u64 * 8, &refs, hw);
+        bd.record(Bucket::ScanPush, end - now);
+        threads.advance(t, end, !offloaded(sys, hw));
+    }
+    threads.barrier();
+    {
+        let now = threads.clock(0);
+        let end = sys.flush_bitmap_cache(now);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(0, end, false);
+        threads.barrier();
+    }
+    cm.events.push(ConcEvent::Remark { at: remark_at, marked: st.marked_objects });
+
+    // Region liveness via Bitmap Count over the old generation — with no
+    // compaction there is no Copy and no per-reference adjust, so this
+    // is the offload mix's dominant primitive (the regime Table 3's PS
+    // runs never reach).
+    let old_used = heap.old().used_region();
+    let mut live_words_total = 0u64;
+    let mut carry = false;
+    let mut at = old_used.start;
+    while at < old_used.end {
+        let r_end = at.add_words(crate::major::REGION_WORDS).min(old_used.end);
+        let (live, c, map_words) = live_words_fast(&heap.mem, heap.beg_map(), heap.end_map(), at, r_end, carry);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let span_bytes = (map_words / 2).max(1) * 8;
+        let spans = [(heap.beg_map().map_word_addr(at), span_bytes), (heap.end_map().map_word_addr(at), span_bytes)];
+        let end = sys.prim_bitmap_count(t % cores, now, &spans);
+        bd.record(Bucket::BitmapCount, end - now);
+        threads.advance(t, end, !offloaded(sys, true));
+        live_words_total += live;
+        carry = c;
+        at = r_end;
+    }
+    threads.barrier();
+
+    // Sweep: linear old walk, dead runs become filler + free-store
+    // chunks. The store is rebuilt from scratch — stale entries from the
+    // previous sweep would double-book ranges the new chunks cover.
+    free.clear();
+    let top = heap.old().top();
+    let mut at = heap.old().start();
+    let mut run_start: Option<VAddr> = None;
+    while at < top {
+        let size = heap.obj_size_words(at);
+        let marked = object::mark_state(&heap.mem, at) == MarkState::Marked;
+
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.walk_per_obj, &[(at, AccessKind::Read)]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+
+        if marked {
+            if let Some(rs) = run_start.take() {
+                emit_chunk(sys, heap, threads, &mut bd, &mut st, free, rs, at, filler_klass, cores);
+            }
+            object::clear_mark(&mut heap.mem, at);
+            st.old_live_bytes += size * 8;
+        } else if run_start.is_none() {
+            run_start = Some(at);
+        }
+        at = at.add_words(size);
+    }
+    if let Some(rs) = run_start {
+        emit_chunk(sys, heap, threads, &mut bd, &mut st, free, rs, top, filler_klass, cores);
+    }
+    debug_assert_eq!(
+        live_words_total * 8,
+        st.old_live_bytes,
+        "Bitmap Count region liveness disagrees with the sweep's header walk"
+    );
+
+    // Clear the young generation's header marks (the remark marked young
+    // objects it traversed; the bitmaps never held young bits).
+    for space in [heap.eden().used_region(), heap.from_space().used_region()] {
+        let mut a = space.start;
+        while a < space.end {
+            let size = heap.obj_size_words(a);
+            if object::mark_state(&heap.mem, a) == MarkState::Marked {
+                object::clear_mark(&mut heap.mem, a);
+            }
+            a = a.add_words(size);
+        }
+    }
+
+    // Drop the bitmaps (only old-generation bits were ever set) and
+    // rebuild the BOT over the swept layout — filler headers moved the
+    // object starts the card walks depend on.
+    let bm = *heap.beg_map();
+    bm.clear_all(&mut heap.mem);
+    let em = *heap.end_map();
+    em.clear_all(&mut heap.mem);
+    {
+        let walked = rebuild_old_bot(heap);
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, walked * 2, &[]);
+        bd.record(Bucket::Other, end - now);
+        threads.advance(t, end, true);
+    }
+
+    // The cycle is closed: disarm the barrier and the birth log.
+    heap.set_concmark_barrier(false);
+    free.set_log_births(false);
+    cm.finish();
+    threads.barrier();
+    (bd, st)
+}
+
+/// Pushes an already-marked object onto the remark stack, charging the
+/// push cost.
+fn push_obj(
+    sys: &mut System,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    stack: &mut ObjStack,
+    obj: VAddr,
+    cores: usize,
+) {
+    let t = threads.least_loaded();
+    let now = threads.clock(t);
+    let s = stack.push(obj);
+    let end = sys.host_op(t % cores, now, sys.costs.push, &[(s, AccessKind::Write)]);
+    bd.record(Bucket::Push, end - now);
+    threads.advance(t, end, true);
+}
+
+/// Rescans one dirty old card at remark: walks the objects overlapping
+/// it and marks + pushes every unmarked target its in-card slots hold.
+/// The card itself is left dirty.
+#[allow(clippy::too_many_arguments)]
+fn rescan_card(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut SweepStats,
+    stack: &mut ObjStack,
+    card: VAddr,
+    cores: usize,
+) {
+    let region = heap.cards().card_region(card);
+    let Some(first) = heap.first_obj_for_card(card) else { return };
+    let top = heap.old().top();
+    let mut obj = first;
+    while obj < region.end && obj < top {
+        let t = threads.least_loaded();
+        let now = threads.clock(t);
+        let end = sys.host_op(t % cores, now, sys.costs.card_walk_per_obj, &[(obj, AccessKind::Read)]);
+        bd.record(Bucket::Search, end - now);
+        threads.advance(t, end, true);
+
+        let size = heap.obj_size_words(obj);
+        for slot in heap.ref_slots(obj) {
+            if slot < region.start || slot >= region.end {
+                continue;
+            }
+            let v = heap.read_ref(slot);
+            if !v.is_null() && object::mark_state(&heap.mem, v) != MarkState::Marked {
+                mark_one(heap, v);
+                st.marked_objects += 1;
+                push_obj(sys, threads, bd, stack, v, cores);
+            }
+        }
+        obj = obj.add_words(size);
+    }
+}
+
+/// Installs a filler over a dead run and recycles it into the free
+/// store.
+#[allow(clippy::too_many_arguments)]
+fn emit_chunk(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    bd: &mut Breakdown,
+    st: &mut SweepStats,
+    free: &mut FreeStore,
+    start: VAddr,
+    end: VAddr,
+    filler_klass: KlassId,
+    cores: usize,
+) {
+    let words = end.words_since(start);
+    debug_assert!(words >= 2, "free chunks are at least a header");
+    object::init_header(&mut heap.mem, start, filler_klass, (words - 2) as u32);
+    free.recycle(start, words);
+    st.freed_bytes += words * 8;
+    st.free_chunks += 1;
+
+    let t = threads.least_loaded();
+    let now = threads.clock(t);
+    let e = sys.host_op(t % cores, now, 20, &[(start, AccessKind::Write)]);
+    bd.record(Bucket::Other, e - now);
+    threads.advance(t, e, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charon_heap::heap::{HeapConfig, JavaHeap};
+    use charon_heap::klass::KlassKind;
+
+    fn heap_with_old_chain(n: usize) -> (JavaHeap, Vec<VAddr>) {
+        let mut h = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+        let node = h.klasses_mut().register("Node", KlassKind::Instance, 4, vec![0]);
+        let words = h.klasses().get(node).size_words(0);
+        let mut objs = Vec::new();
+        for _ in 0..n {
+            let o = h.alloc_old(words).unwrap();
+            object::init_header(&mut h.mem, o, node, 0);
+            objs.push(o);
+        }
+        for w in objs.windows(2) {
+            h.write_ref(w[0].add_words(2), w[1]);
+        }
+        h.add_root(objs[0]);
+        (h, objs)
+    }
+
+    #[test]
+    fn cycle_marks_transitively_in_bounded_steps() {
+        let (mut h, objs) = heap_with_old_chain(10);
+        let mut cm = ConcMark::new();
+        cm.start_cycle(&mut h, Ps::ZERO);
+        assert!(cm.active);
+        assert!(!cm.remark_pending, "the chain head was seeded");
+        let mut guard = 0;
+        while !cm.remark_pending {
+            cm.step(&mut h, 2, Ps::ZERO);
+            guard += 1;
+            assert!(guard < 100, "cycle failed to converge");
+        }
+        for &o in &objs {
+            assert_eq!(object::mark_state(&h.mem, o), MarkState::Marked, "{o} missed");
+        }
+        assert_eq!(cm.marked_concurrent, objs.len() as u64);
+    }
+
+    #[test]
+    fn empty_seed_goes_straight_to_remark() {
+        let mut h = JavaHeap::new(HeapConfig::with_heap_bytes(4 << 20));
+        let mut cm = ConcMark::new();
+        cm.start_cycle(&mut h, Ps::ZERO);
+        assert!(cm.active);
+        assert!(cm.remark_pending, "nothing to mark concurrently");
+        assert!(matches!(cm.events[0], ConcEvent::Start { seeded: 0, .. }));
+    }
+
+    #[test]
+    fn arm_is_refused_mid_cycle() {
+        let (mut h, _) = heap_with_old_chain(3);
+        let mut cm = ConcMark::new();
+        cm.start_cycle(&mut h, Ps::ZERO);
+        cm.arm();
+        assert!(!cm.armed, "a cycle in flight blocks re-arming");
+    }
+}

@@ -24,6 +24,7 @@
 //! ✓✓/✓✓/✓ applicability row the paper claims for G1.
 
 use crate::breakdown::{Breakdown, Bucket};
+use crate::freelist::FreeStore;
 use crate::major::{mark_phase, MajorStats};
 use crate::system::{Backend, System};
 use crate::threads::GcThreads;
@@ -73,16 +74,23 @@ fn offloaded(sys: &System, hw: bool) -> bool {
 /// `filler_klass` must be a primitive-array klass (used to keep reclaimed
 /// regions parsable). Returns the free-region list.
 ///
+/// `free` is the region-allocator stand-in: chunks it holds are the
+/// regions previous cycles reclaimed (a real G1's free-region list), so
+/// they are excluded from the collection set and preferred as evacuation
+/// targets over the bump frontier. An empty store degenerates to the
+/// frontier-only behavior.
+///
 /// # Panics
 ///
-/// Panics if `filler_klass` is not a type-array klass, or if the old
-/// generation cannot absorb the evacuated survivors (a full G1 would
-/// trigger a fallback full collection).
+/// Panics if `filler_klass` is not a type-array klass, or if neither the
+/// free store nor the old frontier can absorb the evacuated survivors (a
+/// full G1 would trigger a fallback full collection).
 pub fn g1_mixed_collect(
     sys: &mut System,
     heap: &mut JavaHeap,
     threads: &mut GcThreads,
     filler_klass: KlassId,
+    free: &mut FreeStore,
 ) -> (Breakdown, G1Stats, Vec<VRange>) {
     assert!(
         heap.klasses().get(filler_klass).kind() == charon_heap::klass::KlassKind::TypeArray,
@@ -172,10 +180,19 @@ pub fn g1_mixed_collect(
         let end = VAddr(boundaries[hi - 1]);
         (end > start && end - start >= r.bytes() / 2).then(|| VRange::new(start, end))
     };
+    // Regions overlapping a free-store chunk are the free-region list of
+    // previous cycles — a real G1 never puts free regions in the cset
+    // (they are evacuation *targets*), and condemning one here would let
+    // the reclaim pass overwrite survivors evacuated into it.
+    let chunk_free = |r: VRange| {
+        free.queues()
+            .iter()
+            .any(|q| q.chunks.iter().any(|&a| a < r.end && a.add_words(q.size_words) > r.start))
+    };
     let mut cset: Vec<VRange> = Vec::new();
     for &(r, live) in &regions {
         let frac = live as f64 / r.words() as f64;
-        if frac >= LIVE_THRESHOLD {
+        if frac >= LIVE_THRESHOLD || chunk_free(r) {
             continue;
         }
         if let Some(v) = shrink(r) {
@@ -191,8 +208,9 @@ pub fn g1_mixed_collect(
         let mut at = r.start;
         while let Some(obj) = heap.beg_map().find_next_set(&heap.mem, at, r.end) {
             let size = heap.obj_size_words(obj);
-            let dest = heap
-                .alloc_old(size)
+            let dest = free
+                .allocate_old(heap, size)
+                .or_else(|| heap.alloc_old(size))
                 .expect("evacuation failure: old generation full (full G1 would fall back to a full GC)");
             heap.copy_object_words(obj, dest, size);
             object::clear_mark(&mut heap.mem, dest);

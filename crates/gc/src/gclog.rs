@@ -10,6 +10,8 @@
 //! ```
 
 use crate::collector::{GcEvent, GcKind};
+use crate::concmark::ConcEvent;
+use crate::freelist::Occupancy;
 use charon_core::device::{UnitClassStats, UNIT_CLASS_NAMES};
 use charon_heap::heap::JavaHeap;
 use charon_sim::hist::Histogram;
@@ -161,6 +163,84 @@ pub fn render_run_with_units(
     lines.join("\n")
 }
 
+/// Renders one concurrent-marking event in the `[offload …]` suffix
+/// style (without the time prefix — [`render_run_cms`] adds it):
+///
+/// ```text
+/// [concmark start zones=4 seeded=12]
+/// [concmark step zone=2 scanned=64]
+/// [concmark remark marked=1034]
+/// ```
+pub fn concmark_line(event: &ConcEvent) -> String {
+    match *event {
+        ConcEvent::Start { seeded, zones, .. } => format!("[concmark start zones={zones} seeded={seeded}]"),
+        ConcEvent::Step { zone, scanned, .. } => format!("[concmark step zone={zone} scanned={scanned}]"),
+        ConcEvent::Remark { marked, .. } => format!("[concmark remark marked={marked}]"),
+    }
+}
+
+/// The simulated time a concurrent-marking event happened at — the sort
+/// key [`render_run_cms`] merges on.
+fn concmark_at(event: &ConcEvent) -> Ps {
+    match *event {
+        ConcEvent::Start { at, .. } | ConcEvent::Step { at, .. } | ConcEvent::Remark { at, .. } => at,
+    }
+}
+
+/// End-of-run free-list occupancy, in the `[units …]` suffix style:
+///
+/// ```text
+/// [freelist queues=3 chunks=17 free=42K largest=9K]
+/// ```
+///
+/// `[freelist empty]` when the store holds nothing — the PS collector's
+/// permanent state, and a cms run's state right after a clean sweep into
+/// an exhausted heap.
+pub fn freelist_summary(occ: Occupancy) -> String {
+    if occ.chunks == 0 {
+        return "[freelist empty]".to_string();
+    }
+    format!(
+        "[freelist queues={} chunks={} free={}K largest={}K]",
+        occ.queues,
+        occ.chunks,
+        occ.free_words * 8 / 1024,
+        occ.largest_hole_words * 8 / 1024
+    )
+}
+
+/// [`render_run_with_units`] for a concurrent-marking run: the
+/// `[concmark …]` lines are merged into the GC event lines in simulated
+/// time order (ties put the concurrent line first — a step that lands on
+/// a pause boundary happened before the world stopped), and the
+/// free-list occupancy line lands at the very end, after `[pauses …]`
+/// and `[units …]`.
+pub fn render_run_cms(
+    events: &[GcEvent],
+    snaps: &[HeapSnapshot],
+    conc: &[ConcEvent],
+    units: Option<&[UnitClassStats; 3]>,
+    gc_time: Ps,
+    occupancy: Occupancy,
+) -> String {
+    assert_eq!(events.len(), snaps.len(), "one snapshot per event");
+    let mut timed: Vec<(Ps, u8, String)> = events
+        .iter()
+        .zip(snaps)
+        .map(|(e, &s)| (e.start, 1, render(e, s)))
+        .chain(conc.iter().map(|c| (concmark_at(c), 0, concmark_line(c))))
+        .collect();
+    timed.sort_by_key(|&(at, tie, _)| (at, tie));
+    let mut lines: Vec<String> =
+        timed.into_iter().map(|(at, _, body)| format!("{:>12}: {}", format!("{at}"), body)).collect();
+    lines.push(pause_summary(events));
+    if let Some(units) = units {
+        lines.push(unit_summary(units, gc_time));
+    }
+    lines.push(freelist_summary(occupancy));
+    lines.join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +344,57 @@ mod tests {
         assert!(r.contains("[pauses MinorGC"), "{r}");
         // The units-free path is unchanged.
         assert!(!render_run(&[event(GcKind::Minor, 5.0)], &snaps).contains("[units"), "no device, no line");
+    }
+
+    #[test]
+    fn concmark_lines_render_each_event_shape() {
+        assert_eq!(
+            concmark_line(&ConcEvent::Start { at: Ps::from_us(1.0), seeded: 12, zones: 4 }),
+            "[concmark start zones=4 seeded=12]"
+        );
+        assert_eq!(
+            concmark_line(&ConcEvent::Step { at: Ps::from_us(2.0), zone: 2, scanned: 64 }),
+            "[concmark step zone=2 scanned=64]"
+        );
+        assert_eq!(
+            concmark_line(&ConcEvent::Remark { at: Ps::from_us(3.0), marked: 1034 }),
+            "[concmark remark marked=1034]"
+        );
+    }
+
+    #[test]
+    fn freelist_summary_reports_kilobytes_or_empty() {
+        let occ = Occupancy { queues: 3, chunks: 17, free_words: 42 * 128, largest_hole_words: 9 * 128 };
+        assert_eq!(freelist_summary(occ), "[freelist queues=3 chunks=17 free=42K largest=9K]");
+        assert_eq!(freelist_summary(Occupancy::default()), "[freelist empty]");
+    }
+
+    #[test]
+    fn cms_run_merges_concmark_lines_in_time_order() {
+        // Events at 10us (Minor) and a concmark step before, at, and
+        // after it — the merged log must interleave by simulated time,
+        // with the concurrent line winning ties.
+        let snaps = [HeapSnapshot { used_before: 100 << 10, used_after: 10 << 10, capacity: 1 << 20 }];
+        let events = [event(GcKind::Minor, 5.0)];
+        let conc = [
+            ConcEvent::Start { at: Ps::from_us(4.0), seeded: 2, zones: 1 },
+            ConcEvent::Step { at: Ps::from_us(10.0), zone: 0, scanned: 7 },
+            ConcEvent::Remark { at: Ps::from_us(20.0), marked: 9 },
+        ];
+        let occ = Occupancy { queues: 1, chunks: 2, free_words: 256, largest_hole_words: 128 };
+        let s = render_run_cms(&events, &snaps, &conc, None, Ps::ZERO, occ);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6, "4 timed lines + pauses + freelist: {s}");
+        assert!(lines[0].contains("[concmark start"), "{s}");
+        assert!(lines[1].contains("[concmark step"), "tie at 10us puts the step before the pause: {s}");
+        assert!(lines[2].contains("[GC (Allocation Failure)"), "{s}");
+        assert!(lines[3].contains("[concmark remark"), "{s}");
+        assert!(lines[4].contains("[pauses MinorGC"), "{s}");
+        assert_eq!(lines[5], "[freelist queues=1 chunks=2 free=2K largest=1K]");
+        // Without concurrent events the shape degenerates to the
+        // existing rendering plus the trailing freelist line.
+        let plain = render_run_cms(&events, &snaps, &[], None, Ps::ZERO, Occupancy::default());
+        assert_eq!(plain.lines().last().unwrap(), "[freelist empty]");
     }
 
     #[test]

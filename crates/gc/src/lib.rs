@@ -25,10 +25,17 @@
 //! * [`major`] — the MajorGC mark–summarize–adjust–compact (Fig. 3b),
 //! * [`marksweep`] — a CMS-like old-generation mark-sweep (no compaction),
 //!   demonstrating primitive applicability beyond ParallelScavenge (Table 1),
+//! * [`freelist`] — size-segregated free queues backing a non-moving old
+//!   generation: recycle on sweep, coalesce on exhaustion, allocation from
+//!   dead ranges instead of the bump frontier,
+//! * [`concmark`] — an incremental concurrent marker: bounded per-zone mark
+//!   steps interleaved with mutator allocation, card-table write-barrier
+//!   dirtying, and a stop-the-world remark + Bitmap-Count sweep (`cms`),
 //! * [`g1lite`] — a Garbage-First-style mixed collection (region liveness
 //!   from Bitmap Count, garbage-first evacuation) — Table 1's G1 row,
 //! * [`collector`] — the top-level [`collector::Collector`] driving both
-//!   GCs with HotSpot's sizing/triggering policy,
+//!   GCs with HotSpot's sizing/triggering policy; [`collector::CollectorKind`]
+//!   selects which old-generation collector the Major arm dispatches to,
 //! * [`census`] — opt-in per-GC heap demographics (per-klass live/dead,
 //!   survivor ages, dead-bytes fraction — the paper's Figs. 2/5 input),
 //! * [`postmortem`] — opt-in tail-pause attribution: top-K worst pauses
@@ -44,7 +51,9 @@ pub mod adapt;
 pub mod breakdown;
 pub mod census;
 pub mod collector;
+pub mod concmark;
 pub mod costs;
+pub mod freelist;
 pub mod g1lite;
 pub mod gclog;
 pub mod integrity;
@@ -58,5 +67,5 @@ pub mod trace;
 pub mod verify;
 
 pub use breakdown::{Breakdown, Bucket};
-pub use collector::{Collector, GcEvent, GcKind};
+pub use collector::{Collector, CollectorKind, GcEvent, GcKind};
 pub use system::{Backend, System};

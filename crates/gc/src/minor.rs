@@ -56,7 +56,15 @@ fn offloaded(sys: &System, hardware_iterable: bool) -> bool {
 
 /// Runs one MinorGC. `threads` carries the start time; the caller reads
 /// the end time from the barrier it returns into the thread clocks.
-pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) -> (Breakdown, MinorStats) {
+/// `free` is the old generation's free store: promotion consults it for
+/// a dead range before touching the bump frontier. Under PS it is empty
+/// and every consult is a constant-time `None` — timing unchanged.
+pub fn minor_gc(
+    sys: &mut System,
+    heap: &mut JavaHeap,
+    threads: &mut GcThreads,
+    free: &mut crate::freelist::FreeStore,
+) -> (Breakdown, MinorStats) {
     let mut bd = Breakdown::new();
     let mut st = MinorStats::default();
     let cores = sys.host.cores();
@@ -136,7 +144,7 @@ pub fn minor_gc(sys: &mut System, heap: &mut JavaHeap, threads: &mut GcThreads) 
         bd.record(Bucket::Pop, end - now);
         threads.advance(t, end, true);
 
-        process_slot(sys, heap, threads, &mut bd, &mut st, &mut stack, &mut discovered, slot, t, cores, tenuring);
+        process_slot(sys, heap, threads, &mut bd, &mut st, &mut stack, &mut discovered, free, slot, t, cores, tenuring);
     }
     st.stack_max = stack.max_depth();
     let p3 = threads.max_clock();
@@ -223,8 +231,12 @@ fn scan_dirty_card(
 ) {
     let region = heap.cards().card_region(card);
     let Some(first) = heap.first_obj_for_card(card) else {
-        // No object recorded — the card covers unallocated space; clean it.
-        heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+        // No object recorded — the card covers unallocated space; clean it
+        // (unless a concurrent mark cycle owns the dirty bits: the remark
+        // must still see every card the widened barrier dirtied).
+        if !heap.concmark_barrier() {
+            heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+        }
         return;
     };
     let top = heap.old().top();
@@ -263,8 +275,12 @@ fn scan_dirty_card(
         obj = obj.add_words(size);
     }
     // Clean the card; it is re-dirtied at slot-processing time if an
-    // old-to-young edge survives.
-    heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+    // old-to-young edge survives. While a concurrent mark cycle is
+    // active the card stays dirty — its mutation record belongs to the
+    // remark, and re-scanning it next scavenge is merely redundant work.
+    if !heap.concmark_barrier() {
+        heap.mem.write_u8(card, charon_heap::cardtable::CLEAN);
+    }
     let t = threads.least_loaded();
     let now = threads.clock(t);
     let end = sys.host_op(t % cores, now, 4, &[(card, AccessKind::Write)]);
@@ -283,6 +299,7 @@ fn process_slot(
     st: &mut MinorStats,
     stack: &mut ObjStack,
     discovered: &mut Vec<VAddr>,
+    free: &mut crate::freelist::FreeStore,
     slot: VAddr,
     t: usize,
     cores: usize,
@@ -330,7 +347,9 @@ fn process_slot(
     let dest = if age + 1 < tenuring && to_free >= bytes { heap.alloc_to(size) } else { None };
     let (dest, promoted) = match dest {
         Some(d) => (d, false),
-        None => match heap.alloc_old(size) {
+        // Promotion allocates from dead ranges first (the free store;
+        // empty and a constant-time `None` under PS), then the frontier.
+        None => match free.allocate_old(heap, size).or_else(|| heap.alloc_old(size)) {
             Some(d) => (d, true),
             // Promotion failure: Old is full. Fall back to the to-space
             // even for aged objects (HotSpot similarly keeps the object in

@@ -1,0 +1,132 @@
+//! Property tests for the free-list store ([`charon_gc::freelist`]):
+//!
+//! * free ranges never overlap — not each other, not the blocks the
+//!   store handed out,
+//! * words are conserved across arbitrary recycle / allocate / coalesce
+//!   interleavings (`free + allocated == recycled`, always),
+//! * the binary-searched size-class lookup ([`queue_index`]) agrees with
+//!   a naive linear oracle (and with `slice::binary_search`) on every
+//!   sorted, deduplicated index.
+
+use charon_gc::freelist::{queue_index, FreeStore, MIN_CHUNK_WORDS};
+use charon_heap::VAddr;
+use proptest::prelude::*;
+
+const BASE_WORD: u64 = 0x0800_0000;
+
+/// A chunk layout: `(gap_words, size_words)` pairs laid out consecutively
+/// from `BASE_WORD`. A zero gap makes neighbors address-adjacent, so
+/// coalescing has real work to do.
+fn layout() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..3, MIN_CHUNK_WORDS..48), 1..32)
+}
+
+/// An op sequence: `true` coalesces, `false` allocates `words`.
+fn ops() -> impl Strategy<Value = Vec<(bool, u64)>> {
+    proptest::collection::vec((proptest::bool::weighted(0.15), MIN_CHUNK_WORDS..40), 0..48)
+}
+
+/// Materializes the layout into the store; returns the recycled ranges
+/// as `(start_word, size_words)` and the total recycled words.
+fn seed(store: &mut FreeStore, chunks: &[(u64, u64)]) -> (Vec<(u64, u64)>, u64) {
+    let mut at = BASE_WORD;
+    let mut ranges = Vec::new();
+    for &(gap, size) in chunks {
+        at += gap;
+        store.recycle(VAddr(at * 8), size);
+        ranges.push((at, size));
+        at += size;
+    }
+    let total = ranges.iter().map(|&(_, w)| w).sum();
+    (ranges, total)
+}
+
+/// Every free range currently in the store, as `(start_word, size_words)`.
+fn free_ranges(store: &FreeStore) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = store
+        .queues()
+        .iter()
+        .flat_map(|q| q.chunks.iter().map(move |&a| (a.0 / 8, q.size_words)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// The naive oracle [`queue_index`] is pinned against.
+fn linear_index(sizes: &[u64], words: u64) -> Result<usize, usize> {
+    for (i, &s) in sizes.iter().enumerate() {
+        if s == words {
+            return Ok(i);
+        }
+        if s > words {
+            return Err(i);
+        }
+    }
+    Err(sizes.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn free_ranges_never_overlap(chunks in layout(), plan in ops()) {
+        let mut store = FreeStore::new();
+        let (_, total) = seed(&mut store, &chunks);
+        let mut allocated: Vec<(u64, u64)> = Vec::new();
+        for &(do_coalesce, words) in &plan {
+            if do_coalesce {
+                store.coalesce();
+            } else if let Some((addr, _rem)) = store.allocate(words) {
+                allocated.push((addr.0 / 8, words));
+            }
+            // Free ranges and handed-out blocks together tile a subset of
+            // the seeded region without any pair intersecting.
+            let mut all = free_ranges(&store);
+            all.extend(allocated.iter().copied());
+            all.sort_unstable();
+            for w in all.windows(2) {
+                let ((a, aw), (b, _)) = (w[0], w[1]);
+                prop_assert!(a + aw <= b, "ranges overlap: {:?} then {:?}", w[0], w[1]);
+            }
+            for &(a, w) in &all {
+                prop_assert!(a >= BASE_WORD && a + w <= BASE_WORD + total + chunks.len() as u64 * 3,
+                    "range ({a}, {w}) escaped the seeded region");
+            }
+        }
+    }
+
+    #[test]
+    fn words_are_conserved_across_recycle_allocate_coalesce(chunks in layout(), plan in ops()) {
+        let mut store = FreeStore::new();
+        let (_, total) = seed(&mut store, &chunks);
+        prop_assert_eq!(store.free_words(), total, "recycle accounts every seeded word");
+        let mut allocated_words = 0u64;
+        for &(do_coalesce, words) in &plan {
+            if do_coalesce {
+                let before = store.free_words();
+                store.coalesce();
+                prop_assert_eq!(store.free_words(), before, "coalescing moves words, never makes or loses them");
+            } else if store.allocate(words).is_some() {
+                allocated_words += words;
+            }
+            prop_assert_eq!(store.free_words() + allocated_words, total);
+            // The counter is never out of sync with the queues themselves.
+            let by_queue: u64 = store.queues().iter().map(|q| q.size_words * q.chunks.len() as u64).sum();
+            prop_assert_eq!(store.free_words(), by_queue);
+            prop_assert_eq!(store.occupancy().free_words, by_queue);
+        }
+    }
+
+    #[test]
+    fn queue_index_matches_the_linear_oracle(raw in proptest::collection::vec(2u64..512, 0..64), probe in 0u64..600) {
+        let mut sizes = raw;
+        sizes.sort_unstable();
+        sizes.dedup();
+        prop_assert_eq!(queue_index(&sizes, probe), linear_index(&sizes, probe));
+        prop_assert_eq!(queue_index(&sizes, probe), sizes.binary_search(&probe));
+        // Probe every present size too: each must be found at its index.
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(queue_index(&sizes, s), Ok(i));
+        }
+    }
+}

@@ -103,6 +103,11 @@ pub struct JavaHeap {
     /// card's first word; `BOT_NONE` when unknown.
     bot: Vec<u64>,
     root_count: usize,
+    /// While a concurrent mark cycle is active, the write barrier dirties
+    /// the card of *every* old-generation reference store (not just
+    /// old-to-young), and MinorGC leaves dirty cards in place for the
+    /// remark to consume. Off outside cycles — the PS barrier unchanged.
+    concmark_barrier: bool,
 }
 
 impl JavaHeap {
@@ -126,6 +131,7 @@ impl JavaHeap {
             end_map,
             bot: vec![BOT_NONE; card_count],
             root_count: 0,
+            concmark_barrier: false,
             cfg,
             layout,
             mem,
@@ -318,12 +324,26 @@ impl JavaHeap {
 
     /// The mutator's reference store: writes the slot and runs HotSpot's
     /// card-marking write barrier — if the slot lives in Old and the value
-    /// points into Young, the slot's card is dirtied.
+    /// points into Young, the slot's card is dirtied. While a concurrent
+    /// mark cycle is active ([`JavaHeap::set_concmark_barrier`]) every
+    /// old-slot store dirties its card, so the remark can re-examine
+    /// objects the mutator touched mid-cycle (incremental-update style).
     pub fn store_ref_with_barrier(&mut self, slot: VAddr, value: VAddr) {
         self.mem.write_word(slot, value.0);
-        if self.in_old(slot) && !value.is_null() && self.in_young(value) {
+        if self.in_old(slot) && !value.is_null() && (self.in_young(value) || self.concmark_barrier) {
             self.cards.dirty(&mut self.mem, slot);
         }
+    }
+
+    /// Arms or disarms the concurrent-marking write barrier. While armed,
+    /// MinorGC's card walk must not clean cards (the remark owns them).
+    pub fn set_concmark_barrier(&mut self, on: bool) {
+        self.concmark_barrier = on;
+    }
+
+    /// Whether the concurrent-marking write barrier is armed.
+    pub fn concmark_barrier(&self) -> bool {
+        self.concmark_barrier
     }
 
     // ----- roots --------------------------------------------------------

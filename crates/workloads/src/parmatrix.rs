@@ -32,6 +32,7 @@
 use crate::run::{run_workload, RunOptions, RunResult};
 use crate::spec::WorkloadSpec;
 use charon_gc::adapt::PolicyKind;
+use charon_gc::collector::CollectorKind;
 use charon_gc::system::System;
 use charon_sim::json::Json;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -74,6 +75,8 @@ pub struct MatrixOptions {
     pub policy_seed: u64,
     /// Probe-after-N-GCs re-enable of watchdog-dead units.
     pub rearm: Option<u32>,
+    /// Old-generation collector the Major arm dispatches to.
+    pub collector: CollectorKind,
 }
 
 impl Default for MatrixOptions {
@@ -94,6 +97,7 @@ impl MatrixOptions {
             policy: o.policy,
             policy_seed: o.policy_seed,
             rearm: o.rearm,
+            collector: o.collector,
         }
     }
 
@@ -107,6 +111,7 @@ impl MatrixOptions {
             policy: self.policy,
             policy_seed: self.policy_seed,
             rearm: self.rearm,
+            collector: self.collector,
             ..Default::default()
         }
     }
@@ -409,6 +414,7 @@ mod tests {
             census: true,
             policy: Some(PolicyKind::Census),
             policy_seed: 7,
+            collector: CollectorKind::Cms,
             ..Default::default()
         };
         let m = MatrixOptions::from_run_options(&o);

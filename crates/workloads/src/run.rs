@@ -11,7 +11,7 @@ use crate::spec::WorkloadSpec;
 use charon_core::device::CharonStats;
 use charon_gc::adapt::{Controller, DecisionJournal, PolicyKind};
 use charon_gc::breakdown::Breakdown;
-use charon_gc::collector::{Collector, GcKind, OutOfMemory};
+use charon_gc::collector::{Collector, CollectorKind, GcKind, OutOfMemory};
 use charon_gc::system::System;
 use charon_heap::heap::{HeapConfig, JavaHeap};
 use charon_heap::layout::LayoutParams;
@@ -61,6 +61,11 @@ pub struct RunOptions {
     /// one branch per collection; either way simulated timing is
     /// bit-identical.
     pub postmortem: Option<usize>,
+    /// Which old-generation collector the Major arm dispatches to
+    /// ([`CollectorKind::Ps`], the default, is the paper's
+    /// ParallelScavenge and keeps every committed fingerprint
+    /// byte-identical; `Ms`/`Cms`/`G1` select the Table 1 alternatives).
+    pub collector: CollectorKind,
 }
 
 impl Default for RunOptions {
@@ -76,6 +81,7 @@ impl Default for RunOptions {
             policy_seed: 0xC4A0,
             rearm: None,
             postmortem: None,
+            collector: CollectorKind::default(),
         }
     }
 }
@@ -274,6 +280,7 @@ fn run_workload_full(
     }
     let platform = sys.label();
     let mut gc = Collector::new(sys, &heap, opts.gc_threads);
+    gc.kind = opts.collector;
     if opts.census {
         gc.census = Some(charon_gc::census::Census::new());
     }

@@ -24,6 +24,7 @@
 
 use charon::gc::adapt::PolicyKind;
 use charon::gc::breakdown::Bucket;
+use charon::gc::collector::CollectorKind;
 use charon::gc::system::OffloadMask;
 use charon::sim::faults::CorruptionSite;
 use charon::sim::json::Json;
@@ -42,10 +43,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  charon-cli list\n  charon-cli config\n  charon-cli area\n  \
-         charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
-         [--mask <M>] [--rearm <N>] [--json] [--trace-out <FILE>]\n  \
+         charon-cli run <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--collector <ps|ms|cms|g1>] [--heap-factor <F>] \
+         [--threads <N>] [--steps <N>] [--mask <M>] [--rearm <N>] [--json] [--trace-out <FILE>]\n  \
          charon-cli compare <BS|KM|LR|CC|PR|ALS> [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json]\n  \
-         charon-cli bench [<W>...] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--out <FILE>] [--jobs <N>]\n    \
+         charon-cli bench [<W>...] [--collector <ps|ms|cms|g1>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
+         [--out <FILE>] [--jobs <N>]\n    \
          (also writes BENCH_selfspeed.json — simulated ps per wall-second, per cell)\n  \
          charon-cli check-json <FILE>\n  \
          charon-cli fault-campaign <BS|KM|LR|CC|PR|ALS> [--seed <S>] [--heap-factor <F>] [--threads <N>] \
@@ -53,8 +55,8 @@ fn usage() -> ExitCode {
          charon-cli chaos [<W>...] [--rates <R,R,...>] [--sites <bitmap,forward,card,payload>] [--oracle] \
          [--rearm <N>] [--seed <S>] [--heap-factor <F>] [--threads <N>] [--steps <N>] [--json] [--out <FILE>] \
          [--jobs <N>]\n  \
-         charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--heap-factor <F>] [--threads <N>] [--steps <N>] \
-         [--top <K>] [--json] [--profile-out <FILE>]\n  \
+         charon-cli profile <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--collector <ps|ms|cms|g1>] [--heap-factor <F>] \
+         [--threads <N>] [--steps <N>] [--top <K>] [--json] [--profile-out <FILE>]\n  \
          charon-cli explain <BS|KM|LR|CC|PR|ALS> [--platform <P>] [--top <K>] [--heap-factor <F>] [--threads <N>] \
          [--steps <N>] [--json]\n    \
          (tail-pause attribution: top-K worst pauses with breakdown, unit, and energy context)\n  \
@@ -76,9 +78,10 @@ fn usage() -> ExitCode {
 
 /// Every flag any subcommand accepts: `(name, takes_value)`. One table,
 /// one parser — each subcommand passes the subset it allows.
-const FLAG_TABLE: [(&str, bool); 23] = [
+const FLAG_TABLE: [(&str, bool); 24] = [
     ("--jobs", true),
     ("--platform", true),
+    ("--collector", true),
     ("--heap-factor", true),
     ("--threads", true),
     ("--steps", true),
@@ -107,6 +110,7 @@ const FLAG_TABLE: [(&str, bool); 23] = [
 struct Flags {
     jobs: Option<usize>,
     platform: Option<String>,
+    collector: Option<CollectorKind>,
     heap_factor: Option<f64>,
     threads: Option<usize>,
     steps: Option<usize>,
@@ -166,6 +170,7 @@ fn parse_flags(rest: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 flags.jobs = Some(n);
             }
             "--platform" => flags.platform = Some(val.to_string()),
+            "--collector" => flags.collector = Some(val.parse::<CollectorKind>()?),
             "--heap-factor" => {
                 let f: f64 = val.parse().map_err(|_| format!("bad factor {val}"))?;
                 if f < 1.0 {
@@ -276,6 +281,7 @@ impl Flags {
             supersteps: self.steps,
             telemetry,
             rearm: self.rearm,
+            collector: self.collector.unwrap_or_default(),
             ..Default::default()
         }
     }
@@ -409,7 +415,17 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--heap-factor", "--threads", "--steps", "--mask", "--rearm", "--json", "--trace-out"],
+                &[
+                    "--platform",
+                    "--collector",
+                    "--heap-factor",
+                    "--threads",
+                    "--steps",
+                    "--mask",
+                    "--rearm",
+                    "--json",
+                    "--trace-out",
+                ],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -422,7 +438,14 @@ fn main() -> ExitCode {
                 eprintln!("unknown platform {platform}");
                 return usage();
             };
+            // A mask asserting a primitive the chosen collector never
+            // issues (Table 1 marks it N/A) is a contradiction, not a
+            // no-op — reject it before the run starts.
             if let Some(mask) = flags.mask {
+                if let Err(e) = flags.collector.unwrap_or_default().validate_mask(mask) {
+                    eprintln!("{e}");
+                    return usage();
+                }
                 sys.offload = mask;
             }
             let telemetry = if flags.trace_out.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
@@ -493,7 +516,10 @@ fn main() -> ExitCode {
             let shorts: Vec<&String> = args[1..].iter().take_while(|a| !a.starts_with("--")).collect();
             let flag_start = 1 + shorts.len();
             let flags =
-                match parse_flags(&args[flag_start..], &["--heap-factor", "--threads", "--steps", "--out", "--jobs"]) {
+                match parse_flags(
+                    &args[flag_start..],
+                    &["--collector", "--heap-factor", "--threads", "--steps", "--out", "--jobs"],
+                ) {
                     Ok(f) => f,
                     Err(e) => {
                         eprintln!("{e}");
@@ -757,7 +783,16 @@ fn main() -> ExitCode {
             };
             let flags = match parse_flags(
                 &args[2..],
-                &["--platform", "--heap-factor", "--threads", "--steps", "--top", "--json", "--profile-out"],
+                &[
+                    "--platform",
+                    "--collector",
+                    "--heap-factor",
+                    "--threads",
+                    "--steps",
+                    "--top",
+                    "--json",
+                    "--profile-out",
+                ],
             ) {
                 Ok(f) => f,
                 Err(e) => {
@@ -1116,7 +1151,8 @@ mod tests {
         s.iter().map(|a| a.to_string()).collect()
     }
 
-    const RUN_FLAGS: [&str; 6] = ["--platform", "--heap-factor", "--threads", "--steps", "--json", "--trace-out"];
+    const RUN_FLAGS: [&str; 7] =
+        ["--platform", "--collector", "--heap-factor", "--threads", "--steps", "--json", "--trace-out"];
 
     #[test]
     fn parses_every_run_flag() {
@@ -1124,6 +1160,8 @@ mod tests {
             &argv(&[
                 "--platform",
                 "Charon",
+                "--collector",
+                "cms",
                 "--heap-factor",
                 "1.5",
                 "--threads",
@@ -1138,11 +1176,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.platform.as_deref(), Some("Charon"));
+        assert_eq!(f.collector, Some(CollectorKind::Cms));
         assert_eq!(f.heap_factor, Some(1.5));
         assert_eq!(f.threads, Some(4));
         assert_eq!(f.steps, Some(3));
         assert!(f.json);
         assert_eq!(f.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn collector_flag_accepts_every_kind_and_rejects_unknowns() {
+        for (name, kind) in
+            [("ps", CollectorKind::Ps), ("ms", CollectorKind::Ms), ("cms", CollectorKind::Cms), ("g1", CollectorKind::G1)]
+        {
+            let f = parse_flags(&argv(&["--collector", name]), &RUN_FLAGS).unwrap();
+            assert_eq!(f.collector, Some(kind), "{name}");
+        }
+        let e = parse_flags(&argv(&["--collector", "zgc"]), &RUN_FLAGS).unwrap_err();
+        assert!(e.contains("unknown collector 'zgc'"), "{e}");
+        assert!(e.contains("ps, ms, cms, or g1"), "{e}");
+    }
+
+    #[test]
+    fn collector_defaults_to_ps_in_run_options() {
+        let f = parse_flags(&argv(&[]), &RUN_FLAGS).unwrap();
+        assert_eq!(f.run_options(Telemetry::disabled()).collector, CollectorKind::Ps);
+        let f = parse_flags(&argv(&["--collector", "g1"]), &RUN_FLAGS).unwrap();
+        assert_eq!(f.run_options(Telemetry::disabled()).collector, CollectorKind::G1);
+        assert_eq!(f.matrix_options().collector, CollectorKind::G1, "bench inherits via MatrixOptions");
+    }
+
+    #[test]
+    fn mask_collector_conflicts_are_typed_errors() {
+        // ms never issues Bitmap Count (Table 1 N/A) — asserting it is
+        // a contradiction; every other collector accepts the full mask.
+        let mask: OffloadMask = "all".parse().unwrap();
+        let e = CollectorKind::Ms.validate_mask(mask).unwrap_err();
+        assert_eq!(e.collector, CollectorKind::Ms);
+        assert_eq!(e.primitive, "bitmap-count");
+        assert!(e.to_string().contains("never issues it"), "{e}");
+        for kind in [CollectorKind::Ps, CollectorKind::Cms, CollectorKind::G1] {
+            kind.validate_mask(mask).unwrap();
+        }
+        let no_bc: OffloadMask = "copy,search,scan-push".parse().unwrap();
+        CollectorKind::Ms.validate_mask(no_bc).unwrap();
     }
 
     #[test]
